@@ -1,0 +1,19 @@
+//! An Adaptive Radix Tree (ART), the trie baseline of the Wormhole
+//! evaluation (Leis et al., ICDE 2013; the paper uses the `libart` C
+//! implementation).
+//!
+//! The tree adapts each internal node's representation to its population —
+//! Node4, Node16, Node48, and Node256 — and applies path compression so that
+//! chains of single-child nodes collapse into a prefix stored at the child.
+//! Lookup cost is `O(L)` in the key length, the property the paper contrasts
+//! with Wormhole's `O(log L)`.
+//!
+//! Arbitrary byte keys (including keys that are prefixes of other keys) are
+//! supported by giving every internal node an optional *terminal* slot for
+//! the key that ends exactly at that node, which plays the role of the
+//! implicit end-of-string symbol in the original design.
+
+pub mod node;
+pub mod tree;
+
+pub use tree::Art;

@@ -1,0 +1,326 @@
+//! ART node representations: Node4, Node16, Node48, Node256.
+
+/// A stored key/value pair. ART leaves keep the full key so the final step of
+/// a lookup can verify the parts skipped by path compression.
+#[derive(Debug, Clone)]
+pub struct Leaf<V> {
+    /// The full key.
+    pub key: Box<[u8]>,
+    /// The stored value.
+    pub value: V,
+}
+
+/// A node in the adaptive radix tree.
+#[derive(Debug)]
+pub enum Node<V> {
+    /// A single key/value pair.
+    Leaf(Leaf<V>),
+    /// An internal node with adaptive children storage.
+    Internal(Box<Internal<V>>),
+}
+
+/// An internal node: compressed prefix, optional terminal leaf, and children.
+#[derive(Debug)]
+pub struct Internal<V> {
+    /// Path-compressed prefix shared by all keys below this node (relative to
+    /// the node's depth).
+    pub prefix: Vec<u8>,
+    /// Leaf for the key that ends exactly after `prefix` at this node.
+    pub terminal: Option<Leaf<V>>,
+    /// Child pointers, keyed by the next key byte.
+    pub children: Children<V>,
+}
+
+/// Adaptive children storage.
+#[derive(Debug)]
+pub enum Children<V> {
+    /// Up to 4 children: parallel sorted arrays.
+    Node4 { keys: Vec<u8>, nodes: Vec<Node<V>> },
+    /// Up to 16 children: parallel sorted arrays.
+    Node16 { keys: Vec<u8>, nodes: Vec<Node<V>> },
+    /// Up to 48 children: a 256-entry index into a slot vector.
+    Node48 {
+        /// `index[b]` is `slot + 1`, or 0 when byte `b` has no child.
+        index: Box<[u8; 256]>,
+        slots: Vec<Option<Node<V>>>,
+    },
+    /// Up to 256 children: direct array.
+    Node256 { slots: Box<[Option<Node<V>>; 256]> },
+}
+
+impl<V> Children<V> {
+    /// Creates the smallest representation.
+    pub fn new() -> Self {
+        Children::Node4 {
+            keys: Vec::with_capacity(4),
+            nodes: Vec::with_capacity(4),
+        }
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        match self {
+            Children::Node4 { keys, .. } | Children::Node16 { keys, .. } => keys.len(),
+            Children::Node48 { slots, .. } => slots.iter().filter(|s| s.is_some()).count(),
+            Children::Node256 { slots } => slots.iter().filter(|s| s.is_some()).count(),
+        }
+    }
+
+    /// Returns `true` when the node has no children.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical capacity of the current representation.
+    pub fn capacity(&self) -> usize {
+        match self {
+            Children::Node4 { .. } => 4,
+            Children::Node16 { .. } => 16,
+            Children::Node48 { .. } => 48,
+            Children::Node256 { .. } => 256,
+        }
+    }
+
+    /// Looks up the child for byte `b`.
+    pub fn get(&self, b: u8) -> Option<&Node<V>> {
+        match self {
+            Children::Node4 { keys, nodes } | Children::Node16 { keys, nodes } => keys
+                .iter()
+                .position(|&k| k == b)
+                .map(|i| &nodes[i]),
+            Children::Node48 { index, slots } => {
+                let slot = index[b as usize];
+                if slot == 0 {
+                    None
+                } else {
+                    slots[(slot - 1) as usize].as_ref()
+                }
+            }
+            Children::Node256 { slots } => slots[b as usize].as_ref(),
+        }
+    }
+
+    /// Looks up the child for byte `b`, mutably.
+    pub fn get_mut(&mut self, b: u8) -> Option<&mut Node<V>> {
+        match self {
+            Children::Node4 { keys, nodes } | Children::Node16 { keys, nodes } => keys
+                .iter()
+                .position(|&k| k == b)
+                .map(move |i| &mut nodes[i]),
+            Children::Node48 { index, slots } => {
+                let slot = index[b as usize];
+                if slot == 0 {
+                    None
+                } else {
+                    slots[(slot - 1) as usize].as_mut()
+                }
+            }
+            Children::Node256 { slots } => slots[b as usize].as_mut(),
+        }
+    }
+
+    /// Inserts a child for byte `b`, growing the representation if needed.
+    /// Panics if a child for `b` already exists.
+    pub fn insert(&mut self, b: u8, node: Node<V>) {
+        debug_assert!(self.get(b).is_none(), "child {b} already present");
+        if self.len() == self.capacity() && self.capacity() < 256 {
+            self.grow();
+        }
+        match self {
+            Children::Node4 { keys, nodes } | Children::Node16 { keys, nodes } => {
+                let pos = keys.partition_point(|&k| k < b);
+                keys.insert(pos, b);
+                nodes.insert(pos, node);
+            }
+            Children::Node48 { index, slots } => {
+                // Reuse a freed slot if one exists so the slot vector stays
+                // bounded under insert/remove churn.
+                let slot = match slots.iter().position(|s| s.is_none()) {
+                    Some(free) => {
+                        slots[free] = Some(node);
+                        free
+                    }
+                    None => {
+                        slots.push(Some(node));
+                        slots.len() - 1
+                    }
+                };
+                index[b as usize] = (slot + 1) as u8;
+            }
+            Children::Node256 { slots } => {
+                slots[b as usize] = Some(node);
+            }
+        }
+    }
+
+    /// Removes and returns the child for byte `b`.
+    pub fn remove(&mut self, b: u8) -> Option<Node<V>> {
+        match self {
+            Children::Node4 { keys, nodes } | Children::Node16 { keys, nodes } => {
+                let pos = keys.iter().position(|&k| k == b)?;
+                keys.remove(pos);
+                Some(nodes.remove(pos))
+            }
+            Children::Node48 { index, slots } => {
+                let slot = index[b as usize];
+                if slot == 0 {
+                    return None;
+                }
+                index[b as usize] = 0;
+                slots[(slot - 1) as usize].take()
+            }
+            Children::Node256 { slots } => slots[b as usize].take(),
+        }
+    }
+
+    /// Iterates children in ascending byte order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (u8, &Node<V>)> + '_> {
+        match self {
+            Children::Node4 { keys, nodes } | Children::Node16 { keys, nodes } => {
+                Box::new(keys.iter().copied().zip(nodes.iter()))
+            }
+            Children::Node48 { index, slots } => Box::new(
+                (0u16..256)
+                    .filter_map(move |b| {
+                        let slot = index[b as usize];
+                        if slot == 0 {
+                            None
+                        } else {
+                            slots[(slot - 1) as usize].as_ref().map(|n| (b as u8, n))
+                        }
+                    }),
+            ),
+            Children::Node256 { slots } => Box::new(
+                (0u16..256).filter_map(move |b| slots[b as usize].as_ref().map(|n| (b as u8, n))),
+            ),
+        }
+    }
+
+    /// Removes and returns the only child; panics unless exactly one exists.
+    pub fn take_single_child(&mut self) -> (u8, Node<V>) {
+        assert_eq!(self.len(), 1, "take_single_child on node with {} children", self.len());
+        let byte = self.iter().next().map(|(b, _)| b).expect("one child");
+        let node = self.remove(byte).expect("one child");
+        (byte, node)
+    }
+
+    /// Grows the representation to the next size class.
+    fn grow(&mut self) {
+        let current = std::mem::replace(self, Children::new());
+        *self = match current {
+            Children::Node4 { keys, nodes } => Children::Node16 { keys, nodes },
+            Children::Node16 { keys, nodes } => {
+                let mut index = Box::new([0u8; 256]);
+                let mut slots = Vec::with_capacity(48);
+                for (k, n) in keys.into_iter().zip(nodes) {
+                    slots.push(Some(n));
+                    index[k as usize] = slots.len() as u8;
+                }
+                Children::Node48 { index, slots }
+            }
+            Children::Node48 { index, mut slots } => {
+                let mut arr: Box<[Option<Node<V>>; 256]> =
+                    Box::new(std::array::from_fn(|_| None));
+                for b in 0..256usize {
+                    let slot = index[b];
+                    if slot != 0 {
+                        arr[b] = slots[(slot - 1) as usize].take();
+                    }
+                }
+                Children::Node256 { slots: arr }
+            }
+            full @ Children::Node256 { .. } => full,
+        };
+    }
+
+    /// Approximate structure bytes used by this representation (excluding the
+    /// children nodes themselves).
+    pub fn structure_bytes(&self) -> usize {
+        match self {
+            Children::Node4 { .. } => 4 + 4 * std::mem::size_of::<Node<V>>(),
+            Children::Node16 { .. } => 16 + 16 * std::mem::size_of::<Node<V>>(),
+            Children::Node48 { slots, .. } => 256 + slots.len() * std::mem::size_of::<Node<V>>(),
+            Children::Node256 { .. } => 256 * std::mem::size_of::<Node<V>>(),
+        }
+    }
+}
+
+impl<V> Default for Children<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(b: u8) -> Node<u64> {
+        Node::Leaf(Leaf {
+            key: vec![b].into_boxed_slice(),
+            value: b as u64,
+        })
+    }
+
+    #[test]
+    fn insert_and_get_across_growth() {
+        let mut c: Children<u64> = Children::new();
+        // Insert 200 children, forcing Node4 -> Node16 -> Node48 -> Node256.
+        for b in 0..200u8 {
+            c.insert(b, leaf(b));
+            assert_eq!(c.len(), b as usize + 1);
+        }
+        assert!(matches!(c, Children::Node256 { .. }));
+        for b in 0..200u8 {
+            match c.get(b) {
+                Some(Node::Leaf(l)) => assert_eq!(l.value, b as u64),
+                other => panic!("missing child {b}: {other:?}"),
+            }
+        }
+        assert!(c.get(201).is_none());
+    }
+
+    #[test]
+    fn growth_boundaries() {
+        let mut c: Children<u64> = Children::new();
+        for b in 0..4u8 {
+            c.insert(b, leaf(b));
+        }
+        assert!(matches!(c, Children::Node4 { .. }));
+        c.insert(4, leaf(4));
+        assert!(matches!(c, Children::Node16 { .. }));
+        for b in 5..16u8 {
+            c.insert(b, leaf(b));
+        }
+        assert!(matches!(c, Children::Node16 { .. }));
+        c.insert(16, leaf(16));
+        assert!(matches!(c, Children::Node48 { .. }));
+        for b in 17..48u8 {
+            c.insert(b, leaf(b));
+        }
+        assert!(matches!(c, Children::Node48 { .. }));
+        c.insert(48, leaf(48));
+        assert!(matches!(c, Children::Node256 { .. }));
+    }
+
+    #[test]
+    fn remove_and_iter_order() {
+        let mut c: Children<u64> = Children::new();
+        for &b in &[9u8, 3, 200, 77, 1] {
+            c.insert(b, leaf(b));
+        }
+        assert!(c.remove(77).is_some());
+        assert!(c.remove(77).is_none());
+        let order: Vec<u8> = c.iter().map(|(b, _)| b).collect();
+        assert_eq!(order, vec![1, 3, 9, 200]);
+    }
+
+    #[test]
+    fn take_single_child() {
+        let mut c: Children<u64> = Children::new();
+        c.insert(42, leaf(42));
+        let (b, _) = c.take_single_child();
+        assert_eq!(b, 42);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,567 @@
+//! The adaptive radix tree.
+
+use index_traits::{common_prefix_len, is_prefix_of, IndexStats, OrderedIndex};
+
+use crate::node::{Children, Internal, Leaf, Node};
+
+/// An adaptive radix tree over byte-string keys.
+pub struct Art<V> {
+    root: Option<Node<V>>,
+    len: usize,
+    key_bytes: usize,
+}
+
+impl<V: Clone> Default for Art<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> Art<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self {
+            root: None,
+            len: 0,
+            key_bytes: 0,
+        }
+    }
+
+    fn get_rec<'a>(node: &'a Node<V>, key: &[u8], depth: usize) -> Option<&'a V> {
+        match node {
+            Node::Leaf(l) => (l.key.as_ref() == key).then_some(&l.value),
+            Node::Internal(int) => {
+                let rest = &key[depth..];
+                if rest.len() < int.prefix.len() || rest[..int.prefix.len()] != int.prefix[..] {
+                    return None;
+                }
+                let depth = depth + int.prefix.len();
+                if depth == key.len() {
+                    return int.terminal.as_ref().map(|l| &l.value);
+                }
+                let b = key[depth];
+                int.children
+                    .get(b)
+                    .and_then(|child| Self::get_rec(child, key, depth + 1))
+            }
+        }
+    }
+
+    /// Builds a leaf node holding the full key.
+    fn make_leaf(key: &[u8], value: V) -> Leaf<V> {
+        Leaf {
+            key: key.to_vec().into_boxed_slice(),
+            value,
+        }
+    }
+
+    /// Attaches `leaf` below `int` given that the leaf's key diverges from the
+    /// node's coverage at absolute position `pos` (== key length for a
+    /// terminal).
+    fn attach_leaf(int: &mut Internal<V>, key: &[u8], pos: usize, leaf: Leaf<V>) {
+        if pos == key.len() {
+            debug_assert!(int.terminal.is_none());
+            int.terminal = Some(leaf);
+        } else {
+            int.children.insert(key[pos], Node::Leaf(leaf));
+        }
+    }
+
+    fn insert_rec(node: &mut Node<V>, key: &[u8], depth: usize, value: V) -> Option<V> {
+        if let Node::Leaf(existing) = node {
+            if existing.key.as_ref() == key {
+                return Some(std::mem::replace(&mut existing.value, value));
+            }
+            // Split this leaf: build an internal node covering the common
+            // prefix of the two keys below `depth`.
+            let old = match std::mem::replace(
+                node,
+                Node::Internal(Box::new(Internal {
+                    prefix: Vec::new(),
+                    terminal: None,
+                    children: Children::new(),
+                })),
+            ) {
+                Node::Leaf(old) => old,
+                Node::Internal(_) => unreachable!(),
+            };
+            let common = common_prefix_len(&old.key[depth..], &key[depth..]);
+            let split_at = depth + common;
+            let Node::Internal(int) = node else { unreachable!() };
+            int.prefix = key[depth..split_at].to_vec();
+            let old_key = old.key.clone();
+            Self::attach_leaf(int, &old_key, split_at, old);
+            Self::attach_leaf(int, key, split_at, Self::make_leaf(key, value));
+            return None;
+        }
+
+        // Internal node: check the compressed prefix first.
+        let (prefix_len, common) = {
+            let Node::Internal(int) = &*node else { unreachable!() };
+            let rest = &key[depth..];
+            (int.prefix.len(), common_prefix_len(&int.prefix, rest))
+        };
+
+        if common < prefix_len {
+            // The key diverges inside the compressed prefix: split the prefix.
+            let old_node = std::mem::replace(
+                node,
+                Node::Internal(Box::new(Internal {
+                    prefix: Vec::new(),
+                    terminal: None,
+                    children: Children::new(),
+                })),
+            );
+            let Node::Internal(mut old_int) = old_node else { unreachable!() };
+            let old_prefix = std::mem::take(&mut old_int.prefix);
+            let split_byte = old_prefix[common];
+            old_int.prefix = old_prefix[common + 1..].to_vec();
+
+            let Node::Internal(new_int) = node else { unreachable!() };
+            new_int.prefix = old_prefix[..common].to_vec();
+            new_int.children.insert(split_byte, Node::Internal(old_int));
+            let split_at = depth + common;
+            Self::attach_leaf(new_int, key, split_at, Self::make_leaf(key, value));
+            return None;
+        }
+
+        // Prefix fully matched; continue below it.
+        let depth = depth + prefix_len;
+        let Node::Internal(int) = node else { unreachable!() };
+        if depth == key.len() {
+            return match &mut int.terminal {
+                Some(t) => Some(std::mem::replace(&mut t.value, value)),
+                slot @ None => {
+                    *slot = Some(Self::make_leaf(key, value));
+                    None
+                }
+            };
+        }
+        let b = key[depth];
+        match int.children.get_mut(b) {
+            Some(child) => Self::insert_rec(child, key, depth + 1, value),
+            None => {
+                int.children.insert(b, Node::Leaf(Self::make_leaf(key, value)));
+                None
+            }
+        }
+    }
+
+    /// Recursive deletion. Returns the removed value and whether the node has
+    /// become empty and should be detached by its parent.
+    fn delete_rec(node: &mut Node<V>, key: &[u8], depth: usize) -> (Option<V>, bool) {
+        if let Node::Leaf(l) = node {
+            return if l.key.as_ref() == key {
+                (Some(l.value.clone()), true)
+            } else {
+                (None, false)
+            };
+        }
+        let removed = {
+            let Node::Internal(int) = &mut *node else { unreachable!() };
+            let rest = &key[depth..];
+            if rest.len() < int.prefix.len() || rest[..int.prefix.len()] != int.prefix[..] {
+                return (None, false);
+            }
+            let depth = depth + int.prefix.len();
+            if depth == key.len() {
+                match int.terminal.take() {
+                    Some(l) => Some(l.value),
+                    None => return (None, false),
+                }
+            } else {
+                let b = key[depth];
+                let Some(child) = int.children.get_mut(b) else {
+                    return (None, false);
+                };
+                let (removed, drop_child) = Self::delete_rec(child, key, depth + 1);
+                if drop_child {
+                    int.children.remove(b);
+                }
+                match removed {
+                    Some(v) => Some(v),
+                    None => return (None, false),
+                }
+            }
+        };
+
+        // The node lost an entry: collapse or signal removal where possible.
+        let (children_len, has_terminal) = {
+            let Node::Internal(int) = &*node else { unreachable!() };
+            (int.children.len(), int.terminal.is_some())
+        };
+        if children_len == 0 && !has_terminal {
+            return (removed, true);
+        }
+        if children_len == 1 && !has_terminal {
+            // Path compression: merge this node with its only child.
+            let Node::Internal(int) = &mut *node else { unreachable!() };
+            let (byte, child) = int.children.take_single_child();
+            let mut merged_prefix = std::mem::take(&mut int.prefix);
+            merged_prefix.push(byte);
+            match child {
+                Node::Leaf(l) => {
+                    *node = Node::Leaf(l);
+                }
+                Node::Internal(mut child_int) => {
+                    merged_prefix.extend_from_slice(&child_int.prefix);
+                    child_int.prefix = merged_prefix;
+                    *node = Node::Internal(child_int);
+                }
+            }
+        }
+        (removed, false)
+    }
+
+    /// Depth-first visit of all keys at or after `start`, in ascending key
+    /// order. The visitor returns `false` to stop the scan.
+    fn scan_rec<'a>(
+        node: &'a Node<V>,
+        path: &mut Vec<u8>,
+        start: &[u8],
+        visit: &mut impl FnMut(&[u8], &'a V) -> bool,
+    ) -> bool {
+        match node {
+            Node::Leaf(l) => {
+                if l.key.as_ref() >= start {
+                    return visit(&l.key, &l.value);
+                }
+                true
+            }
+            Node::Internal(int) => {
+                path.extend_from_slice(&int.prefix);
+                let mut keep_going = true;
+                if let Some(t) = &int.terminal {
+                    if path.as_slice() >= start {
+                        keep_going = visit(path, &t.value);
+                    }
+                }
+                if keep_going {
+                    for (b, child) in int.children.iter() {
+                        path.push(b);
+                        // Prune subtrees that lie entirely before `start`:
+                        // every key below starts with `path`, so if `path` is
+                        // not a prefix of `start` and sorts before it, the
+                        // whole subtree sorts before `start`.
+                        let skip = !is_prefix_of(path, start) && path.as_slice() < start;
+                        if !skip {
+                            keep_going = Self::scan_rec(child, path, start, visit);
+                        }
+                        path.pop();
+                        if !keep_going {
+                            break;
+                        }
+                    }
+                }
+                path.truncate(path.len() - int.prefix.len());
+                keep_going
+            }
+        }
+    }
+
+    /// Visits every key/value pair at or after `start` in ascending order
+    /// until the visitor returns `false`.
+    pub fn scan_from(&self, start: &[u8], mut visit: impl FnMut(&[u8], &V) -> bool) {
+        if let Some(root) = &self.root {
+            let mut path = Vec::new();
+            Self::scan_rec(root, &mut path, start, &mut visit);
+        }
+    }
+
+    fn stats_rec(node: &Node<V>, stats: &mut IndexStats) {
+        match node {
+            Node::Leaf(l) => {
+                stats.key_bytes += l.key.len();
+                stats.value_bytes += std::mem::size_of::<V>();
+                stats.structure_bytes += std::mem::size_of::<Leaf<V>>();
+            }
+            Node::Internal(int) => {
+                stats.structure_bytes += std::mem::size_of::<Internal<V>>()
+                    + int.prefix.len()
+                    + int.children.structure_bytes();
+                if let Some(t) = &int.terminal {
+                    stats.key_bytes += t.key.len();
+                    stats.value_bytes += std::mem::size_of::<V>();
+                }
+                for (_, child) in int.children.iter() {
+                    Self::stats_rec(child, stats);
+                }
+            }
+        }
+    }
+}
+
+impl<V: Clone> OrderedIndex<V> for Art<V> {
+    fn name(&self) -> &'static str {
+        "art"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<V> {
+        self.root
+            .as_ref()
+            .and_then(|root| Self::get_rec(root, key, 0))
+            .cloned()
+    }
+
+    fn set(&mut self, key: &[u8], value: V) -> Option<V> {
+        let old = match &mut self.root {
+            Some(root) => Self::insert_rec(root, key, 0, value),
+            None => {
+                self.root = Some(Node::Leaf(Self::make_leaf(key, value)));
+                None
+            }
+        };
+        if old.is_none() {
+            self.len += 1;
+            self.key_bytes += key.len();
+        }
+        old
+    }
+
+    fn del(&mut self, key: &[u8]) -> Option<V> {
+        let Some(root) = &mut self.root else {
+            return None;
+        };
+        let (removed, drop_root) = Self::delete_rec(root, key, 0);
+        if drop_root {
+            self.root = None;
+        }
+        if removed.is_some() {
+            self.len -= 1;
+            self.key_bytes -= key.len();
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        let mut out = Vec::new();
+        if count == 0 {
+            return out;
+        }
+        self.scan_from(start, |k, v| {
+            out.push((k.to_vec(), v.clone()));
+            out.len() < count
+        });
+        out
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut stats = IndexStats {
+            keys: self.len,
+            ..Default::default()
+        };
+        if let Some(root) = &self.root {
+            Self::stats_rec(root, &mut stats);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree() {
+        let mut t: Art<u64> = Art::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"x"), None);
+        assert_eq!(t.del(b"x"), None);
+        assert!(t.range_from(b"", 10).is_empty());
+    }
+
+    #[test]
+    fn single_key() {
+        let mut t = Art::new();
+        t.set(b"hello", 1u64);
+        assert_eq!(t.get(b"hello"), Some(1));
+        assert_eq!(t.get(b"hell"), None);
+        assert_eq!(t.get(b"hello!"), None);
+        assert_eq!(t.del(b"hello"), Some(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn keys_that_are_prefixes_of_each_other() {
+        let mut t = Art::new();
+        t.set(b"a", 1u64);
+        t.set(b"ab", 2);
+        t.set(b"abc", 3);
+        t.set(b"abcd", 4);
+        for (k, v) in [(&b"a"[..], 1u64), (b"ab", 2), (b"abc", 3), (b"abcd", 4)] {
+            assert_eq!(t.get(k), Some(v));
+        }
+        assert_eq!(t.del(b"ab"), Some(2));
+        assert_eq!(t.get(b"ab"), None);
+        assert_eq!(t.get(b"abc"), Some(3));
+        assert_eq!(t.get(b"abcd"), Some(4));
+        assert_eq!(t.get(b"a"), Some(1));
+    }
+
+    #[test]
+    fn paper_example_names() {
+        let names = [
+            "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason", "John",
+            "Joseph", "Julian", "Justin",
+        ];
+        let mut t = Art::new();
+        for (i, k) in names.iter().enumerate() {
+            t.set(k.as_bytes(), i as u64);
+        }
+        assert_eq!(t.len(), 12);
+        for (i, k) in names.iter().enumerate() {
+            assert_eq!(t.get(k.as_bytes()), Some(i as u64), "{k}");
+        }
+        assert_eq!(t.get(b"Denic"), None);
+        assert_eq!(t.get(b"Denicee"), None);
+        // Ordered scan returns sorted names.
+        let scanned: Vec<String> = t
+            .range_from(b"", usize::MAX)
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        let mut sorted: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        sorted.sort();
+        assert_eq!(scanned, sorted);
+    }
+
+    #[test]
+    fn binary_keys_with_zero_bytes() {
+        let mut t = Art::new();
+        let keys: Vec<Vec<u8>> = vec![
+            vec![1],
+            vec![1, 0],
+            vec![1, 0, 0],
+            vec![1, 0, 0, 0],
+            vec![1, 1],
+            vec![1, 1, 1],
+            vec![0],
+            vec![],
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            t.set(k, i as u64);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64), "{k:?}");
+        }
+        assert_eq!(t.len(), keys.len());
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut t = Art::new();
+        t.set(b"dup", 1u64);
+        assert_eq!(t.set(b"dup", 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(b"dup"), Some(2));
+    }
+
+    #[test]
+    fn path_compression_collapse_after_delete() {
+        let mut t = Art::new();
+        t.set(b"prefix-common-aaaa", 1u64);
+        t.set(b"prefix-common-bbbb", 2);
+        t.set(b"prefix-common-cccc", 3);
+        assert_eq!(t.del(b"prefix-common-bbbb"), Some(2));
+        assert_eq!(t.del(b"prefix-common-cccc"), Some(3));
+        // Only one key left; lookups must still work after collapses.
+        assert_eq!(t.get(b"prefix-common-aaaa"), Some(1));
+        assert_eq!(t.len(), 1);
+        t.set(b"prefix-common-dddd", 4);
+        assert_eq!(t.get(b"prefix-common-dddd"), Some(4));
+    }
+
+    #[test]
+    fn large_random_set() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut t = Art::new();
+        let mut model = BTreeMap::new();
+        for i in 0u64..5000 {
+            let len = rng.gen_range(1..24);
+            let key: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            t.set(&key, i);
+            model.insert(key, i);
+        }
+        assert_eq!(t.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(t.get(k), Some(*v));
+        }
+        let scan = t.range_from(b"", usize::MAX);
+        let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        assert_eq!(scan, expect);
+    }
+
+    #[test]
+    fn range_from_middle() {
+        let mut t = Art::new();
+        for i in 0..100u64 {
+            t.set(format!("key{i:03}").as_bytes(), i);
+        }
+        let out = t.range_from(b"key050", 5);
+        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        assert_eq!(keys, vec!["key050", "key051", "key052", "key053", "key054"]);
+        // Start key absent from the index.
+        let out = t.range_from(b"key0505", 2);
+        assert_eq!(out[0].0, b"key051".to_vec());
+    }
+
+    #[test]
+    fn stats_counts_nodes() {
+        let mut t = Art::new();
+        for i in 0..1000u64 {
+            t.set(format!("{i:06}").as_bytes(), i);
+        }
+        let s = t.stats();
+        assert_eq!(s.keys, 1000);
+        assert_eq!(s.key_bytes, 6000);
+        assert!(s.structure_bytes > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_matches_btreemap_model(ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..10), any::<u64>(), any::<bool>()), 1..300)) {
+            let mut t = Art::new();
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for (key, value, is_delete) in ops {
+                if is_delete {
+                    prop_assert_eq!(t.del(&key), model.remove(&key));
+                } else {
+                    prop_assert_eq!(t.set(&key, value), model.insert(key.clone(), value));
+                }
+                prop_assert_eq!(t.len(), model.len());
+            }
+            for (k, v) in &model {
+                prop_assert_eq!(t.get(k), Some(*v));
+            }
+            let scan = t.range_from(b"", usize::MAX);
+            let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(scan, expect);
+        }
+
+        #[test]
+        fn prop_range_from_matches_model(keys in proptest::collection::btree_set(
+            proptest::collection::vec(any::<u8>(), 0..8), 1..100),
+            start in proptest::collection::vec(any::<u8>(), 0..8),
+            count in 0usize..20) {
+            let mut t = Art::new();
+            for (i, k) in keys.iter().enumerate() {
+                t.set(k, i as u64);
+            }
+            let got: Vec<Vec<u8>> = t.range_from(&start, count).into_iter().map(|(k, _)| k).collect();
+            let expect: Vec<Vec<u8>> = keys.iter().filter(|k| k.as_slice() >= start.as_slice())
+                .take(count).cloned().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! An in-memory B+ tree modelled on the STX B+-tree used as the "B+ tree"
+//! baseline throughout the Wormhole evaluation.
+//!
+//! All keys live in leaf nodes; internal nodes store separator keys only.
+//! Leaves are linked into a sorted list (the paper's *LeafList*) so that
+//! range queries are a lookup followed by a linear scan. The default fanout
+//! is 128, the value the paper reports as best on its testbed.
+
+pub mod tree;
+
+pub use tree::BPlusTree;
+
+/// Default fanout (maximum children per internal node and maximum keys per
+/// leaf), matching the paper's configuration of the STX B+-tree.
+pub const DEFAULT_FANOUT: usize = 128;

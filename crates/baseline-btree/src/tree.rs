@@ -1,0 +1,792 @@
+//! The B+ tree implementation.
+
+use index_traits::{IndexStats, OrderedIndex};
+
+/// Null link for the leaf list.
+const NIL: usize = usize::MAX;
+
+/// A B+ tree node: either an internal routing node or a leaf holding items.
+enum Node<V> {
+    Internal {
+        /// Separator keys; `children[i]` holds keys `< keys[i]`,
+        /// `children[i + 1]` holds keys `>= keys[i]`.
+        keys: Vec<Box<[u8]>>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        /// Sorted key/value items.
+        items: Vec<(Box<[u8]>, V)>,
+        /// Next leaf in key order (`NIL` at the tail).
+        next: usize,
+        /// Previous leaf in key order (`NIL` at the head).
+        prev: usize,
+    },
+}
+
+/// An STX-style in-memory B+ tree over byte-string keys.
+pub struct BPlusTree<V> {
+    arena: Vec<Option<Node<V>>>,
+    free: Vec<usize>,
+    root: usize,
+    fanout: usize,
+    len: usize,
+    key_bytes: usize,
+}
+
+impl<V> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> BPlusTree<V> {
+    /// Creates an empty tree with the paper's default fanout of 128.
+    pub fn new() -> Self {
+        Self::with_fanout(crate::DEFAULT_FANOUT)
+    }
+
+    /// Creates an empty tree with the given fanout (minimum 4).
+    pub fn with_fanout(fanout: usize) -> Self {
+        let fanout = fanout.max(4);
+        let mut tree = Self {
+            arena: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            fanout,
+            len: 0,
+            key_bytes: 0,
+        };
+        tree.root = tree.alloc(Node::Leaf {
+            items: Vec::new(),
+            next: NIL,
+            prev: NIL,
+        });
+        tree
+    }
+
+    /// The configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Current tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut idx = self.root;
+        while let Node::Internal { children, .. } = self.node(idx) {
+            idx = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    fn max_leaf_items(&self) -> usize {
+        self.fanout
+    }
+    fn min_leaf_items(&self) -> usize {
+        self.fanout / 2
+    }
+    fn max_internal_keys(&self) -> usize {
+        self.fanout - 1
+    }
+    fn min_internal_children(&self) -> usize {
+        self.fanout.div_ceil(2)
+    }
+
+    fn alloc(&mut self, node: Node<V>) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.arena[idx] = Some(node);
+            idx
+        } else {
+            self.arena.push(Some(node));
+            self.arena.len() - 1
+        }
+    }
+
+    fn release(&mut self, idx: usize) -> Node<V> {
+        let node = self.arena[idx].take().expect("live node");
+        self.free.push(idx);
+        node
+    }
+
+    fn node(&self, idx: usize) -> &Node<V> {
+        self.arena[idx].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, idx: usize) -> &mut Node<V> {
+        self.arena[idx].as_mut().expect("live node")
+    }
+
+    /// Finds the leaf that would contain `key`.
+    fn find_leaf(&self, key: &[u8]) -> usize {
+        let mut idx = self.root;
+        loop {
+            match self.node(idx) {
+                Node::Internal { keys, children } => {
+                    let slot = keys.partition_point(|sep| sep.as_ref() <= key);
+                    idx = children[slot];
+                }
+                Node::Leaf { .. } => return idx,
+            }
+        }
+    }
+
+    /// Recursive insertion; returns (old value, split info).
+    fn insert_rec(
+        &mut self,
+        idx: usize,
+        key: &[u8],
+        value: V,
+    ) -> (Option<V>, Option<(Box<[u8]>, usize)>) {
+        if matches!(self.node(idx), Node::Leaf { .. }) {
+            let (old, inserted) = {
+                let Node::Leaf { items, .. } = self.node_mut(idx) else {
+                    unreachable!()
+                };
+                match items.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+                    Ok(pos) => (Some(std::mem::replace(&mut items[pos].1, value)), false),
+                    Err(pos) => {
+                        items.insert(pos, (key.to_vec().into_boxed_slice(), value));
+                        (None, true)
+                    }
+                }
+            };
+            if inserted {
+                self.len += 1;
+                self.key_bytes += key.len();
+                if self.leaf_len(idx) > self.max_leaf_items() {
+                    return (None, Some(self.split_leaf(idx)));
+                }
+            }
+            return (old, None);
+        }
+        // Internal node: descend into the covering child.
+        let (slot, child) = match self.node(idx) {
+            Node::Internal { keys, children } => {
+                let slot = keys.partition_point(|sep| sep.as_ref() <= key);
+                (slot, children[slot])
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let (old, split) = self.insert_rec(child, key, value);
+        if let Some((sep, new_child)) = split {
+            let overflow = {
+                let Node::Internal { keys, children } = self.node_mut(idx) else {
+                    unreachable!()
+                };
+                keys.insert(slot, sep);
+                children.insert(slot + 1, new_child);
+                keys.len() > self.max_internal_keys()
+            };
+            if overflow {
+                return (old, Some(self.split_internal(idx)));
+            }
+        }
+        (old, None)
+    }
+
+    fn leaf_len(&self, idx: usize) -> usize {
+        match self.node(idx) {
+            Node::Leaf { items, .. } => items.len(),
+            Node::Internal { .. } => unreachable!("leaf_len on internal node"),
+        }
+    }
+
+    /// Splits an over-full leaf, returning the separator key and the new
+    /// right sibling's index.
+    fn split_leaf(&mut self, idx: usize) -> (Box<[u8]>, usize) {
+        let (right_items, old_next) = match self.node_mut(idx) {
+            Node::Leaf { items, next, .. } => {
+                let mid = items.len() / 2;
+                (items.split_off(mid), *next)
+            }
+            Node::Internal { .. } => unreachable!(),
+        };
+        let sep = right_items[0].0.clone();
+        let new_idx = self.alloc(Node::Leaf {
+            items: right_items,
+            next: old_next,
+            prev: idx,
+        });
+        if let Node::Leaf { next, .. } = self.node_mut(idx) {
+            *next = new_idx;
+        }
+        if old_next != NIL {
+            if let Node::Leaf { prev, .. } = self.node_mut(old_next) {
+                *prev = new_idx;
+            }
+        }
+        (sep, new_idx)
+    }
+
+    /// Splits an over-full internal node, returning the push-up key and the
+    /// new right sibling's index.
+    fn split_internal(&mut self, idx: usize) -> (Box<[u8]>, usize) {
+        let (push_up, right_keys, right_children) = match self.node_mut(idx) {
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid + 1);
+                let push_up = keys.pop().expect("mid key");
+                let right_children = children.split_off(mid + 1);
+                (push_up, right_keys, right_children)
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let new_idx = self.alloc(Node::Internal {
+            keys: right_keys,
+            children: right_children,
+        });
+        (push_up, new_idx)
+    }
+
+    /// Recursive deletion; returns the removed value (if any). Rebalancing of
+    /// the child at `slot` is handled by the parent after the call returns.
+    fn delete_rec(&mut self, idx: usize, key: &[u8]) -> Option<V> {
+        if matches!(self.node(idx), Node::Leaf { .. }) {
+            let removed = {
+                let Node::Leaf { items, .. } = self.node_mut(idx) else {
+                    unreachable!()
+                };
+                match items.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+                    Ok(pos) => Some(items.remove(pos)),
+                    Err(_) => None,
+                }
+            };
+            return removed.map(|(k, v)| {
+                self.len -= 1;
+                self.key_bytes -= k.len();
+                v
+            });
+        }
+        let (slot, child) = match self.node(idx) {
+            Node::Internal { keys, children } => {
+                let slot = keys.partition_point(|sep| sep.as_ref() <= key);
+                (slot, children[slot])
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let removed = self.delete_rec(child, key);
+        if removed.is_some() {
+            self.rebalance_child(idx, slot);
+        }
+        removed
+    }
+
+    /// Returns `true` when the node at `idx` is below its minimum occupancy.
+    fn is_underfull(&self, idx: usize) -> bool {
+        match self.node(idx) {
+            Node::Leaf { items, .. } => items.len() < self.min_leaf_items(),
+            Node::Internal { children, .. } => children.len() < self.min_internal_children(),
+        }
+    }
+
+    /// Rebalances `children[slot]` of the internal node `parent` if it has
+    /// become under-full: borrow from a sibling when possible, merge
+    /// otherwise.
+    fn rebalance_child(&mut self, parent: usize, slot: usize) {
+        let (child, nchildren) = match self.node(parent) {
+            Node::Internal { children, .. } => (children[slot], children.len()),
+            Node::Leaf { .. } => unreachable!(),
+        };
+        if !self.is_underfull(child) {
+            return;
+        }
+        // Prefer borrowing from the left sibling, then the right, then merge.
+        if slot > 0 && self.can_lend(self.sibling(parent, slot - 1)) {
+            self.borrow_from_left(parent, slot);
+        } else if slot + 1 < nchildren && self.can_lend(self.sibling(parent, slot + 1)) {
+            self.borrow_from_right(parent, slot);
+        } else if slot > 0 {
+            self.merge_children(parent, slot - 1);
+        } else if slot + 1 < nchildren {
+            self.merge_children(parent, slot);
+        }
+    }
+
+    fn sibling(&self, parent: usize, slot: usize) -> usize {
+        match self.node(parent) {
+            Node::Internal { children, .. } => children[slot],
+            Node::Leaf { .. } => unreachable!(),
+        }
+    }
+
+    fn can_lend(&self, idx: usize) -> bool {
+        match self.node(idx) {
+            Node::Leaf { items, .. } => items.len() > self.min_leaf_items(),
+            Node::Internal { children, .. } => children.len() > self.min_internal_children(),
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: usize, slot: usize) {
+        let (left, child) = match self.node(parent) {
+            Node::Internal { children, .. } => (children[slot - 1], children[slot]),
+            Node::Leaf { .. } => unreachable!(),
+        };
+        match self.release(left) {
+            Node::Leaf { mut items, next, prev } => {
+                // Move the left leaf's last item to the front of the child.
+                let moved = items.pop().expect("left leaf not empty");
+                let new_sep = moved.0.clone();
+                self.arena[left] = Some(Node::Leaf { items, next, prev });
+                self.free.retain(|&i| i != left);
+                if let Node::Leaf { items, .. } = self.node_mut(child) {
+                    items.insert(0, moved);
+                }
+                if let Node::Internal { keys, .. } = self.node_mut(parent) {
+                    keys[slot - 1] = new_sep;
+                }
+            }
+            Node::Internal { mut keys, mut children } => {
+                let moved_child = children.pop().expect("left internal not empty");
+                let moved_key = keys.pop().expect("left internal not empty");
+                self.arena[left] = Some(Node::Internal { keys, children });
+                self.free.retain(|&i| i != left);
+                let old_sep = if let Node::Internal { keys, .. } = self.node_mut(parent) {
+                    std::mem::replace(&mut keys[slot - 1], moved_key)
+                } else {
+                    unreachable!()
+                };
+                if let Node::Internal { keys, children } = self.node_mut(child) {
+                    keys.insert(0, old_sep);
+                    children.insert(0, moved_child);
+                }
+            }
+        }
+    }
+
+    fn borrow_from_right(&mut self, parent: usize, slot: usize) {
+        let (child, right) = match self.node(parent) {
+            Node::Internal { children, .. } => (children[slot], children[slot + 1]),
+            Node::Leaf { .. } => unreachable!(),
+        };
+        match self.release(right) {
+            Node::Leaf { mut items, next, prev } => {
+                let moved = items.remove(0);
+                let new_sep = items[0].0.clone();
+                self.arena[right] = Some(Node::Leaf { items, next, prev });
+                self.free.retain(|&i| i != right);
+                if let Node::Leaf { items, .. } = self.node_mut(child) {
+                    items.push(moved);
+                }
+                if let Node::Internal { keys, .. } = self.node_mut(parent) {
+                    keys[slot] = new_sep;
+                }
+            }
+            Node::Internal { mut keys, mut children } => {
+                let moved_child = children.remove(0);
+                let moved_key = keys.remove(0);
+                self.arena[right] = Some(Node::Internal { keys, children });
+                self.free.retain(|&i| i != right);
+                let old_sep = if let Node::Internal { keys, .. } = self.node_mut(parent) {
+                    std::mem::replace(&mut keys[slot], moved_key)
+                } else {
+                    unreachable!()
+                };
+                if let Node::Internal { keys, children } = self.node_mut(child) {
+                    keys.push(old_sep);
+                    children.push(moved_child);
+                }
+            }
+        }
+    }
+
+    /// Merges `children[slot + 1]` into `children[slot]` of `parent`.
+    fn merge_children(&mut self, parent: usize, slot: usize) {
+        let (left, right, sep) = match self.node(parent) {
+            Node::Internal { children, keys, .. } => {
+                (children[slot], children[slot + 1], keys[slot].clone())
+            }
+            Node::Leaf { .. } => unreachable!(),
+        };
+        let right_node = self.release(right);
+        match right_node {
+            Node::Leaf { items, next, .. } => {
+                if let Node::Leaf { items: left_items, next: left_next, .. } = self.node_mut(left) {
+                    left_items.extend(items);
+                    *left_next = next;
+                }
+                if next != NIL {
+                    if let Node::Leaf { prev, .. } = self.node_mut(next) {
+                        *prev = left;
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                if let Node::Internal { keys: lk, children: lc } = self.node_mut(left) {
+                    lk.push(sep);
+                    lk.extend(keys);
+                    lc.extend(children);
+                }
+            }
+        }
+        if let Node::Internal { keys, children } = self.node_mut(parent) {
+            keys.remove(slot);
+            children.remove(slot + 1);
+        }
+    }
+
+    /// Collapses the root when it has become trivial after deletions.
+    fn shrink_root(&mut self) {
+        loop {
+            let new_root = match self.node(self.root) {
+                Node::Internal { children, .. } if children.len() == 1 => children[0],
+                _ => return,
+            };
+            self.release(self.root);
+            self.root = new_root;
+        }
+    }
+
+    /// Returns a reference to the value stored under `key`, if present.
+    pub fn get_ref(&self, key: &[u8]) -> Option<&V> {
+        let leaf = self.find_leaf(key);
+        match self.node(leaf) {
+            Node::Leaf { items, .. } => items
+                .binary_search_by(|(k, _)| k.as_ref().cmp(key))
+                .ok()
+                .map(|pos| &items[pos].1),
+            Node::Internal { .. } => unreachable!(),
+        }
+    }
+
+    /// Returns a mutable reference to the value stored under `key`.
+    pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut V> {
+        let leaf = self.find_leaf(key);
+        match self.node_mut(leaf) {
+            Node::Leaf { items, .. } => match items.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+                Ok(pos) => Some(&mut items[pos].1),
+                Err(_) => None,
+            },
+            Node::Internal { .. } => unreachable!(),
+        }
+    }
+
+    /// Inserts or overwrites `key`, returning the previous value if any.
+    ///
+    /// Unlike [`OrderedIndex::set`], this inherent method places no bound on
+    /// `V`, which lets other structures (e.g. the Masstree baseline) nest
+    /// non-cloneable values inside a `BPlusTree`.
+    pub fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
+        let root = self.root;
+        let (old, split) = self.insert_rec(root, key, value);
+        if let Some((sep, new_child)) = split {
+            let new_root = self.alloc(Node::Internal {
+                keys: vec![sep],
+                children: vec![root, new_child],
+            });
+            self.root = new_root;
+        }
+        old
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let root = self.root;
+        let removed = self.delete_rec(root, key);
+        if removed.is_some() {
+            self.shrink_root();
+        }
+        removed
+    }
+
+    /// Number of stored keys.
+    pub fn key_count(&self) -> usize {
+        self.len
+    }
+
+    /// Structure-only memory accounting (used by composite indexes that embed
+    /// B+ trees, such as the Masstree baseline).
+    pub fn structure_stats(&self) -> IndexStats {
+        let mut structure = 0usize;
+        let mut sep_bytes = 0usize;
+        for node in self.arena.iter().flatten() {
+            match node {
+                Node::Internal { keys, children } => {
+                    structure += std::mem::size_of::<Node<V>>()
+                        + children.len() * std::mem::size_of::<usize>()
+                        + keys.len() * std::mem::size_of::<Box<[u8]>>();
+                    sep_bytes += keys.iter().map(|k| k.len()).sum::<usize>();
+                }
+                Node::Leaf { items, .. } => {
+                    structure += std::mem::size_of::<Node<V>>()
+                        + items.len() * std::mem::size_of::<(Box<[u8]>, V)>();
+                }
+            }
+        }
+        IndexStats {
+            keys: self.len,
+            structure_bytes: structure + sep_bytes,
+            key_bytes: self.key_bytes,
+            value_bytes: self.len * std::mem::size_of::<V>(),
+        }
+    }
+
+    /// Iterates key/value pairs in ascending order from the first key
+    /// `>= start`.
+    pub fn iter_from<'a>(&'a self, start: &[u8]) -> impl Iterator<Item = (&'a [u8], &'a V)> + 'a {
+        let mut leaf = self.find_leaf(start);
+        let mut pos = match self.node(leaf) {
+            Node::Leaf { items, .. } => items.partition_point(|(k, _)| k.as_ref() < start),
+            Node::Internal { .. } => 0,
+        };
+        std::iter::from_fn(move || loop {
+            if leaf == NIL {
+                return None;
+            }
+            match self.node(leaf) {
+                Node::Leaf { items, next, .. } => {
+                    if pos < items.len() {
+                        let (k, v) = &items[pos];
+                        pos += 1;
+                        return Some((k.as_ref(), v));
+                    }
+                    leaf = *next;
+                    pos = 0;
+                }
+                Node::Internal { .. } => unreachable!("leaf list contains internal node"),
+            }
+        })
+    }
+
+    /// Validates structural invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) {
+        self.check_node(self.root, None, None);
+    }
+
+    fn check_node(&self, idx: usize, lower: Option<&[u8]>, upper: Option<&[u8]>) {
+        match self.node(idx) {
+            Node::Leaf { items, .. } => {
+                for w in items.windows(2) {
+                    assert!(w[0].0 < w[1].0, "leaf items out of order");
+                }
+                for (k, _) in items {
+                    if let Some(lo) = lower {
+                        assert!(k.as_ref() >= lo, "leaf key below lower bound");
+                    }
+                    if let Some(hi) = upper {
+                        assert!(k.as_ref() < hi, "leaf key above upper bound");
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                assert_eq!(children.len(), keys.len() + 1, "fan-out mismatch");
+                for w in keys.windows(2) {
+                    assert!(w[0] < w[1], "separator keys out of order");
+                }
+                for (i, &child) in children.iter().enumerate() {
+                    let lo = if i == 0 { lower } else { Some(keys[i - 1].as_ref()) };
+                    let hi = if i == keys.len() { upper } else { Some(keys[i].as_ref()) };
+                    self.check_node(child, lo, hi);
+                }
+            }
+        }
+    }
+}
+
+impl<V: Clone> OrderedIndex<V> for BPlusTree<V> {
+    fn name(&self) -> &'static str {
+        "b+tree"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<V> {
+        self.get_ref(key).cloned()
+    }
+
+    fn set(&mut self, key: &[u8], value: V) -> Option<V> {
+        self.insert(key, value)
+    }
+
+    fn del(&mut self, key: &[u8]) -> Option<V> {
+        self.remove(key)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        self.iter_from(start)
+            .take(count)
+            .map(|(k, v)| (k.to_vec(), v.clone()))
+            .collect()
+    }
+
+    fn stats(&self) -> IndexStats {
+        self.structure_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    fn names() -> Vec<&'static str> {
+        vec![
+            "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason", "John",
+            "Joseph", "Julian", "Justin",
+        ]
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut t: BPlusTree<u64> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"x"), None);
+        assert_eq!(t.del(b"x"), None);
+        assert!(t.range_from(b"", 5).is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn paper_example_keys() {
+        let mut t = BPlusTree::with_fanout(4);
+        for (i, k) in names().iter().enumerate() {
+            t.set(k.as_bytes(), i as u64);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 12);
+        assert!(t.height() > 1, "fanout 4 with 12 keys must split");
+        for (i, k) in names().iter().enumerate() {
+            assert_eq!(t.get(k.as_bytes()), Some(i as u64), "{k}");
+        }
+        let range = t.range_from(b"Brown", 3);
+        let keys: Vec<_> = range.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        assert_eq!(keys, vec!["Denice", "Jacob", "James"]);
+    }
+
+    #[test]
+    fn overwrite_returns_old_value() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.set(b"k", 1u64), None);
+        assert_eq!(t.set(b"k", 2), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sequential_inserts_and_deletes_keep_invariants() {
+        let mut t = BPlusTree::with_fanout(8);
+        for i in 0..2000u64 {
+            let key = format!("{i:08}");
+            t.set(key.as_bytes(), i);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 2000);
+        // Delete every other key.
+        for i in (0..2000u64).step_by(2) {
+            let key = format!("{i:08}");
+            assert_eq!(t.del(key.as_bytes()), Some(i));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+        for i in 0..2000u64 {
+            let key = format!("{i:08}");
+            let expect = if i % 2 == 0 { None } else { Some(i) };
+            assert_eq!(t.get(key.as_bytes()), expect);
+        }
+    }
+
+    #[test]
+    fn random_order_inserts() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut keys: Vec<u64> = (0..5000).collect();
+        keys.shuffle(&mut rng);
+        let mut t = BPlusTree::with_fanout(16);
+        for &i in &keys {
+            t.set(format!("{i:08}").as_bytes(), i);
+        }
+        t.check_invariants();
+        let scan = t.range_from(b"", usize::MAX);
+        assert_eq!(scan.len(), 5000);
+        for (i, (k, v)) in scan.iter().enumerate() {
+            assert_eq!(k, format!("{i:08}").as_bytes());
+            assert_eq!(*v, i as u64);
+        }
+    }
+
+    #[test]
+    fn delete_down_to_empty() {
+        let mut t = BPlusTree::with_fanout(4);
+        for i in 0..200u64 {
+            t.set(format!("{i:04}").as_bytes(), i);
+        }
+        for i in 0..200u64 {
+            assert_eq!(t.del(format!("{i:04}").as_bytes(), ), Some(i));
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        // Tree is usable again after being emptied.
+        t.set(b"again", 1);
+        assert_eq!(t.get(b"again"), Some(1));
+    }
+
+    #[test]
+    fn leaf_list_stays_linked_after_merges() {
+        let mut t = BPlusTree::with_fanout(4);
+        for i in 0..64u64 {
+            t.set(format!("{i:03}").as_bytes(), i);
+        }
+        // Remove a whole region to force leaf merges.
+        for i in 10..50u64 {
+            t.del(format!("{i:03}").as_bytes());
+        }
+        t.check_invariants();
+        let scan: Vec<u64> = t.range_from(b"", usize::MAX).into_iter().map(|(_, v)| v).collect();
+        let expect: Vec<u64> = (0..10).chain(50..64).collect();
+        assert_eq!(scan, expect);
+    }
+
+    #[test]
+    fn stats_reflect_contents() {
+        let mut t = BPlusTree::new();
+        for i in 0..100u64 {
+            t.set(format!("key-{i:05}").as_bytes(), i);
+        }
+        let s = t.stats();
+        assert_eq!(s.keys, 100);
+        assert_eq!(s.key_bytes, 100 * 9);
+        assert!(s.structure_bytes > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_matches_btreemap_model(ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..10), any::<u64>(), any::<bool>()), 1..300)) {
+            let mut t = BPlusTree::with_fanout(6);
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for (key, value, is_delete) in ops {
+                if is_delete {
+                    prop_assert_eq!(t.del(&key), model.remove(&key));
+                } else {
+                    prop_assert_eq!(t.set(&key, value), model.insert(key.clone(), value));
+                }
+            }
+            t.check_invariants();
+            prop_assert_eq!(t.len(), model.len());
+            let scan = t.range_from(b"", usize::MAX);
+            let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(scan, expect);
+        }
+
+        #[test]
+        fn prop_range_from_matches_model(keys in proptest::collection::btree_set(
+            proptest::collection::vec(any::<u8>(), 1..8), 1..120),
+            start in proptest::collection::vec(any::<u8>(), 0..8),
+            count in 0usize..30) {
+            let mut t = BPlusTree::with_fanout(5);
+            for (i, k) in keys.iter().enumerate() {
+                t.set(k, i as u64);
+            }
+            let got: Vec<Vec<u8>> = t.range_from(&start, count).into_iter().map(|(k, _)| k).collect();
+            let expect: Vec<Vec<u8>> = keys.iter().filter(|k| k.as_slice() >= start.as_slice())
+                .take(count).cloned().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! A Masstree-style index: a trie with 8-byte key slices per layer, where
+//! each trie layer is itself a B+ tree (Mao, Kohler, Morris — EuroSys 2012).
+//! This is the "Masstree" baseline of the Wormhole evaluation.
+//!
+//! # Structure
+//!
+//! A key is consumed eight bytes at a time. Each layer is a B+ tree keyed by
+//! the current 8-byte slice (zero-padded) plus a one-byte marker:
+//!
+//! * marker `0..=8` — the key *ends* inside this slice after `marker` bytes;
+//!   the entry stores the value directly;
+//! * marker `9` — keys continue beyond this slice; the entry stores either a
+//!   single remaining *suffix* (the common case of a unique long key) or a
+//!   pointer to the next trie layer once two keys share the slice
+//!   ("layer expansion", as in the original Masstree).
+//!
+//! This encoding preserves lexicographic key order inside each layer's B+
+//! tree, so ordered range scans work across layers. Lookup cost is
+//! `O((L / 8) · log n_layer)` — the `O(L)`-flavoured behaviour with a large
+//! fanout (2⁶⁴) that the paper contrasts with Wormhole's `O(log L)`.
+
+pub mod tree;
+
+pub use tree::Masstree;

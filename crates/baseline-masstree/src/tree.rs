@@ -1,0 +1,476 @@
+//! The Masstree-style layered index.
+
+use baseline_btree::BPlusTree;
+use index_traits::{IndexStats, OrderedIndex};
+
+/// Bytes consumed per trie layer.
+const SLICE: usize = 8;
+/// Marker value for "the key continues past this slice".
+const MARKER_LINK: u8 = 9;
+/// Fanout of the per-layer B+ trees (Masstree uses 15-wide nodes).
+const LAYER_FANOUT: usize = 16;
+
+/// Encoded per-layer key: 8 slice bytes (zero padded) plus a marker byte.
+type LayerKey = [u8; SLICE + 1];
+
+/// Encodes a slice (at most 8 bytes) and marker into a layer key.
+fn encode(slice: &[u8], marker: u8) -> LayerKey {
+    debug_assert!(slice.len() <= SLICE);
+    let mut out = [0u8; SLICE + 1];
+    out[..slice.len()].copy_from_slice(slice);
+    out[SLICE] = marker;
+    out
+}
+
+/// An entry in a layer's B+ tree.
+enum Entry<V> {
+    /// The key ends inside this slice; marker is the in-slice length (0–8).
+    Value(V),
+    /// A single key continues past this slice with the given remainder.
+    Suffix { rest: Box<[u8]>, value: V },
+    /// Two or more keys share this slice; the next trie layer stores their
+    /// remainders (Masstree's "layer expansion").
+    Layer(Box<Layer<V>>),
+}
+
+/// One trie layer: a B+ tree over encoded slice keys.
+struct Layer<V> {
+    tree: BPlusTree<Entry<V>>,
+}
+
+impl<V> Layer<V> {
+    fn new() -> Self {
+        Self {
+            tree: BPlusTree::with_fanout(LAYER_FANOUT),
+        }
+    }
+}
+
+/// A Masstree-style ordered index over byte-string keys.
+pub struct Masstree<V> {
+    root: Layer<V>,
+    len: usize,
+    key_bytes: usize,
+}
+
+impl<V: Clone> Default for Masstree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> Masstree<V> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self {
+            root: Layer::new(),
+            len: 0,
+            key_bytes: 0,
+        }
+    }
+
+    /// Number of trie layers currently reachable (for tests/diagnostics).
+    pub fn layer_count(&self) -> usize {
+        fn count<V>(layer: &Layer<V>) -> usize {
+            let mut n = 1;
+            for (_, entry) in layer.tree.iter_from(&[]) {
+                if let Entry::Layer(next) = entry {
+                    n += count(next);
+                }
+            }
+            n
+        }
+        count(&self.root)
+    }
+
+    fn get_rec<'a>(layer: &'a Layer<V>, key_rest: &[u8]) -> Option<&'a V> {
+        if key_rest.len() <= SLICE {
+            let ek = encode(key_rest, key_rest.len() as u8);
+            return match layer.tree.get_ref(&ek) {
+                Some(Entry::Value(v)) => Some(v),
+                _ => None,
+            };
+        }
+        let ek = encode(&key_rest[..SLICE], MARKER_LINK);
+        match layer.tree.get_ref(&ek) {
+            Some(Entry::Suffix { rest, value }) => {
+                (rest.as_ref() == &key_rest[SLICE..]).then_some(value)
+            }
+            Some(Entry::Layer(next)) => Self::get_rec(next, &key_rest[SLICE..]),
+            _ => None,
+        }
+    }
+
+    fn set_rec(layer: &mut Layer<V>, key_rest: &[u8], value: V) -> Option<V> {
+        if key_rest.len() <= SLICE {
+            let ek = encode(key_rest, key_rest.len() as u8);
+            return match layer.tree.insert(&ek, Entry::Value(value)) {
+                Some(Entry::Value(old)) => Some(old),
+                Some(_) => unreachable!("short-marker entries always hold values"),
+                None => None,
+            };
+        }
+        let ek = encode(&key_rest[..SLICE], MARKER_LINK);
+        match layer.tree.get_mut(&ek) {
+            None => {
+                layer.tree.insert(
+                    &ek,
+                    Entry::Suffix {
+                        rest: key_rest[SLICE..].to_vec().into_boxed_slice(),
+                        value,
+                    },
+                );
+                None
+            }
+            Some(entry) => match entry {
+                Entry::Suffix { rest, value: v } if rest.as_ref() == &key_rest[SLICE..] => {
+                    Some(std::mem::replace(v, value))
+                }
+                Entry::Suffix { .. } => {
+                    // Layer expansion: push the existing suffix down into a
+                    // fresh layer, then insert the new key into it.
+                    let old = std::mem::replace(entry, Entry::Layer(Box::new(Layer::new())));
+                    let Entry::Suffix { rest: old_rest, value: old_value } = old else {
+                        unreachable!()
+                    };
+                    let Entry::Layer(next) = entry else { unreachable!() };
+                    let displaced = Self::set_rec(next, &old_rest, old_value);
+                    debug_assert!(displaced.is_none());
+                    Self::set_rec(next, &key_rest[SLICE..], value)
+                }
+                Entry::Layer(next) => Self::set_rec(next, &key_rest[SLICE..], value),
+                Entry::Value(_) => unreachable!("link-marker entries never hold bare values"),
+            },
+        }
+    }
+
+    fn del_rec(layer: &mut Layer<V>, key_rest: &[u8]) -> Option<V> {
+        if key_rest.len() <= SLICE {
+            let ek = encode(key_rest, key_rest.len() as u8);
+            return match layer.tree.remove(&ek) {
+                Some(Entry::Value(v)) => Some(v),
+                Some(_) => unreachable!("short-marker entries always hold values"),
+                None => None,
+            };
+        }
+        let ek = encode(&key_rest[..SLICE], MARKER_LINK);
+        let (remove_entry, result) = match layer.tree.get_mut(&ek) {
+            Some(Entry::Suffix { rest, .. }) if rest.as_ref() == &key_rest[SLICE..] => (true, None),
+            Some(Entry::Layer(next)) => {
+                let removed = Self::del_rec(next, &key_rest[SLICE..]);
+                let empty = next.tree.key_count() == 0;
+                (removed.is_some() && empty, removed)
+            }
+            _ => return None,
+        };
+        if remove_entry {
+            match layer.tree.remove(&ek) {
+                Some(Entry::Suffix { value, .. }) => return Some(value),
+                Some(Entry::Layer(_)) => return result,
+                _ => unreachable!("entry disappeared during delete"),
+            }
+        }
+        result
+    }
+
+    /// Visits all keys `>= start` (absolute key) in ascending order; the
+    /// visitor returns `false` to stop.
+    fn scan_rec<'a>(
+        layer: &'a Layer<V>,
+        path: &mut Vec<u8>,
+        start_rest: &[u8],
+        start_abs: &[u8],
+        visit: &mut impl FnMut(&[u8], &'a V) -> bool,
+    ) -> bool {
+        // Position the in-layer iteration at the first slice that can hold
+        // keys >= start; entries before it can only produce smaller keys.
+        let lower = encode(&start_rest[..start_rest.len().min(SLICE)], 0);
+        for (ek, entry) in layer.tree.iter_from(&lower) {
+            let marker = ek[SLICE];
+            match entry {
+                Entry::Value(v) => {
+                    let klen = path.len() + marker as usize;
+                    path.extend_from_slice(&ek[..marker as usize]);
+                    let emit = path.as_slice() >= start_abs;
+                    let keep = if emit { visit(path, v) } else { true };
+                    path.truncate(klen - marker as usize);
+                    if !keep {
+                        return false;
+                    }
+                }
+                Entry::Suffix { rest, value } => {
+                    let base = path.len();
+                    path.extend_from_slice(&ek[..SLICE]);
+                    path.extend_from_slice(rest);
+                    let emit = path.as_slice() >= start_abs;
+                    let keep = if emit { visit(path, value) } else { true };
+                    path.truncate(base);
+                    if !keep {
+                        return false;
+                    }
+                }
+                Entry::Layer(next) => {
+                    let base = path.len();
+                    path.extend_from_slice(&ek[..SLICE]);
+                    // Only keys that share the slice with `start` inherit the
+                    // remaining start bound; other subtrees scan from their
+                    // beginning (the absolute comparison still filters).
+                    let next_start: &[u8] =
+                        if start_rest.len() > SLICE && ek[..SLICE] == start_rest[..SLICE] {
+                            &start_rest[SLICE..]
+                        } else {
+                            &[]
+                        };
+                    let keep = Self::scan_rec(next, path, next_start, start_abs, visit);
+                    path.truncate(base);
+                    if !keep {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Visits every key/value pair at or after `start` in ascending order
+    /// until the visitor returns `false`.
+    pub fn scan_from(&self, start: &[u8], mut visit: impl FnMut(&[u8], &V) -> bool) {
+        let mut path = Vec::new();
+        Self::scan_rec(&self.root, &mut path, start, start, &mut visit);
+    }
+
+    fn stats_rec(layer: &Layer<V>, stats: &mut IndexStats) {
+        let tree_stats = layer.tree.structure_stats();
+        stats.structure_bytes += tree_stats.structure_bytes + tree_stats.key_bytes;
+        for (_, entry) in layer.tree.iter_from(&[]) {
+            match entry {
+                Entry::Value(_) => stats.value_bytes += std::mem::size_of::<V>(),
+                Entry::Suffix { rest, .. } => {
+                    stats.structure_bytes += rest.len();
+                    stats.value_bytes += std::mem::size_of::<V>();
+                }
+                Entry::Layer(next) => Self::stats_rec(next, stats),
+            }
+        }
+    }
+}
+
+impl<V: Clone> OrderedIndex<V> for Masstree<V> {
+    fn name(&self) -> &'static str {
+        "masstree"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<V> {
+        Self::get_rec(&self.root, key).cloned()
+    }
+
+    fn set(&mut self, key: &[u8], value: V) -> Option<V> {
+        let old = Self::set_rec(&mut self.root, key, value);
+        if old.is_none() {
+            self.len += 1;
+            self.key_bytes += key.len();
+        }
+        old
+    }
+
+    fn del(&mut self, key: &[u8]) -> Option<V> {
+        let removed = Self::del_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+            self.key_bytes -= key.len();
+        }
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        let mut out = Vec::new();
+        if count == 0 {
+            return out;
+        }
+        self.scan_from(start, |k, v| {
+            out.push((k.to_vec(), v.clone()));
+            out.len() < count
+        });
+        out
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut stats = IndexStats {
+            keys: self.len,
+            key_bytes: self.key_bytes,
+            ..Default::default()
+        };
+        Self::stats_rec(&self.root, &mut stats);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_index() {
+        let mut t: Masstree<u64> = Masstree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"x"), None);
+        assert_eq!(t.del(b"x"), None);
+        assert!(t.range_from(b"", 10).is_empty());
+    }
+
+    #[test]
+    fn short_keys_stay_in_root_layer() {
+        let mut t = Masstree::new();
+        t.set(b"abc", 1u64);
+        t.set(b"abcdefgh", 2);
+        t.set(b"", 3);
+        assert_eq!(t.layer_count(), 1);
+        assert_eq!(t.get(b"abc"), Some(1));
+        assert_eq!(t.get(b"abcdefgh"), Some(2));
+        assert_eq!(t.get(b""), Some(3));
+        assert_eq!(t.get(b"ab"), None);
+    }
+
+    #[test]
+    fn long_unique_key_uses_suffix_not_layer() {
+        let mut t = Masstree::new();
+        t.set(b"this-is-a-long-unique-key", 1u64);
+        assert_eq!(t.layer_count(), 1, "a single long key should not expand a layer");
+        assert_eq!(t.get(b"this-is-a-long-unique-key"), Some(1));
+        assert_eq!(t.get(b"this-is-"), None);
+    }
+
+    #[test]
+    fn layer_expansion_on_shared_slice() {
+        let mut t = Masstree::new();
+        t.set(b"commonpref-aaa", 1u64);
+        t.set(b"commonpref-bbb", 2);
+        assert!(t.layer_count() >= 2, "shared 8-byte slice must expand a layer");
+        assert_eq!(t.get(b"commonpref-aaa"), Some(1));
+        assert_eq!(t.get(b"commonpref-bbb"), Some(2));
+        assert_eq!(t.get(b"commonpref-ccc"), None);
+    }
+
+    #[test]
+    fn deep_layers_for_long_shared_prefixes() {
+        let mut t = Masstree::new();
+        let prefix = "http://example.com/some/very/long/path/";
+        for i in 0..50u64 {
+            t.set(format!("{prefix}{i:04}").as_bytes(), i);
+        }
+        assert!(t.layer_count() > 3);
+        for i in 0..50u64 {
+            assert_eq!(t.get(format!("{prefix}{i:04}").as_bytes()), Some(i));
+        }
+    }
+
+    #[test]
+    fn keys_that_are_prefixes_of_each_other() {
+        let mut t = Masstree::new();
+        let keys: Vec<&[u8]> = vec![
+            b"a", b"ab", b"abcdefgh", b"abcdefghi", b"abcdefghij", b"abcdefgh\x00",
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            t.set(k, i as u64);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64), "{k:?}");
+        }
+        assert_eq!(t.len(), keys.len());
+    }
+
+    #[test]
+    fn delete_collapses_empty_layers() {
+        let mut t = Masstree::new();
+        t.set(b"sharedsli-one", 1u64);
+        t.set(b"sharedsli-two", 2);
+        assert_eq!(t.del(b"sharedsli-one"), Some(1));
+        assert_eq!(t.del(b"sharedsli-two"), Some(2));
+        assert!(t.is_empty());
+        assert_eq!(t.get(b"sharedsli-one"), None);
+        // Re-insertion works after the layer was removed.
+        t.set(b"sharedsli-one", 7);
+        assert_eq!(t.get(b"sharedsli-one"), Some(7));
+    }
+
+    #[test]
+    fn ordered_scan_across_layers() {
+        let mut t = Masstree::new();
+        let names = [
+            "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason", "John",
+            "Joseph", "Julian", "Justin",
+        ];
+        for (i, k) in names.iter().enumerate() {
+            t.set(k.as_bytes(), i as u64);
+        }
+        let scanned: Vec<String> = t
+            .range_from(b"", usize::MAX)
+            .into_iter()
+            .map(|(k, _)| String::from_utf8(k).unwrap())
+            .collect();
+        let mut sorted: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+        sorted.sort();
+        assert_eq!(scanned, sorted);
+        let out = t.range_from(b"Brown", 3);
+        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        assert_eq!(keys, vec!["Denice", "Jacob", "James"]);
+    }
+
+    #[test]
+    fn stats_counts_layers() {
+        let mut t = Masstree::new();
+        for i in 0..500u64 {
+            t.set(format!("user-{i:010}-item-{i:010}").as_bytes(), i);
+        }
+        let s = t.stats();
+        assert_eq!(s.keys, 500);
+        assert!(s.structure_bytes > 0);
+        assert_eq!(s.key_bytes, 500 * "user-0000000000-item-0000000000".len());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_matches_btreemap_model(ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 0..20), any::<u64>(), any::<bool>()), 1..250)) {
+            let mut t = Masstree::new();
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for (key, value, is_delete) in ops {
+                if is_delete {
+                    prop_assert_eq!(t.del(&key), model.remove(&key));
+                } else {
+                    prop_assert_eq!(t.set(&key, value), model.insert(key.clone(), value));
+                }
+                prop_assert_eq!(t.len(), model.len());
+            }
+            for (k, v) in &model {
+                prop_assert_eq!(t.get(k), Some(*v));
+            }
+            let scan = t.range_from(b"", usize::MAX);
+            let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(scan, expect);
+        }
+
+        #[test]
+        fn prop_range_from_matches_model(keys in proptest::collection::btree_set(
+            proptest::collection::vec(any::<u8>(), 0..24), 1..80),
+            start in proptest::collection::vec(any::<u8>(), 0..12),
+            count in 0usize..20) {
+            let mut t = Masstree::new();
+            for (i, k) in keys.iter().enumerate() {
+                t.set(k, i as u64);
+            }
+            let got: Vec<Vec<u8>> = t.range_from(&start, count).into_iter().map(|(k, _)| k).collect();
+            let expect: Vec<Vec<u8>> = keys.iter().filter(|k| k.as_slice() >= start.as_slice())
+                .take(count).cloned().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! A LevelDB-style skip list, used as the "Skip List" baseline in the
+//! Wormhole evaluation (Figures 9, 10, 12, 15, 16, 18).
+//!
+//! The structure follows LevelDB's `skiplist.h`: a probabilistic tower with
+//! branching probability 1/4 and a maximum height of 12 levels. Lookups walk
+//! from the highest populated level down, giving the familiar `O(log N)` key
+//! comparisons the paper contrasts with Wormhole's `O(log L)` cost.
+//!
+//! LevelDB's skip list has no built-in concurrency control for writers (the
+//! paper notes it needs an external mutex); this reproduction likewise
+//! implements the thread-unsafe [`OrderedIndex`] trait only.
+
+pub mod list;
+
+pub use list::SkipList;

@@ -1,0 +1,376 @@
+//! The skip list implementation.
+
+use index_traits::{IndexStats, OrderedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum tower height, matching LevelDB (`kMaxHeight = 12`).
+const MAX_HEIGHT: usize = 12;
+/// Branching factor: a node of height `h` is promoted to `h + 1` with
+/// probability `1 / BRANCHING`, matching LevelDB (`kBranching = 4`).
+const BRANCHING: u32 = 4;
+
+/// One skip-list node: a key, a value, and a tower of forward indices.
+struct Node<V> {
+    key: Box<[u8]>,
+    value: V,
+    /// Forward links, one per level; `usize::MAX` is the null link.
+    next: Vec<usize>,
+}
+
+/// Index value used as the null link.
+const NIL: usize = usize::MAX;
+
+/// A LevelDB-style skip list keyed by byte strings.
+///
+/// Nodes live in a flat `Vec` arena and link to each other by index; deleted
+/// nodes are pushed onto a free list and reused by later insertions. The
+/// arena layout keeps the implementation safe-Rust while preserving the
+/// pointer-chasing access pattern the paper attributes to skip lists.
+pub struct SkipList<V> {
+    arena: Vec<Option<Node<V>>>,
+    free: Vec<usize>,
+    /// `head[level]` is the first node index at `level`, or `NIL`.
+    head: [usize; MAX_HEIGHT],
+    height: usize,
+    len: usize,
+    key_bytes: usize,
+    rng: SmallRng,
+}
+
+impl<V> Default for SkipList<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> SkipList<V> {
+    /// Creates an empty skip list with a fixed RNG seed (deterministic tower
+    /// heights make benchmarks and tests reproducible).
+    pub fn new() -> Self {
+        Self::with_seed(0x5153_4B49_504C_5354)
+    }
+
+    /// Creates an empty skip list using `seed` for tower-height decisions.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            arena: Vec::new(),
+            free: Vec::new(),
+            head: [NIL; MAX_HEIGHT],
+            height: 1,
+            len: 0,
+            key_bytes: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws a random height with LevelDB's distribution.
+    fn random_height(&mut self) -> usize {
+        let mut h = 1;
+        while h < MAX_HEIGHT && self.rng.gen_ratio(1, BRANCHING) {
+            h += 1;
+        }
+        h
+    }
+
+    fn node(&self, idx: usize) -> &Node<V> {
+        self.arena[idx].as_ref().expect("live node")
+    }
+
+    /// Finds, for each level, the index of the last node whose key is `< key`
+    /// (`NIL` meaning "before the first node"). Returns the per-level
+    /// predecessors and the index of the first node `>= key` at level 0.
+    fn find_greater_or_equal(&self, key: &[u8]) -> ([usize; MAX_HEIGHT], usize) {
+        let mut prev = [NIL; MAX_HEIGHT];
+        let mut level = self.height - 1;
+        // `cur == NIL` means we are at the head pseudo-node.
+        let mut cur = NIL;
+        loop {
+            let next = if cur == NIL {
+                self.head[level]
+            } else {
+                self.node(cur).next[level]
+            };
+            if next != NIL && self.node(next).key.as_ref() < key {
+                cur = next;
+            } else {
+                prev[level] = cur;
+                if level == 0 {
+                    return (prev, next);
+                }
+                level -= 1;
+            }
+        }
+    }
+
+    fn alloc(&mut self, node: Node<V>) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.arena[idx] = Some(node);
+            idx
+        } else {
+            self.arena.push(Some(node));
+            self.arena.len() - 1
+        }
+    }
+
+    /// Iterates key/value pairs in ascending key order starting at the first
+    /// key `>= start`.
+    pub fn iter_from<'a>(&'a self, start: &[u8]) -> impl Iterator<Item = (&'a [u8], &'a V)> + 'a {
+        let (_, mut cur) = if self.len == 0 {
+            ([NIL; MAX_HEIGHT], NIL)
+        } else {
+            self.find_greater_or_equal(start)
+        };
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                return None;
+            }
+            let node = self.node(cur);
+            cur = node.next[0];
+            Some((node.key.as_ref(), &node.value))
+        })
+    }
+}
+
+impl<V: Clone> OrderedIndex<V> for SkipList<V> {
+    fn name(&self) -> &'static str {
+        "skiplist"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<V> {
+        if self.len == 0 {
+            return None;
+        }
+        let (_, ge) = self.find_greater_or_equal(key);
+        if ge != NIL && self.node(ge).key.as_ref() == key {
+            Some(self.node(ge).value.clone())
+        } else {
+            None
+        }
+    }
+
+    fn set(&mut self, key: &[u8], value: V) -> Option<V> {
+        let (mut prev, ge) = self.find_greater_or_equal(key);
+        if ge != NIL && self.node(ge).key.as_ref() == key {
+            let old = std::mem::replace(&mut self.arena[ge].as_mut().unwrap().value, value);
+            return Some(old);
+        }
+        let h = self.random_height();
+        if h > self.height {
+            for level in self.height..h {
+                prev[level] = NIL;
+            }
+            self.height = h;
+        }
+        let idx = self.alloc(Node {
+            key: key.to_vec().into_boxed_slice(),
+            value,
+            next: vec![NIL; h],
+        });
+        for level in 0..h {
+            let next = if prev[level] == NIL {
+                self.head[level]
+            } else {
+                self.node(prev[level]).next[level]
+            };
+            self.arena[idx].as_mut().unwrap().next[level] = next;
+            if prev[level] == NIL {
+                self.head[level] = idx;
+            } else {
+                self.arena[prev[level]].as_mut().unwrap().next[level] = idx;
+            }
+        }
+        self.len += 1;
+        self.key_bytes += key.len();
+        None
+    }
+
+    fn del(&mut self, key: &[u8]) -> Option<V> {
+        if self.len == 0 {
+            return None;
+        }
+        let (prev, ge) = self.find_greater_or_equal(key);
+        if ge == NIL || self.node(ge).key.as_ref() != key {
+            return None;
+        }
+        let node_height = self.node(ge).next.len();
+        for level in 0..node_height {
+            let next = self.node(ge).next[level];
+            if prev[level] == NIL {
+                if self.head[level] == ge {
+                    self.head[level] = next;
+                }
+            } else if self.node(prev[level]).next[level] == ge {
+                self.arena[prev[level]].as_mut().unwrap().next[level] = next;
+            }
+        }
+        while self.height > 1 && self.head[self.height - 1] == NIL {
+            self.height -= 1;
+        }
+        let node = self.arena[ge].take().expect("live node");
+        self.free.push(ge);
+        self.len -= 1;
+        self.key_bytes -= node.key.len();
+        Some(node.value)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        self.iter_from(start)
+            .take(count)
+            .map(|(k, v)| (k.to_vec(), v.clone()))
+            .collect()
+    }
+
+    fn stats(&self) -> IndexStats {
+        let tower_links: usize = self
+            .arena
+            .iter()
+            .flatten()
+            .map(|n| n.next.len() * std::mem::size_of::<usize>())
+            .sum();
+        let node_headers = self.len * std::mem::size_of::<Node<V>>();
+        IndexStats {
+            keys: self.len,
+            structure_bytes: tower_links + node_headers,
+            key_bytes: self.key_bytes,
+            value_bytes: self.len * std::mem::size_of::<V>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_list_behaviour() {
+        let mut sl: SkipList<u64> = SkipList::new();
+        assert!(sl.is_empty());
+        assert_eq!(sl.get(b"missing"), None);
+        assert_eq!(sl.del(b"missing"), None);
+        assert!(sl.range_from(b"", 10).is_empty());
+    }
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut sl = SkipList::new();
+        assert_eq!(sl.set(b"James", 1u64), None);
+        assert_eq!(sl.set(b"Jason", 2), None);
+        assert_eq!(sl.get(b"James"), Some(1));
+        assert_eq!(sl.set(b"James", 10), Some(1));
+        assert_eq!(sl.get(b"James"), Some(10));
+        assert_eq!(sl.len(), 2);
+    }
+
+    #[test]
+    fn delete_removes_and_returns_value() {
+        let mut sl = SkipList::new();
+        for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+            sl.set(k.as_bytes(), i as u64);
+        }
+        assert_eq!(sl.del(b"b"), Some(1));
+        assert_eq!(sl.get(b"b"), None);
+        assert_eq!(sl.len(), 3);
+        assert_eq!(sl.del(b"b"), None);
+        // Remaining keys unaffected.
+        assert_eq!(sl.get(b"a"), Some(0));
+        assert_eq!(sl.get(b"c"), Some(2));
+        assert_eq!(sl.get(b"d"), Some(3));
+    }
+
+    #[test]
+    fn range_is_sorted_and_starts_at_lower_bound() {
+        let mut sl = SkipList::new();
+        let names = [
+            "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason", "John",
+            "Joseph", "Julian", "Justin",
+        ];
+        for (i, k) in names.iter().enumerate() {
+            sl.set(k.as_bytes(), i as u64);
+        }
+        let out = sl.range_from(b"J", 4);
+        let keys: Vec<_> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        assert_eq!(keys, vec!["Jacob", "James", "Jason", "John"]);
+        // Start key not present in the index.
+        let out = sl.range_from(b"Brown", 2);
+        assert_eq!(out[0].0, b"Denice".to_vec());
+    }
+
+    #[test]
+    fn many_keys_round_trip() {
+        let mut sl = SkipList::new();
+        let mut model = BTreeMap::new();
+        for i in 0u64..2000 {
+            let key = format!("key-{:06}", (i * 7919) % 2000);
+            sl.set(key.as_bytes(), i);
+            model.insert(key, i);
+        }
+        assert_eq!(sl.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(sl.get(k.as_bytes()), Some(*v));
+        }
+        // Full ordered scan matches the model.
+        let all = sl.range_from(b"", usize::MAX);
+        let model_all: Vec<_> = model.iter().map(|(k, v)| (k.clone().into_bytes(), *v)).collect();
+        assert_eq!(all, model_all);
+    }
+
+    #[test]
+    fn stats_track_keys_and_bytes() {
+        let mut sl = SkipList::new();
+        sl.set(b"abc", 1u64);
+        sl.set(b"defgh", 2);
+        let stats = sl.stats();
+        assert_eq!(stats.keys, 2);
+        assert_eq!(stats.key_bytes, 8);
+        assert!(stats.structure_bytes > 0);
+        sl.del(b"abc");
+        assert_eq!(sl.stats().key_bytes, 5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_matches_btreemap_model(ops in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 1..12), any::<u64>(), any::<bool>()), 1..200)) {
+            let mut sl = SkipList::new();
+            let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+            for (key, value, is_delete) in ops {
+                if is_delete {
+                    prop_assert_eq!(sl.del(&key), model.remove(&key));
+                } else {
+                    prop_assert_eq!(sl.set(&key, value), model.insert(key.clone(), value));
+                }
+                prop_assert_eq!(sl.len(), model.len());
+            }
+            for (k, v) in &model {
+                prop_assert_eq!(sl.get(k), Some(*v));
+            }
+            let scan = sl.range_from(b"", usize::MAX);
+            let expect: Vec<_> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+            prop_assert_eq!(scan, expect);
+        }
+
+        #[test]
+        fn prop_range_from_matches_model(keys in proptest::collection::btree_set(
+            proptest::collection::vec(any::<u8>(), 1..8), 1..100),
+            start in proptest::collection::vec(any::<u8>(), 0..8),
+            count in 0usize..20) {
+            let mut sl = SkipList::new();
+            for (i, k) in keys.iter().enumerate() {
+                sl.set(k, i as u64);
+            }
+            let got: Vec<Vec<u8>> = sl.range_from(&start, count).into_iter().map(|(k, _)| k).collect();
+            let expect: Vec<Vec<u8>> = keys.iter().filter(|k| k.as_slice() >= start.as_slice())
+                .take(count).cloned().collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

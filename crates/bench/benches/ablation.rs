@@ -1,0 +1,114 @@
+//! Criterion bench: Wormhole design-choice ablations.
+//!
+//! * Figure 11's optimisation ladder (BaseWormhole → +TagMatching →
+//!   +IncHashing → +SortByTag → +DirectPos);
+//! * the leaf-capacity sweep called out in DESIGN.md (the paper fixes the
+//!   leaf size at 128; this bench shows how sensitive lookups are to it);
+//! * the thread-safe vs thread-unsafe variants (the cost of the RCU/locking
+//!   machinery on a single thread, paper §4.1's ~8% gap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::drivers::{AnyIndex, IndexKind};
+use index_traits::{ConcurrentOrderedIndex, OrderedIndex};
+use workloads::{generate, uniform_indices, KeysetId};
+use wormhole::{Wormhole, WormholeConfig, WormholeUnsafe};
+
+const KEYS: usize = 20_000;
+
+fn bench_optimization_ladder(c: &mut Criterion) {
+    let keyset = generate(KeysetId::Az1, KEYS, 42);
+    let probes = uniform_indices(4096, keyset.keys.len(), 9);
+    let mut group = c.benchmark_group("ablation/optimizations");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for (name, config) in WormholeConfig::ablation_ladder() {
+        let mut index = AnyIndex::wormhole_with_config(config);
+        for (i, key) in keyset.keys.iter().enumerate() {
+            index.insert(key, i as u64);
+        }
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &p in &probes {
+                    if index.get(&keyset.keys[p]).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_leaf_capacity(c: &mut Criterion) {
+    let keyset = generate(KeysetId::Az1, KEYS, 42);
+    let probes = uniform_indices(4096, keyset.keys.len(), 11);
+    let mut group = c.benchmark_group("ablation/leaf_capacity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    for capacity in [16usize, 32, 64, 128, 256] {
+        let config = WormholeConfig::optimized().with_leaf_capacity(capacity);
+        let mut index = WormholeUnsafe::with_config(config);
+        for (i, key) in keyset.keys.iter().enumerate() {
+            index.set(key, i as u64);
+        }
+        group.bench_function(format!("capacity{capacity}"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &p in &probes {
+                    if index.get(&keyset.keys[p]).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_safe_vs_unsafe(c: &mut Criterion) {
+    let keyset = generate(KeysetId::Az1, KEYS, 42);
+    let probes = uniform_indices(4096, keyset.keys.len(), 13);
+    let mut group = c.benchmark_group("ablation/concurrency_control");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(800));
+    let safe = AnyIndex::build(IndexKind::Wormhole, &keyset.keys);
+    let unsafe_ = AnyIndex::build(IndexKind::WormholeUnsafe, &keyset.keys);
+    for (name, index) in [("thread-safe", &safe), ("thread-unsafe", &unsafe_)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &p in &probes {
+                    if index.get(&keyset.keys[p]).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+    // Keep the concurrent variant exercised through its trait too, so the
+    // bench fails to compile if the public API regresses.
+    let wh: Wormhole<u64> = Wormhole::new();
+    wh.set(b"smoke", 1);
+    assert_eq!(wh.get(b"smoke"), Some(1));
+}
+
+criterion_group!(
+    benches,
+    bench_optimization_ladder,
+    bench_leaf_capacity,
+    bench_safe_vs_unsafe
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: Wormhole vs the cuckoo hash table (Figures 13/14 at
+//! micro scale), including the Kshort/Klong anchor-length sensitivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::drivers::{AnyIndex, IndexKind};
+use workloads::{generate, prefix_keyset, uniform_indices, KeysetId};
+
+const KEYS: usize = 20_000;
+
+fn bench_vs_cuckoo(c: &mut Criterion) {
+    for id in [KeysetId::Az1, KeysetId::K3, KeysetId::K8] {
+        let keyset = generate(id, KEYS, 42);
+        let probes = uniform_indices(4096, keyset.keys.len(), 17);
+        let mut group = c.benchmark_group(format!("hash_vs_ordered/{}", id.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(800));
+        for kind in [IndexKind::Wormhole, IndexKind::Cuckoo] {
+            let index = AnyIndex::build(kind, &keyset.keys);
+            group.bench_function(kind.name(), |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &p in &probes {
+                        if index.get(&keyset.keys[p]).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_prefix_sensitivity(c: &mut Criterion) {
+    // Figure 14: 64-byte keys, random (Kshort) vs filler-prefixed (Klong).
+    for (variant, long_prefix) in [("Kshort", false), ("Klong", true)] {
+        let keyset = prefix_keyset(64, KEYS, long_prefix, 42);
+        let probes = uniform_indices(4096, keyset.keys.len(), 19);
+        let mut group = c.benchmark_group(format!("prefix_sensitivity/{variant}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(800));
+        for kind in [IndexKind::Wormhole, IndexKind::Cuckoo] {
+            let index = AnyIndex::build(kind, &keyset.keys);
+            group.bench_function(kind.name(), |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &p in &probes {
+                        if index.get(&keyset.keys[p]).is_some() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_vs_cuckoo, bench_prefix_sensitivity);
+criterion_main!(benches);

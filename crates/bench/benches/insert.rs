@@ -1,0 +1,39 @@
+//! Criterion bench: single-threaded insertion throughput (Figure 15 at micro
+//! scale).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use bench::drivers::{AnyIndex, IndexKind};
+use workloads::{generate, KeysetId};
+
+const KEYS: usize = 10_000;
+
+fn bench_insert(c: &mut Criterion) {
+    for id in [KeysetId::Az1, KeysetId::K3, KeysetId::Url] {
+        let keyset = generate(id, KEYS, 42);
+        let mut group = c.benchmark_group(format!("insert/{}", id.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(1200));
+        for kind in IndexKind::ordered_five() {
+            group.bench_function(kind.name(), |b| {
+                b.iter_batched(
+                    || AnyIndex::new(kind),
+                    |mut index| {
+                        for (i, key) in keyset.keys.iter().enumerate() {
+                            index.insert(key, i as u64);
+                        }
+                        index
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

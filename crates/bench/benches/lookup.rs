@@ -1,0 +1,51 @@
+//! Criterion bench: point-lookup latency per index (Figures 9/10 at micro
+//! scale). One group per keyset; one benchmark per index.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use bench::drivers::{AnyIndex, IndexKind};
+use workloads::{generate, uniform_indices, KeysetId};
+
+const KEYS: usize = 20_000;
+
+fn bench_lookup(c: &mut Criterion) {
+    for id in [KeysetId::Az1, KeysetId::Url, KeysetId::K3, KeysetId::K8] {
+        let keyset = generate(id, KEYS, 42);
+        let probes = uniform_indices(4096, keyset.keys.len(), 7);
+        let mut group = c.benchmark_group(format!("lookup/{}", id.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(800));
+        for kind in [
+            IndexKind::SkipList,
+            IndexKind::BTree,
+            IndexKind::Art,
+            IndexKind::Masstree,
+            IndexKind::Wormhole,
+            IndexKind::WormholeUnsafe,
+        ] {
+            let index = AnyIndex::build(kind, &keyset.keys);
+            group.bench_function(kind.name(), |b| {
+                b.iter_batched(
+                    || 0usize,
+                    |_| {
+                        let mut hits = 0usize;
+                        for &p in &probes {
+                            if index.get(&keyset.keys[p]).is_some() {
+                                hits += 1;
+                            }
+                        }
+                        hits
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

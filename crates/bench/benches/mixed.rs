@@ -1,0 +1,66 @@
+//! Criterion bench: mixed lookup/insert workloads on the two thread-safe
+//! indexes (Figure 17 at micro scale, single-threaded latency flavour).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use bench::drivers::{ConcurrentDriver, LockedMasstree};
+use workloads::{generate, mixed_ops, KeysetId, Op, OpMix};
+use wormhole::Wormhole;
+
+const KEYS: usize = 10_000;
+const OPS: usize = 8_192;
+
+fn run_ops(driver: &ConcurrentDriver, keys: &[Vec<u8>], ops: &[Op]) -> usize {
+    let mut hits = 0usize;
+    for op in ops {
+        match op {
+            Op::Get(i) => {
+                if driver.get(&keys[*i]).is_some() {
+                    hits += 1;
+                }
+            }
+            Op::Set(i) => {
+                driver.set(&keys[*i], *i as u64);
+            }
+        }
+    }
+    hits
+}
+
+fn bench_mixed(c: &mut Criterion) {
+    let keyset = generate(KeysetId::Az1, KEYS, 42);
+    for mix in OpMix::figure17() {
+        let ops = mixed_ops(OPS, mix, keyset.keys.len(), 3);
+        let mut group = c.benchmark_group(format!("mixed/insert{}pct", mix.insert_pct));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(1000));
+        let builders: [(&str, fn() -> ConcurrentDriver); 2] = [
+            ("Masstree-rwlock", || {
+                ConcurrentDriver::Masstree(LockedMasstree::new())
+            }),
+            ("Wormhole", || ConcurrentDriver::Wormhole(Wormhole::new())),
+        ];
+        for (name, build) in builders {
+            group.bench_function(name, |b| {
+                b.iter_batched(
+                    || {
+                        let driver = build();
+                        for (i, key) in keyset.keys.iter().take(KEYS / 2).enumerate() {
+                            driver.set(key, i as u64);
+                        }
+                        driver
+                    },
+                    |driver| run_ops(&driver, &keyset.keys, &ops),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: 100-key range scans (Figure 18 at micro scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::drivers::{AnyIndex, IndexKind};
+use workloads::{generate, uniform_indices, KeysetId};
+
+const KEYS: usize = 20_000;
+const SCAN_LEN: usize = 100;
+
+fn bench_range(c: &mut Criterion) {
+    for id in [KeysetId::Az1, KeysetId::K4] {
+        let keyset = generate(id, KEYS, 42);
+        let starts = uniform_indices(256, keyset.keys.len(), 13);
+        let mut group = c.benchmark_group(format!("range/{}", id.name()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(800));
+        for kind in [
+            IndexKind::SkipList,
+            IndexKind::BTree,
+            IndexKind::Masstree,
+            IndexKind::Wormhole,
+        ] {
+            let index = AnyIndex::build(kind, &keyset.keys);
+            group.bench_function(kind.name(), |b| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &p in &starts {
+                        total += index.range_from(&keyset.keys[p], SCAN_LEN).len();
+                    }
+                    total
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_range);
+criterion_main!(benches);

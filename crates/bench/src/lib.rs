@@ -1,0 +1,22 @@
+//! Benchmark harness for the Wormhole reproduction.
+//!
+//! The crate has two faces:
+//!
+//! * a library ([`drivers`], [`measure`], [`figures`]) with a uniform driver
+//!   over every index, thread-scaling measurement helpers, and one function
+//!   per table/figure of the paper's evaluation that returns the data series
+//!   the paper plots;
+//! * the `figures` binary (`cargo run -p bench --release --bin figures`)
+//!   which runs those functions and prints paper-style rows, and the
+//!   Criterion benches under `benches/` which track the same workloads with
+//!   statistical rigour at micro scale.
+//!
+//! Absolute numbers depend on the machine; the paper's claims are about the
+//! *relative* ordering and trends, which is what `EXPERIMENTS.md` records.
+
+pub mod drivers;
+pub mod figures;
+pub mod measure;
+
+pub use drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};
+pub use measure::{mops, parallel_lookup_mops, Timer};

@@ -1,0 +1,19 @@
+//! Shared traits and byte-key utilities for the Wormhole reproduction.
+//!
+//! Every index in this workspace — the Wormhole index itself and the five
+//! baselines it is evaluated against (B+ tree, skip list, ART, Masstree,
+//! cuckoo hash) — implements the traits defined here so that the benchmark
+//! harness, examples, and integration tests can drive any of them through a
+//! single interface.
+//!
+//! Keys are raw byte strings (`&[u8]`), matching the paper's model of keys as
+//! token strings where each byte is a token. Values are a generic parameter
+//! `V`; the benchmark harness instantiates `V = u64` (the paper measures index
+//! cost only and "skips access of values"), while the examples use richer
+//! value types.
+
+pub mod key;
+pub mod traits;
+
+pub use key::{common_prefix_len, is_prefix_of, successor_key, KeyRange};
+pub use traits::{ConcurrentOrderedIndex, IndexStats, OrderedIndex, UnorderedIndex};

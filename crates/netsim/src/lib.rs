@@ -1,0 +1,29 @@
+//! A simulated RDMA-style networked key-value service, standing in for the
+//! HERD testbed the paper uses for Figure 12.
+//!
+//! The paper ports every index into HERD, a key-value store that ships
+//! batches of requests over a 100 Gb/s InfiniBand link (batch size 800) and
+//! serves them on the host CPU. The experiment's point is that with such a
+//! fast link the *host-side index cost* still dominates — except when keys
+//! are so large (the 1 KB `K10` set) that the wire becomes the bottleneck.
+//!
+//! This crate reproduces that setup without RDMA hardware:
+//!
+//! * [`wire`] — a request/response wire format and a [`wire::LinkModel`]
+//!   describing bandwidth, latency, and per-message overhead of the link;
+//!   the model converts a measured server-side processing rate into the
+//!   throughput the client would observe through the link.
+//! * [`service`] — an in-process client/server pair connected by channels
+//!   that actually encodes requests into buffers, batches them (800 per
+//!   message, like the paper), decodes them on the server thread, executes
+//!   them against any index, and ships encoded responses back.
+//!
+//! The `figures` harness combines both: it measures real batched-service
+//! throughput and applies the link model, so the reported series keeps the
+//! paper's shape (small drop for most keysets, wire-limited for `K10`).
+
+pub mod service;
+pub mod wire;
+
+pub use service::{KvService, ServiceStats};
+pub use wire::{LinkModel, WireRequest, WireResponse};

@@ -1,0 +1,252 @@
+//! An in-process batched key-value service: client and server threads
+//! exchanging encoded request/response batches over channels, mimicking
+//! HERD's request loop.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use index_traits::ConcurrentOrderedIndex;
+
+use crate::wire::{WireRequest, WireResponse};
+
+/// One batch of encoded requests travelling client → server.
+struct RequestBatch {
+    payload: Bytes,
+    /// Number of requests in the batch.
+    count: usize,
+}
+
+/// One batch of encoded responses travelling server → client.
+struct ResponseBatch {
+    payload: Bytes,
+}
+
+/// Throughput accounting returned by [`KvService::run_lookups`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceStats {
+    /// Requests completed.
+    pub operations: usize,
+    /// Wall-clock seconds spent (client-side, send to last response).
+    pub seconds: f64,
+    /// Total request payload bytes sent.
+    pub request_bytes: usize,
+    /// Total response payload bytes received.
+    pub response_bytes: usize,
+    /// Number of responses that carried a value (hits).
+    pub hits: usize,
+}
+
+impl ServiceStats {
+    /// Millions of operations per second observed by the client.
+    pub fn mops(&self) -> f64 {
+        self.operations as f64 / self.seconds / 1e6
+    }
+
+    /// Average request size in bytes.
+    pub fn avg_request_bytes(&self) -> f64 {
+        self.request_bytes as f64 / self.operations.max(1) as f64
+    }
+
+    /// Average response size in bytes.
+    pub fn avg_response_bytes(&self) -> f64 {
+        self.response_bytes as f64 / self.operations.max(1) as f64
+    }
+}
+
+/// A batched key-value service over an index.
+///
+/// The server thread owns a reference to a [`ConcurrentOrderedIndex`] and
+/// processes one encoded batch at a time; the client encodes requests,
+/// batches them, and decodes responses — the same division of labour as the
+/// HERD port used in the paper.
+pub struct KvService<V: Clone + Send + Sync + 'static> {
+    index: Arc<dyn ConcurrentOrderedIndex<V>>,
+    batch_size: usize,
+}
+
+impl KvService<u64> {
+    /// Creates a service over the given index with the paper's batch size of
+    /// 800 requests per message.
+    pub fn new(index: Arc<dyn ConcurrentOrderedIndex<u64>>) -> Self {
+        Self::with_batch_size(index, 800)
+    }
+
+    /// Creates a service with an explicit batch size.
+    pub fn with_batch_size(index: Arc<dyn ConcurrentOrderedIndex<u64>>, batch_size: usize) -> Self {
+        assert!(batch_size > 0);
+        Self { index, batch_size }
+    }
+
+    /// Spawns the server loop, returning the request sender, the response
+    /// receiver, and the join handle.
+    fn spawn_server(
+        &self,
+    ) -> (
+        Sender<RequestBatch>,
+        Receiver<ResponseBatch>,
+        JoinHandle<()>,
+    ) {
+        let (req_tx, req_rx) = bounded::<RequestBatch>(16);
+        let (resp_tx, resp_rx) = bounded::<ResponseBatch>(16);
+        let index = Arc::clone(&self.index);
+        let handle = std::thread::spawn(move || {
+            while let Ok(batch) = req_rx.recv() {
+                let mut payload = batch.payload;
+                let mut out = BytesMut::with_capacity(batch.count * 16);
+                let mut served = 0usize;
+                while let Some(req) = WireRequest::decode(&mut payload) {
+                    let resp = match req {
+                        WireRequest::Get { key } => match index.get(&key) {
+                            Some(v) => WireResponse::Value(v),
+                            None => WireResponse::Miss,
+                        },
+                        WireRequest::Set { key, value } => match index.set(&key, value) {
+                            Some(v) => WireResponse::Value(v),
+                            None => WireResponse::Miss,
+                        },
+                        WireRequest::Range { start, count } => {
+                            WireResponse::Range(index.range_from(&start, count as usize))
+                        }
+                    };
+                    resp.encode(&mut out);
+                    served += 1;
+                }
+                let _ = served;
+                if resp_tx
+                    .send(ResponseBatch {
+                        payload: out.freeze(),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        });
+        (req_tx, resp_rx, handle)
+    }
+
+    /// Runs a stream of requests through the service and reports client-side
+    /// statistics.
+    pub fn run(&self, requests: &[WireRequest]) -> ServiceStats {
+        let (req_tx, resp_rx, handle) = self.spawn_server();
+        let start = std::time::Instant::now();
+        let mut stats = ServiceStats {
+            operations: 0,
+            seconds: 0.0,
+            request_bytes: 0,
+            response_bytes: 0,
+            hits: 0,
+        };
+        let mut outstanding = 0usize;
+        let drain = |stats: &mut ServiceStats, resp_rx: &Receiver<ResponseBatch>| {
+            let batch = resp_rx.recv().expect("server alive");
+            stats.response_bytes += batch.payload.len();
+            let mut payload = batch.payload;
+            while let Some(resp) = WireResponse::decode(&mut payload) {
+                if !matches!(resp, WireResponse::Miss) {
+                    stats.hits += 1;
+                }
+                stats.operations += 1;
+            }
+        };
+        for chunk in requests.chunks(self.batch_size) {
+            let mut buf = BytesMut::with_capacity(chunk.len() * 32);
+            for req in chunk {
+                req.encode(&mut buf);
+            }
+            stats.request_bytes += buf.len();
+            req_tx
+                .send(RequestBatch {
+                    payload: buf.freeze(),
+                    count: chunk.len(),
+                })
+                .expect("server alive");
+            outstanding += 1;
+            // Keep a small pipeline of outstanding batches, as HERD does.
+            if outstanding >= 8 {
+                drain(&mut stats, &resp_rx);
+                outstanding -= 1;
+            }
+        }
+        while outstanding > 0 {
+            drain(&mut stats, &resp_rx);
+            outstanding -= 1;
+        }
+        stats.seconds = start.elapsed().as_secs_f64().max(1e-9);
+        drop(req_tx);
+        handle.join().expect("server thread");
+        stats
+    }
+
+    /// Convenience wrapper: runs point lookups for the given keys.
+    pub fn run_lookups(&self, keys: &[Vec<u8>]) -> ServiceStats {
+        let requests: Vec<WireRequest> = keys
+            .iter()
+            .map(|k| WireRequest::Get { key: k.clone() })
+            .collect();
+        self.run(&requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole::Wormhole;
+
+    fn loaded_index(n: usize) -> Arc<Wormhole<u64>> {
+        let wh = Wormhole::new();
+        for i in 0..n as u64 {
+            wh.set(format!("key-{i:08}").as_bytes(), i);
+        }
+        Arc::new(wh)
+    }
+
+    #[test]
+    fn lookups_round_trip_through_the_service() {
+        let index = loaded_index(5000);
+        let service = KvService::with_batch_size(index, 100);
+        let keys: Vec<Vec<u8>> = (0..2000u64)
+            .map(|i| format!("key-{:08}", i * 3 % 5000).into_bytes())
+            .collect();
+        let stats = service.run_lookups(&keys);
+        assert_eq!(stats.operations, 2000);
+        assert_eq!(stats.hits, 2000);
+        assert!(stats.seconds > 0.0);
+        assert!(stats.avg_request_bytes() > 12.0);
+        assert!(stats.mops() > 0.0);
+    }
+
+    #[test]
+    fn misses_and_writes_are_reported() {
+        let index = loaded_index(100);
+        let service = KvService::with_batch_size(index.clone(), 32);
+        let requests = vec![
+            WireRequest::Get { key: b"key-00000001".to_vec() },
+            WireRequest::Get { key: b"absent".to_vec() },
+            WireRequest::Set { key: b"fresh".to_vec(), value: 9 },
+            WireRequest::Get { key: b"fresh".to_vec() },
+            WireRequest::Range { start: b"key-00000090".to_vec(), count: 5 },
+        ];
+        let stats = service.run(&requests);
+        assert_eq!(stats.operations, 5);
+        // Hits: the first get, the get of "fresh", and the range response.
+        assert_eq!(stats.hits, 3);
+        // The write really landed in the index.
+        use index_traits::ConcurrentOrderedIndex;
+        assert_eq!(index.get(b"fresh"), Some(9));
+    }
+
+    #[test]
+    fn batching_splits_large_request_streams() {
+        let index = loaded_index(1000);
+        let service = KvService::with_batch_size(index, 800);
+        let keys: Vec<Vec<u8>> = (0..3000u64)
+            .map(|i| format!("key-{:08}", i % 1000).into_bytes())
+            .collect();
+        let stats = service.run_lookups(&keys);
+        assert_eq!(stats.operations, 3000);
+        assert_eq!(stats.hits, 3000);
+    }
+}

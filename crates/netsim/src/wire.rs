@@ -1,0 +1,298 @@
+//! Wire format and link model.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A single request on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRequest {
+    /// Point lookup.
+    Get { key: Vec<u8> },
+    /// Insert or overwrite.
+    Set { key: Vec<u8>, value: u64 },
+    /// Range scan: up to `count` keys at or after `start`.
+    Range { start: Vec<u8>, count: u32 },
+}
+
+/// A single response on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireResponse {
+    /// Value found (or previous value for a Set).
+    Value(u64),
+    /// Key absent.
+    Miss,
+    /// Range scan results: key/value pairs.
+    Range(Vec<(Vec<u8>, u64)>),
+}
+
+const TAG_GET: u8 = 1;
+const TAG_SET: u8 = 2;
+const TAG_RANGE: u8 = 3;
+const TAG_VALUE: u8 = 1;
+const TAG_MISS: u8 = 2;
+const TAG_RANGE_RESP: u8 = 3;
+
+impl WireRequest {
+    /// Appends the encoded request to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WireRequest::Get { key } => {
+                buf.put_u8(TAG_GET);
+                buf.put_u32(key.len() as u32);
+                buf.put_slice(key);
+            }
+            WireRequest::Set { key, value } => {
+                buf.put_u8(TAG_SET);
+                buf.put_u32(key.len() as u32);
+                buf.put_slice(key);
+                buf.put_u64(*value);
+            }
+            WireRequest::Range { start, count } => {
+                buf.put_u8(TAG_RANGE);
+                buf.put_u32(start.len() as u32);
+                buf.put_slice(start);
+                buf.put_u32(*count);
+            }
+        }
+    }
+
+    /// Decodes one request from the front of `buf`.
+    pub fn decode(buf: &mut Bytes) -> Option<WireRequest> {
+        if buf.is_empty() {
+            return None;
+        }
+        let tag = buf.get_u8();
+        let klen = buf.get_u32() as usize;
+        let key = buf.split_to(klen).to_vec();
+        Some(match tag {
+            TAG_GET => WireRequest::Get { key },
+            TAG_SET => WireRequest::Set {
+                key,
+                value: buf.get_u64(),
+            },
+            TAG_RANGE => WireRequest::Range {
+                start: key,
+                count: buf.get_u32(),
+            },
+            _ => return None,
+        })
+    }
+
+    /// Encoded size in bytes (excluding per-message overhead).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WireRequest::Get { key } => 5 + key.len(),
+            WireRequest::Set { key, .. } => 13 + key.len(),
+            WireRequest::Range { start, .. } => 9 + start.len(),
+        }
+    }
+}
+
+impl WireResponse {
+    /// Appends the encoded response to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WireResponse::Value(v) => {
+                buf.put_u8(TAG_VALUE);
+                buf.put_u64(*v);
+            }
+            WireResponse::Miss => buf.put_u8(TAG_MISS),
+            WireResponse::Range(items) => {
+                buf.put_u8(TAG_RANGE_RESP);
+                buf.put_u32(items.len() as u32);
+                for (k, v) in items {
+                    buf.put_u32(k.len() as u32);
+                    buf.put_slice(k);
+                    buf.put_u64(*v);
+                }
+            }
+        }
+    }
+
+    /// Decodes one response from the front of `buf`.
+    pub fn decode(buf: &mut Bytes) -> Option<WireResponse> {
+        if buf.is_empty() {
+            return None;
+        }
+        Some(match buf.get_u8() {
+            TAG_VALUE => WireResponse::Value(buf.get_u64()),
+            TAG_MISS => WireResponse::Miss,
+            TAG_RANGE_RESP => {
+                let n = buf.get_u32() as usize;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen = buf.get_u32() as usize;
+                    let key = buf.split_to(klen).to_vec();
+                    items.push((key, buf.get_u64()));
+                }
+                WireResponse::Range(items)
+            }
+            _ => return None,
+        })
+    }
+
+    /// Encoded size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            WireResponse::Value(_) => 9,
+            WireResponse::Miss => 1,
+            WireResponse::Range(items) => {
+                5 + items.iter().map(|(k, _)| 12 + k.len()).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// An analytic model of the client/server link.
+///
+/// Defaults match the paper's testbed: one 100 Gb/s InfiniBand link
+/// (Mellanox ConnectX-4), ~2 µs one-way latency, and batches of 800
+/// requests per RDMA send.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Link bandwidth in gigabits per second.
+    pub bandwidth_gbps: f64,
+    /// One-way latency in microseconds.
+    pub one_way_latency_us: f64,
+    /// Fixed overhead per message (headers, RDMA verbs), in bytes.
+    pub per_message_overhead_bytes: usize,
+    /// Requests batched into one message.
+    pub batch_size: usize,
+    /// Host CPU time consumed by the networking stack per request, in
+    /// nanoseconds (HERD's request dispatch cost).
+    pub per_request_cpu_ns: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::infiniband_100g()
+    }
+}
+
+impl LinkModel {
+    /// The paper's 100 Gb/s InfiniBand configuration with batch size 800.
+    pub fn infiniband_100g() -> Self {
+        Self {
+            bandwidth_gbps: 100.0,
+            one_way_latency_us: 2.0,
+            per_message_overhead_bytes: 64,
+            batch_size: 800,
+            per_request_cpu_ns: 10.0,
+        }
+    }
+
+    /// Bytes per second of usable bandwidth.
+    pub fn bytes_per_second(&self) -> f64 {
+        self.bandwidth_gbps * 1e9 / 8.0
+    }
+
+    /// Wire time for one request/response pair of the given sizes, averaged
+    /// over a full batch (latency and per-message overhead are amortised).
+    pub fn wire_seconds_per_op(&self, request_bytes: usize, response_bytes: usize) -> f64 {
+        let payload = (request_bytes + response_bytes) as f64
+            + 2.0 * self.per_message_overhead_bytes as f64 / self.batch_size as f64;
+        let transfer = payload / self.bytes_per_second();
+        let latency = 2.0 * self.one_way_latency_us * 1e-6 / self.batch_size as f64;
+        transfer + latency
+    }
+
+    /// Converts a measured server-side index throughput (operations per
+    /// second) into the throughput observed through the link, for operations
+    /// with the given average wire sizes.
+    ///
+    /// The pipeline is limited by the slower of the host (index time plus
+    /// per-request networking CPU) and the wire.
+    pub fn delivered_ops_per_second(
+        &self,
+        server_ops_per_second: f64,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> f64 {
+        assert!(server_ops_per_second > 0.0);
+        let host_seconds = 1.0 / server_ops_per_second + self.per_request_cpu_ns * 1e-9;
+        let wire_seconds = self.wire_seconds_per_op(request_bytes, response_bytes);
+        1.0 / host_seconds.max(wire_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let reqs = vec![
+            WireRequest::Get { key: b"James".to_vec() },
+            WireRequest::Set { key: b"Jason".to_vec(), value: 42 },
+            WireRequest::Range { start: b"J".to_vec(), count: 100 },
+        ];
+        let mut buf = BytesMut::new();
+        for r in &reqs {
+            r.encode(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        let mut decoded = Vec::new();
+        while let Some(r) = WireRequest::decode(&mut bytes) {
+            decoded.push(r);
+        }
+        assert_eq!(decoded, reqs);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resps = vec![
+            WireResponse::Value(7),
+            WireResponse::Miss,
+            WireResponse::Range(vec![(b"a".to_vec(), 1), (b"bb".to_vec(), 2)]),
+        ];
+        let mut buf = BytesMut::new();
+        for r in &resps {
+            r.encode(&mut buf);
+        }
+        let mut bytes = buf.freeze();
+        let mut decoded = Vec::new();
+        while let Some(r) = WireResponse::decode(&mut bytes) {
+            decoded.push(r);
+        }
+        assert_eq!(decoded, resps);
+    }
+
+    #[test]
+    fn wire_sizes_match_encoding() {
+        let req = WireRequest::Set { key: vec![1; 30], value: 9 };
+        let mut buf = BytesMut::new();
+        req.encode(&mut buf);
+        assert_eq!(buf.len(), req.wire_size());
+        let resp = WireResponse::Range(vec![(vec![2; 10], 1), (vec![3; 20], 2)]);
+        let mut buf = BytesMut::new();
+        resp.encode(&mut buf);
+        assert_eq!(buf.len(), resp.wire_size());
+    }
+
+    #[test]
+    fn fast_host_is_wire_limited_only_for_large_keys() {
+        let link = LinkModel::infiniband_100g();
+        // A server that can do 20 Mops locally (the paper's Wormhole).
+        let server = 20e6;
+        // 40-byte keys: the host remains the bottleneck, so the delivered
+        // throughput is within ~20% of the local number.
+        let small = link.delivered_ops_per_second(server, 45, 9);
+        assert!(small > 0.8 * server, "small keys should stay host-limited");
+        // 1 KB keys (K10): the wire becomes the bottleneck and throughput
+        // drops well below the local number, as in Figure 12.
+        let large = link.delivered_ops_per_second(server, 1029, 9);
+        assert!(large < 0.75 * server, "1KB keys should be wire-limited");
+        assert!(large > 1e6, "the 100Gb/s link still delivers > 1 Mops");
+    }
+
+    #[test]
+    fn slower_link_reduces_throughput() {
+        let fast = LinkModel::infiniband_100g();
+        let slow = LinkModel {
+            bandwidth_gbps: 1.0,
+            ..LinkModel::infiniband_100g()
+        };
+        let t_fast = fast.delivered_ops_per_second(10e6, 100, 9);
+        let t_slow = slow.delivered_ops_per_second(10e6, 100, 9);
+        assert!(t_slow < t_fast);
+    }
+}

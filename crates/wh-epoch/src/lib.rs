@@ -1,0 +1,31 @@
+//! Quiescent-state-based reclamation (QSBR), the RCU flavour used by the
+//! Wormhole paper (§2.5) to let readers traverse the MetaTrieHT without any
+//! lock while writers replace it wholesale.
+//!
+//! # Model
+//!
+//! * Reader threads register with a [`Qsbr`] domain and obtain a
+//!   [`QsbrHandle`]. A reader wraps each index operation in a
+//!   [`QsbrHandle::critical`] section (or a [`Guard`]); between operations the
+//!   thread is *quiescent*.
+//! * A writer that unpublishes an object (e.g. the previous version of the
+//!   MetaTrieHT) calls [`Qsbr::synchronize`] — which blocks until every
+//!   registered reader has passed through a quiescent state since the call —
+//!   or [`Qsbr::defer`] to queue the reclamation and let a later
+//!   `synchronize`/`try_flush` free it.
+//!
+//! The implementation uses a global epoch counter and per-thread local epoch
+//! counters, the classic QSBR construction described by McKenney (user-space
+//! RCU) and used by the paper's C implementation.
+//!
+//! # Why not `crossbeam_epoch`?
+//!
+//! Crossbeam's EBR pins every operation and defers destruction to amortised
+//! collection; the paper's scheme is QSBR with an explicit grace-period wait
+//! (`synchronize`) on the writer side, because the writer *reuses* the old
+//! table after the grace period instead of freeing it. Reproducing that
+//! behaviour needs a blocking `synchronize`, which crossbeam does not expose.
+
+pub mod qsbr;
+
+pub use qsbr::{Guard, Qsbr, QsbrHandle};

@@ -1,0 +1,448 @@
+//! The QSBR domain, reader handles, and grace-period machinery.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Per-reader-thread state tracked by the domain.
+#[derive(Debug)]
+struct ThreadState {
+    /// `true` while the thread is inside a read-side critical section.
+    active: AtomicBool,
+    /// Epoch of the most recent quiescent state announced by the thread.
+    local_epoch: AtomicU64,
+    /// Unique id used to exclude the caller in `synchronize_excluding`.
+    id: u64,
+}
+
+/// Shared state of a QSBR domain.
+#[derive(Default)]
+struct Shared {
+    /// Unique id of this domain (used by the thread-local handle cache).
+    domain_id: u64,
+    /// Monotonically increasing grace-period counter.
+    global_epoch: AtomicU64,
+    /// All registered reader threads.
+    threads: Mutex<Vec<Arc<ThreadState>>>,
+    /// Deferred destructors: (epoch at which they were queued, callback).
+    deferred: Mutex<Vec<(u64, Box<dyn FnOnce() + Send>)>>,
+    /// Notified whenever a reader announces a quiescent state, so writers
+    /// waiting in `synchronize` do not have to spin.
+    quiesce_cv: Condvar,
+    /// Mutex paired with `quiesce_cv` (holds nothing, used only for waiting).
+    quiesce_lock: Mutex<()>,
+    /// Source of reader ids.
+    next_id: AtomicU64,
+}
+
+/// A quiescent-state-based reclamation domain.
+///
+/// Cloning a `Qsbr` produces another handle to the same domain (the state is
+/// reference-counted), so an index can embed one and hand clones to helper
+/// structures.
+#[derive(Clone, Default)]
+pub struct Qsbr {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Qsbr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Qsbr")
+            .field(
+                "global_epoch",
+                &self.shared.global_epoch.load(Ordering::Relaxed),
+            )
+            .field("readers", &self.readers())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+/// Source of unique domain ids.
+static NEXT_DOMAIN_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread cache of reader handles, keyed by domain id. Registering a
+    /// reader takes a lock on the domain's thread list, so callers that
+    /// cannot conveniently hold a handle (e.g. trait methods taking `&self`)
+    /// use this cache instead of re-registering on every operation. Handles
+    /// are boxed so their addresses stay stable when the cache vector grows.
+    static LOCAL_HANDLES: std::cell::RefCell<Vec<(u64, Box<QsbrHandle>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl Qsbr {
+    /// Creates a new, empty domain.
+    pub fn new() -> Self {
+        let mut shared = Shared::default();
+        shared.domain_id = NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed);
+        Self {
+            shared: Arc::new(shared),
+        }
+    }
+
+    /// Runs `f` with this thread's cached reader handle for the domain,
+    /// registering one on first use.
+    ///
+    /// The cached handle stays registered for the lifetime of the thread (or
+    /// until the domain is dropped by its last owner), which mirrors how
+    /// long-lived worker threads use QSBR in practice.
+    pub fn with_local_handle<R>(&self, f: impl FnOnce(&QsbrHandle) -> R) -> R {
+        let id = self.shared.domain_id;
+        LOCAL_HANDLES.with(|cell| {
+            let handle_ptr: *const QsbrHandle = {
+                let mut handles = cell.borrow_mut();
+                match handles.iter().find(|(hid, _)| *hid == id) {
+                    Some((_, handle)) => handle.as_ref(),
+                    None => {
+                        handles.push((id, Box::new(self.register())));
+                        handles.last().unwrap().1.as_ref()
+                    }
+                }
+                // The RefCell borrow ends here so `f` may recurse into
+                // `with_local_handle` for another domain.
+            };
+            // SAFETY: the handle is heap-allocated (boxed), entries are never
+            // removed while the thread lives, and the cache is thread-local,
+            // so the pointee is valid and not aliased mutably for the
+            // duration of `f`.
+            f(unsafe { &*handle_ptr })
+        })
+    }
+
+    /// Registers the calling thread as a reader and returns its handle.
+    pub fn register(&self) -> QsbrHandle {
+        let state = Arc::new(ThreadState {
+            active: AtomicBool::new(false),
+            local_epoch: AtomicU64::new(self.shared.global_epoch.load(Ordering::SeqCst)),
+            id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
+        });
+        self.shared.threads.lock().push(Arc::clone(&state));
+        QsbrHandle {
+            shared: Arc::clone(&self.shared),
+            state,
+        }
+    }
+
+    /// Number of currently registered reader threads.
+    pub fn readers(&self) -> usize {
+        self.shared.threads.lock().len()
+    }
+
+    /// Waits until every registered reader has passed through a quiescent
+    /// state (or is currently quiescent) after this call began.
+    ///
+    /// The calling thread must not be inside one of its own read-side
+    /// critical sections, otherwise the wait would deadlock; use
+    /// [`Qsbr::synchronize_excluding`] when the caller holds a registered
+    /// handle and wants it ignored.
+    pub fn synchronize(&self) {
+        self.synchronize_inner(None);
+    }
+
+    /// Like [`Qsbr::synchronize`], but ignores the reader represented by
+    /// `handle` (typically the calling thread's own registration).
+    pub fn synchronize_excluding(&self, handle: &QsbrHandle) {
+        self.synchronize_inner(Some(handle.state.id));
+    }
+
+    fn synchronize_inner(&self, exclude: Option<u64>) {
+        // Start a new grace period. Readers that announce a quiescent state
+        // after this point will carry an epoch >= `target`.
+        let target = self.shared.global_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let threads: Vec<Arc<ThreadState>> = self.shared.threads.lock().clone();
+        for t in threads {
+            if Some(t.id) == exclude {
+                continue;
+            }
+            loop {
+                // A reader counts as having passed the grace period when it is
+                // either outside any critical section *right now* (it will see
+                // the new pointer when it re-enters), or it has announced a
+                // quiescent state with an epoch at or beyond the target.
+                if !t.active.load(Ordering::SeqCst)
+                    || t.local_epoch.load(Ordering::SeqCst) >= target
+                {
+                    break;
+                }
+                let mut g = self.shared.quiesce_lock.lock();
+                // Re-check under the lock to avoid missing a wakeup.
+                if !t.active.load(Ordering::SeqCst)
+                    || t.local_epoch.load(Ordering::SeqCst) >= target
+                {
+                    break;
+                }
+                self.shared
+                    .quiesce_cv
+                    .wait_for(&mut g, std::time::Duration::from_millis(1));
+            }
+        }
+        self.run_deferred_up_to(target);
+    }
+
+    /// Queues `f` to run after a future grace period.
+    pub fn defer(&self, f: Box<dyn FnOnce() + Send>) {
+        let epoch = self.shared.global_epoch.load(Ordering::SeqCst) + 1;
+        self.shared.deferred.lock().push((epoch, f));
+    }
+
+    /// Runs all deferred callbacks after forcing a grace period.
+    pub fn flush(&self) {
+        self.synchronize();
+    }
+
+    /// Number of callbacks still waiting for a grace period.
+    pub fn pending(&self) -> usize {
+        self.shared.deferred.lock().len()
+    }
+
+    fn run_deferred_up_to(&self, epoch: u64) {
+        let ready: Vec<Box<dyn FnOnce() + Send>> = {
+            let mut q = self.shared.deferred.lock();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < q.len() {
+                if q[i].0 <= epoch {
+                    ready.push(q.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            ready
+        };
+        for f in ready {
+            f();
+        }
+    }
+}
+
+/// A registered reader thread's handle to a [`Qsbr`] domain.
+///
+/// The handle is `Send` (it can be created on one thread and moved to the
+/// worker that will use it) but deliberately not `Sync`: each reader thread
+/// owns exactly one handle.
+pub struct QsbrHandle {
+    shared: Arc<Shared>,
+    state: Arc<ThreadState>,
+}
+
+impl std::fmt::Debug for QsbrHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QsbrHandle")
+            .field("id", &self.state.id)
+            .field("active", &self.state.active.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl QsbrHandle {
+    /// Enters a read-side critical section and returns an RAII guard.
+    ///
+    /// While the guard is alive, objects observed through RCU-protected
+    /// pointers remain valid. Dropping the guard announces a quiescent state.
+    #[inline]
+    pub fn enter(&self) -> Guard<'_> {
+        self.state.active.store(true, Ordering::SeqCst);
+        Guard { handle: self }
+    }
+
+    /// Runs `f` inside a read-side critical section.
+    #[inline]
+    pub fn critical<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.enter();
+        f()
+    }
+
+    /// Explicitly announces a quiescent state outside any critical section.
+    #[inline]
+    pub fn quiescent(&self) {
+        let epoch = self.shared.global_epoch.load(Ordering::SeqCst);
+        self.state.local_epoch.store(epoch, Ordering::SeqCst);
+        self.shared.quiesce_cv.notify_all();
+    }
+}
+
+impl Drop for QsbrHandle {
+    fn drop(&mut self) {
+        // Unregister: remove this thread's state from the domain so writers
+        // stop waiting on it.
+        let mut threads = self.shared.threads.lock();
+        threads.retain(|t| t.id != self.state.id);
+        drop(threads);
+        self.shared.quiesce_cv.notify_all();
+    }
+}
+
+/// RAII guard for a read-side critical section.
+#[derive(Debug)]
+pub struct Guard<'a> {
+    handle: &'a QsbrHandle,
+}
+
+impl Drop for Guard<'_> {
+    fn drop(&mut self) {
+        let state = &self.handle.state;
+        let shared = &self.handle.shared;
+        // Leaving the critical section is itself a quiescent state.
+        let epoch = shared.global_epoch.load(Ordering::SeqCst);
+        state.local_epoch.store(epoch, Ordering::SeqCst);
+        state.active.store(false, Ordering::SeqCst);
+        shared.quiesce_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc as StdArc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn register_and_drop_changes_reader_count() {
+        let q = Qsbr::new();
+        assert_eq!(q.readers(), 0);
+        let h1 = q.register();
+        let h2 = q.register();
+        assert_eq!(q.readers(), 2);
+        drop(h1);
+        assert_eq!(q.readers(), 1);
+        drop(h2);
+        assert_eq!(q.readers(), 0);
+    }
+
+    #[test]
+    fn synchronize_with_no_readers_returns_immediately() {
+        let q = Qsbr::new();
+        q.synchronize();
+        q.synchronize();
+    }
+
+    #[test]
+    fn synchronize_waits_for_active_reader() {
+        let q = Qsbr::new();
+        let h = q.register();
+        let entered = StdArc::new(AtomicBool::new(false));
+        let released = StdArc::new(AtomicBool::new(false));
+        let done = StdArc::new(AtomicBool::new(false));
+
+        let q2 = q.clone();
+        let entered2 = StdArc::clone(&entered);
+        let released2 = StdArc::clone(&released);
+        let reader = thread::spawn(move || {
+            let guard = h.enter();
+            entered2.store(true, Ordering::SeqCst);
+            while !released2.load(Ordering::SeqCst) {
+                thread::sleep(Duration::from_millis(1));
+            }
+            drop(guard);
+            // Keep the handle alive a bit so unregistration is not what
+            // unblocks the writer.
+            thread::sleep(Duration::from_millis(20));
+            drop(h);
+        });
+
+        while !entered.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let done2 = StdArc::clone(&done);
+        let writer = thread::spawn(move || {
+            q2.synchronize();
+            done2.store(true, Ordering::SeqCst);
+        });
+        // The writer must not complete while the reader is still inside the
+        // critical section.
+        thread::sleep(Duration::from_millis(30));
+        assert!(!done.load(Ordering::SeqCst));
+        released.store(true, Ordering::SeqCst);
+        writer.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn inactive_reader_does_not_block_writer() {
+        let q = Qsbr::new();
+        let _h = q.register();
+        // The reader never enters a critical section; synchronize must return.
+        q.synchronize();
+    }
+
+    #[test]
+    fn deferred_callbacks_run_after_flush() {
+        let q = Qsbr::new();
+        let counter = StdArc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let c = StdArc::clone(&counter);
+            q.defer(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert_eq!(q.pending(), 5);
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        q.flush();
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn rcu_pointer_swap_is_safe_under_load() {
+        use std::sync::atomic::AtomicPtr;
+
+        // A miniature RCU usage mirroring the MetaTrieHT double-table scheme:
+        // readers dereference an atomic pointer inside a critical section,
+        // a writer swaps it and waits for a grace period before freeing.
+        let q = Qsbr::new();
+        let initial = Box::into_raw(Box::new(vec![1u64; 64]));
+        let ptr = StdArc::new(AtomicPtr::new(initial));
+        let stop = StdArc::new(AtomicBool::new(false));
+
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let q = q.clone();
+            let ptr = StdArc::clone(&ptr);
+            let stop = StdArc::clone(&stop);
+            readers.push(thread::spawn(move || {
+                let h = q.register();
+                let mut checksum = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let guard = h.enter();
+                    let p = ptr.load(Ordering::SeqCst);
+                    // SAFETY: the writer only frees a table after a grace
+                    // period; we hold a critical section, so `p` is valid.
+                    let v = unsafe { &*p };
+                    checksum = checksum.wrapping_add(v[0]);
+                    drop(guard);
+                }
+                checksum
+            }));
+        }
+
+        for gen in 2u64..30 {
+            let new = Box::into_raw(Box::new(vec![gen; 64]));
+            let old = ptr.swap(new, Ordering::SeqCst);
+            q.synchronize();
+            // SAFETY: all readers have passed a quiescent state since the
+            // swap, so nobody holds a reference into `old`.
+            unsafe { drop(Box::from_raw(old)) };
+        }
+        stop.store(true, Ordering::SeqCst);
+        for r in readers {
+            let _ = r.join().unwrap();
+        }
+        let last = ptr.load(Ordering::SeqCst);
+        // SAFETY: all readers have exited.
+        unsafe { drop(Box::from_raw(last)) };
+    }
+
+    #[test]
+    fn synchronize_excluding_skips_callers_own_critical_section() {
+        let q = Qsbr::new();
+        let h = q.register();
+        let _guard = h.enter();
+        // Would deadlock if the caller's own active section were considered.
+        q.synchronize_excluding(&h);
+    }
+}

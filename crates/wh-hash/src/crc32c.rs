@@ -1,0 +1,161 @@
+//! Software CRC-32c (Castagnoli) with slice-by-8 table lookup.
+//!
+//! CRC-32c uses the reflected polynomial `0x82F63B78`. The tables are built
+//! at compile time with `const fn`, so there is no runtime initialisation and
+//! no external dependency. The implementation processes eight bytes per step
+//! on aligned bulk data and falls back to byte-at-a-time processing for the
+//! head and tail, matching the structure of the classic slice-by-8 kernels
+//! used by `libcrc32c` and the paper's C implementation.
+
+/// The reflected CRC-32c polynomial.
+pub const POLY_REFLECTED: u32 = 0x82F6_3B78;
+
+/// Number of slice tables used by the bulk kernel.
+const SLICES: usize = 8;
+
+/// Builds the 8 × 256 lookup tables at compile time.
+const fn build_tables() -> [[u32; 256]; SLICES] {
+    let mut tables = [[0u32; 256]; SLICES];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY_REFLECTED
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut slice = 1usize;
+    while slice < SLICES {
+        let mut i = 0usize;
+        while i < 256 {
+            let prev = tables[slice - 1][i];
+            tables[slice][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        slice += 1;
+    }
+    tables
+}
+
+/// Compile-time generated slice-by-8 tables.
+static TABLES: [[u32; 256]; SLICES] = build_tables();
+
+/// Processes a single byte with the table-driven kernel.
+#[inline(always)]
+fn step_byte(state: u32, byte: u8) -> u32 {
+    (state >> 8) ^ TABLES[0][((state ^ byte as u32) & 0xFF) as usize]
+}
+
+/// Processes eight bytes at once with the slice-by-8 kernel.
+#[inline(always)]
+fn step_u64(state: u32, chunk: &[u8]) -> u32 {
+    debug_assert_eq!(chunk.len(), 8);
+    let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+    let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+    TABLES[7][(lo & 0xFF) as usize]
+        ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+        ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+        ^ TABLES[4][((lo >> 24) & 0xFF) as usize]
+        ^ TABLES[3][(hi & 0xFF) as usize]
+        ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+        ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+        ^ TABLES[0][((hi >> 24) & 0xFF) as usize]
+}
+
+/// Continues a CRC-32c computation over `data`, starting from `state`.
+///
+/// `state` is the *internal* (pre-finalisation) state: `0` for a fresh hash.
+/// The returned value is again an internal state; callers that need the
+/// conventional finalised CRC should invert the bits, but the Wormhole index
+/// only uses the raw state as hash material, so no finalisation is applied.
+#[inline]
+pub fn crc32c_append(state: u32, data: &[u8]) -> u32 {
+    let mut crc = !state;
+    let mut rest = data;
+    while rest.len() >= 8 {
+        crc = step_u64(crc, &rest[..8]);
+        rest = &rest[8..];
+    }
+    for &b in rest {
+        crc = step_byte(crc, b);
+    }
+    !crc
+}
+
+/// Computes the CRC-32c of `data` in one shot.
+#[inline]
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-at-a-time reference implementation used to validate the tables.
+    fn crc32c_reference(data: &[u8]) -> u32 {
+        let mut crc: u32 = 0xFFFF_FFFF;
+        for &byte in data {
+            crc ^= byte as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY_REFLECTED
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        !crc
+    }
+
+    #[test]
+    fn known_vector_123456789() {
+        // The canonical CRC-32c check value for "123456789" is 0xE3069283.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn matches_reference_on_various_lengths() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        for len in [0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, 256, 1024] {
+            assert_eq!(
+                crc32c(&data[..len]),
+                crc32c_reference(&data[..len]),
+                "length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn append_is_equivalent_to_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..=data.len() {
+            let (a, b) = data.split_at(split);
+            let piecewise = crc32c_append(crc32c_append(0, a), b);
+            assert_eq!(piecewise, crc32c(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn different_inputs_rarely_collide() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0u32..10_000 {
+            seen.insert(crc32c(&i.to_le_bytes()));
+        }
+        // CRC-32c over distinct 4-byte inputs is injective.
+        assert_eq!(seen.len(), 10_000);
+    }
+}

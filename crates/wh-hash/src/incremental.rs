@@ -1,0 +1,150 @@
+//! Resumable prefix hashing (the paper's *IncHashing* optimisation, §3.1).
+//!
+//! During the binary search on prefix lengths (Algorithm 1) the search key is
+//! hashed at several prefix lengths. When a prefix match succeeds, the next
+//! probed prefix is strictly longer, so the hash state of the matched prefix
+//! can be extended rather than recomputed. [`IncrementalHasher`] keeps the
+//! CRC state for the longest *committed* prefix and extends it on demand,
+//! reducing the total number of hashed bytes from `(L/2)·log₂L` to `L`.
+
+use crate::crc32c::crc32c_append;
+
+/// A resumable CRC-32c hasher over a fixed key.
+///
+/// The hasher is created once per lookup with the full search key and then
+/// asked for the hash of arbitrary prefix lengths. Lengths that extend the
+/// committed prefix reuse the committed state; shorter lengths are computed
+/// from scratch (the binary search only commits on successful matches, so
+/// this mirrors the paper exactly).
+#[derive(Debug, Clone)]
+pub struct IncrementalHasher<'k> {
+    key: &'k [u8],
+    /// Length of the committed prefix.
+    committed_len: usize,
+    /// CRC state of the committed prefix.
+    committed_state: u32,
+}
+
+impl<'k> IncrementalHasher<'k> {
+    /// Creates a hasher over `key` with an empty committed prefix.
+    #[inline]
+    pub fn new(key: &'k [u8]) -> Self {
+        Self {
+            key,
+            committed_len: 0,
+            committed_state: 0,
+        }
+    }
+
+    /// Returns the key this hasher operates on.
+    #[inline]
+    pub fn key(&self) -> &'k [u8] {
+        self.key
+    }
+
+    /// Returns the length of the currently committed prefix.
+    #[inline]
+    pub fn committed_len(&self) -> usize {
+        self.committed_len
+    }
+
+    /// Hashes the prefix `key[..len]` without changing the committed state.
+    ///
+    /// Reuses the committed state when `len >= committed_len`.
+    #[inline]
+    pub fn hash_prefix(&self, len: usize) -> u32 {
+        assert!(len <= self.key.len(), "prefix length out of bounds");
+        if len >= self.committed_len {
+            crc32c_append(self.committed_state, &self.key[self.committed_len..len])
+        } else {
+            crc32c_append(0, &self.key[..len])
+        }
+    }
+
+    /// Hashes the prefix `key[..len]` and commits it as the new base state
+    /// when it extends the current committed prefix.
+    ///
+    /// The Wormhole lookup commits a prefix whenever the MetaTrieHT probe for
+    /// that prefix succeeds, because the binary search will only ever probe
+    /// longer prefixes afterwards from that branch.
+    #[inline]
+    pub fn hash_prefix_and_commit(&mut self, len: usize) -> u32 {
+        let h = self.hash_prefix(len);
+        if len >= self.committed_len {
+            self.committed_len = len;
+            self.committed_state = h;
+        }
+        h
+    }
+
+    /// Hashes the entire key (committing it).
+    #[inline]
+    pub fn hash_full(&mut self) -> u32 {
+        self.hash_prefix_and_commit(self.key.len())
+    }
+
+    /// Resets the committed prefix to empty.
+    #[inline]
+    pub fn reset(&mut self) {
+        self.committed_len = 0;
+        self.committed_state = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crc32c::crc32c;
+
+    #[test]
+    fn prefix_hash_matches_one_shot() {
+        let key = b"wormhole-index-key-with-a-long-suffix";
+        let hasher = IncrementalHasher::new(key);
+        for len in 0..=key.len() {
+            assert_eq!(hasher.hash_prefix(len), crc32c(&key[..len]));
+        }
+    }
+
+    #[test]
+    fn commit_then_extend_matches_one_shot() {
+        let key = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        let mut hasher = IncrementalHasher::new(key);
+        // Simulate a binary search: commit at 18, then probe 27, 31, 36.
+        let h18 = hasher.hash_prefix_and_commit(18);
+        assert_eq!(h18, crc32c(&key[..18]));
+        for len in [27usize, 31, 36] {
+            assert_eq!(hasher.hash_prefix(len), crc32c(&key[..len]));
+        }
+        // Probing a shorter prefix after a commit still works.
+        assert_eq!(hasher.hash_prefix(9), crc32c(&key[..9]));
+    }
+
+    #[test]
+    fn committed_len_only_grows() {
+        let key = b"0123456789";
+        let mut hasher = IncrementalHasher::new(key);
+        hasher.hash_prefix_and_commit(6);
+        assert_eq!(hasher.committed_len(), 6);
+        hasher.hash_prefix_and_commit(3);
+        assert_eq!(hasher.committed_len(), 6);
+        hasher.hash_prefix_and_commit(9);
+        assert_eq!(hasher.committed_len(), 9);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let key = b"reset-me";
+        let mut hasher = IncrementalHasher::new(key);
+        hasher.hash_full();
+        hasher.reset();
+        assert_eq!(hasher.committed_len(), 0);
+        assert_eq!(hasher.hash_prefix(4), crc32c(&key[..4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length out of bounds")]
+    fn out_of_bounds_prefix_panics() {
+        let hasher = IncrementalHasher::new(b"abc");
+        let _ = hasher.hash_prefix(4);
+    }
+}

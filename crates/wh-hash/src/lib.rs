@@ -1,0 +1,40 @@
+//! Hashing primitives used throughout the Wormhole index reproduction.
+//!
+//! The Wormhole paper (§3.1) relies on three hashing facilities:
+//!
+//! * An *incremental* hash over key prefixes. During the binary search on
+//!   prefix lengths the search repeatedly extends an already-hashed prefix;
+//!   an incremental hash lets the extension reuse the previous state instead
+//!   of rehashing the whole prefix. The paper uses CRC-32c; so do we.
+//! * A 16-bit *tag* derived from the full hash, stored next to pointers in
+//!   hash slots and leaf nodes so that most comparisons touch only one cache
+//!   line.
+//! * A mixing step that spreads CRC values across the full 64-bit space for
+//!   use as a bucket index (CRC alone is a poor bucket spreader for short,
+//!   similar inputs).
+//!
+//! Everything here is implemented from scratch in safe Rust with `const`
+//! table generation, so the crate has no dependencies.
+
+pub mod crc32c;
+pub mod incremental;
+pub mod mix;
+pub mod tag;
+
+pub use crc32c::{crc32c, crc32c_append};
+pub use incremental::IncrementalHasher;
+pub use mix::{mix64, mix_to_bucket, xorshift_mix};
+pub use tag::{tag16, tag_position_hint};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_reexports_work() {
+        let h = crc32c(b"wormhole");
+        assert_eq!(h, crc32c_append(0, b"wormhole"));
+        let _ = tag16(h);
+        let _ = mix64(h as u64);
+    }
+}

@@ -1,0 +1,69 @@
+//! 16-bit tags and speculative positioning (paper §3.1–3.2).
+//!
+//! Wormhole stores a 16-bit tag next to each pointer in MetaTrieHT hash slots
+//! and next to each key in a leaf node. Comparisons are performed on the tag
+//! first, so the (possibly long) key is only dereferenced when the tag
+//! matches. The leaf-node search additionally uses the tag value itself as a
+//! position hint into the tag-sorted array (*DirectPos*): with a uniform
+//! hash, a tag of value `T` in an array of `n` keys is expected near index
+//! `n·T / 65536`.
+
+/// Extracts the 16-bit tag from a 32-bit hash value.
+///
+/// The paper uses the lower 16 bits of the CRC-32c value.
+#[inline]
+pub fn tag16(hash: u32) -> u16 {
+    (hash & 0xFFFF) as u16
+}
+
+/// Returns the expected position of `tag` in a tag-sorted array of `len`
+/// entries (the *DirectPos* speculative starting point).
+#[inline]
+pub fn tag_position_hint(tag: u16, len: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    // k × T / (Tmax + 1), clamped to a valid index.
+    let pos = (len * tag as usize) >> 16;
+    pos.min(len - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_is_low_16_bits() {
+        assert_eq!(tag16(0xDEAD_BEEF), 0xBEEF);
+        assert_eq!(tag16(0x0000_0001), 1);
+        assert_eq!(tag16(0xFFFF_0000), 0);
+    }
+
+    #[test]
+    fn position_hint_bounds() {
+        assert_eq!(tag_position_hint(0, 0), 0);
+        assert_eq!(tag_position_hint(u16::MAX, 0), 0);
+        for len in [1usize, 2, 7, 128, 1000] {
+            assert_eq!(tag_position_hint(0, len), 0);
+            assert!(tag_position_hint(u16::MAX, len) < len);
+        }
+    }
+
+    #[test]
+    fn position_hint_is_monotonic_in_tag() {
+        let len = 128;
+        let mut last = 0;
+        for t in 0..=u16::MAX {
+            let p = tag_position_hint(t, len);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn position_hint_matches_uniform_expectation() {
+        // A tag exactly halfway through the space should land near the middle.
+        let hint = tag_position_hint(0x8000, 128);
+        assert!((63..=65).contains(&hint), "hint was {hint}");
+    }
+}

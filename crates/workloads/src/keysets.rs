@@ -1,0 +1,396 @@
+//! Keyset generators (the paper's Table 1 plus Figure 14's Kshort/Klong).
+
+use rand::distributions::{Alphanumeric, Distribution, Uniform};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Default number of keys generated when a benchmark does not override the
+/// scale. The paper uses 10–500 million keys per set; the default here keeps
+/// the full figure suite runnable on a laptop while preserving each keyset's
+/// structure. Every harness accepts a `--scale` multiplier.
+pub const DEFAULT_SCALE: usize = 100_000;
+
+/// Identifier of one of the paper's keysets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeysetId {
+    /// Amazon review metadata, item-user-time composition (~40 B).
+    Az1,
+    /// Amazon review metadata, user-item-time composition (~40 B).
+    Az2,
+    /// MemeTracker URLs (~82 B, heavy shared prefixes).
+    Url,
+    /// Random 8-byte keys.
+    K3,
+    /// Random 16-byte keys.
+    K4,
+    /// Random 64-byte keys.
+    K6,
+    /// Random 256-byte keys.
+    K8,
+    /// Random 1024-byte keys.
+    K10,
+}
+
+impl KeysetId {
+    /// All eight keysets in the paper's presentation order.
+    pub fn all() -> [KeysetId; 8] {
+        [
+            KeysetId::Az1,
+            KeysetId::Az2,
+            KeysetId::Url,
+            KeysetId::K3,
+            KeysetId::K4,
+            KeysetId::K6,
+            KeysetId::K8,
+            KeysetId::K10,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeysetId::Az1 => "Az1",
+            KeysetId::Az2 => "Az2",
+            KeysetId::Url => "Url",
+            KeysetId::K3 => "K3",
+            KeysetId::K4 => "K4",
+            KeysetId::K6 => "K6",
+            KeysetId::K8 => "K8",
+            KeysetId::K10 => "K10",
+        }
+    }
+}
+
+/// Static description of a keyset (Table 1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeysetSpec {
+    /// Which keyset this is.
+    pub id: KeysetId,
+    /// Display name.
+    pub name: &'static str,
+    /// Paper's description of the keyset.
+    pub description: &'static str,
+    /// Number of keys in the paper's full-size keyset (millions).
+    pub paper_keys_millions: f64,
+    /// Total size of the paper's keyset in GB.
+    pub paper_size_gb: f64,
+    /// Nominal (average) key length in bytes.
+    pub avg_key_len: usize,
+}
+
+/// Returns the Table 1 rows.
+pub fn paper_keysets() -> Vec<KeysetSpec> {
+    vec![
+        KeysetSpec {
+            id: KeysetId::Az1,
+            name: "Az1",
+            description: "Amazon reviews metadata, format: item-user-time",
+            paper_keys_millions: 142.0,
+            paper_size_gb: 8.5,
+            avg_key_len: 40,
+        },
+        KeysetSpec {
+            id: KeysetId::Az2,
+            name: "Az2",
+            description: "Amazon reviews metadata, format: user-item-time",
+            paper_keys_millions: 142.0,
+            paper_size_gb: 8.5,
+            avg_key_len: 40,
+        },
+        KeysetSpec {
+            id: KeysetId::Url,
+            name: "Url",
+            description: "URLs in Memetracker",
+            paper_keys_millions: 192.0,
+            paper_size_gb: 20.0,
+            avg_key_len: 82,
+        },
+        KeysetSpec {
+            id: KeysetId::K3,
+            name: "K3",
+            description: "Random keys, length: 8 B",
+            paper_keys_millions: 500.0,
+            paper_size_gb: 11.2,
+            avg_key_len: 8,
+        },
+        KeysetSpec {
+            id: KeysetId::K4,
+            name: "K4",
+            description: "Random keys, length: 16 B",
+            paper_keys_millions: 300.0,
+            paper_size_gb: 8.9,
+            avg_key_len: 16,
+        },
+        KeysetSpec {
+            id: KeysetId::K6,
+            name: "K6",
+            description: "Random keys, length: 64 B",
+            paper_keys_millions: 120.0,
+            paper_size_gb: 8.9,
+            avg_key_len: 64,
+        },
+        KeysetSpec {
+            id: KeysetId::K8,
+            name: "K8",
+            description: "Random keys, length: 256 B",
+            paper_keys_millions: 40.0,
+            paper_size_gb: 10.1,
+            avg_key_len: 256,
+        },
+        KeysetSpec {
+            id: KeysetId::K10,
+            name: "K10",
+            description: "Random keys, length: 1024 B",
+            paper_keys_millions: 10.0,
+            paper_size_gb: 9.7,
+            avg_key_len: 1024,
+        },
+    ]
+}
+
+/// A generated keyset.
+#[derive(Debug, Clone)]
+pub struct Keyset {
+    /// Which keyset was generated.
+    pub id: KeysetId,
+    /// The keys, deduplicated, in generation order (not sorted).
+    pub keys: Vec<Vec<u8>>,
+}
+
+impl Keyset {
+    /// Average key length in bytes.
+    pub fn avg_len(&self) -> f64 {
+        if self.keys.is_empty() {
+            return 0.0;
+        }
+        self.keys.iter().map(|k| k.len()).sum::<usize>() as f64 / self.keys.len() as f64
+    }
+
+    /// Total key bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.keys.iter().map(|k| k.len()).sum()
+    }
+}
+
+/// Generates `count` unique keys of the requested keyset, deterministically
+/// from `seed`.
+pub fn generate(id: KeysetId, count: usize, seed: u64) -> Keyset {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x574F_524D_484F_4C45);
+    let mut keys: Vec<Vec<u8>> = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    while keys.len() < count {
+        let key = match id {
+            KeysetId::Az1 => amazon_key(&mut rng, true),
+            KeysetId::Az2 => amazon_key(&mut rng, false),
+            KeysetId::Url => url_key(&mut rng),
+            KeysetId::K3 => random_key(&mut rng, 8),
+            KeysetId::K4 => random_key(&mut rng, 16),
+            KeysetId::K6 => random_key(&mut rng, 64),
+            KeysetId::K8 => random_key(&mut rng, 256),
+            KeysetId::K10 => random_key(&mut rng, 1024),
+        };
+        if seen.insert(key.clone()) {
+            keys.push(key);
+        }
+    }
+    Keyset { id, keys }
+}
+
+/// One synthetic Amazon review-metadata key.
+///
+/// The real dataset concatenates an item id (ASIN, 10 alphanumerics), a user
+/// id ("A" + 13 alphanumerics), and a 10-digit Unix review time. `Az1` orders
+/// the fields item-user-time; `Az2` orders them user-item-time. Item and user
+/// populations are much smaller than the number of reviews, so many keys
+/// share an item (Az1) or user (Az2) prefix — exactly the property that makes
+/// the two orderings behave differently in trie-based indexes.
+fn amazon_key(rng: &mut SmallRng, item_first: bool) -> Vec<u8> {
+    // Draw items/users from bounded populations so prefixes repeat.
+    let item_pool = 1_000_000u64;
+    let user_pool = 2_000_000u64;
+    let item = rng.gen_range(0..item_pool);
+    let user = rng.gen_range(0..user_pool);
+    let time = 1_100_000_000u64 + rng.gen_range(0..300_000_000u64);
+    let item_s = format!("B{item:09}");
+    let user_s = format!("A{user:013}");
+    let key = if item_first {
+        format!("{item_s}-{user_s}-{time:010}")
+    } else {
+        format!("{user_s}-{item_s}-{time:010}")
+    };
+    key.into_bytes()
+}
+
+/// One synthetic MemeTracker-style URL (~82 bytes on average, long shared
+/// prefixes from a bounded set of sites and path stems).
+fn url_key(rng: &mut SmallRng) -> Vec<u8> {
+    const SITES: &[&str] = &[
+        "http://news.example.com",
+        "http://blog.dailymedia.org",
+        "http://www.socialnetwork.net",
+        "http://feeds.aggregator.io",
+        "http://video.streaming-site.tv",
+        "http://forum.discussion-board.org",
+        "http://www.online-magazine.com",
+        "http://cdn.content-host.net",
+    ];
+    const SECTIONS: &[&str] = &[
+        "politics", "technology", "entertainment", "sports", "science", "business", "world",
+        "opinion", "health", "culture",
+    ];
+    let site = SITES[rng.gen_range(0..SITES.len())];
+    let section = SECTIONS[rng.gen_range(0..SECTIONS.len())];
+    let year = rng.gen_range(2008..2010);
+    let month = rng.gen_range(1..13);
+    let day = rng.gen_range(1..29);
+    let slug_len = rng.gen_range(18..40);
+    let slug: String = (0..slug_len)
+        .map(|_| {
+            let c = rng.sample(Alphanumeric) as char;
+            if rng.gen_bool(0.15) {
+                '-'
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect();
+    let id = rng.gen_range(100_000..10_000_000u64);
+    format!("{site}/{section}/{year}/{month:02}/{day:02}/{slug}-{id}.html").into_bytes()
+}
+
+/// A fixed-length key of uniformly random printable bytes.
+fn random_key(rng: &mut SmallRng, len: usize) -> Vec<u8> {
+    let dist = Uniform::new_inclusive(0x21u8, 0x7Eu8);
+    (0..len).map(|_| dist.sample(rng)).collect()
+}
+
+/// Generates the Figure 14 keysets: `count` keys of exactly `len` bytes.
+///
+/// With `long_prefix` false (*Kshort*) the whole key is random, so anchors
+/// stay short. With `long_prefix` true (*Klong*) the first `len - 4` bytes
+/// are the filler byte `'0'` and only the last four bytes carry entropy,
+/// which forces long anchors in Wormhole's MetaTrie.
+pub fn prefix_keyset(len: usize, count: usize, long_prefix: bool, seed: u64) -> Keyset {
+    assert!(len >= 8, "Figure 14 keys are at least 8 bytes");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4B53_484F_5254);
+    let mut keys = Vec::with_capacity(count);
+    let mut seen = std::collections::HashSet::with_capacity(count * 2);
+    while keys.len() < count {
+        let key: Vec<u8> = if long_prefix {
+            let mut k = vec![b'0'; len - 4];
+            // Random printable tail so keys stay unique.
+            k.extend((0..4).map(|_| rng.gen_range(0x21u8..=0x7Eu8)));
+            k
+        } else {
+            random_key(&mut rng, len)
+        };
+        if seen.insert(key.clone()) {
+            keys.push(key);
+        }
+    }
+    Keyset {
+        id: if len == 8 { KeysetId::K3 } else { KeysetId::K4 },
+        keys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn table1_lists_eight_keysets() {
+        let specs = paper_keysets();
+        assert_eq!(specs.len(), 8);
+        assert_eq!(specs[0].name, "Az1");
+        assert_eq!(specs[7].avg_key_len, 1024);
+        let names: HashSet<_> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_unique() {
+        for id in KeysetId::all() {
+            let a = generate(id, 500, 42);
+            let b = generate(id, 500, 42);
+            assert_eq!(a.keys, b.keys, "{id:?} not deterministic");
+            let unique: HashSet<_> = a.keys.iter().collect();
+            assert_eq!(unique.len(), 500, "{id:?} produced duplicates");
+            let c = generate(id, 500, 43);
+            assert_ne!(a.keys, c.keys, "{id:?} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn fixed_length_keysets_have_exact_lengths() {
+        for (id, len) in [
+            (KeysetId::K3, 8),
+            (KeysetId::K4, 16),
+            (KeysetId::K6, 64),
+            (KeysetId::K8, 256),
+            (KeysetId::K10, 1024),
+        ] {
+            let ks = generate(id, 100, 7);
+            assert!(ks.keys.iter().all(|k| k.len() == len), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn amazon_keysets_have_realistic_shape() {
+        let az1 = generate(KeysetId::Az1, 2000, 1);
+        let az2 = generate(KeysetId::Az2, 2000, 1);
+        // ~40 byte keys, composed of three dash-separated fields.
+        assert!((36.0..=44.0).contains(&az1.avg_len()), "{}", az1.avg_len());
+        assert!((36.0..=44.0).contains(&az2.avg_len()));
+        assert!(az1.keys.iter().all(|k| k.starts_with(b"B")));
+        assert!(az2.keys.iter().all(|k| k.starts_with(b"A")));
+        assert!(az1.keys[0].iter().filter(|&&c| c == b'-').count() >= 2);
+        // Field composition changes prefix sharing: Az1 shares item prefixes.
+        let shared_prefix_pairs = |keys: &[Vec<u8>], plen: usize| {
+            let mut prefixes = HashSet::new();
+            let mut repeats = 0usize;
+            for k in keys {
+                if !prefixes.insert(k[..plen].to_vec()) {
+                    repeats += 1;
+                }
+            }
+            repeats
+        };
+        // Item ids repeat across reviews, so 10-byte prefixes collide in Az1.
+        assert!(shared_prefix_pairs(&az1.keys, 10) > 0);
+    }
+
+    #[test]
+    fn url_keyset_has_long_keys_and_shared_prefixes() {
+        let url = generate(KeysetId::Url, 2000, 5);
+        assert!((60.0..=100.0).contains(&url.avg_len()), "{}", url.avg_len());
+        assert!(url.keys.iter().all(|k| k.starts_with(b"http://")));
+        // Many keys share a full site prefix (bounded site population).
+        let mut sites = HashSet::new();
+        for k in &url.keys {
+            let slash = k.iter().skip(7).position(|&c| c == b'/').unwrap() + 7;
+            sites.insert(k[..slash].to_vec());
+        }
+        assert!(sites.len() <= 8);
+    }
+
+    #[test]
+    fn kshort_and_klong_differ_only_in_prefix_structure() {
+        let kshort = prefix_keyset(64, 500, false, 9);
+        let klong = prefix_keyset(64, 500, true, 9);
+        assert!(kshort.keys.iter().all(|k| k.len() == 64));
+        assert!(klong.keys.iter().all(|k| k.len() == 64));
+        assert!(klong.keys.iter().all(|k| k[..60].iter().all(|&c| c == b'0')));
+        // Kshort keys diverge within the first few bytes.
+        let first_bytes: HashSet<u8> = kshort.keys.iter().map(|k| k[0]).collect();
+        assert!(first_bytes.len() > 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 bytes")]
+    fn prefix_keyset_rejects_tiny_lengths() {
+        let _ = prefix_keyset(4, 10, false, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Operation streams: lookup-only, insert-only, and mixed workloads
+//! (Figures 9, 10, 15, 17).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One index operation, referring to a key by its position in a keyset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// Point lookup of the key at the given index.
+    Get(usize),
+    /// Insert (or overwrite) the key at the given index.
+    Set(usize),
+}
+
+/// Description of a mixed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Percentage of operations that are insertions (0–100); the paper uses
+    /// 5, 50, and 95 for Figure 17.
+    pub insert_pct: u8,
+}
+
+impl OpMix {
+    /// The three mixes of Figure 17.
+    pub fn figure17() -> [OpMix; 3] {
+        [
+            OpMix { insert_pct: 5 },
+            OpMix { insert_pct: 50 },
+            OpMix { insert_pct: 95 },
+        ]
+    }
+}
+
+/// Generates `count` uniformly random key indices in `[0, n_keys)`.
+///
+/// The paper selects search keys uniformly from the keyset "to generate a
+/// large working set so that an index's performance is not overshadowed by
+/// the effect of the CPU cache".
+pub fn uniform_indices(count: usize, n_keys: usize, seed: u64) -> Vec<usize> {
+    assert!(n_keys > 0, "keyset must not be empty");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x554E_4946_4F52_4D);
+    (0..count).map(|_| rng.gen_range(0..n_keys)).collect()
+}
+
+/// Generates a mixed lookup/insert stream over a keyset of `n_keys` keys.
+///
+/// Insertions target the second half of the keyset (initially absent), and
+/// lookups target the first half (preloaded), mirroring how the paper mixes
+/// a preloaded index with ongoing insertions.
+pub fn mixed_ops(count: usize, mix: OpMix, n_keys: usize, seed: u64) -> Vec<Op> {
+    assert!(mix.insert_pct <= 100, "insert percentage out of range");
+    assert!(n_keys >= 2, "need at least two keys to build a mix");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4D49_5845_444F_5053);
+    let preload = n_keys / 2;
+    (0..count)
+        .map(|_| {
+            if rng.gen_range(0..100u8) < mix.insert_pct {
+                Op::Set(preload + rng.gen_range(0..n_keys - preload))
+            } else {
+                Op::Get(rng.gen_range(0..preload))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_indices_cover_range() {
+        let idx = uniform_indices(10_000, 100, 3);
+        assert_eq!(idx.len(), 10_000);
+        assert!(idx.iter().all(|&i| i < 100));
+        // All slots hit with overwhelming probability at this sample size.
+        let hit: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(hit.len(), 100);
+        assert_eq!(idx, uniform_indices(10_000, 100, 3));
+        assert_ne!(idx, uniform_indices(10_000, 100, 4));
+    }
+
+    #[test]
+    fn figure17_mixes() {
+        let mixes = OpMix::figure17();
+        assert_eq!(mixes.map(|m| m.insert_pct), [5, 50, 95]);
+    }
+
+    #[test]
+    fn mixed_ops_respect_ratio_and_partition() {
+        for mix in OpMix::figure17() {
+            let ops = mixed_ops(20_000, mix, 1000, 11);
+            let inserts = ops.iter().filter(|o| matches!(o, Op::Set(_))).count();
+            let pct = inserts as f64 / ops.len() as f64 * 100.0;
+            assert!(
+                (pct - mix.insert_pct as f64).abs() < 2.0,
+                "mix {} produced {pct:.1}% inserts",
+                mix.insert_pct
+            );
+            for op in &ops {
+                match op {
+                    Op::Get(i) => assert!(*i < 500),
+                    Op::Set(i) => assert!(*i >= 500 && *i < 1000),
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "keyset must not be empty")]
+    fn empty_keyset_rejected() {
+        let _ = uniform_indices(10, 0, 0);
+    }
+}

@@ -1,0 +1,847 @@
+//! The thread-safe Wormhole index (§2.5 of the paper).
+//!
+//! Concurrency control combines three mechanisms, exactly as described in the
+//! paper:
+//!
+//! * a **reader/writer lock per leaf node** — point and range operations lock
+//!   only the leaf they touch;
+//! * a single **writer mutex over the MetaTrieHT** — only split and merge
+//!   operations take it, and they apply their changes to a second hash table
+//!   (T2), atomically publish it, wait for an RCU grace period (QSBR), apply
+//!   the same changes to the old table (T1) and keep it as the next spare;
+//! * **version numbers** — every published MetaTrieHT carries a version, and
+//!   a leaf about to be split or merged records `version + 1` as its
+//!   *expected version*. A lookup that reaches a leaf whose expected version
+//!   is newer than the table it searched restarts, which prevents reads
+//!   through a stale table from observing half-moved keys.
+//!
+//! Readers never take the writer mutex and never wait for grace periods; the
+//! only blocking they can experience is on an individual leaf lock.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+
+use index_traits::{ConcurrentOrderedIndex, IndexStats};
+use parking_lot::{Mutex, RwLock};
+use wh_epoch::Qsbr;
+use wh_hash::crc32c;
+
+use crate::config::WormholeConfig;
+use crate::leaf::LeafNode;
+use crate::meta::{LeafRef, MetaTable, TargetOutcome};
+
+/// Shared state of one leaf: its data behind a reader/writer lock plus the
+/// expected-version gate used by the start-over protocol.
+struct LeafShared<V> {
+    /// A lookup that searched a MetaTrieHT older than this value must
+    /// restart (§2.5).
+    expected_version: AtomicU64,
+    data: RwLock<LeafData<V>>,
+}
+
+/// Lock-protected contents of a leaf.
+struct LeafData<V> {
+    leaf: LeafNode<V>,
+    /// Previous leaf on the LeafList (weak to avoid a reference cycle).
+    prev: Weak<LeafShared<V>>,
+    /// Next leaf on the LeafList.
+    next: Option<LeafHandle<V>>,
+}
+
+/// A reference-counted handle to a leaf, used both by the LeafList links and
+/// by the MetaTrieHT items.
+pub struct LeafHandle<V>(Arc<LeafShared<V>>);
+
+impl<V> Clone for LeafHandle<V> {
+    fn clone(&self) -> Self {
+        Self(Arc::clone(&self.0))
+    }
+}
+
+impl<V> LeafRef for LeafHandle<V> {
+    fn same(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl<V> std::fmt::Debug for LeafHandle<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LeafHandle({:p})", Arc::as_ptr(&self.0))
+    }
+}
+
+impl<V> LeafHandle<V> {
+    fn new(leaf: LeafNode<V>, prev: Weak<LeafShared<V>>, next: Option<LeafHandle<V>>) -> Self {
+        Self(Arc::new(LeafShared {
+            expected_version: AtomicU64::new(0),
+            data: RwLock::new(LeafData { leaf, prev, next }),
+        }))
+    }
+
+    fn expected_version(&self) -> u64 {
+        self.0.expected_version.load(Ordering::Acquire)
+    }
+
+    fn set_expected_version(&self, v: u64) {
+        self.0.expected_version.store(v, Ordering::Release);
+    }
+
+    fn downgrade(&self) -> Weak<LeafShared<V>> {
+        Arc::downgrade(&self.0)
+    }
+}
+
+/// A published MetaTrieHT together with its version number.
+struct VersionedMeta<V> {
+    version: u64,
+    table: MetaTable<LeafHandle<V>>,
+}
+
+/// Writer-side state protected by the MetaTrieHT mutex.
+struct WriterState<V> {
+    /// The spare table (the paper's "second hash table"). Always an exact
+    /// logical copy of the published table while the mutex is not held.
+    spare: Option<Box<VersionedMeta<V>>>,
+}
+
+/// The thread-safe Wormhole ordered index.
+pub struct Wormhole<V> {
+    config: WormholeConfig,
+    /// The currently published MetaTrieHT. Readers dereference it inside a
+    /// QSBR critical section; writers retire it only after a grace period.
+    current: AtomicPtr<VersionedMeta<V>>,
+    writer: Mutex<WriterState<V>>,
+    qsbr: Qsbr,
+    /// Leftmost leaf of the LeafList (never merged away).
+    head: LeafHandle<V>,
+    len: AtomicUsize,
+    key_bytes: AtomicUsize,
+}
+
+// SAFETY: all interior state is either atomic, lock-protected, or reclaimed
+// through the QSBR domain; `V` crosses threads inside those structures.
+unsafe impl<V: Send + Sync> Send for Wormhole<V> {}
+// SAFETY: see above — shared access only goes through locks and atomics.
+unsafe impl<V: Send + Sync> Sync for Wormhole<V> {}
+
+impl<V: Clone + Send + Sync> Default for Wormhole<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone + Send + Sync> Wormhole<V> {
+    /// Creates an empty index with the default (fully optimised) configuration.
+    pub fn new() -> Self {
+        Self::with_config(WormholeConfig::default())
+    }
+
+    /// Creates an empty index with an explicit configuration.
+    pub fn with_config(config: WormholeConfig) -> Self {
+        let head = LeafHandle::new(LeafNode::new(Vec::new(), Vec::new()), Weak::new(), None);
+        let mut t1 = MetaTable::new();
+        t1.install_root_leaf(head.clone());
+        let mut t2 = MetaTable::new();
+        t2.install_root_leaf(head.clone());
+        let current = Box::into_raw(Box::new(VersionedMeta {
+            version: 0,
+            table: t1,
+        }));
+        Self {
+            config,
+            current: AtomicPtr::new(current),
+            writer: Mutex::new(WriterState {
+                spare: Some(Box::new(VersionedMeta {
+                    version: 0,
+                    table: t2,
+                })),
+            }),
+            qsbr: Qsbr::new(),
+            head,
+            len: AtomicUsize::new(0),
+            key_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WormholeConfig {
+        &self.config
+    }
+
+    /// Number of leaf nodes currently on the LeafList.
+    pub fn leaf_count(&self) -> usize {
+        let mut n = 0;
+        let mut cur = Some(self.head.clone());
+        while let Some(leaf) = cur {
+            n += 1;
+            cur = leaf.0.data.read().next.clone();
+        }
+        n
+    }
+
+    /// Resolves the MetaTrieHT search outcome to a leaf handle. `meta` must
+    /// stay valid for the duration of the call (guard or writer mutex held).
+    fn resolve_outcome(
+        &self,
+        outcome: TargetOutcome<LeafHandle<V>>,
+        key: &[u8],
+    ) -> Option<LeafHandle<V>> {
+        match outcome {
+            TargetOutcome::Target(leaf) => Some(leaf),
+            TargetOutcome::LeftOf(leaf) => {
+                let prev = leaf.0.data.read().prev.clone();
+                match prev.upgrade() {
+                    Some(prev) => Some(LeafHandle(prev)),
+                    // The left neighbour disappeared under us (merge racing
+                    // with this lookup): let the caller restart.
+                    None => None,
+                }
+            }
+            TargetOutcome::CompareAnchor(leaf) => {
+                let data = leaf.0.data.read();
+                if key < data.leaf.anchor() {
+                    let prev = data.prev.clone();
+                    drop(data);
+                    match prev.upgrade() {
+                        Some(prev) => Some(LeafHandle(prev)),
+                        None => None,
+                    }
+                } else {
+                    drop(data);
+                    Some(leaf)
+                }
+            }
+        }
+    }
+
+    /// Searches the published MetaTrieHT for `key`'s target leaf inside a
+    /// QSBR critical section and returns the leaf together with the version
+    /// of the table that produced it.
+    fn locate(&self, key: &[u8]) -> (LeafHandle<V>, u64) {
+        loop {
+            let found = self.qsbr.with_local_handle(|handle| {
+                let _guard = handle.enter();
+                // SAFETY: `current` always points to a live VersionedMeta;
+                // writers retire a table only after a grace period, and we
+                // are inside a read-side critical section.
+                let meta = unsafe { &*self.current.load(Ordering::Acquire) };
+                let outcome = meta.table.search_target(key, &self.config);
+                self.resolve_outcome(outcome, key)
+                    .map(|leaf| (leaf, meta.version))
+            });
+            if let Some(found) = found {
+                return found;
+            }
+        }
+    }
+
+    /// Runs `f` under the target leaf's read lock, restarting the search when
+    /// the version check detects a concurrent split/merge.
+    fn with_leaf_read<R>(&self, key: &[u8], mut f: impl FnMut(&LeafNode<V>) -> R) -> R {
+        loop {
+            let (leaf, version) = self.locate(key);
+            let data = leaf.0.data.read();
+            if leaf.expected_version() > version {
+                continue;
+            }
+            return f(&data.leaf);
+        }
+    }
+
+    /// Runs `f` under the target leaf's write lock (for in-place updates that
+    /// do not change the set of leaves), restarting on version conflicts.
+    fn with_leaf_write<R>(&self, key: &[u8], mut f: impl FnMut(&mut LeafData<V>) -> R) -> R {
+        loop {
+            let (leaf, version) = self.locate(key);
+            let mut data = leaf.0.data.write();
+            if leaf.expected_version() > version {
+                continue;
+            }
+            return f(&mut data);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Split and merge (the third operation group of §2.5).
+    // ------------------------------------------------------------------
+
+    /// Inserts `key` via the split path: takes the writer mutex, re-locates
+    /// the leaf, splits it when (still) necessary, and publishes the new
+    /// MetaTrieHT with the RCU double-table protocol.
+    fn insert_with_split(&self, key: &[u8], hash: u32, value: V) -> Option<V> {
+        let mut writer = self.writer.lock();
+        // While the mutex is held the published table cannot change or be
+        // retired, so it is safe to read it without a QSBR guard.
+        // SAFETY: see above; only mutex holders swap or free `current`.
+        let current = unsafe { &*self.current.load(Ordering::Acquire) };
+        let version = current.version;
+        let outcome = current.table.search_target(key, &self.config);
+        let Some(leaf) = self.resolve_outcome(outcome, key) else {
+            // A merge retired the neighbour we needed; drop the mutex and let
+            // the caller's retry loop run the fast path again.
+            drop(writer);
+            return self.set(key, value);
+        };
+        let mut left_guard = leaf.0.data.write();
+        debug_assert!(leaf.expected_version() <= version);
+
+        // The situation may have changed between the fast path giving up and
+        // the mutex being acquired: re-run the cheap cases first.
+        if let Some(slot) = left_guard.leaf.get_mut(key, hash, &self.config) {
+            return Some(std::mem::replace(slot, value));
+        }
+        if left_guard.leaf.len() < self.config.leaf_capacity {
+            let old = left_guard.leaf.insert(key, hash, value, &self.config);
+            debug_assert!(old.is_none());
+            self.len.fetch_add(1, Ordering::Relaxed);
+            self.key_bytes.fetch_add(key.len(), Ordering::Relaxed);
+            return None;
+        }
+        let Some((at, anchor)) = left_guard.leaf.choose_split() else {
+            // Fat node (§3.3): grow past the nominal capacity.
+            let old = left_guard.leaf.insert(key, hash, value, &self.config);
+            debug_assert!(old.is_none());
+            self.len.fetch_add(1, Ordering::Relaxed);
+            self.key_bytes.fetch_add(key.len(), Ordering::Relaxed);
+            return None;
+        };
+
+        // Perform the split on the leaf list while holding the leaf locks.
+        let table_key = current.table.reserve_anchor_key(&anchor);
+        let right_leaf = left_guard.leaf.split_off(at, anchor.clone(), table_key.clone());
+        let old_right = left_guard.next.clone();
+        let new_handle = LeafHandle::new(right_leaf, leaf.downgrade(), old_right.clone());
+        left_guard.next = Some(new_handle.clone());
+        leaf.set_expected_version(version + 1);
+        new_handle.set_expected_version(version + 1);
+
+        // Insert the pending key into whichever half now covers it.
+        let mut right_guard = new_handle.0.data.write();
+        let old = if key >= anchor.as_slice() {
+            right_guard.leaf.insert(key, hash, value, &self.config)
+        } else {
+            left_guard.leaf.insert(key, hash, value, &self.config)
+        };
+        debug_assert!(old.is_none());
+        self.len.fetch_add(1, Ordering::Relaxed);
+        self.key_bytes.fetch_add(key.len(), Ordering::Relaxed);
+
+        // Fix the right neighbour's back link (lock ordering: left to right).
+        if let Some(right) = &old_right {
+            right.0.data.write().prev = new_handle.downgrade();
+        }
+
+        // Apply the changes to the spare table and publish it.
+        let mut spare = writer.spare.take().expect("spare table present");
+        let relocations = spare.table.apply_split(
+            &table_key,
+            new_handle.clone(),
+            &leaf,
+            old_right.as_ref(),
+        );
+        for (relocated, new_key) in &relocations {
+            // The only anchor that can be a proper prefix of the new anchor
+            // is the split leaf's own anchor, whose lock we hold.
+            assert!(relocated.same(&leaf), "unexpected anchor relocation");
+            left_guard.leaf.set_table_key(new_key.clone());
+        }
+        spare.version = version + 1;
+        let old_table = self.current.swap(Box::into_raw(spare), Ordering::AcqRel);
+
+        // Release the leaf locks before waiting for the grace period so that
+        // readers blocked on them can finish against the new table (§2.5).
+        drop(right_guard);
+        drop(left_guard);
+
+        self.qsbr.synchronize();
+        // SAFETY: every reader has passed a quiescent state since the swap,
+        // so nobody still dereferences the old table; the mutex guarantees
+        // exclusive ownership of it from here on.
+        let mut old_table = unsafe { Box::from_raw(old_table) };
+        let same_relocations =
+            old_table
+                .table
+                .apply_split(&table_key, new_handle, &leaf, old_right.as_ref());
+        debug_assert_eq!(same_relocations.len(), relocations.len());
+        old_table.version = version + 1;
+        writer.spare = Some(old_table);
+        None
+    }
+
+    /// Attempts to merge the leaf owning `key` with one of its neighbours
+    /// (Algorithm 2, DEL). Runs entirely under the writer mutex.
+    fn try_merge(&self, key: &[u8]) {
+        let mut writer = self.writer.lock();
+        // SAFETY: only mutex holders swap or free `current`.
+        let current = unsafe { &*self.current.load(Ordering::Acquire) };
+        let version = current.version;
+        let outcome = current.table.search_target(key, &self.config);
+        let Some(leaf) = self.resolve_outcome(outcome, key) else {
+            return;
+        };
+        // Choose the merge pair: (left, leaf) if the left neighbour is small
+        // enough, otherwise (leaf, right). Locks are taken left-to-right.
+        let (prev_weak, next) = {
+            let data = leaf.0.data.read();
+            (data.prev.clone(), data.next.clone())
+        };
+        let prev = prev_weak.upgrade().map(LeafHandle);
+
+        let mut merge_into_left = |left: &LeafHandle<V>, victim: &LeafHandle<V>| -> bool {
+            let mut left_guard = left.0.data.write();
+            // Verify adjacency (the list may have changed before the mutex
+            // was taken).
+            match &left_guard.next {
+                Some(next) if next.same(victim) => {}
+                _ => return false,
+            }
+            let mut victim_guard = victim.0.data.write();
+            if left_guard.leaf.len() + victim_guard.leaf.len() >= self.config.merge_size {
+                return false;
+            }
+            left.set_expected_version(version + 1);
+            victim.set_expected_version(version + 1);
+            // Move the items and unlink the victim.
+            let victim_leaf = std::mem::replace(
+                &mut victim_guard.leaf,
+                LeafNode::new(Vec::new(), Vec::new()),
+            );
+            let victim_table_key = victim_leaf.table_key().to_vec();
+            left_guard.leaf.absorb(victim_leaf);
+            let right = victim_guard.next.clone();
+            left_guard.next = right.clone();
+            if let Some(right) = &right {
+                // Lock ordering: left < victim < right.
+                right.0.data.write().prev = left.downgrade();
+            }
+            drop(victim_guard);
+            drop(left_guard);
+
+            let mut spare = writer_spare(&mut writer);
+            spare
+                .table
+                .apply_merge(&victim_table_key, victim, left, right.as_ref());
+            spare.version = version + 1;
+            let old_table = self.current.swap(Box::into_raw(spare), Ordering::AcqRel);
+            self.qsbr.synchronize();
+            // SAFETY: grace period elapsed; the old table is exclusively ours.
+            let mut old_table = unsafe { Box::from_raw(old_table) };
+            old_table
+                .table
+                .apply_merge(&victim_table_key, victim, left, right.as_ref());
+            old_table.version = version + 1;
+            writer.spare = Some(old_table);
+            true
+        };
+
+        fn writer_spare<V>(writer: &mut WriterState<V>) -> Box<VersionedMeta<V>> {
+            writer.spare.take().expect("spare table present")
+        }
+
+        // Try merging this leaf into its left neighbour first, then absorbing
+        // the right neighbour, mirroring Algorithm 2.
+        if let Some(prev) = prev {
+            if merge_into_left(&prev, &leaf) {
+                return;
+            }
+        }
+        if let Some(next) = next {
+            let _ = merge_into_left(&leaf, &next);
+        }
+    }
+
+    /// Memory accounting (Figure 16).
+    pub fn stats(&self) -> IndexStats {
+        let mut stats = IndexStats {
+            keys: self.len.load(Ordering::Relaxed),
+            key_bytes: self.key_bytes.load(Ordering::Relaxed),
+            value_bytes: self.len.load(Ordering::Relaxed) * std::mem::size_of::<V>(),
+            structure_bytes: 0,
+        };
+        // Meta structure: both tables.
+        {
+            let writer = self.writer.lock();
+            // SAFETY: holding the writer mutex pins the published table.
+            let current = unsafe { &*self.current.load(Ordering::Acquire) };
+            stats.structure_bytes += current.table.structure_bytes();
+            if let Some(spare) = &writer.spare {
+                stats.structure_bytes += spare.table.structure_bytes();
+            }
+        }
+        let mut cur = Some(self.head.clone());
+        while let Some(leaf) = cur {
+            let data = leaf.0.data.read();
+            stats.structure_bytes +=
+                data.leaf.structure_bytes() + std::mem::size_of::<LeafShared<V>>();
+            cur = data.next.clone();
+        }
+        stats
+    }
+
+    /// Walks the LeafList and validates structural invariants (tests only).
+    pub fn check_invariants(&self) {
+        let mut cur = Some(self.head.clone());
+        let mut prev_anchor: Option<Vec<u8>> = None;
+        let mut total = 0usize;
+        while let Some(leaf) = cur {
+            let data = leaf.0.data.read();
+            let anchor = data.leaf.anchor().to_vec();
+            if let Some(prev) = &prev_anchor {
+                assert!(prev < &anchor, "anchors out of order");
+            }
+            total += data.leaf.len();
+            prev_anchor = Some(anchor);
+            cur = data.next.clone();
+        }
+        assert_eq!(total, self.len.load(Ordering::Relaxed), "key count mismatch");
+    }
+}
+
+impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
+    fn name(&self) -> &'static str {
+        "wormhole"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<V> {
+        let hash = crc32c(key);
+        self.with_leaf_read(key, |leaf| leaf.get(key, hash, &self.config).cloned())
+    }
+
+    fn set(&self, key: &[u8], value: V) -> Option<V> {
+        let hash = crc32c(key);
+        let mut pending = Some(value);
+        enum FastPath<V> {
+            Replaced(V),
+            Inserted,
+            NeedsSplit,
+        }
+        let outcome = self.with_leaf_write(key, |data| {
+            if let Some(slot) = data.leaf.get_mut(key, hash, &self.config) {
+                return FastPath::Replaced(std::mem::replace(
+                    slot,
+                    pending.take().expect("value present"),
+                ));
+            }
+            if data.leaf.len() < self.config.leaf_capacity {
+                let old = data
+                    .leaf
+                    .insert(key, hash, pending.take().expect("value present"), &self.config);
+                debug_assert!(old.is_none());
+                return FastPath::Inserted;
+            }
+            FastPath::NeedsSplit
+        });
+        match outcome {
+            FastPath::Replaced(old) => Some(old),
+            FastPath::Inserted => {
+                self.len.fetch_add(1, Ordering::Relaxed);
+                self.key_bytes.fetch_add(key.len(), Ordering::Relaxed);
+                None
+            }
+            FastPath::NeedsSplit => {
+                self.insert_with_split(key, hash, pending.take().expect("value present"))
+            }
+        }
+    }
+
+    fn del(&self, key: &[u8]) -> Option<V> {
+        let hash = crc32c(key);
+        let (removed, leaf_len) = self.with_leaf_write(key, |data| {
+            let removed = data.leaf.remove(key, hash, &self.config);
+            (removed, data.leaf.len())
+        });
+        let removed = removed?;
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        self.key_bytes.fetch_sub(key.len(), Ordering::Relaxed);
+        // A shrunken leaf may be mergeable; the full Algorithm-2 test runs
+        // under the writer mutex with both neighbours locked.
+        if leaf_len < self.config.merge_size {
+            self.try_merge(key);
+        }
+        Some(removed)
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        let mut out: Vec<(Vec<u8>, V)> = Vec::with_capacity(count.min(1024));
+        if count == 0 {
+            return out;
+        }
+        // The scan restarts from the last delivered key whenever it reaches a
+        // leaf that has been split or merged since the scan's table snapshot.
+        let mut resume_from = start.to_vec();
+        'restart: loop {
+            let (mut leaf, version) = self.locate(&resume_from);
+            loop {
+                let mut data = leaf.0.data.write();
+                if leaf.expected_version() > version {
+                    if let Some(last) = out.last() {
+                        resume_from = last.0.clone();
+                    }
+                    continue 'restart;
+                }
+                // Sort lazily inserted keys in place (incSort), then copy the
+                // covered range out. One extra item is requested so that the
+                // resume key itself (already delivered) can be skipped.
+                data.leaf.ensure_key_sorted();
+                let lower: &[u8] = if out.is_empty() { start } else { &resume_from };
+                let remaining = (count - out.len()).saturating_add(1);
+                let mut scratch = Vec::with_capacity(remaining.min(1024));
+                data.leaf.collect_range(lower, remaining, &mut scratch);
+                for (k, v) in scratch {
+                    // `resume_from` is the last key already delivered; skip it
+                    // when the scan restarted on its leaf.
+                    if !out.is_empty() && k.as_slice() <= resume_from.as_slice() {
+                        continue;
+                    }
+                    if out.len() == count {
+                        return out;
+                    }
+                    out.push((k, v));
+                }
+                if let Some(last) = out.last() {
+                    resume_from = last.0.clone();
+                }
+                let next = data.next.clone();
+                drop(data);
+                match next {
+                    Some(next) if out.len() < count => leaf = next,
+                    _ => return out,
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> IndexStats {
+        Wormhole::stats(self)
+    }
+}
+
+impl<V> Drop for Wormhole<V> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` guarantees no readers or writers remain; the
+        // published table pointer is exclusively owned here.
+        unsafe {
+            drop(Box::from_raw(self.current.load(Ordering::Acquire)));
+        }
+        // Break the forward Arc chain iteratively to avoid deep recursive
+        // drops on long leaf lists.
+        let mut cur = self.head.0.data.write().next.take();
+        while let Some(leaf) = cur {
+            cur = leaf.0.data.write().next.take();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+    use std::thread;
+
+    fn small_config() -> WormholeConfig {
+        WormholeConfig::optimized().with_leaf_capacity(8)
+    }
+
+    #[test]
+    fn empty_index() {
+        let wh: Wormhole<u64> = Wormhole::new();
+        assert!(wh.is_empty());
+        assert_eq!(wh.get(b"missing"), None);
+        assert_eq!(wh.del(b"missing"), None);
+        assert!(wh.range_from(b"", 10).is_empty());
+        wh.check_invariants();
+    }
+
+    #[test]
+    fn single_threaded_crud() {
+        let wh = Wormhole::with_config(small_config());
+        let names = [
+            "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason", "John",
+            "Joseph", "Julian", "Justin",
+        ];
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(wh.set(name.as_bytes(), i as u64), None);
+        }
+        assert_eq!(wh.len(), 12);
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(wh.get(name.as_bytes()), Some(i as u64), "{name}");
+        }
+        assert_eq!(wh.set(b"James", 100), Some(6));
+        assert_eq!(wh.del(b"James"), Some(100));
+        assert_eq!(wh.get(b"James"), None);
+        assert_eq!(wh.len(), 11);
+        wh.check_invariants();
+        let out = wh.range_from(b"Brown", 3);
+        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        assert_eq!(keys, vec!["Denice", "Jacob", "Jason"]);
+    }
+
+    #[test]
+    fn splits_and_merges_single_thread() {
+        let wh = Wormhole::with_config(small_config());
+        for i in 0..2000u64 {
+            wh.set(format!("{i:06}").as_bytes(), i);
+        }
+        assert_eq!(wh.len(), 2000);
+        assert!(wh.leaf_count() > 50);
+        wh.check_invariants();
+        for i in 0..2000u64 {
+            assert_eq!(wh.get(format!("{i:06}").as_bytes()), Some(i));
+        }
+        let scan = wh.range_from(b"", usize::MAX);
+        assert_eq!(scan.len(), 2000);
+        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+        for i in 0..2000u64 {
+            assert_eq!(wh.del(format!("{i:06}").as_bytes()), Some(i));
+        }
+        assert!(wh.is_empty());
+        wh.check_invariants();
+        assert!(wh.leaf_count() < 5, "leaves merge back as keys disappear");
+    }
+
+    #[test]
+    fn matches_unsafe_variant() {
+        use crate::single::WormholeUnsafe;
+        use index_traits::OrderedIndex;
+        let concurrent = Wormhole::with_config(small_config());
+        let mut single = WormholeUnsafe::with_config(small_config());
+        let keys: Vec<Vec<u8>> = (0..1500u32)
+            .map(|i| format!("item{:05}-user{:04}", i * 7919 % 1500, i % 97).into_bytes())
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(concurrent.set(k, i as u64), single.set(k, i as u64), "{i}");
+        }
+        for k in &keys {
+            assert_eq!(concurrent.get(k), single.get(k));
+        }
+        assert_eq!(
+            concurrent.range_from(b"item00500", 200),
+            single.range_from(b"item00500", 200)
+        );
+        for (i, k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(concurrent.del(k), single.del(k));
+            }
+        }
+        assert_eq!(concurrent.len(), single.len());
+        assert_eq!(
+            concurrent.range_from(b"", usize::MAX),
+            single.range_from(b"", usize::MAX)
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let wh = StdArc::new(Wormhole::with_config(
+            WormholeConfig::optimized().with_leaf_capacity(16),
+        ));
+        // Preload.
+        for i in 0..2000u64 {
+            wh.set(format!("preload-{i:06}").as_bytes(), i);
+        }
+        let threads = 8;
+        let per_thread = 1500u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let wh = StdArc::clone(&wh);
+            handles.push(thread::spawn(move || {
+                for i in 0..per_thread {
+                    let key = format!("writer{t}-{i:06}");
+                    wh.set(key.as_bytes(), i);
+                    if i % 3 == 0 {
+                        assert_eq!(wh.get(key.as_bytes()), Some(i));
+                    }
+                    if i % 7 == 0 {
+                        // Point lookups on the preloaded range.
+                        let probe = format!("preload-{:06}", (i * 13) % 2000);
+                        assert!(wh.get(probe.as_bytes()).is_some());
+                    }
+                    if i % 101 == 0 {
+                        let _ = wh.range_from(format!("writer{t}-").as_bytes(), 50);
+                    }
+                    if i % 11 == 0 {
+                        wh.del(key.as_bytes());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        wh.check_invariants();
+        // Every surviving key must be readable.
+        for t in 0..threads {
+            for i in 0..per_thread {
+                let key = format!("writer{t}-{i:06}");
+                let expect = if i % 11 == 0 { None } else { Some(i) };
+                assert_eq!(wh.get(key.as_bytes()), expect, "{key}");
+            }
+        }
+        assert_eq!(
+            wh.len(),
+            2000 + threads as usize * per_thread as usize
+                - threads as usize * per_thread.div_ceil(11) as usize
+        );
+    }
+
+    #[test]
+    fn concurrent_range_scans_with_writers() {
+        let wh = StdArc::new(Wormhole::with_config(small_config()));
+        for i in 0..3000u64 {
+            wh.set(format!("{i:08}").as_bytes(), i);
+        }
+        let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        // Two writers keep splitting and merging leaves.
+        for w in 0..2 {
+            let wh = StdArc::clone(&wh);
+            let stop = StdArc::clone(&stop);
+            handles.push(thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = format!("writer{w}-{:06}", i % 500);
+                    wh.set(key.as_bytes(), i);
+                    wh.del(key.as_bytes());
+                    i += 1;
+                }
+            }));
+        }
+        // Scanners verify that the preloaded keys always appear in order.
+        for _ in 0..2 {
+            let wh = StdArc::clone(&wh);
+            handles.push(thread::spawn(move || {
+                for _ in 0..30 {
+                    let out = wh.range_from(b"00000100", 500);
+                    assert_eq!(out.len(), 500);
+                    assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+                    assert_eq!(out[0].0, b"00000100".to_vec());
+                }
+            }));
+        }
+        // Let the scanners finish, then stop the writers.
+        for h in handles.drain(2..) {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        wh.check_invariants();
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let wh = Wormhole::new();
+        for i in 0..500u64 {
+            wh.set(format!("stat-key-{i:05}").as_bytes(), i);
+        }
+        let stats = Wormhole::stats(&wh);
+        assert_eq!(stats.keys, 500);
+        assert_eq!(stats.key_bytes, 500 * 14);
+        assert!(stats.structure_bytes > 0);
+    }
+}

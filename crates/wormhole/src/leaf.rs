@@ -1,0 +1,590 @@
+//! Wormhole leaf nodes (§3.2 of the paper).
+//!
+//! A leaf stores up to `leaf_capacity` key/value items plus the node's
+//! *anchor*. Two orderings are maintained over the items:
+//!
+//! * the **hash order** — a tag array sorted by each key's 16-bit hash tag,
+//!   used by point lookups (*SortByTag*), optionally with speculative
+//!   positioning (*DirectPos*);
+//! * the **key order** — a key-sorted view that is allowed to lag behind: new
+//!   items are appended unsorted and merged in only when a range scan or a
+//!   split needs full ordering (the paper's `incSort`).
+//!
+//! The leaf also remembers its *logical anchor* (used in ordering
+//! comparisons) and its *table key* (the anchor as registered in the
+//! MetaTrieHT, which may carry appended `⊥`/zero tokens to satisfy the prefix
+//! condition).
+
+use wh_hash::{tag16, tag_position_hint};
+
+use crate::config::WormholeConfig;
+
+/// One key/value item plus its cached hash material.
+#[derive(Debug, Clone)]
+pub struct Kv<V> {
+    /// Full CRC-32c hash of the key.
+    pub hash: u32,
+    /// 16-bit tag (low bits of the hash).
+    pub tag: u16,
+    /// The key bytes.
+    pub key: Box<[u8]>,
+    /// The stored value.
+    pub value: V,
+}
+
+/// A Wormhole leaf node.
+#[derive(Debug, Clone)]
+pub struct LeafNode<V> {
+    /// Logical anchor: `anchor <= every key in this node`, `> every key in
+    /// the left neighbour`. Appended ⊥ tokens are *not* included here.
+    anchor: Vec<u8>,
+    /// The key under which this leaf is registered in the MetaTrieHT. Equals
+    /// `anchor` unless ⊥ (zero) tokens had to be appended to satisfy the
+    /// prefix condition.
+    table_key: Vec<u8>,
+    /// Item storage in insertion order.
+    kvs: Vec<Kv<V>>,
+    /// Indices into `kvs`, sorted by (tag, key) — the paper's tag array.
+    hash_order: Vec<u16>,
+    /// Indices into `kvs`; the first `sorted_cnt` are sorted by key, the rest
+    /// are unsorted appendees.
+    key_order: Vec<u16>,
+    /// Length of the key-sorted prefix of `key_order`.
+    sorted_cnt: usize,
+}
+
+impl<V> LeafNode<V> {
+    /// Creates an empty leaf with the given logical anchor and table key.
+    pub fn new(anchor: Vec<u8>, table_key: Vec<u8>) -> Self {
+        Self {
+            anchor,
+            table_key,
+            kvs: Vec::new(),
+            hash_order: Vec::new(),
+            key_order: Vec::new(),
+            sorted_cnt: 0,
+        }
+    }
+
+    /// The logical anchor (no appended ⊥ tokens).
+    pub fn anchor(&self) -> &[u8] {
+        &self.anchor
+    }
+
+    /// The MetaTrieHT registration key (may have appended ⊥ tokens).
+    pub fn table_key(&self) -> &[u8] {
+        &self.table_key
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.kvs.len()
+    }
+
+    /// Returns `true` when the leaf stores no items.
+    pub fn is_empty(&self) -> bool {
+        self.kvs.is_empty()
+    }
+
+    /// Total key payload bytes stored in the leaf.
+    pub fn key_bytes(&self) -> usize {
+        self.kvs.iter().map(|kv| kv.key.len()).sum()
+    }
+
+    /// Approximate bytes used by the leaf structure itself (excluding key
+    /// payloads and values).
+    pub fn structure_bytes(&self) -> usize {
+        self.anchor.len()
+            + self.table_key.len()
+            + self.kvs.capacity() * std::mem::size_of::<Kv<V>>()
+            + (self.hash_order.capacity() + self.key_order.capacity()) * 2
+    }
+
+    /// Finds the storage slot of `key`, using the configuration's leaf-search
+    /// strategy.
+    fn find_slot(&self, key: &[u8], hash: u32, config: &WormholeConfig) -> Option<usize> {
+        if self.kvs.is_empty() {
+            return None;
+        }
+        if config.sort_by_tag {
+            let tag = tag16(hash);
+            let n = self.hash_order.len();
+            // Find the first position whose tag is >= the search tag, either
+            // by speculative positioning (DirectPos) or by binary search.
+            let mut i = if config.direct_pos {
+                let mut i = tag_position_hint(tag, n);
+                while i > 0 && tag <= self.kvs[self.hash_order[i - 1] as usize].tag {
+                    i -= 1;
+                }
+                while i < n && tag > self.kvs[self.hash_order[i] as usize].tag {
+                    i += 1;
+                }
+                i
+            } else {
+                self.hash_order
+                    .partition_point(|&idx| self.kvs[idx as usize].tag < tag)
+            };
+            while i < n {
+                let idx = self.hash_order[i] as usize;
+                let kv = &self.kvs[idx];
+                if kv.tag != tag {
+                    return None;
+                }
+                if kv.key.as_ref() == key {
+                    return Some(idx);
+                }
+                i += 1;
+            }
+            None
+        } else {
+            // BaseWormhole leaf search: binary search over the key-sorted
+            // view (which is kept fully sorted when SortByTag is off).
+            debug_assert_eq!(self.sorted_cnt, self.key_order.len());
+            self.key_order
+                .binary_search_by(|&idx| self.kvs[idx as usize].key.as_ref().cmp(key))
+                .ok()
+                .map(|pos| self.key_order[pos] as usize)
+        }
+    }
+
+    /// Returns a reference to the value stored under `key`.
+    pub fn get(&self, key: &[u8], hash: u32, config: &WormholeConfig) -> Option<&V> {
+        self.find_slot(key, hash, config).map(|i| &self.kvs[i].value)
+    }
+
+    /// Returns a mutable reference to the value stored under `key`.
+    pub fn get_mut(&mut self, key: &[u8], hash: u32, config: &WormholeConfig) -> Option<&mut V> {
+        self.find_slot(key, hash, config)
+            .map(|i| &mut self.kvs[i].value)
+    }
+
+    /// Inserts `key`, returning the previous value when it already existed.
+    pub fn insert(&mut self, key: &[u8], hash: u32, value: V, config: &WormholeConfig) -> Option<V> {
+        if let Some(slot) = self.find_slot(key, hash, config) {
+            return Some(std::mem::replace(&mut self.kvs[slot].value, value));
+        }
+        let idx = self.kvs.len() as u16;
+        let tag = tag16(hash);
+        self.kvs.push(Kv {
+            hash,
+            tag,
+            key: key.to_vec().into_boxed_slice(),
+            value,
+        });
+        // Keep the tag array sorted by (tag, key): the paper's hash-ordered
+        // tag array supports DirectPos positioning.
+        let pos = self.hash_order.partition_point(|&i| {
+            let kv = &self.kvs[i as usize];
+            (kv.tag, kv.key.as_ref()) < (tag, key)
+        });
+        self.hash_order.insert(pos, idx);
+        if config.sort_by_tag {
+            // Key order is allowed to lag: append unsorted (incSort later).
+            self.key_order.push(idx);
+        } else {
+            // Without SortByTag the key order must stay fully sorted so that
+            // lookups can binary-search it.
+            let pos = self
+                .key_order
+                .partition_point(|&i| self.kvs[i as usize].key.as_ref() < key);
+            self.key_order.insert(pos, idx);
+            self.sorted_cnt = self.key_order.len();
+        }
+        None
+    }
+
+    /// Removes `key`, returning its value when present.
+    pub fn remove(&mut self, key: &[u8], hash: u32, config: &WormholeConfig) -> Option<V> {
+        let slot = self.find_slot(key, hash, config)?;
+        let removed = self.kvs.remove(slot);
+        // Fix up both orderings: drop the removed index and shift the ones
+        // after it down by one.
+        let slot = slot as u16;
+        let hpos = self.hash_order.iter().position(|&i| i == slot).expect("hash entry");
+        self.hash_order.remove(hpos);
+        let kpos = self.key_order.iter().position(|&i| i == slot).expect("key entry");
+        self.key_order.remove(kpos);
+        if kpos < self.sorted_cnt {
+            self.sorted_cnt -= 1;
+        }
+        for i in self.hash_order.iter_mut() {
+            if *i > slot {
+                *i -= 1;
+            }
+        }
+        for i in self.key_order.iter_mut() {
+            if *i > slot {
+                *i -= 1;
+            }
+        }
+        Some(removed.value)
+    }
+
+    /// The paper's `incSort`: brings the key-sorted view up to date by
+    /// sorting the unsorted tail and two-way merging it with the sorted
+    /// prefix.
+    pub fn ensure_key_sorted(&mut self) {
+        if self.sorted_cnt == self.key_order.len() {
+            return;
+        }
+        let tail_start = self.sorted_cnt;
+        let mut tail: Vec<u16> = self.key_order.split_off(tail_start);
+        tail.sort_unstable_by(|&a, &b| self.kvs[a as usize].key.cmp(&self.kvs[b as usize].key));
+        let sorted = std::mem::take(&mut self.key_order);
+        self.key_order = Vec::with_capacity(sorted.len() + tail.len());
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < sorted.len() && b < tail.len() {
+            if self.kvs[sorted[a] as usize].key <= self.kvs[tail[b] as usize].key {
+                self.key_order.push(sorted[a]);
+                a += 1;
+            } else {
+                self.key_order.push(tail[b]);
+                b += 1;
+            }
+        }
+        self.key_order.extend_from_slice(&sorted[a..]);
+        self.key_order.extend_from_slice(&tail[b..]);
+        self.sorted_cnt = self.key_order.len();
+    }
+
+    /// Iterates items in ascending key order. Call [`Self::ensure_key_sorted`]
+    /// first; otherwise only the sorted prefix is guaranteed to be ordered.
+    pub fn iter_key_order(&self) -> impl Iterator<Item = &Kv<V>> + '_ {
+        self.key_order.iter().map(|&i| &self.kvs[i as usize])
+    }
+
+    /// The smallest key in the leaf (requires a sorted key view).
+    pub fn min_key(&self) -> Option<&[u8]> {
+        debug_assert_eq!(self.sorted_cnt, self.key_order.len());
+        self.key_order
+            .first()
+            .map(|&i| self.kvs[i as usize].key.as_ref())
+    }
+
+    /// The largest key in the leaf (requires a sorted key view).
+    pub fn max_key(&self) -> Option<&[u8]> {
+        debug_assert_eq!(self.sorted_cnt, self.key_order.len());
+        self.key_order
+            .last()
+            .map(|&i| self.kvs[i as usize].key.as_ref())
+    }
+
+    /// Collects up to `count` items with key `>= start` into `out`, in key
+    /// order. Returns the number of items appended.
+    pub fn collect_range(&self, start: &[u8], count: usize, out: &mut Vec<(Vec<u8>, V)>) -> usize
+    where
+        V: Clone,
+    {
+        debug_assert_eq!(self.sorted_cnt, self.key_order.len());
+        let begin = self
+            .key_order
+            .partition_point(|&i| self.kvs[i as usize].key.as_ref() < start);
+        let mut appended = 0;
+        for &i in &self.key_order[begin..] {
+            if appended == count {
+                break;
+            }
+            let kv = &self.kvs[i as usize];
+            out.push((kv.key.to_vec(), kv.value.clone()));
+            appended += 1;
+        }
+        appended
+    }
+
+    /// Chooses a split position and the new right sibling's logical anchor.
+    ///
+    /// Implements the anchor-formation rule of §2.2 with the §3.3 relaxation:
+    /// starting from the middle, find an adjacent pair `(i-1, i)` such that
+    /// the candidate anchor (common prefix plus one byte) does not end in a
+    /// zero byte (ending in the smallest token would make the anchor
+    /// ambiguous against anchors that only differ by trailing ⊥ tokens).
+    /// Returns `None` when no valid split point exists — the caller keeps the
+    /// leaf as a *fat node*.
+    pub fn choose_split(&mut self) -> Option<(usize, Vec<u8>)> {
+        self.ensure_key_sorted();
+        let n = self.key_order.len();
+        if n < 2 {
+            return None;
+        }
+        let candidate_at = |i: usize, kvs: &[Kv<V>], order: &[u16]| -> Option<Vec<u8>> {
+            let prev = kvs[order[i - 1] as usize].key.as_ref();
+            let next = kvs[order[i] as usize].key.as_ref();
+            let cpl = index_traits::common_prefix_len(prev, next);
+            debug_assert!(cpl < next.len(), "adjacent keys must differ");
+            let last = next[cpl];
+            if last == 0 {
+                // Splitting here would create an anchor that ends in the
+                // smallest token; see §3.3 (fat nodes).
+                return None;
+            }
+            Some(next[..=cpl].to_vec())
+        };
+        // Try the middle first, then walk outwards (the paper: "Try another i
+        // in range [1, size-1]").
+        let mid = n / 2;
+        for delta in 0..n {
+            for i in [mid.wrapping_sub(delta), mid + delta] {
+                if i >= 1 && i <= n - 1 {
+                    if let Some(anchor) = candidate_at(i, &self.kvs, &self.key_order) {
+                        return Some((i, anchor));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Splits the leaf at key-order position `at`, moving items `[at..]` into
+    /// a new leaf with the given anchor and table key.
+    pub fn split_off(&mut self, at: usize, anchor: Vec<u8>, table_key: Vec<u8>) -> LeafNode<V> {
+        debug_assert_eq!(self.sorted_cnt, self.key_order.len());
+        debug_assert!(at > 0 && at < self.key_order.len());
+        let moved: Vec<u16> = self.key_order.split_off(at);
+        let mut right = LeafNode::new(anchor, table_key);
+        // Move the selected kvs into the new leaf; remaining kvs are
+        // compacted into a fresh storage vector to keep indices dense.
+        let mut keep = vec![false; self.kvs.len()];
+        for &i in &self.key_order {
+            keep[i as usize] = true;
+        }
+        let old_kvs = std::mem::take(&mut self.kvs);
+        let mut remap = vec![u16::MAX; old_kvs.len()];
+        for (i, kv) in old_kvs.into_iter().enumerate() {
+            if keep[i] {
+                remap[i] = self.kvs.len() as u16;
+                self.kvs.push(kv);
+            } else {
+                remap[i] = right.kvs.len() as u16;
+                right.kvs.push(kv);
+            }
+        }
+        // Rebuild the orderings of both leaves from the remap.
+        self.key_order.iter_mut().for_each(|i| *i = remap[*i as usize]);
+        self.sorted_cnt = self.key_order.len();
+        right.key_order = moved.iter().map(|&i| remap[i as usize]).collect();
+        right.sorted_cnt = right.key_order.len();
+        let rebuild_hash = |kvs: &[Kv<V>]| {
+            let mut order: Vec<u16> = (0..kvs.len() as u16).collect();
+            order.sort_unstable_by(|&a, &b| {
+                let (ka, kb) = (&kvs[a as usize], &kvs[b as usize]);
+                (ka.tag, ka.key.as_ref()).cmp(&(kb.tag, kb.key.as_ref()))
+            });
+            order
+        };
+        self.hash_order = rebuild_hash(&self.kvs);
+        right.hash_order = rebuild_hash(&right.kvs);
+        right
+    }
+
+    /// Moves every item of `victim` into this leaf (used by merge).
+    pub fn absorb(&mut self, victim: LeafNode<V>) {
+        for kv in victim.kvs {
+            let idx = self.kvs.len() as u16;
+            let pos = self.hash_order.partition_point(|&i| {
+                let cur = &self.kvs[i as usize];
+                (cur.tag, cur.key.as_ref()) < (kv.tag, kv.key.as_ref())
+            });
+            self.hash_order.insert(pos, idx);
+            self.kvs.push(kv);
+            self.key_order.push(idx);
+        }
+        // The absorbed items landed in the unsorted tail; merges are rare and
+        // bounded by the merge size, so restore the key order eagerly. This
+        // keeps the "fully sorted" invariant the non-SortByTag configuration
+        // relies on for its binary searches.
+        self.sorted_cnt = self.sorted_cnt.min(self.key_order.len());
+        self.ensure_key_sorted();
+    }
+
+    /// Updates the leaf's table key (used when an anchor is relocated with an
+    /// appended ⊥ token by a later split).
+    pub fn set_table_key(&mut self, table_key: Vec<u8>) {
+        self.table_key = table_key;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_hash::crc32c;
+
+    fn cfg() -> WormholeConfig {
+        WormholeConfig::optimized().with_leaf_capacity(16)
+    }
+
+    fn insert(leaf: &mut LeafNode<u64>, key: &[u8], value: u64, config: &WormholeConfig) -> Option<u64> {
+        leaf.insert(key, crc32c(key), value, config)
+    }
+
+    fn get(leaf: &LeafNode<u64>, key: &[u8], config: &WormholeConfig) -> Option<u64> {
+        leaf.get(key, crc32c(key), config).copied()
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip_all_configs() {
+        for config in [
+            WormholeConfig::optimized(),
+            WormholeConfig::base(),
+            WormholeConfig::base().with_sort_by_tag(true),
+            WormholeConfig::optimized().with_direct_pos(false),
+        ] {
+            let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+            let names = ["Abby", "Bob", "Bond", "Ella", "Alex", "Jack", "Alan", "Ada"];
+            for (i, name) in names.iter().enumerate() {
+                assert_eq!(insert(&mut leaf, name.as_bytes(), i as u64, &config), None);
+            }
+            assert_eq!(leaf.len(), names.len());
+            for (i, name) in names.iter().enumerate() {
+                assert_eq!(get(&leaf, name.as_bytes(), &config), Some(i as u64), "{name}");
+            }
+            assert_eq!(get(&leaf, b"Zed", &config), None);
+            assert_eq!(insert(&mut leaf, b"Bob", 99, &config), Some(1));
+            assert_eq!(leaf.remove(b"Bob", crc32c(b"Bob"), &config), Some(99));
+            assert_eq!(get(&leaf, b"Bob", &config), None);
+            assert_eq!(leaf.len(), names.len() - 1);
+            // Every other key still reachable after the removal fix-ups.
+            for (i, name) in names.iter().enumerate() {
+                if *name != "Bob" {
+                    assert_eq!(get(&leaf, name.as_bytes(), &config), Some(i as u64), "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inc_sort_merges_unsorted_tail() {
+        let config = cfg();
+        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+        for k in ["m", "c", "x", "a", "t", "b"] {
+            insert(&mut leaf, k.as_bytes(), 0, &config);
+        }
+        leaf.ensure_key_sorted();
+        let keys: Vec<&[u8]> = leaf.iter_key_order().map(|kv| kv.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"b", b"c", b"m", b"t", b"x"]);
+        // Add more after the sort: they form a new unsorted tail.
+        for k in ["q", "d"] {
+            insert(&mut leaf, k.as_bytes(), 0, &config);
+        }
+        leaf.ensure_key_sorted();
+        let keys: Vec<&[u8]> = leaf.iter_key_order().map(|kv| kv.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"b", b"c", b"d", b"m", b"q", b"t", b"x"]);
+    }
+
+    #[test]
+    fn collect_range_respects_start_and_count() {
+        let config = cfg();
+        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+        for i in 0..10u64 {
+            insert(&mut leaf, format!("k{i:02}").as_bytes(), i, &config);
+        }
+        leaf.ensure_key_sorted();
+        let mut out = Vec::new();
+        let n = leaf.collect_range(b"k03", 4, &mut out);
+        assert_eq!(n, 4);
+        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        assert_eq!(keys, vec!["k03", "k04", "k05", "k06"]);
+    }
+
+    #[test]
+    fn choose_split_prefers_middle_and_short_anchor() {
+        let config = cfg();
+        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+        let names = [
+            "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason",
+        ];
+        for n in names {
+            insert(&mut leaf, n.as_bytes(), 0, &config);
+        }
+        let (at, anchor) = leaf.choose_split().expect("split point");
+        assert_eq!(at, 4);
+        // Keys sorted: Aaron Abbe Andrew Austin | Denice Jacob James Jason.
+        // Common prefix of "Austin" and "Denice" is empty -> anchor "D".
+        assert_eq!(anchor, b"D".to_vec());
+    }
+
+    #[test]
+    fn choose_split_skips_zero_terminated_candidates() {
+        let config = cfg();
+        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+        // Keys crafted so the middle candidate would end in a zero byte.
+        let keys: Vec<Vec<u8>> = vec![
+            vec![1],
+            vec![1, 0],
+            vec![1, 0, 0],
+            vec![1, 0, 0, 0],
+            vec![1, 1],
+            vec![1, 1, 1],
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            insert(&mut leaf, k, i as u64, &config);
+        }
+        let (at, anchor) = leaf.choose_split().expect("the 1/11 boundary is splittable");
+        assert_eq!(anchor, vec![1, 1]);
+        assert_eq!(at, 4);
+    }
+
+    #[test]
+    fn choose_split_returns_none_for_fat_node_keyset() {
+        let config = cfg();
+        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+        // Every adjacent pair differs only by trailing zero bytes: no valid
+        // split position exists (§3.3's fat-node example).
+        let keys: Vec<Vec<u8>> = vec![vec![1], vec![1, 0], vec![1, 0, 0], vec![1, 0, 0, 0]];
+        for (i, k) in keys.iter().enumerate() {
+            insert(&mut leaf, k, i as u64, &config);
+        }
+        assert!(leaf.choose_split().is_none());
+    }
+
+    #[test]
+    fn split_off_partitions_items() {
+        let config = cfg();
+        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+        for i in 0..10u64 {
+            insert(&mut leaf, format!("key{i}").as_bytes(), i, &config);
+        }
+        let (at, anchor) = leaf.choose_split().unwrap();
+        let right = leaf.split_off(at, anchor.clone(), anchor.clone());
+        assert_eq!(leaf.len() + right.len(), 10);
+        assert!(leaf.max_key().unwrap() < right.min_key().unwrap());
+        assert!(right.min_key().unwrap() >= anchor.as_slice());
+        // Both halves remain searchable.
+        for i in 0..10u64 {
+            let key = format!("key{i}");
+            let hit_left = get(&leaf, key.as_bytes(), &config);
+            let hit_right = get(&right, key.as_bytes(), &config);
+            assert!(hit_left.is_some() ^ hit_right.is_some(), "{key}");
+            assert_eq!(hit_left.or(hit_right), Some(i));
+        }
+    }
+
+    #[test]
+    fn absorb_merges_and_lazily_sorts() {
+        let config = cfg();
+        let mut left = LeafNode::new(Vec::new(), Vec::new());
+        let mut right = LeafNode::new(b"m".to_vec(), b"m".to_vec());
+        for k in ["a", "c", "e"] {
+            insert(&mut left, k.as_bytes(), 1, &config);
+        }
+        for k in ["m", "o", "q"] {
+            insert(&mut right, k.as_bytes(), 2, &config);
+        }
+        left.ensure_key_sorted();
+        left.absorb(right);
+        assert_eq!(left.len(), 6);
+        for k in ["a", "c", "e", "m", "o", "q"] {
+            assert!(get(&left, k.as_bytes(), &config).is_some(), "{k}");
+        }
+        left.ensure_key_sorted();
+        let keys: Vec<&[u8]> = left.iter_key_order().map(|kv| kv.key.as_ref()).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"c", b"e", b"m", b"o", b"q"]);
+    }
+
+    #[test]
+    fn table_key_can_be_relocated() {
+        let mut leaf: LeafNode<u64> = LeafNode::new(b"Jo".to_vec(), b"Jo".to_vec());
+        leaf.set_table_key(b"Jo\0".to_vec());
+        assert_eq!(leaf.anchor(), b"Jo");
+        assert_eq!(leaf.table_key(), b"Jo\0");
+    }
+}

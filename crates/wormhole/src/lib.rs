@@ -1,0 +1,78 @@
+//! # Wormhole: a fast ordered index for in-memory data management
+//!
+//! A from-scratch Rust implementation of the Wormhole index (Xingbo Wu,
+//! Fan Ni, Song Jiang — EuroSys 2019). Wormhole is an ordered key/value
+//! index whose point lookups cost `O(log L)` in the *key length* `L` rather
+//! than `O(log N)` in the number of keys, while still supporting ordered
+//! range queries, insertion, and deletion.
+//!
+//! ## How it works
+//!
+//! The index combines three structures:
+//!
+//! * a **LeafList** of B⁺-tree-style leaf nodes, each holding up to 128 keys
+//!   and linked in key order — range queries are a lookup plus a linear scan;
+//! * a **MetaTrie** over per-leaf *anchor* keys, replacing the B⁺ tree's
+//!   internal levels so the search cost no longer depends on `N`;
+//! * a **hash table (MetaTrieHT)** that stores every anchor prefix, so the
+//!   trie descent becomes a binary search over prefix lengths — `O(log L)`
+//!   hash probes.
+//!
+//! The implementation optimisations of §3 — 16-bit tag matching, incremental
+//! CRC hashing, hash-ordered leaf tag arrays, and speculative leaf
+//! positioning — are all implemented and individually switchable through
+//! [`WormholeConfig`] (the paper's Figure 11 ablation).
+//!
+//! ## Variants
+//!
+//! * [`Wormhole`] — thread-safe: per-leaf reader/writer locks, a writer mutex
+//!   over the MetaTrieHT, and a QSBR-based RCU double-table scheme with
+//!   version-checked restarts (§2.5).
+//! * [`WormholeUnsafe`] — the thread-unsafe variant used by the paper's
+//!   single-thread comparisons (Figure 9's "Wormhole-unsafe").
+//!
+//! ## Quick start
+//!
+//! ```
+//! use index_traits::ConcurrentOrderedIndex;
+//! use wormhole::Wormhole;
+//!
+//! let index: Wormhole<u64> = Wormhole::new();
+//! index.set(b"James", 1);
+//! index.set(b"Jason", 2);
+//! index.set(b"Aaron", 3);
+//! assert_eq!(index.get(b"James"), Some(1));
+//! // Range query: first two keys at or after "J".
+//! let range = index.range_from(b"J", 2);
+//! assert_eq!(range[0].0, b"James".to_vec());
+//! assert_eq!(range[1].0, b"Jason".to_vec());
+//! ```
+
+pub mod config;
+pub mod concurrent;
+pub mod leaf;
+pub mod meta;
+pub mod single;
+
+pub use concurrent::Wormhole;
+pub use config::WormholeConfig;
+pub use single::WormholeUnsafe;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use index_traits::{ConcurrentOrderedIndex, OrderedIndex};
+
+    #[test]
+    fn crate_level_reexports() {
+        let concurrent: Wormhole<u32> = Wormhole::new();
+        concurrent.set(b"a", 1);
+        assert_eq!(concurrent.get(b"a"), Some(1));
+
+        let mut single: WormholeUnsafe<u32> = WormholeUnsafe::new();
+        single.set(b"a", 2);
+        assert_eq!(single.get(b"a"), Some(2));
+
+        assert_eq!(WormholeConfig::default(), WormholeConfig::optimized());
+    }
+}

@@ -1,0 +1,897 @@
+//! The MetaTrieHT (§2.4): a hash table that encodes the meta-trie over leaf
+//! anchors.
+//!
+//! Every anchor and every prefix of every anchor is an item in the table.
+//! Leaf items point at a leaf node; internal items carry a 256-bit child
+//! bitmap and pointers to the leftmost and rightmost leaves of the subtree
+//! they root. Lookups never walk trie edges: each probed prefix is hashed
+//! and looked up directly, and the longest prefix match is found with a
+//! binary search over prefix lengths (Algorithm 1).
+//!
+//! The table is generic over the leaf handle type `L` so the same code backs
+//! both the single-threaded index (arena indices) and the concurrent index
+//! (`Arc` leaf pointers).
+
+use index_traits::IndexStats;
+use wh_hash::{crc32c, mix64, tag16, IncrementalHasher};
+
+use crate::config::WormholeConfig;
+
+/// A handle to a leaf node stored inside the MetaTrieHT.
+pub trait LeafRef: Clone {
+    /// Identity comparison (pointer/index equality, not content equality).
+    fn same(&self, other: &Self) -> bool;
+}
+
+impl LeafRef for u32 {
+    fn same(&self, other: &Self) -> bool {
+        self == other
+    }
+}
+
+/// A 256-bit bitmap recording which child tokens exist below an internal
+/// trie node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TokenBitmap {
+    words: [u64; 4],
+}
+
+impl TokenBitmap {
+    /// Creates an empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the bit for `token`.
+    pub fn set(&mut self, token: u8) {
+        self.words[(token >> 6) as usize] |= 1u64 << (token & 63);
+    }
+
+    /// Clears the bit for `token`.
+    pub fn clear(&mut self, token: u8) {
+        self.words[(token >> 6) as usize] &= !(1u64 << (token & 63));
+    }
+
+    /// Tests the bit for `token`.
+    pub fn test(&self, token: u8) -> bool {
+        self.words[(token >> 6) as usize] & (1u64 << (token & 63)) != 0
+    }
+
+    /// Returns `true` when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The largest set token strictly less than `token`, if any.
+    pub fn prev_set(&self, token: u8) -> Option<u8> {
+        let mut t = token as i32 - 1;
+        // Scan the word containing `t`, then whole words below it.
+        while t >= 0 {
+            let word = (t >> 6) as usize;
+            let bit = (t & 63) as u32;
+            let masked = self.words[word] & ((1u64 << bit) | ((1u64 << bit) - 1));
+            if masked != 0 {
+                return Some(((word as u32) * 64 + 63 - masked.leading_zeros()) as u8);
+            }
+            t = (word as i32) * 64 - 1;
+        }
+        None
+    }
+
+    /// The smallest set token strictly greater than `token`, if any.
+    pub fn next_set(&self, token: u8) -> Option<u8> {
+        let mut t = token as u32 + 1;
+        while t < 256 {
+            let word = (t >> 6) as usize;
+            let bit = t & 63;
+            let masked = self.words[word] & !((1u64 << bit) - 1);
+            if masked != 0 {
+                return Some((word as u32 * 64 + masked.trailing_zeros()) as u8);
+            }
+            t = (word as u32 + 1) * 64;
+        }
+        None
+    }
+
+    /// The sibling used by the second search phase (Algorithm 3,
+    /// `findOneSibling`): the nearest existing token below `missing`, or the
+    /// nearest one above it when none exists below.
+    pub fn find_one_sibling(&self, missing: u8) -> Option<u8> {
+        self.prev_set(missing).or_else(|| self.next_set(missing))
+    }
+}
+
+/// Payload of a MetaTrieHT item.
+#[derive(Debug, Clone)]
+pub enum MetaKind<L> {
+    /// The prefix is an anchor; the item points at its leaf node.
+    Leaf(L),
+    /// The prefix is an interior trie node.
+    Internal {
+        /// Which child tokens exist.
+        bitmap: TokenBitmap,
+        /// Leftmost leaf of the subtree rooted here.
+        leftmost: L,
+        /// Rightmost leaf of the subtree rooted here.
+        rightmost: L,
+    },
+}
+
+/// One hash-table item: a prefix (or anchor) plus its payload.
+#[derive(Debug, Clone)]
+pub struct MetaItem<L> {
+    /// The prefix bytes (an anchor table key for leaf items).
+    pub key: Box<[u8]>,
+    /// CRC-32c of `key`.
+    pub hash: u32,
+    /// Item payload.
+    pub kind: MetaKind<L>,
+}
+
+/// One slot in a hash bucket: a 16-bit tag plus the item index.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    tag: u16,
+    item: u32,
+}
+
+/// Nominal number of slots that fit in one cache line (the paper packs eight
+/// tag+pointer pairs per 64-byte line). Buckets grow past this only under
+/// unusual collision pressure; the table resizes before that becomes common.
+const BUCKET_TARGET: usize = 8;
+
+/// Outcome of the trie search (Algorithm 3) before leaf-list adjustment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TargetOutcome<L> {
+    /// The returned leaf is the target node.
+    Target(L),
+    /// The target node is the left neighbour of the returned leaf.
+    LeftOf(L),
+    /// The returned leaf is the target unless `key < leaf.anchor`, in which
+    /// case the target is its left neighbour (Algorithm 3, lines 4–7).
+    CompareAnchor(L),
+}
+
+/// The MetaTrieHT hash table.
+#[derive(Debug, Clone)]
+pub struct MetaTable<L> {
+    buckets: Vec<Vec<Slot>>,
+    items: Vec<Option<MetaItem<L>>>,
+    free: Vec<u32>,
+    len: usize,
+    /// Length of the longest anchor table key ever inserted (the paper's
+    /// `Lanc`, used to bound the binary search).
+    max_anchor_len: usize,
+}
+
+impl<L: LeafRef> Default for MetaTable<L> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: LeafRef> MetaTable<L> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![Vec::new(); 64],
+            items: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            max_anchor_len: 0,
+        }
+    }
+
+    /// Number of items (anchors plus internal prefixes).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the table holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The longest anchor table key seen so far (`Lanc`).
+    pub fn max_anchor_len(&self) -> usize {
+        self.max_anchor_len
+    }
+
+    /// Approximate structure bytes used by the table.
+    pub fn structure_bytes(&self) -> usize {
+        let slots: usize = self.buckets.iter().map(|b| b.capacity()).sum();
+        let item_keys: usize = self
+            .items
+            .iter()
+            .flatten()
+            .map(|i| i.key.len() + std::mem::size_of::<MetaItem<L>>())
+            .sum();
+        slots * std::mem::size_of::<Slot>() + item_keys + self.items.capacity() * 8
+    }
+
+    /// Memory statistics contribution of the meta structure.
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            keys: 0,
+            structure_bytes: self.structure_bytes(),
+            key_bytes: 0,
+            value_bytes: 0,
+        }
+    }
+
+    fn bucket_of(&self, hash: u32) -> usize {
+        (mix64(hash as u64) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Finds the item index for `key` (exact, always verified).
+    fn find(&self, key: &[u8], hash: u32) -> Option<u32> {
+        let tag = tag16(hash);
+        let bucket = &self.buckets[self.bucket_of(hash)];
+        for slot in bucket {
+            if slot.tag == tag {
+                let item = self.items[slot.item as usize].as_ref().expect("live item");
+                if item.key.as_ref() == key {
+                    return Some(slot.item);
+                }
+            }
+        }
+        None
+    }
+
+    /// Probes for a prefix during the LPM binary search. With `optimistic`
+    /// set (the *TagMatching* optimisation) the first tag match is trusted
+    /// without comparing the stored prefix bytes.
+    fn probe(&self, key: &[u8], hash: u32, optimistic: bool) -> Option<u32> {
+        if optimistic {
+            let tag = tag16(hash);
+            let bucket = &self.buckets[self.bucket_of(hash)];
+            bucket.iter().find(|slot| slot.tag == tag).map(|s| s.item)
+        } else {
+            self.find(key, hash)
+        }
+    }
+
+    /// Returns the item stored under `key`, if any.
+    pub fn get(&self, key: &[u8]) -> Option<&MetaItem<L>> {
+        let hash = crc32c(key);
+        self.find(key, hash)
+            .map(|idx| self.items[idx as usize].as_ref().expect("live item"))
+    }
+
+    /// Returns the item stored under `key`, mutably.
+    pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut MetaItem<L>> {
+        let hash = crc32c(key);
+        let idx = self.find(key, hash)?;
+        self.items[idx as usize].as_mut()
+    }
+
+    /// Returns `true` when `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `kind` under `key`, replacing and returning any previous item.
+    pub fn insert(&mut self, key: &[u8], kind: MetaKind<L>) -> Option<MetaKind<L>> {
+        let hash = crc32c(key);
+        if let Some(idx) = self.find(key, hash) {
+            let item = self.items[idx as usize].as_mut().expect("live item");
+            return Some(std::mem::replace(&mut item.kind, kind));
+        }
+        if self.len + 1 > self.buckets.len() * (BUCKET_TARGET - 2) {
+            self.grow();
+        }
+        let item = MetaItem {
+            key: key.to_vec().into_boxed_slice(),
+            hash,
+            kind,
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.items[idx as usize] = Some(item);
+                idx
+            }
+            None => {
+                self.items.push(Some(item));
+                (self.items.len() - 1) as u32
+            }
+        };
+        let bucket = self.bucket_of(hash);
+        self.buckets[bucket].push(Slot {
+            tag: tag16(hash),
+            item: idx,
+        });
+        self.len += 1;
+        if matches!(
+            self.items[idx as usize].as_ref().map(|i| &i.kind),
+            Some(MetaKind::Leaf(_))
+        ) {
+            self.max_anchor_len = self.max_anchor_len.max(key.len());
+        }
+        None
+    }
+
+    /// Removes the item stored under `key`.
+    pub fn remove(&mut self, key: &[u8]) -> Option<MetaItem<L>> {
+        let hash = crc32c(key);
+        let idx = self.find(key, hash)?;
+        let bucket = self.bucket_of(hash);
+        self.buckets[bucket].retain(|slot| slot.item != idx);
+        self.len -= 1;
+        self.free.push(idx);
+        self.items[idx as usize].take()
+    }
+
+    fn grow(&mut self) {
+        let new_size = self.buckets.len() * 2;
+        let mut buckets: Vec<Vec<Slot>> = vec![Vec::new(); new_size];
+        for (idx, item) in self.items.iter().enumerate() {
+            if let Some(item) = item {
+                let b = (mix64(item.hash as u64) as usize) & (new_size - 1);
+                buckets[b].push(Slot {
+                    tag: tag16(item.hash),
+                    item: idx as u32,
+                });
+            }
+        }
+        self.buckets = buckets;
+    }
+
+    /// Iterates all live items.
+    pub fn iter(&self) -> impl Iterator<Item = &MetaItem<L>> + '_ {
+        self.items.iter().flatten()
+    }
+
+    // ------------------------------------------------------------------
+    // Search (Algorithms 1 and 3).
+    // ------------------------------------------------------------------
+
+    /// Binary search on prefix lengths for the longest prefix of `key` that
+    /// exists in the table (Algorithm 1). Returns the matched item index and
+    /// the match length.
+    fn search_lpm(&self, key: &[u8], config: &WormholeConfig) -> (u32, usize) {
+        let bound = key.len().min(self.max_anchor_len);
+        let optimistic = config.tag_matching;
+        loop {
+            let result = self.search_lpm_once(key, bound, optimistic, config.inc_hashing);
+            match result {
+                Some(found) => return found,
+                // A tag false-positive misled the optimistic search; redo it
+                // with full prefix comparisons (§3.1).
+                None => {
+                    debug_assert!(optimistic);
+                    let exact = self.search_lpm_once(key, bound, false, config.inc_hashing);
+                    return exact.expect("exact LPM search cannot fail verification");
+                }
+            }
+        }
+    }
+
+    /// One pass of the binary search. Returns `None` when the final
+    /// verification detects that optimistic tag matching went down a wrong
+    /// path.
+    fn search_lpm_once(
+        &self,
+        key: &[u8],
+        bound: usize,
+        optimistic: bool,
+        inc_hashing: bool,
+    ) -> Option<(u32, usize)> {
+        let mut hasher = IncrementalHasher::new(key);
+        let hash_at = |hasher: &mut IncrementalHasher<'_>, len: usize| -> u32 {
+            if inc_hashing {
+                hasher.hash_prefix_and_commit(len)
+            } else {
+                crc32c(&key[..len])
+            }
+        };
+        // The empty prefix is always present (the trie root).
+        let mut best_len = 0usize;
+        let root_hash = hash_at(&mut hasher, 0);
+        let mut best_item = self
+            .probe(&key[..0], root_hash, false)
+            .expect("the root item must exist");
+        let mut lo = 0usize;
+        let mut hi = bound + 1;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            let h = hash_at(&mut hasher, mid);
+            match self.probe(&key[..mid], h, optimistic) {
+                Some(item) => {
+                    lo = mid;
+                    best_len = mid;
+                    best_item = item;
+                }
+                None => hi = mid,
+            }
+        }
+        if optimistic && best_len > 0 {
+            // Verify the final match; tag collisions may have lied earlier.
+            let item = self.items[best_item as usize].as_ref().expect("live item");
+            if item.key.as_ref() != &key[..best_len] {
+                return None;
+            }
+        }
+        Some((best_item, best_len))
+    }
+
+    /// Full trie search (Algorithm 3, `searchTrieHT`): returns the target
+    /// leaf, up to the final leaf-list adjustment which requires the caller's
+    /// leaf links.
+    pub fn search_target(&self, key: &[u8], config: &WormholeConfig) -> TargetOutcome<L> {
+        let (item_idx, match_len) = self.search_lpm(key, config);
+        let item = self.items[item_idx as usize].as_ref().expect("live item");
+        match &item.kind {
+            MetaKind::Leaf(leaf) => TargetOutcome::Target(leaf.clone()),
+            MetaKind::Internal {
+                bitmap,
+                leftmost,
+                rightmost,
+            } => {
+                if match_len == key.len() {
+                    // The whole key is an interior prefix: the target is the
+                    // subtree's leftmost leaf or its left neighbour.
+                    return TargetOutcome::CompareAnchor(leftmost.clone());
+                }
+                let missing = key[match_len];
+                let Some(sibling) = bitmap.find_one_sibling(missing) else {
+                    // An internal node always has at least one child; treat a
+                    // corrupted bitmap as "use the subtree bounds".
+                    debug_assert!(false, "internal node with empty bitmap");
+                    return TargetOutcome::Target(rightmost.clone());
+                };
+                let mut child_key = Vec::with_capacity(match_len + 1);
+                child_key.extend_from_slice(&key[..match_len]);
+                child_key.push(sibling);
+                let child = self
+                    .get(&child_key)
+                    .expect("bitmap bit set but child item missing");
+                match &child.kind {
+                    MetaKind::Leaf(leaf) => {
+                        if sibling > missing {
+                            TargetOutcome::LeftOf(leaf.clone())
+                        } else {
+                            TargetOutcome::Target(leaf.clone())
+                        }
+                    }
+                    MetaKind::Internal {
+                        leftmost,
+                        rightmost,
+                        ..
+                    } => {
+                        if sibling > missing {
+                            TargetOutcome::LeftOf(leftmost.clone())
+                        } else {
+                            TargetOutcome::Target(rightmost.clone())
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structural updates (Algorithm 4).
+    // ------------------------------------------------------------------
+
+    /// Chooses the table key for a new anchor: appends ⊥ (zero) tokens while
+    /// the candidate collides with an existing prefix, so the new anchor is
+    /// not a prefix of any existing anchor (§2.2's prefix condition).
+    pub fn reserve_anchor_key(&self, anchor: &[u8]) -> Vec<u8> {
+        let mut key = anchor.to_vec();
+        while self.contains(&key) {
+            key.push(0);
+        }
+        key
+    }
+
+    /// Registers a freshly split-off leaf under `table_key` and inserts or
+    /// updates every prefix item (split half of Algorithm 4).
+    ///
+    /// * `new_leaf` — the new right sibling created by the split;
+    /// * `split_leaf` — the leaf that was split (left half, keeps its anchor);
+    /// * `old_right` — the leaf that was to the right of `split_leaf` before
+    ///   the split (now to the right of `new_leaf`), if any.
+    ///
+    /// Returns the relocations performed on existing anchors (leaf handle and
+    /// its new table key) so the caller can update the leaves' own records.
+    pub fn apply_split(
+        &mut self,
+        table_key: &[u8],
+        new_leaf: L,
+        split_leaf: &L,
+        old_right: Option<&L>,
+    ) -> Vec<(L, Vec<u8>)> {
+        let mut relocations = Vec::new();
+        debug_assert!(
+            !self.contains(table_key),
+            "anchor table key must be unused"
+        );
+        self.insert(table_key, MetaKind::Leaf(new_leaf.clone()));
+        for plen in 0..table_key.len() {
+            let prefix = &table_key[..plen];
+            let token = table_key[plen];
+            // Inspect (and, for internal items, update) the prefix in place;
+            // structural changes that need further table calls are deferred
+            // until the mutable borrow ends.
+            let relocate: Option<L> = match self.get_mut(prefix) {
+                None => {
+                    let mut bitmap = TokenBitmap::new();
+                    bitmap.set(token);
+                    self.insert(
+                        prefix,
+                        MetaKind::Internal {
+                            bitmap,
+                            leftmost: new_leaf.clone(),
+                            rightmost: new_leaf.clone(),
+                        },
+                    );
+                    None
+                }
+                Some(item) => match &mut item.kind {
+                    MetaKind::Internal {
+                        bitmap,
+                        leftmost,
+                        rightmost,
+                    } => {
+                        bitmap.set(token);
+                        if rightmost.same(split_leaf) {
+                            *rightmost = new_leaf.clone();
+                        }
+                        if let Some(right) = old_right {
+                            if leftmost.same(right) {
+                                *leftmost = new_leaf.clone();
+                            }
+                        }
+                        None
+                    }
+                    MetaKind::Leaf(existing) => Some(existing.clone()),
+                },
+            };
+            if let Some(existing) = relocate {
+                // An existing anchor equals this prefix: relocate it to
+                // `prefix ⧺ ⊥` and put an internal node in its place
+                // (Algorithm 4, lines 15–18).
+                let mut relocated_key = prefix.to_vec();
+                relocated_key.push(0);
+                debug_assert!(!self.contains(&relocated_key));
+                self.remove(prefix).expect("leaf item present");
+                self.insert(&relocated_key, MetaKind::Leaf(existing.clone()));
+                let mut bitmap = TokenBitmap::new();
+                bitmap.set(0);
+                bitmap.set(token);
+                self.insert(
+                    prefix,
+                    MetaKind::Internal {
+                        bitmap,
+                        leftmost: existing.clone(),
+                        rightmost: new_leaf.clone(),
+                    },
+                );
+                relocations.push((existing, relocated_key));
+            }
+        }
+        relocations
+    }
+
+    /// Unregisters a merged-away leaf (merge half of Algorithm 4).
+    ///
+    /// * `victim_table_key` — the removed leaf's registration key;
+    /// * `victim` — the removed leaf;
+    /// * `victim_left` — its left neighbour (the leaf that absorbed it);
+    /// * `victim_right` — its right neighbour, if any.
+    pub fn apply_merge(
+        &mut self,
+        victim_table_key: &[u8],
+        victim: &L,
+        victim_left: &L,
+        victim_right: Option<&L>,
+    ) {
+        let removed = self.remove(victim_table_key);
+        debug_assert!(
+            matches!(removed.map(|i| i.kind), Some(MetaKind::Leaf(_))),
+            "victim anchor must be registered as a leaf item"
+        );
+        let mut child_removed = true;
+        for plen in (0..victim_table_key.len()).rev() {
+            let prefix = &victim_table_key[..plen];
+            let token = victim_table_key[plen];
+            let remove_prefix = {
+                let Some(item) = self.get_mut(prefix) else {
+                    debug_assert!(false, "missing prefix item during merge");
+                    continue;
+                };
+                let MetaKind::Internal {
+                    bitmap,
+                    leftmost,
+                    rightmost,
+                } = &mut item.kind
+                else {
+                    debug_assert!(false, "prefix of an anchor must be an internal item");
+                    continue;
+                };
+                if child_removed {
+                    bitmap.clear(token);
+                }
+                if bitmap.is_empty() {
+                    true
+                } else {
+                    child_removed = false;
+                    if leftmost.same(victim) {
+                        // The subtree's leaves form a contiguous run of the
+                        // leaf list, so the victim's right neighbour takes
+                        // over.
+                        *leftmost = victim_right
+                            .cloned()
+                            .unwrap_or_else(|| victim_left.clone());
+                    }
+                    if rightmost.same(victim) {
+                        *rightmost = victim_left.clone();
+                    }
+                    false
+                }
+            };
+            if remove_prefix {
+                self.remove(prefix);
+                child_removed = true;
+            }
+        }
+    }
+
+    /// Registers the very first leaf (empty anchor) of a new index.
+    pub fn install_root_leaf(&mut self, leaf: L) {
+        debug_assert!(self.is_empty());
+        self.insert(&[], MetaKind::Leaf(leaf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WormholeConfig {
+        WormholeConfig::optimized()
+    }
+
+    #[test]
+    fn bitmap_set_clear_test() {
+        let mut b = TokenBitmap::new();
+        assert!(b.is_empty());
+        for t in [0u8, 1, 63, 64, 127, 128, 200, 255] {
+            b.set(t);
+            assert!(b.test(t));
+        }
+        assert_eq!(b.count(), 8);
+        b.clear(64);
+        assert!(!b.test(64));
+        assert_eq!(b.count(), 7);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn bitmap_sibling_search() {
+        let mut b = TokenBitmap::new();
+        b.set(b'A');
+        b.set(b'J');
+        // 'D' sits between 'A' and 'J': the left sibling wins.
+        assert_eq!(b.find_one_sibling(b'D'), Some(b'A'));
+        // Below the smallest set bit only a right sibling exists.
+        assert_eq!(b.find_one_sibling(b'0'), Some(b'A'));
+        // Above the largest set bit the left sibling is 'J'.
+        assert_eq!(b.find_one_sibling(b'z'), Some(b'J'));
+        assert_eq!(TokenBitmap::new().find_one_sibling(100), None);
+        // Boundary tokens.
+        let mut edge = TokenBitmap::new();
+        edge.set(0);
+        edge.set(255);
+        assert_eq!(edge.find_one_sibling(1), Some(0));
+        assert_eq!(edge.find_one_sibling(254), Some(0));
+        assert_eq!(edge.prev_set(0), None);
+        assert_eq!(edge.next_set(255), None);
+    }
+
+    #[test]
+    fn insert_get_remove_items() {
+        let mut t: MetaTable<u32> = MetaTable::new();
+        assert!(t.insert(b"Ja", MetaKind::Leaf(1)).is_none());
+        assert!(t.contains(b"Ja"));
+        assert!(!t.contains(b"J"));
+        let mut bitmap = TokenBitmap::new();
+        bitmap.set(b'a');
+        t.insert(
+            b"J",
+            MetaKind::Internal {
+                bitmap,
+                leftmost: 1,
+                rightmost: 1,
+            },
+        );
+        assert_eq!(t.len(), 2);
+        assert!(matches!(t.get(b"J").unwrap().kind, MetaKind::Internal { .. }));
+        assert!(t.remove(b"Ja").is_some());
+        assert!(!t.contains(b"Ja"));
+        assert!(t.remove(b"Ja").is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn table_grows_under_load() {
+        let mut t: MetaTable<u32> = MetaTable::new();
+        for i in 0..5000u32 {
+            t.insert(format!("prefix-{i}").as_bytes(), MetaKind::Leaf(i));
+        }
+        assert_eq!(t.len(), 5000);
+        for i in 0..5000u32 {
+            match &t.get(format!("prefix-{i}").as_bytes()).unwrap().kind {
+                MetaKind::Leaf(l) => assert_eq!(*l, i),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    /// Builds the paper's Figure 5 example table: anchors ⊥(""), "Au",
+    /// "Jam", "Jos" for leaves 1–4.
+    fn figure5_table() -> MetaTable<u32> {
+        let mut t: MetaTable<u32> = MetaTable::new();
+        t.install_root_leaf(1);
+        // Split leaf 1 -> new leaf 2 with anchor "Au".
+        let key = t.reserve_anchor_key(b"Au");
+        assert_eq!(key, b"Au".to_vec());
+        t.apply_split(&key, 2, &1, None);
+        // Split leaf 2 -> new leaf 3 with anchor "Jam" (right of 2).
+        let key = t.reserve_anchor_key(b"Jam");
+        t.apply_split(&key, 3, &2, None);
+        // Split leaf 3 -> new leaf 4 with anchor "Jos".
+        let key = t.reserve_anchor_key(b"Jos");
+        t.apply_split(&key, 4, &3, None);
+        t
+    }
+
+    #[test]
+    fn figure5_structure() {
+        let t = figure5_table();
+        // The root is internal; the original leaf was relocated to "\0".
+        assert!(matches!(t.get(b"").unwrap().kind, MetaKind::Internal { .. }));
+        assert!(matches!(t.get(b"\0").unwrap().kind, MetaKind::Leaf(1)));
+        assert!(matches!(t.get(b"Au").unwrap().kind, MetaKind::Leaf(2)));
+        assert!(matches!(t.get(b"Jam").unwrap().kind, MetaKind::Leaf(3)));
+        assert!(matches!(t.get(b"Jos").unwrap().kind, MetaKind::Leaf(4)));
+        // Internal prefixes: "A", "J", "Ja", "Jo".
+        for p in [b"A".as_ref(), b"J", b"Ja", b"Jo"] {
+            assert!(
+                matches!(t.get(p).unwrap().kind, MetaKind::Internal { .. }),
+                "{p:?}"
+            );
+        }
+        // Figure 5's root bitmap lists children ⊥, 'A', 'J'.
+        if let MetaKind::Internal { bitmap, leftmost, rightmost } = &t.get(b"").unwrap().kind {
+            assert!(bitmap.test(0) && bitmap.test(b'A') && bitmap.test(b'J'));
+            assert_eq!(bitmap.count(), 3);
+            assert_eq!(*leftmost, 1);
+            assert_eq!(*rightmost, 4);
+        }
+        // The "J" subtree spans leaves 3..4 ("Jam" and "Jos").
+        if let MetaKind::Internal { leftmost, rightmost, .. } = &t.get(b"J").unwrap().kind {
+            assert_eq!(*leftmost, 3);
+            assert_eq!(*rightmost, 4);
+        }
+        assert_eq!(t.max_anchor_len(), 3);
+    }
+
+    #[test]
+    fn figure4_lookups() {
+        let t = figure5_table();
+        let config = cfg();
+        // "Joseph" matches the anchor "Jos" exactly -> leaf 4.
+        assert_eq!(t.search_target(b"Joseph", &config), TargetOutcome::Target(4));
+        // "James" has LPM "Jam" -> leaf 3.
+        assert_eq!(t.search_target(b"James", &config), TargetOutcome::Target(3));
+        // "Denice": LPM "", missing 'D', siblings 'A' (left) and 'J' (right);
+        // the left subtree's rightmost leaf is leaf 2.
+        assert_eq!(t.search_target(b"Denice", &config), TargetOutcome::Target(2));
+        // "Julian": LPM "J", missing 'u', left sibling 'o' -> subtree "Jo"
+        // whose rightmost leaf is 4.
+        assert_eq!(t.search_target(b"Julian", &config), TargetOutcome::Target(4));
+        // "A": the whole key is an interior prefix -> compare against the
+        // anchor of the subtree's leftmost leaf (leaf 2, anchor "Au").
+        assert_eq!(t.search_target(b"A", &config), TargetOutcome::CompareAnchor(2));
+        // "Aaron": LPM "A", missing 'a' < 'u' -> right sibling "Au" is a
+        // leaf, so the target is its left neighbour.
+        assert_eq!(t.search_target(b"Aaron", &config), TargetOutcome::LeftOf(2));
+    }
+
+    #[test]
+    fn search_is_consistent_across_configs() {
+        let t = figure5_table();
+        let keys: Vec<&[u8]> = vec![
+            b"Aaron", b"Abbe", b"Andrew", b"Austin", b"Denice", b"Jacob", b"James", b"Jason",
+            b"John", b"Joseph", b"Julian", b"Justin", b"A", b"Z", b"", b"Jo", b"Jos", b"Josz",
+        ];
+        let optimized = WormholeConfig::optimized();
+        let base = WormholeConfig::base();
+        for key in keys {
+            assert_eq!(
+                t.search_target(key, &optimized),
+                t.search_target(key, &base),
+                "divergent outcome for {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_undoes_split() {
+        let mut t = figure5_table();
+        // Merge leaf 4 ("Jos") into leaf 3.
+        t.apply_merge(b"Jos", &4, &3, None);
+        assert!(t.get(b"Jos").is_none());
+        assert!(t.get(b"Jo").is_none(), "exclusively-owned prefix removed");
+        // "J" still exists for "Jam", and its rightmost pointer fell back to 3.
+        if let MetaKind::Internal { leftmost, rightmost, .. } = &t.get(b"J").unwrap().kind {
+            assert_eq!(*leftmost, 3);
+            assert_eq!(*rightmost, 3);
+        } else {
+            panic!("'J' should remain an internal item");
+        }
+        // Lookups that used to land in leaf 4 now land in 3.
+        assert_eq!(
+            t.search_target(b"Joseph", &cfg()),
+            TargetOutcome::Target(3)
+        );
+
+        // Merge leaf 3 ("Jam") into 2, then leaf 2 ("Au") into 1.
+        t.apply_merge(b"Jam", &3, &2, None);
+        t.apply_merge(b"Au", &2, &1, None);
+        // Only the relocated root anchor remains.
+        assert!(matches!(t.get(b"\0").unwrap().kind, MetaKind::Leaf(1)));
+        assert_eq!(t.search_target(b"Anything", &cfg()), TargetOutcome::Target(1));
+        assert_eq!(t.search_target(b"zzz", &cfg()), TargetOutcome::Target(1));
+    }
+
+    #[test]
+    fn reserve_anchor_appends_bottom_tokens() {
+        let t = figure5_table();
+        // "Jo" is an internal prefix, so a new anchor "Jo" must be extended.
+        assert_eq!(t.reserve_anchor_key(b"Jo"), b"Jo\0".to_vec());
+        // A fresh anchor stays untouched.
+        assert_eq!(t.reserve_anchor_key(b"Ka"), b"Ka".to_vec());
+    }
+
+    #[test]
+    fn relocation_reported_to_caller() {
+        let mut t: MetaTable<u32> = MetaTable::new();
+        t.install_root_leaf(1);
+        let key = t.reserve_anchor_key(b"Jo");
+        t.apply_split(&key, 2, &1, None);
+        // Splitting leaf 2 with anchor "Jos" forces the "Jo" anchor item to
+        // relocate to "Jo\0".
+        let key = t.reserve_anchor_key(b"Jos");
+        assert_eq!(key, b"Jos".to_vec());
+        let relocations = t.apply_split(&key, 3, &2, None);
+        assert_eq!(relocations.len(), 1);
+        assert_eq!(relocations[0].0, 2);
+        assert_eq!(relocations[0].1, b"Jo\0".to_vec());
+        assert!(matches!(t.get(b"Jo\0").unwrap().kind, MetaKind::Leaf(2)));
+        assert!(matches!(t.get(b"Jo").unwrap().kind, MetaKind::Internal { .. }));
+        // Lookups for keys owned by the relocated leaf still resolve to it.
+        assert_eq!(t.search_target(b"Joe", &cfg()), TargetOutcome::Target(2));
+        assert_eq!(t.search_target(b"Joseph", &cfg()), TargetOutcome::Target(3));
+    }
+
+    #[test]
+    fn long_binary_anchor_lookup() {
+        let mut t: MetaTable<u32> = MetaTable::new();
+        t.install_root_leaf(1);
+        let anchor: Vec<u8> = (0u8..100).collect();
+        let key = t.reserve_anchor_key(&anchor);
+        t.apply_split(&key, 2, &1, None);
+        assert_eq!(t.max_anchor_len(), 100);
+        let mut probe = anchor.clone();
+        probe.push(77);
+        assert_eq!(t.search_target(&probe, &cfg()), TargetOutcome::Target(2));
+        assert_eq!(t.search_target(&anchor[..50], &cfg()), TargetOutcome::CompareAnchor(2));
+    }
+}

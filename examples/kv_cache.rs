@@ -1,0 +1,87 @@
+//! A Memcached-style shared key-value cache served by the thread-safe
+//! Wormhole index — the scenario that motivates the paper's introduction
+//! (in-memory KV stores whose index cost dominates once I/O is gone).
+//!
+//! Several worker threads serve a mixed workload of GETs and SETs over
+//! Amazon-review-style keys (~40 bytes, as in the paper's Az1 keyset), while
+//! one analytics thread periodically runs ordered range scans — the operation
+//! a plain hash-table cache cannot serve.
+//!
+//! Run with: `cargo run --release --example kv_cache`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use index_traits::ConcurrentOrderedIndex;
+use workloads::{generate, uniform_indices, KeysetId};
+use wormhole::Wormhole;
+
+const KEYS: usize = 200_000;
+const OPS_PER_WORKER: usize = 300_000;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+    println!("generating {KEYS} Az1-style keys…");
+    let keyset = generate(KeysetId::Az1, KEYS, 7);
+    let cache: Arc<Wormhole<u64>> = Arc::new(Wormhole::new());
+
+    // Warm the cache with half of the keyset.
+    for (i, key) in keyset.keys.iter().take(KEYS / 2).enumerate() {
+        cache.set(key, i as u64);
+    }
+    println!("cache warmed with {} entries", cache.len());
+
+    let hits = Arc::new(AtomicUsize::new(0));
+    let misses = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        // Mixed GET/SET workers (90% GET / 10% SET).
+        for w in 0..workers {
+            let cache = Arc::clone(&cache);
+            let keys = &keyset.keys;
+            let hits = Arc::clone(&hits);
+            let misses = Arc::clone(&misses);
+            scope.spawn(move || {
+                let probes = uniform_indices(OPS_PER_WORKER, keys.len(), w as u64 + 100);
+                for (i, &p) in probes.iter().enumerate() {
+                    if i % 10 == 0 {
+                        cache.set(&keys[p], p as u64);
+                    } else if cache.get(&keys[p]).is_some() {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // One analytics thread scanning key ranges while writers run.
+        {
+            let cache = Arc::clone(&cache);
+            scope.spawn(move || {
+                let mut scanned = 0usize;
+                for i in 0..200 {
+                    let start_key = format!("B{:09}", (i * 4999) % 1_000_000);
+                    scanned += cache.range_from(start_key.as_bytes(), 100).len();
+                }
+                println!("analytics thread scanned {scanned} entries in ordered ranges");
+            });
+        }
+    });
+
+    let secs = start.elapsed().as_secs_f64();
+    let total_ops = workers * OPS_PER_WORKER;
+    println!(
+        "{workers} workers performed {total_ops} ops in {secs:.2}s  ({:.2} Mops/s)",
+        total_ops as f64 / secs / 1e6
+    );
+    println!(
+        "hits: {}, misses: {}, final cache size: {}",
+        hits.load(Ordering::Relaxed),
+        misses.load(Ordering::Relaxed),
+        cache.len()
+    );
+}

@@ -1,0 +1,107 @@
+//! URL-keyed routing table: prefix queries over long string keys.
+//!
+//! The paper singles out URL keys (the MemeTracker keyset, ~82 bytes with
+//! long shared prefixes) as the hard case for tries and comparison-based
+//! indexes alike. This example indexes URL-like keys with Wormhole and
+//! answers two kinds of queries a URL store needs:
+//!
+//! * exact lookups ("is this URL cached, and where?");
+//! * prefix scans ("every cached page under this site/section"), built from
+//!   an ordered range query bounded by the prefix's successor key.
+//!
+//! Run with: `cargo run --release --example url_router`
+
+use index_traits::{successor_key, ConcurrentOrderedIndex};
+use workloads::{generate, KeysetId};
+use wormhole::Wormhole;
+
+fn main() {
+    let keyset = generate(KeysetId::Url, 100_000, 3);
+    let index: Wormhole<u32> = Wormhole::new();
+    for (i, url) in keyset.keys.iter().enumerate() {
+        // Value: the backend shard that stores the page.
+        index.set(url, (i % 64) as u32);
+    }
+    println!(
+        "indexed {} URLs (avg length {:.1} bytes)",
+        index.len(),
+        keyset.avg_len()
+    );
+
+    // Exact lookups.
+    let sample = &keyset.keys[keyset.keys.len() / 2];
+    println!(
+        "\nexact lookup {} -> shard {:?}",
+        String::from_utf8_lossy(sample),
+        index.get(sample)
+    );
+    println!(
+        "exact lookup of an unknown URL -> {:?}",
+        index.get(b"http://news.example.com/not/in/the/index.html")
+    );
+
+    // Prefix scan: all cached pages under one site section.
+    let prefix = b"http://news.example.com/politics/".to_vec();
+    let upper = successor_key(&prefix).expect("prefix has a successor");
+    let mut count = 0usize;
+    let mut shown = 0usize;
+    let mut cursor = prefix.clone();
+    println!("\npages under {}:", String::from_utf8_lossy(&prefix));
+    loop {
+        let batch = index.range_from(&cursor, 512);
+        if batch.is_empty() {
+            break;
+        }
+        let mut advanced = false;
+        for (url, shard) in batch {
+            if url >= upper {
+                advanced = false;
+                break;
+            }
+            if shown < 5 {
+                println!("  shard {:2}  {}", shard, String::from_utf8_lossy(&url));
+                shown += 1;
+            }
+            count += 1;
+            cursor = url;
+            cursor.push(0); // resume strictly after the last returned URL
+            advanced = true;
+        }
+        if !advanced {
+            break;
+        }
+    }
+    println!("  … {count} pages total under that prefix");
+
+    // Re-route a section: overwrite the shard of every page under a prefix.
+    let rerouted = reroute(&index, b"http://blog.dailymedia.org/sports/", 7);
+    println!("\nrerouted {rerouted} sports pages on blog.dailymedia.org to shard 7");
+}
+
+/// Points every URL under `prefix` at `new_shard`, returning how many were
+/// updated. Uses the same bounded range-scan pattern as the read path.
+fn reroute(index: &Wormhole<u32>, prefix: &[u8], new_shard: u32) -> usize {
+    let upper = successor_key(prefix).expect("prefix has a successor");
+    let mut updated = 0usize;
+    let mut cursor = prefix.to_vec();
+    loop {
+        let batch = index.range_from(&cursor, 512);
+        if batch.is_empty() {
+            return updated;
+        }
+        let mut advanced = false;
+        for (url, _) in batch {
+            if url.as_slice() >= upper.as_slice() {
+                return updated;
+            }
+            index.set(&url, new_shard);
+            updated += 1;
+            cursor = url;
+            cursor.push(0);
+            advanced = true;
+        }
+        if !advanced {
+            return updated;
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Umbrella crate for the Wormhole reproduction workspace.
+//!
+//! This crate only re-exports the workspace's public pieces so the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`)
+//! have a single import root. Library users should depend on the individual
+//! crates (`wormhole`, `index-traits`, the `baseline-*` crates, `workloads`,
+//! `netsim`) directly.
+
+pub use baseline_art as art;
+pub use baseline_btree as btree;
+pub use baseline_cuckoo as cuckoo;
+pub use baseline_masstree as masstree;
+pub use baseline_skiplist as skiplist;
+pub use index_traits as traits;
+pub use netsim;
+pub use wh_epoch as epoch;
+pub use wh_hash as hash;
+pub use workloads;
+pub use wormhole;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_resolve() {
+        use crate::traits::OrderedIndex;
+        let mut bt: crate::btree::BPlusTree<u32> = crate::btree::BPlusTree::new();
+        bt.set(b"k", 1);
+        assert_eq!(bt.get(b"k"), Some(1));
+    }
+}

@@ -1,0 +1,182 @@
+//! Concurrency-focused integration tests for the thread-safe Wormhole:
+//! multi-threaded writers with disjoint key spaces, readers racing with
+//! structural changes, and end-to-end use through the netsim service.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use index_traits::ConcurrentOrderedIndex;
+use netsim::{KvService, LinkModel, WireRequest};
+use workloads::{generate, KeysetId};
+use wormhole::{Wormhole, WormholeConfig};
+
+#[test]
+fn disjoint_writers_preserve_every_key() {
+    let wh = Arc::new(Wormhole::with_config(
+        WormholeConfig::optimized().with_leaf_capacity(16),
+    ));
+    let threads = 8usize;
+    let per_thread = 5_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let wh = Arc::clone(&wh);
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    wh.set(format!("t{t:02}-{i:08}").as_bytes(), i);
+                }
+            });
+        }
+    });
+    assert_eq!(wh.len(), threads * per_thread as usize);
+    wh.check_invariants();
+    for t in 0..threads {
+        for i in (0..per_thread).step_by(101) {
+            assert_eq!(wh.get(format!("t{t:02}-{i:08}").as_bytes()), Some(i));
+        }
+    }
+    // Ordered full scan sees every key exactly once, in order.
+    let scan = wh.range_from(b"", usize::MAX);
+    assert_eq!(scan.len(), threads * per_thread as usize);
+    assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn readers_never_observe_torn_state_during_splits_and_merges() {
+    let wh = Arc::new(Wormhole::with_config(
+        WormholeConfig::optimized().with_leaf_capacity(8),
+    ));
+    // A stable population that readers verify continuously.
+    for i in 0..5_000u64 {
+        wh.set(format!("stable-{i:06}").as_bytes(), i);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // Churn threads force splits and merges around the stable keys.
+        for t in 0..3 {
+            let wh = Arc::clone(&wh);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in 0..300u64 {
+                        wh.set(format!("churn{t}-{:06}", i % 150).as_bytes(), round);
+                    }
+                    for i in 0..300u64 {
+                        wh.del(format!("churn{t}-{:06}", i % 150).as_bytes());
+                    }
+                    round += 1;
+                }
+            });
+        }
+        // Readers check the stable population and ordered scans.
+        let mut readers = Vec::new();
+        for r in 0..3 {
+            let wh = Arc::clone(&wh);
+            readers.push(scope.spawn(move || {
+                for pass in 0..40u64 {
+                    let i = (pass * 97 + r * 13) % 5_000;
+                    assert_eq!(
+                        wh.get(format!("stable-{i:06}").as_bytes()),
+                        Some(i),
+                        "stable key lost"
+                    );
+                    let scan = wh.range_from(b"stable-002", 50);
+                    assert_eq!(scan.len(), 50);
+                    assert!(scan.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+                    assert!(scan.iter().all(|(k, _)| k.starts_with(b"stable-")));
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    wh.check_invariants();
+    for i in (0..5_000u64).step_by(37) {
+        assert_eq!(wh.get(format!("stable-{i:06}").as_bytes()), Some(i));
+    }
+}
+
+#[test]
+fn netsim_service_end_to_end_over_wormhole() {
+    let keyset = generate(KeysetId::Az1, 20_000, 21);
+    let wh: Arc<Wormhole<u64>> = Arc::new(Wormhole::new());
+    for (i, key) in keyset.keys.iter().enumerate() {
+        wh.set(key, i as u64);
+    }
+    let service = KvService::new(Arc::clone(&wh) as Arc<dyn ConcurrentOrderedIndex<u64>>);
+
+    // A batch mixing lookups, writes, and range scans.
+    let mut requests = Vec::new();
+    for (i, key) in keyset.keys.iter().take(5_000).enumerate() {
+        requests.push(WireRequest::Get { key: key.clone() });
+        if i % 10 == 0 {
+            requests.push(WireRequest::Set {
+                key: format!("service-added-{i:05}").into_bytes(),
+                value: i as u64,
+            });
+        }
+        if i % 100 == 0 {
+            requests.push(WireRequest::Range {
+                start: key.clone(),
+                count: 20,
+            });
+        }
+    }
+    let stats = service.run(&requests);
+    assert_eq!(stats.operations, requests.len());
+    assert!(stats.hits >= 5_000, "every preloaded key must be found");
+    // Writes through the service are visible directly in the index.
+    assert_eq!(wh.get(b"service-added-00500"), Some(500));
+
+    // The link model turns the measured host throughput into a delivered
+    // figure that can never exceed the host rate.
+    let link = LinkModel::infiniband_100g();
+    let delivered = link.delivered_ops_per_second(
+        stats.mops() * 1e6,
+        stats.avg_request_bytes().ceil() as usize,
+        stats.avg_response_bytes().ceil() as usize,
+    );
+    assert!(delivered <= stats.mops() * 1e6 * 1.001);
+    assert!(delivered > 0.0);
+}
+
+#[test]
+fn concurrent_index_matches_single_threaded_reference_after_churn() {
+    use index_traits::OrderedIndex;
+    use wormhole::WormholeUnsafe;
+
+    let keyset = generate(KeysetId::Url, 6_000, 33);
+    let concurrent = Arc::new(Wormhole::with_config(
+        WormholeConfig::optimized().with_leaf_capacity(16),
+    ));
+    // Apply a deterministic partitioned workload concurrently…
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let concurrent = Arc::clone(&concurrent);
+            let keys = &keyset.keys;
+            scope.spawn(move || {
+                for (i, key) in keys.iter().enumerate().skip(t).step_by(4) {
+                    concurrent.set(key, i as u64);
+                    if i % 5 == 0 {
+                        concurrent.del(key);
+                    }
+                }
+            });
+        }
+    });
+    // …then replay the same net effect single-threaded.
+    let mut reference: WormholeUnsafe<u64> = WormholeUnsafe::new();
+    for (i, key) in keyset.keys.iter().enumerate() {
+        reference.set(key, i as u64);
+        if i % 5 == 0 {
+            reference.del(key);
+        }
+    }
+    assert_eq!(ConcurrentOrderedIndex::len(&*concurrent), reference.len());
+    assert_eq!(
+        concurrent.range_from(b"", usize::MAX),
+        reference.range_from(b"", usize::MAX)
+    );
+}

@@ -1,0 +1,161 @@
+//! Differential tests: every ordered index in the workspace must agree with
+//! `std::collections::BTreeMap` (and therefore with each other) on the same
+//! operation sequences, for every keyset family of the paper.
+
+use std::collections::BTreeMap;
+
+use baseline_art::Art;
+use baseline_btree::BPlusTree;
+use baseline_masstree::Masstree;
+use baseline_skiplist::SkipList;
+use index_traits::{ConcurrentOrderedIndex, OrderedIndex};
+use workloads::{generate, KeysetId};
+use wormhole::{Wormhole, WormholeConfig, WormholeUnsafe};
+
+/// All single-threaded ordered indexes under test.
+fn ordered_indexes() -> Vec<Box<dyn OrderedIndex<u64>>> {
+    vec![
+        Box::new(SkipList::new()),
+        Box::new(BPlusTree::new()),
+        Box::new(Art::new()),
+        Box::new(Masstree::new()),
+        Box::new(WormholeUnsafe::new()),
+        Box::new(WormholeUnsafe::with_config(
+            WormholeConfig::base().with_leaf_capacity(16),
+        )),
+    ]
+}
+
+fn check_against_model(keys: &[Vec<u8>], label: &str) {
+    let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    let mut indexes = ordered_indexes();
+    let concurrent: Wormhole<u64> = Wormhole::new();
+
+    // Insert everything (with one deliberate overwrite pass over a subset).
+    for (i, key) in keys.iter().enumerate() {
+        model.insert(key.clone(), i as u64);
+        for index in indexes.iter_mut() {
+            index.set(key, i as u64);
+        }
+        concurrent.set(key, i as u64);
+    }
+    for (i, key) in keys.iter().enumerate().step_by(7) {
+        let v = (i as u64) << 32;
+        model.insert(key.clone(), v);
+        for index in indexes.iter_mut() {
+            index.set(key, v);
+        }
+        concurrent.set(key, v);
+    }
+
+    // Point lookups of present and absent keys.
+    for (key, value) in &model {
+        for index in &indexes {
+            assert_eq!(index.get(key), Some(*value), "{label}: {}", index.name());
+        }
+        assert_eq!(concurrent.get(key), Some(*value), "{label}: wormhole");
+    }
+    for key in keys.iter().take(50) {
+        let mut absent = key.clone();
+        absent.push(0xFE);
+        absent.push(0x01);
+        let expect = model.get(&absent).copied();
+        for index in &indexes {
+            assert_eq!(index.get(&absent), expect, "{label}: {}", index.name());
+        }
+        assert_eq!(concurrent.get(&absent), expect, "{label}: wormhole");
+    }
+
+    // Range queries from existing keys, absent keys, and the empty key.
+    let mut starts: Vec<Vec<u8>> = keys.iter().take(25).cloned().collect();
+    starts.push(Vec::new());
+    starts.push(vec![0xFF; 4]);
+    starts.push(keys[keys.len() / 2][..keys[keys.len() / 2].len() / 2].to_vec());
+    for start in &starts {
+        let expect: Vec<(Vec<u8>, u64)> = model
+            .range(start.clone()..)
+            .take(100)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        for index in &indexes {
+            assert_eq!(
+                index.range_from(start, 100),
+                expect,
+                "{label}: {} range from {start:?}",
+                index.name()
+            );
+        }
+        assert_eq!(
+            concurrent.range_from(start, 100),
+            expect,
+            "{label}: wormhole range"
+        );
+    }
+
+    // Deletions of every third key, then re-validate lookups and full scans.
+    for key in keys.iter().step_by(3) {
+        let expect = model.remove(key);
+        for index in indexes.iter_mut() {
+            assert_eq!(index.del(key), expect, "{label}: {}", index.name());
+        }
+        assert_eq!(concurrent.del(key), expect, "{label}: wormhole");
+    }
+    let expect_all: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    for index in &indexes {
+        assert_eq!(index.len(), model.len(), "{label}: {}", index.name());
+        assert_eq!(
+            index.range_from(&[], usize::MAX),
+            expect_all,
+            "{label}: {} full scan",
+            index.name()
+        );
+    }
+    assert_eq!(concurrent.len(), model.len(), "{label}: wormhole len");
+    assert_eq!(
+        concurrent.range_from(&[], usize::MAX),
+        expect_all,
+        "{label}: wormhole full scan"
+    );
+}
+
+#[test]
+fn amazon_style_keys() {
+    let keys = generate(KeysetId::Az1, 3_000, 1).keys;
+    check_against_model(&keys, "Az1");
+    let keys = generate(KeysetId::Az2, 3_000, 2).keys;
+    check_against_model(&keys, "Az2");
+}
+
+#[test]
+fn url_keys_with_long_shared_prefixes() {
+    let keys = generate(KeysetId::Url, 3_000, 3).keys;
+    check_against_model(&keys, "Url");
+}
+
+#[test]
+fn short_and_long_random_keys() {
+    let keys = generate(KeysetId::K3, 3_000, 4).keys;
+    check_against_model(&keys, "K3");
+    let keys = generate(KeysetId::K8, 800, 5).keys;
+    check_against_model(&keys, "K8");
+}
+
+#[test]
+fn binary_keys_with_embedded_zeros_and_prefix_relations() {
+    // Adversarial keyset: keys that are prefixes of each other, contain zero
+    // bytes, and include the empty key — the cases §3.3 worries about.
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    keys.push(Vec::new());
+    for a in 0u8..8 {
+        for b in 0u8..8 {
+            keys.push(vec![a, b]);
+            keys.push(vec![a, b, 0]);
+            keys.push(vec![a, b, 0, 0]);
+            keys.push(vec![a, 0, b]);
+            keys.push(vec![a, b, 0, b, 0]);
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    check_against_model(&keys, "binary");
+}

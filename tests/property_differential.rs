@@ -1,0 +1,152 @@
+//! Property-based differential tests across the whole index zoo: arbitrary
+//! operation sequences must leave every ordered index in exactly the same
+//! state as the `BTreeMap` model, and the cuckoo hash table in the same state
+//! as a `HashMap` model.
+
+use std::collections::{BTreeMap, HashMap};
+
+use baseline_art::Art;
+use baseline_btree::BPlusTree;
+use baseline_cuckoo::CuckooHashTable;
+use baseline_masstree::Masstree;
+use baseline_skiplist::SkipList;
+use index_traits::{ConcurrentOrderedIndex, OrderedIndex, UnorderedIndex};
+use proptest::prelude::*;
+use wormhole::{Wormhole, WormholeConfig, WormholeUnsafe};
+
+/// An operation in the generated sequences.
+#[derive(Debug, Clone)]
+enum Op {
+    Set(Vec<u8>, u64),
+    Del(Vec<u8>),
+    Range(Vec<u8>, usize),
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Short binary keys exercise prefix/zero-byte corner cases.
+        proptest::collection::vec(0u8..4, 0..6),
+        // ASCII keys of moderate length.
+        proptest::collection::vec(0x20u8..0x7F, 1..20),
+        // A few long keys.
+        proptest::collection::vec(any::<u8>(), 40..80),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Set(k, v)),
+        1 => key_strategy().prop_map(Op::Del),
+        1 => (key_strategy(), 0usize..40).prop_map(|(k, n)| Op::Range(k, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ordered_indexes_match_btreemap(ops in proptest::collection::vec(op_strategy(), 1..250)) {
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut skiplist = SkipList::new();
+        let mut btree = BPlusTree::with_fanout(8);
+        let mut art = Art::new();
+        let mut masstree = Masstree::new();
+        let mut wh_unsafe = WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+        let wh = Wormhole::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+
+        for op in &ops {
+            match op {
+                Op::Set(k, v) => {
+                    let expect = model.insert(k.clone(), *v);
+                    prop_assert_eq!(skiplist.set(k, *v), expect);
+                    prop_assert_eq!(btree.set(k, *v), expect);
+                    prop_assert_eq!(art.set(k, *v), expect);
+                    prop_assert_eq!(masstree.set(k, *v), expect);
+                    prop_assert_eq!(wh_unsafe.set(k, *v), expect);
+                    prop_assert_eq!(wh.set(k, *v), expect);
+                }
+                Op::Del(k) => {
+                    let expect = model.remove(k);
+                    prop_assert_eq!(skiplist.del(k), expect);
+                    prop_assert_eq!(btree.del(k), expect);
+                    prop_assert_eq!(art.del(k), expect);
+                    prop_assert_eq!(masstree.del(k), expect);
+                    prop_assert_eq!(wh_unsafe.del(k), expect);
+                    prop_assert_eq!(wh.del(k), expect);
+                }
+                Op::Range(start, count) => {
+                    let expect: Vec<(Vec<u8>, u64)> = model
+                        .range(start.clone()..)
+                        .take(*count)
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect();
+                    prop_assert_eq!(skiplist.range_from(start, *count), expect.clone());
+                    prop_assert_eq!(btree.range_from(start, *count), expect.clone());
+                    prop_assert_eq!(art.range_from(start, *count), expect.clone());
+                    prop_assert_eq!(masstree.range_from(start, *count), expect.clone());
+                    prop_assert_eq!(wh_unsafe.range_from(start, *count), expect.clone());
+                    prop_assert_eq!(wh.range_from(start, *count), expect);
+                }
+            }
+        }
+
+        // Terminal state: sizes, full scans, and point lookups all agree.
+        prop_assert_eq!(skiplist.len(), model.len());
+        prop_assert_eq!(btree.len(), model.len());
+        prop_assert_eq!(art.len(), model.len());
+        prop_assert_eq!(masstree.len(), model.len());
+        prop_assert_eq!(wh_unsafe.len(), model.len());
+        prop_assert_eq!(ConcurrentOrderedIndex::len(&wh), model.len());
+        let expect_all: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        prop_assert_eq!(btree.range_from(&[], usize::MAX), expect_all.clone());
+        prop_assert_eq!(wh_unsafe.range_from(&[], usize::MAX), expect_all.clone());
+        prop_assert_eq!(wh.range_from(&[], usize::MAX), expect_all);
+        for (k, v) in &model {
+            prop_assert_eq!(art.get(k), Some(*v));
+            prop_assert_eq!(masstree.get(k), Some(*v));
+            prop_assert_eq!(skiplist.get(k), Some(*v));
+        }
+    }
+
+    #[test]
+    fn cuckoo_matches_hashmap(ops in proptest::collection::vec(
+        (key_strategy(), any::<u64>(), any::<bool>()), 1..300)) {
+        let mut model: HashMap<Vec<u8>, u64> = HashMap::new();
+        let mut cuckoo = CuckooHashTable::with_capacity(16);
+        for (key, value, is_delete) in &ops {
+            if *is_delete {
+                prop_assert_eq!(cuckoo.del(key), model.remove(key));
+            } else {
+                prop_assert_eq!(cuckoo.set(key, *value), model.insert(key.clone(), *value));
+            }
+        }
+        prop_assert_eq!(cuckoo.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(cuckoo.get(k), Some(*v));
+        }
+    }
+
+    #[test]
+    fn wormhole_ablation_configs_agree_with_each_other(
+        ops in proptest::collection::vec((key_strategy(), any::<u64>()), 1..150)) {
+        let mut indexes: Vec<WormholeUnsafe<u64>> = WormholeConfig::ablation_ladder()
+            .into_iter()
+            .map(|(_, config)| WormholeUnsafe::with_config(config.with_leaf_capacity(8)))
+            .collect();
+        for (key, value) in &ops {
+            for index in indexes.iter_mut() {
+                index.set(key, *value);
+            }
+        }
+        let reference = indexes[0].range_from(&[], usize::MAX);
+        for index in &indexes[1..] {
+            prop_assert_eq!(index.range_from(&[], usize::MAX), reference.clone());
+        }
+        for (key, _) in &ops {
+            let expect = indexes[0].get(key);
+            for index in &indexes[1..] {
+                prop_assert_eq!(index.get(key), expect);
+            }
+        }
+    }
+}
