@@ -84,10 +84,9 @@ impl<V> Children<V> {
     /// Looks up the child for byte `b`.
     pub fn get(&self, b: u8) -> Option<&Node<V>> {
         match self {
-            Children::Node4 { keys, nodes } | Children::Node16 { keys, nodes } => keys
-                .iter()
-                .position(|&k| k == b)
-                .map(|i| &nodes[i]),
+            Children::Node4 { keys, nodes } | Children::Node16 { keys, nodes } => {
+                keys.iter().position(|&k| k == b).map(|i| &nodes[i])
+            }
             Children::Node48 { index, slots } => {
                 let slot = index[b as usize];
                 if slot == 0 {
@@ -179,17 +178,14 @@ impl<V> Children<V> {
             Children::Node4 { keys, nodes } | Children::Node16 { keys, nodes } => {
                 Box::new(keys.iter().copied().zip(nodes.iter()))
             }
-            Children::Node48 { index, slots } => Box::new(
-                (0u16..256)
-                    .filter_map(move |b| {
-                        let slot = index[b as usize];
-                        if slot == 0 {
-                            None
-                        } else {
-                            slots[(slot - 1) as usize].as_ref().map(|n| (b as u8, n))
-                        }
-                    }),
-            ),
+            Children::Node48 { index, slots } => Box::new((0u16..256).filter_map(move |b| {
+                let slot = index[b as usize];
+                if slot == 0 {
+                    None
+                } else {
+                    slots[(slot - 1) as usize].as_ref().map(|n| (b as u8, n))
+                }
+            })),
             Children::Node256 { slots } => Box::new(
                 (0u16..256).filter_map(move |b| slots[b as usize].as_ref().map(|n| (b as u8, n))),
             ),
@@ -198,7 +194,12 @@ impl<V> Children<V> {
 
     /// Removes and returns the only child; panics unless exactly one exists.
     pub fn take_single_child(&mut self) -> (u8, Node<V>) {
-        assert_eq!(self.len(), 1, "take_single_child on node with {} children", self.len());
+        assert_eq!(
+            self.len(),
+            1,
+            "take_single_child on node with {} children",
+            self.len()
+        );
         let byte = self.iter().next().map(|(b, _)| b).expect("one child");
         let node = self.remove(byte).expect("one child");
         (byte, node)
@@ -206,7 +207,7 @@ impl<V> Children<V> {
 
     /// Grows the representation to the next size class.
     fn grow(&mut self) {
-        let current = std::mem::replace(self, Children::new());
+        let current = std::mem::take(self);
         *self = match current {
             Children::Node4 { keys, nodes } => Children::Node16 { keys, nodes },
             Children::Node16 { keys, nodes } => {
@@ -219,8 +220,7 @@ impl<V> Children<V> {
                 Children::Node48 { index, slots }
             }
             Children::Node48 { index, mut slots } => {
-                let mut arr: Box<[Option<Node<V>>; 256]> =
-                    Box::new(std::array::from_fn(|_| None));
+                let mut arr: Box<[Option<Node<V>>; 256]> = Box::new(std::array::from_fn(|_| None));
                 for b in 0..256usize {
                     let slot = index[b];
                     if slot != 0 {

@@ -87,7 +87,9 @@ impl<V: Clone> Art<V> {
             };
             let common = common_prefix_len(&old.key[depth..], &key[depth..]);
             let split_at = depth + common;
-            let Node::Internal(int) = node else { unreachable!() };
+            let Node::Internal(int) = node else {
+                unreachable!()
+            };
             int.prefix = key[depth..split_at].to_vec();
             let old_key = old.key.clone();
             Self::attach_leaf(int, &old_key, split_at, old);
@@ -97,7 +99,9 @@ impl<V: Clone> Art<V> {
 
         // Internal node: check the compressed prefix first.
         let (prefix_len, common) = {
-            let Node::Internal(int) = &*node else { unreachable!() };
+            let Node::Internal(int) = &*node else {
+                unreachable!()
+            };
             let rest = &key[depth..];
             (int.prefix.len(), common_prefix_len(&int.prefix, rest))
         };
@@ -112,12 +116,16 @@ impl<V: Clone> Art<V> {
                     children: Children::new(),
                 })),
             );
-            let Node::Internal(mut old_int) = old_node else { unreachable!() };
+            let Node::Internal(mut old_int) = old_node else {
+                unreachable!()
+            };
             let old_prefix = std::mem::take(&mut old_int.prefix);
             let split_byte = old_prefix[common];
             old_int.prefix = old_prefix[common + 1..].to_vec();
 
-            let Node::Internal(new_int) = node else { unreachable!() };
+            let Node::Internal(new_int) = node else {
+                unreachable!()
+            };
             new_int.prefix = old_prefix[..common].to_vec();
             new_int.children.insert(split_byte, Node::Internal(old_int));
             let split_at = depth + common;
@@ -127,7 +135,9 @@ impl<V: Clone> Art<V> {
 
         // Prefix fully matched; continue below it.
         let depth = depth + prefix_len;
-        let Node::Internal(int) = node else { unreachable!() };
+        let Node::Internal(int) = node else {
+            unreachable!()
+        };
         if depth == key.len() {
             return match &mut int.terminal {
                 Some(t) => Some(std::mem::replace(&mut t.value, value)),
@@ -141,7 +151,8 @@ impl<V: Clone> Art<V> {
         match int.children.get_mut(b) {
             Some(child) => Self::insert_rec(child, key, depth + 1, value),
             None => {
-                int.children.insert(b, Node::Leaf(Self::make_leaf(key, value)));
+                int.children
+                    .insert(b, Node::Leaf(Self::make_leaf(key, value)));
                 None
             }
         }
@@ -158,7 +169,9 @@ impl<V: Clone> Art<V> {
             };
         }
         let removed = {
-            let Node::Internal(int) = &mut *node else { unreachable!() };
+            let Node::Internal(int) = &mut *node else {
+                unreachable!()
+            };
             let rest = &key[depth..];
             if rest.len() < int.prefix.len() || rest[..int.prefix.len()] != int.prefix[..] {
                 return (None, false);
@@ -187,7 +200,9 @@ impl<V: Clone> Art<V> {
 
         // The node lost an entry: collapse or signal removal where possible.
         let (children_len, has_terminal) = {
-            let Node::Internal(int) = &*node else { unreachable!() };
+            let Node::Internal(int) = &*node else {
+                unreachable!()
+            };
             (int.children.len(), int.terminal.is_some())
         };
         if children_len == 0 && !has_terminal {
@@ -195,7 +210,9 @@ impl<V: Clone> Art<V> {
         }
         if children_len == 1 && !has_terminal {
             // Path compression: merge this node with its only child.
-            let Node::Internal(int) = &mut *node else { unreachable!() };
+            let Node::Internal(int) = &mut *node else {
+                unreachable!()
+            };
             let (byte, child) = int.children.take_single_child();
             let mut merged_prefix = std::mem::take(&mut int.prefix);
             merged_prefix.push(byte);
@@ -506,7 +523,10 @@ mod tests {
             t.set(format!("key{i:03}").as_bytes(), i);
         }
         let out = t.range_from(b"key050", 5);
-        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        let keys: Vec<String> = out
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
         assert_eq!(keys, vec!["key050", "key051", "key052", "key053", "key054"]);
         // Start key absent from the index.
         let out = t.range_from(b"key0505", 2);

@@ -5,6 +5,10 @@ use index_traits::{IndexStats, OrderedIndex};
 /// Null link for the leaf list.
 const NIL: usize = usize::MAX;
 
+/// A split bubbling up from a child insert: the separator key and the new
+/// right sibling's arena index.
+type SplitUp = (Box<[u8]>, usize);
+
 /// A B+ tree node: either an internal routing node or a leaf holding items.
 enum Node<V> {
     Internal {
@@ -132,12 +136,7 @@ impl<V> BPlusTree<V> {
     }
 
     /// Recursive insertion; returns (old value, split info).
-    fn insert_rec(
-        &mut self,
-        idx: usize,
-        key: &[u8],
-        value: V,
-    ) -> (Option<V>, Option<(Box<[u8]>, usize)>) {
+    fn insert_rec(&mut self, idx: usize, key: &[u8], value: V) -> (Option<V>, Option<SplitUp>) {
         if matches!(self.node(idx), Node::Leaf { .. }) {
             let (old, inserted) = {
                 let Node::Leaf { items, .. } = self.node_mut(idx) else {
@@ -323,7 +322,11 @@ impl<V> BPlusTree<V> {
             Node::Leaf { .. } => unreachable!(),
         };
         match self.release(left) {
-            Node::Leaf { mut items, next, prev } => {
+            Node::Leaf {
+                mut items,
+                next,
+                prev,
+            } => {
                 // Move the left leaf's last item to the front of the child.
                 let moved = items.pop().expect("left leaf not empty");
                 let new_sep = moved.0.clone();
@@ -336,7 +339,10 @@ impl<V> BPlusTree<V> {
                     keys[slot - 1] = new_sep;
                 }
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let moved_child = children.pop().expect("left internal not empty");
                 let moved_key = keys.pop().expect("left internal not empty");
                 self.arena[left] = Some(Node::Internal { keys, children });
@@ -360,7 +366,11 @@ impl<V> BPlusTree<V> {
             Node::Leaf { .. } => unreachable!(),
         };
         match self.release(right) {
-            Node::Leaf { mut items, next, prev } => {
+            Node::Leaf {
+                mut items,
+                next,
+                prev,
+            } => {
                 let moved = items.remove(0);
                 let new_sep = items[0].0.clone();
                 self.arena[right] = Some(Node::Leaf { items, next, prev });
@@ -372,7 +382,10 @@ impl<V> BPlusTree<V> {
                     keys[slot] = new_sep;
                 }
             }
-            Node::Internal { mut keys, mut children } => {
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let moved_child = children.remove(0);
                 let moved_key = keys.remove(0);
                 self.arena[right] = Some(Node::Internal { keys, children });
@@ -401,7 +414,12 @@ impl<V> BPlusTree<V> {
         let right_node = self.release(right);
         match right_node {
             Node::Leaf { items, next, .. } => {
-                if let Node::Leaf { items: left_items, next: left_next, .. } = self.node_mut(left) {
+                if let Node::Leaf {
+                    items: left_items,
+                    next: left_next,
+                    ..
+                } = self.node_mut(left)
+                {
                     left_items.extend(items);
                     *left_next = next;
                 }
@@ -412,7 +430,11 @@ impl<V> BPlusTree<V> {
                 }
             }
             Node::Internal { keys, children } => {
-                if let Node::Internal { keys: lk, children: lc } = self.node_mut(left) {
+                if let Node::Internal {
+                    keys: lk,
+                    children: lc,
+                } = self.node_mut(left)
+                {
                     lk.push(sep);
                     lk.extend(keys);
                     lc.extend(children);
@@ -453,10 +475,12 @@ impl<V> BPlusTree<V> {
     pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut V> {
         let leaf = self.find_leaf(key);
         match self.node_mut(leaf) {
-            Node::Leaf { items, .. } => match items.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
-                Ok(pos) => Some(&mut items[pos].1),
-                Err(_) => None,
-            },
+            Node::Leaf { items, .. } => {
+                match items.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+                    Ok(pos) => Some(&mut items[pos].1),
+                    Err(_) => None,
+                }
+            }
             Node::Internal { .. } => unreachable!(),
         }
     }
@@ -574,8 +598,16 @@ impl<V> BPlusTree<V> {
                     assert!(w[0] < w[1], "separator keys out of order");
                 }
                 for (i, &child) in children.iter().enumerate() {
-                    let lo = if i == 0 { lower } else { Some(keys[i - 1].as_ref()) };
-                    let hi = if i == keys.len() { upper } else { Some(keys[i].as_ref()) };
+                    let lo = if i == 0 {
+                        lower
+                    } else {
+                        Some(keys[i - 1].as_ref())
+                    };
+                    let hi = if i == keys.len() {
+                        upper
+                    } else {
+                        Some(keys[i].as_ref())
+                    };
                     self.check_node(child, lo, hi);
                 }
             }
@@ -652,7 +684,10 @@ mod tests {
             assert_eq!(t.get(k.as_bytes()), Some(i as u64), "{k}");
         }
         let range = t.range_from(b"Brown", 3);
-        let keys: Vec<_> = range.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        let keys: Vec<_> = range
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
         assert_eq!(keys, vec!["Denice", "Jacob", "James"]);
     }
 
@@ -714,7 +749,7 @@ mod tests {
             t.set(format!("{i:04}").as_bytes(), i);
         }
         for i in 0..200u64 {
-            assert_eq!(t.del(format!("{i:04}").as_bytes(), ), Some(i));
+            assert_eq!(t.del(format!("{i:04}").as_bytes(),), Some(i));
             t.check_invariants();
         }
         assert!(t.is_empty());
@@ -735,7 +770,11 @@ mod tests {
             t.del(format!("{i:03}").as_bytes());
         }
         t.check_invariants();
-        let scan: Vec<u64> = t.range_from(b"", usize::MAX).into_iter().map(|(_, v)| v).collect();
+        let scan: Vec<u64> = t
+            .range_from(b"", usize::MAX)
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect();
         let expect: Vec<u64> = (0..10).chain(50..64).collect();
         assert_eq!(scan, expect);
     }

@@ -223,10 +223,8 @@ impl<V: Clone> CuckooHashTable<V> {
         // Pull every entry out of the current table.
         let mut entries: Vec<Entry<V>> = Vec::with_capacity(self.len);
         for bucket in std::mem::take(&mut self.buckets) {
-            for slot in bucket.slots {
-                if let Some(entry) = slot {
-                    entries.push(entry);
-                }
+            for entry in bucket.slots.into_iter().flatten() {
+                entries.push(entry);
             }
         }
         let mut new_size = (self.mask + 1) * 2;

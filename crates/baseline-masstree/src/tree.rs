@@ -130,10 +130,16 @@ impl<V: Clone> Masstree<V> {
                     // Layer expansion: push the existing suffix down into a
                     // fresh layer, then insert the new key into it.
                     let old = std::mem::replace(entry, Entry::Layer(Box::new(Layer::new())));
-                    let Entry::Suffix { rest: old_rest, value: old_value } = old else {
+                    let Entry::Suffix {
+                        rest: old_rest,
+                        value: old_value,
+                    } = old
+                    else {
                         unreachable!()
                     };
-                    let Entry::Layer(next) = entry else { unreachable!() };
+                    let Entry::Layer(next) = entry else {
+                        unreachable!()
+                    };
                     let displaced = Self::set_rec(next, &old_rest, old_value);
                     debug_assert!(displaced.is_none());
                     Self::set_rec(next, &key_rest[SLICE..], value)
@@ -341,7 +347,11 @@ mod tests {
     fn long_unique_key_uses_suffix_not_layer() {
         let mut t = Masstree::new();
         t.set(b"this-is-a-long-unique-key", 1u64);
-        assert_eq!(t.layer_count(), 1, "a single long key should not expand a layer");
+        assert_eq!(
+            t.layer_count(),
+            1,
+            "a single long key should not expand a layer"
+        );
         assert_eq!(t.get(b"this-is-a-long-unique-key"), Some(1));
         assert_eq!(t.get(b"this-is-"), None);
     }
@@ -351,7 +361,10 @@ mod tests {
         let mut t = Masstree::new();
         t.set(b"commonpref-aaa", 1u64);
         t.set(b"commonpref-bbb", 2);
-        assert!(t.layer_count() >= 2, "shared 8-byte slice must expand a layer");
+        assert!(
+            t.layer_count() >= 2,
+            "shared 8-byte slice must expand a layer"
+        );
         assert_eq!(t.get(b"commonpref-aaa"), Some(1));
         assert_eq!(t.get(b"commonpref-bbb"), Some(2));
         assert_eq!(t.get(b"commonpref-ccc"), None);
@@ -374,7 +387,12 @@ mod tests {
     fn keys_that_are_prefixes_of_each_other() {
         let mut t = Masstree::new();
         let keys: Vec<&[u8]> = vec![
-            b"a", b"ab", b"abcdefgh", b"abcdefghi", b"abcdefghij", b"abcdefgh\x00",
+            b"a",
+            b"ab",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"abcdefghij",
+            b"abcdefgh\x00",
         ];
         for (i, k) in keys.iter().enumerate() {
             t.set(k, i as u64);
@@ -418,7 +436,10 @@ mod tests {
         sorted.sort();
         assert_eq!(scanned, sorted);
         let out = t.range_from(b"Brown", 3);
-        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        let keys: Vec<String> = out
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
         assert_eq!(keys, vec!["Denice", "Jacob", "James"]);
     }
 

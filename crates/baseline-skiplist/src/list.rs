@@ -157,9 +157,7 @@ impl<V: Clone> OrderedIndex<V> for SkipList<V> {
         }
         let h = self.random_height();
         if h > self.height {
-            for level in self.height..h {
-                prev[level] = NIL;
-            }
+            prev[self.height..h].fill(NIL);
             self.height = h;
         }
         let idx = self.alloc(Node {
@@ -167,17 +165,17 @@ impl<V: Clone> OrderedIndex<V> for SkipList<V> {
             value,
             next: vec![NIL; h],
         });
-        for level in 0..h {
-            let next = if prev[level] == NIL {
+        for (level, &p) in prev.iter().enumerate().take(h) {
+            let next = if p == NIL {
                 self.head[level]
             } else {
-                self.node(prev[level]).next[level]
+                self.node(p).next[level]
             };
             self.arena[idx].as_mut().unwrap().next[level] = next;
-            if prev[level] == NIL {
+            if p == NIL {
                 self.head[level] = idx;
             } else {
-                self.arena[prev[level]].as_mut().unwrap().next[level] = idx;
+                self.arena[p].as_mut().unwrap().next[level] = idx;
             }
         }
         self.len += 1;
@@ -194,14 +192,14 @@ impl<V: Clone> OrderedIndex<V> for SkipList<V> {
             return None;
         }
         let node_height = self.node(ge).next.len();
-        for level in 0..node_height {
+        for (level, &p) in prev.iter().enumerate().take(node_height) {
             let next = self.node(ge).next[level];
-            if prev[level] == NIL {
+            if p == NIL {
                 if self.head[level] == ge {
                     self.head[level] = next;
                 }
-            } else if self.node(prev[level]).next[level] == ge {
-                self.arena[prev[level]].as_mut().unwrap().next[level] = next;
+            } else if self.node(p).next[level] == ge {
+                self.arena[p].as_mut().unwrap().next[level] = next;
             }
         }
         while self.height > 1 && self.head[self.height - 1] == NIL {
@@ -295,7 +293,10 @@ mod tests {
             sl.set(k.as_bytes(), i as u64);
         }
         let out = sl.range_from(b"J", 4);
-        let keys: Vec<_> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        let keys: Vec<_> = out
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
         assert_eq!(keys, vec!["Jacob", "James", "Jason", "John"]);
         // Start key not present in the index.
         let out = sl.range_from(b"Brown", 2);
@@ -317,7 +318,10 @@ mod tests {
         }
         // Full ordered scan matches the model.
         let all = sl.range_from(b"", usize::MAX);
-        let model_all: Vec<_> = model.iter().map(|(k, v)| (k.clone().into_bytes(), *v)).collect();
+        let model_all: Vec<_> = model
+            .iter()
+            .map(|(k, v)| (k.clone().into_bytes(), *v))
+            .collect();
         assert_eq!(all, model_all);
     }
 

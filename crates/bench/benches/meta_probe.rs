@@ -1,0 +1,71 @@
+//! Criterion bench: MetaTrieHT point-probe latency, new cache-line-bucket
+//! layout vs the seed's `Vec<Vec<_>>` layout, at 1e5 and 1e6 resident
+//! anchors, hit and miss probes. `BENCH_meta.json` (written by
+//! `cargo run -p bench --release --bin meta_probe_baseline`) records the
+//! tracked baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::meta_layouts::ProbeWorkload;
+
+fn bench_meta_probe(c: &mut Criterion) {
+    for &anchors in &[100_000usize, 1_000_000] {
+        let workload = ProbeWorkload::new(anchors, 42);
+        let (seed_table, flat_table) = workload.build_tables();
+        for (mode, keys) in [("hit", &workload.resident), ("miss", &workload.absent)] {
+            let mut group = c.benchmark_group(format!("meta_probe/get/{mode}/{anchors}"));
+            group
+                .sample_size(10)
+                .warm_up_time(Duration::from_millis(300))
+                .measurement_time(Duration::from_millis(800));
+            group.bench_function("seed-vecvec", |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &i in &workload.order {
+                        hits += usize::from(seed_table.get(&keys[i % keys.len()]));
+                    }
+                    hits
+                })
+            });
+            group.bench_function("flat-bucket", |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &i in &workload.order {
+                        hits += usize::from(flat_table.get(&keys[i % keys.len()]).is_some());
+                    }
+                    hits
+                })
+            });
+            group.finish();
+
+            let mut group = c.benchmark_group(format!("meta_probe/tag/{mode}/{anchors}"));
+            group
+                .sample_size(10)
+                .warm_up_time(Duration::from_millis(300))
+                .measurement_time(Duration::from_millis(800));
+            group.bench_function("seed-vecvec", |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &i in &workload.order {
+                        hits += usize::from(seed_table.probe_optimistic(&keys[i % keys.len()]));
+                    }
+                    hits
+                })
+            });
+            group.bench_function("flat-bucket", |b| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for &i in &workload.order {
+                        hits += usize::from(flat_table.probe_optimistic(&keys[i % keys.len()]));
+                    }
+                    hits
+                })
+            });
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_meta_probe);
+criterion_main!(benches);

@@ -37,7 +37,8 @@ fn bench_mixed(c: &mut Criterion) {
             .sample_size(10)
             .warm_up_time(Duration::from_millis(300))
             .measurement_time(Duration::from_millis(1000));
-        let builders: [(&str, fn() -> ConcurrentDriver); 2] = [
+        type Builder = (&'static str, fn() -> ConcurrentDriver);
+        let builders: [Builder; 2] = [
             ("Masstree-rwlock", || {
                 ConcurrentDriver::Masstree(LockedMasstree::new())
             }),

@@ -1,0 +1,56 @@
+//! Writes `BENCH_meta.json`: the MetaTrieHT probe-latency baseline
+//! comparing the seed's `Vec<Vec<_>>` layout with the flat cache-line
+//! bucket layout, at 1e5 and 1e6 resident anchors.
+//!
+//! Four metrics per layout: exact hit/miss probes (`get`), and tag-only
+//! hit/miss probes (the optimistic probe the LPM binary search runs, which
+//! never touches item records).
+//!
+//! ```text
+//! cargo run -p bench --release --bin meta_probe_baseline
+//! ```
+
+use std::fmt::Write as _;
+
+use bench::meta_layouts::measure_layouts;
+
+fn main() {
+    let anchor_counts = [100_000usize, 1_000_000];
+    let rounds = 9;
+    let mut rows = Vec::new();
+    for &anchors in &anchor_counts {
+        eprintln!("measuring {anchors} anchors ({rounds} interleaved rounds)...");
+        for t in measure_layouts(anchors, rounds) {
+            eprintln!(
+                "  {:<12} get hit {:6.1}  get miss {:6.1}  tag hit {:6.1}  tag miss {:6.1}  (ns/op)",
+                t.layout, t.hit_ns, t.miss_ns, t.tag_hit_ns, t.tag_miss_ns,
+            );
+            rows.push((anchors, t));
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"meta_probe\",\n");
+    json.push_str(
+        "  \"description\": \"MetaTrieHT point-probe latency (ns/op, best of 9 interleaved \
+         rounds, 16384 uniform probes, Az1 ~40B keys). get_* = exact probe; tag_* = \
+         optimistic tag-only probe (the LPM binary-search hot path).\",\n",
+    );
+    json.push_str("  \"series\": [\n");
+    for (i, (anchors, t)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"layout\": \"{}\", \"anchors\": {anchors}, \
+             \"get_hit_ns\": {:.1}, \"get_miss_ns\": {:.1}, \
+             \"tag_hit_ns\": {:.1}, \"tag_miss_ns\": {:.1}}}{comma}",
+            t.layout, t.hit_ns, t.miss_ns, t.tag_hit_ns, t.tag_miss_ns,
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_meta.json", &json).expect("write BENCH_meta.json");
+    println!("{json}");
+}

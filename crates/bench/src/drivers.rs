@@ -300,7 +300,9 @@ mod tests {
 
     #[test]
     fn all_kinds_build_and_serve_lookups() {
-        let keys: Vec<Vec<u8>> = (0..500u32).map(|i| format!("key-{i:05}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..500u32)
+            .map(|i| format!("key-{i:05}").into_bytes())
+            .collect();
         for kind in [
             IndexKind::SkipList,
             IndexKind::BTree,
@@ -321,11 +323,18 @@ mod tests {
 
     #[test]
     fn ordered_kinds_agree_on_ranges() {
-        let keys: Vec<Vec<u8>> = (0..300u32).map(|i| format!("k{i:04}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..300u32)
+            .map(|i| format!("k{i:04}").into_bytes())
+            .collect();
         let reference = AnyIndex::build(IndexKind::BTree, &keys).range_from(b"k0100", 20);
         for kind in IndexKind::ordered_five() {
             let index = AnyIndex::build(kind, &keys);
-            assert_eq!(index.range_from(b"k0100", 20), reference, "{}", index.name());
+            assert_eq!(
+                index.range_from(b"k0100", 20),
+                reference,
+                "{}",
+                index.name()
+            );
         }
     }
 

@@ -11,8 +11,7 @@ use netsim::{KvService, LinkModel};
 use wormhole::{Wormhole, WormholeConfig};
 
 use workloads::{
-    generate, mixed_ops, paper_keysets, prefix_keyset, uniform_indices, Keyset, KeysetId, Op,
-    OpMix,
+    generate, mixed_ops, paper_keysets, prefix_keyset, uniform_indices, Keyset, KeysetId, Op, OpMix,
 };
 
 use crate::drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};
@@ -81,10 +80,7 @@ impl Row {
 
     /// Returns the value of a named series, if present.
     pub fn value(&self, name: &str) -> Option<f64> {
-        self.values
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 }
 
@@ -194,8 +190,7 @@ pub fn fig10(scale: &FigureScale) -> Vec<Row> {
             let mut row = Row::new(id.name());
             for kind in IndexKind::ordered_five() {
                 let index = AnyIndex::build(kind, &wl.keyset.keys);
-                let tput =
-                    parallel_lookup_mops(&index, &wl.keyset.keys, &wl.probes, scale.threads);
+                let tput = parallel_lookup_mops(&index, &wl.keyset.keys, &wl.probes, scale.threads);
                 row.push(index.name(), tput);
             }
             row
@@ -260,8 +255,7 @@ pub fn fig12(scale: &FigureScale) -> Vec<Row> {
                 let local =
                     parallel_lookup_mops(&index, &wl.keyset.keys, &wl.probes, scale.threads);
                 let delivered =
-                    link.delivered_ops_per_second(local * 1e6, request_bytes, response_bytes)
-                        / 1e6;
+                    link.delivered_ops_per_second(local * 1e6, request_bytes, response_bytes) / 1e6;
                 row.push(index.name(), delivered);
             }
             // Sanity-check the model against a real batched service pass over
@@ -407,7 +401,10 @@ pub fn fig17(scale: &FigureScale) -> Vec<Row> {
                         driver.set(key, i as u64);
                     }
                     let tput = run_mixed(&driver, &keyset.keys, &ops, scale.threads);
-                    row.push(format!("{} ({}% insert)", driver.name(), mix.insert_pct), tput);
+                    row.push(
+                        format!("{} ({}% insert)", driver.name(), mix.insert_pct),
+                        tput,
+                    );
                 }
             }
             row

@@ -17,6 +17,8 @@
 pub mod drivers;
 pub mod figures;
 pub mod measure;
+pub mod meta_layouts;
 
 pub use drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};
 pub use measure::{mops, parallel_lookup_mops, Timer};
+pub use meta_layouts::{measure_layouts, ProbeWorkload, SeedMetaTable};

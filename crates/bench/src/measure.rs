@@ -102,7 +102,10 @@ pub fn parallel_range_mops(
             }));
         }
         let total: usize = handles.into_iter().map(|h| h.join().expect("worker")).sum();
-        assert!(total >= starts.len(), "each scan returns at least its start key");
+        assert!(
+            total >= starts.len(),
+            "each scan returns at least its start key"
+        );
     });
     mops(starts.len(), timer.seconds())
 }
@@ -120,7 +123,9 @@ mod tests {
 
     #[test]
     fn parallel_lookup_counts_all_probes() {
-        let keys: Vec<Vec<u8>> = (0..2000u32).map(|i| format!("{i:06}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..2000u32)
+            .map(|i| format!("{i:06}").into_bytes())
+            .collect();
         let index = AnyIndex::build(IndexKind::Wormhole, &keys);
         let probes: Vec<usize> = (0..4000).map(|i| i % keys.len()).collect();
         for threads in [1, 2, 4] {
@@ -131,7 +136,9 @@ mod tests {
 
     #[test]
     fn insert_and_range_measurements_run() {
-        let keys: Vec<Vec<u8>> = (0..1000u32).map(|i| format!("{i:06}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..1000u32)
+            .map(|i| format!("{i:06}").into_bytes())
+            .collect();
         let mut index = AnyIndex::new(IndexKind::BTree);
         let tput = insert_mops(&mut index, &keys);
         assert!(tput > 0.0);

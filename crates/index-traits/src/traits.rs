@@ -203,7 +203,10 @@ mod tests {
     #[test]
     fn range_from_is_ordered_and_bounded() {
         let mut idx = StdOrdered::default();
-        for (i, k) in ["Aaron", "Abbe", "Andrew", "Austin", "Denice"].iter().enumerate() {
+        for (i, k) in ["Aaron", "Abbe", "Andrew", "Austin", "Denice"]
+            .iter()
+            .enumerate()
+        {
             idx.set(k.as_bytes(), i as u64);
         }
         let out = idx.range_from(b"Ab", 3);

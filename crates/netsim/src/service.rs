@@ -223,11 +223,23 @@ mod tests {
         let index = loaded_index(100);
         let service = KvService::with_batch_size(index.clone(), 32);
         let requests = vec![
-            WireRequest::Get { key: b"key-00000001".to_vec() },
-            WireRequest::Get { key: b"absent".to_vec() },
-            WireRequest::Set { key: b"fresh".to_vec(), value: 9 },
-            WireRequest::Get { key: b"fresh".to_vec() },
-            WireRequest::Range { start: b"key-00000090".to_vec(), count: 5 },
+            WireRequest::Get {
+                key: b"key-00000001".to_vec(),
+            },
+            WireRequest::Get {
+                key: b"absent".to_vec(),
+            },
+            WireRequest::Set {
+                key: b"fresh".to_vec(),
+                value: 9,
+            },
+            WireRequest::Get {
+                key: b"fresh".to_vec(),
+            },
+            WireRequest::Range {
+                start: b"key-00000090".to_vec(),
+                count: 5,
+            },
         ];
         let stats = service.run(&requests);
         assert_eq!(stats.operations, 5);

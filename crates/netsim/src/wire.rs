@@ -221,9 +221,17 @@ mod tests {
     #[test]
     fn request_roundtrip() {
         let reqs = vec![
-            WireRequest::Get { key: b"James".to_vec() },
-            WireRequest::Set { key: b"Jason".to_vec(), value: 42 },
-            WireRequest::Range { start: b"J".to_vec(), count: 100 },
+            WireRequest::Get {
+                key: b"James".to_vec(),
+            },
+            WireRequest::Set {
+                key: b"Jason".to_vec(),
+                value: 42,
+            },
+            WireRequest::Range {
+                start: b"J".to_vec(),
+                count: 100,
+            },
         ];
         let mut buf = BytesMut::new();
         for r in &reqs {
@@ -258,7 +266,10 @@ mod tests {
 
     #[test]
     fn wire_sizes_match_encoding() {
-        let req = WireRequest::Set { key: vec![1; 30], value: 9 };
+        let req = WireRequest::Set {
+            key: vec![1; 30],
+            value: 9,
+        };
         let mut buf = BytesMut::new();
         req.encode(&mut buf);
         assert_eq!(buf.len(), req.wire_size());

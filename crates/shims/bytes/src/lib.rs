@@ -1,0 +1,261 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of the `bytes` API the workspace uses: [`BytesMut`] as a growable
+//! write buffer with the [`BufMut`] putters, and [`Bytes`] as a cheaply
+//! cloneable read view with the [`Buf`] getters (big-endian, like `bytes`).
+//! Sharing is an `Arc<[u8]>` plus a cursor, so `clone` and `split_to` never
+//! copy payload bytes.
+
+use std::sync::Arc;
+
+/// Read access to a contiguous byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Returns `true` when nothing remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+}
+
+/// Write access to a growable byte buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A growable, uniquely owned byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when no bytes have been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable, cheaply cloneable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::from(self.data.into_boxed_slice()),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// An immutable, cheaply cloneable view of a byte buffer.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    /// First live byte.
+    start: usize,
+    /// Bytes cut off the end (`data.len() - end_offset` is one past the
+    /// last live byte).
+    end_offset: usize,
+}
+
+impl Bytes {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        Self {
+            data: Arc::from([]),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+
+    /// Copies `slice` into a new view.
+    pub fn copy_from_slice(slice: &[u8]) -> Self {
+        Self {
+            data: Arc::from(slice),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+
+    fn end(&self) -> usize {
+        self.data.len() - self.end_offset
+    }
+
+    /// Number of live bytes.
+    pub fn len(&self) -> usize {
+        self.end() - self.start
+    }
+
+    /// Returns `true` when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `n` bytes, leaving the rest
+    /// (shares storage; no copying).
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end_offset: self.data.len() - (self.start + n),
+        };
+        self.start += n;
+        head
+    }
+
+    /// Copies the live bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end()]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self {
+            data: Arc::from(v.into_boxed_slice()),
+            start: 0,
+            end_offset: 0,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_putters_and_getters() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_slice(b"key");
+        buf.put_u64(42);
+        assert_eq!(buf.len(), 1 + 4 + 3 + 8);
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.split_to(3).as_ref(), b"key");
+        assert_eq!(b.get_u64(), 42);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn split_to_shares_storage() {
+        let b = Bytes::copy_from_slice(b"hello world");
+        let mut rest = b.clone();
+        let head = rest.split_to(5);
+        assert_eq!(head.as_ref(), b"hello");
+        assert_eq!(rest.as_ref(), b" world");
+        assert_eq!(b.as_ref(), b"hello world");
+    }
+}

@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` benchmark crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of criterion's API the workspace's benches use: [`Criterion`],
+//! benchmark groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for the configured warm-up
+//! time, then runs timed batches until the measurement time elapses and at
+//! least `sample_size` samples exist. The mean, minimum, and maximum
+//! per-iteration times are printed in a criterion-like one-line format.
+//! There is no statistical analysis or HTML report; the numbers are intended
+//! for relative comparisons on one machine, which is all this workspace's
+//! benches rely on.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, not acted on —
+/// the shim always re-runs the setup closure per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Collected timing for one benchmark.
+#[derive(Debug, Clone, Copy)]
+struct Samples {
+    iterations: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher<'a> {
+    samples: &'a mut Option<Samples>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up phase.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Measurement phase.
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement || iterations < self.sample_size as u64 {
+            let t = Instant::now();
+            black_box(routine());
+            let dt = t.elapsed();
+            iterations += 1;
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        *self.samples = Some(Samples {
+            iterations,
+            total,
+            min,
+            max,
+        });
+    }
+
+    /// Measures `routine` with a fresh `setup()` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.measurement || iterations < self.sample_size as u64 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed();
+            iterations += 1;
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        *self.samples = Some(Samples {
+            iterations,
+            total,
+            min,
+            max,
+        });
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (also the minimum iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut samples = None;
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let full_name = format!("{}/{}", self.name, id);
+        match samples {
+            Some(s) => {
+                let mean = s.total.as_nanos() as f64 / s.iterations.max(1) as f64;
+                println!(
+                    "{full_name:<56} time: [{} {} {}] ({} iters)",
+                    format_ns(s.min.as_nanos() as f64),
+                    format_ns(mean),
+                    format_ns(s.max.as_nanos() as f64),
+                    s.iterations,
+                );
+                self.criterion.results.push((full_name, mean, s.iterations));
+            }
+            None => println!("{full_name:<56} (no measurement recorded)"),
+        }
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op marker).
+    pub fn finish(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// (name, mean ns/iter, iterations) per completed benchmark.
+    pub results: Vec<(String, f64, u64)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// Applies `--bench`-style CLI filtering. The shim accepts and ignores
+    /// the arguments cargo passes to bench binaries.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Prints a final summary (also a hook point for `criterion_main!`).
+    pub fn final_summary(&self) {
+        println!("\ncompleted {} benchmarks", self.results.len());
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("unit");
+            group
+                .sample_size(5)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            group.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+            group.bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+            });
+            group.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert!(c
+            .results
+            .iter()
+            .all(|(_, mean, iters)| *mean >= 0.0 && *iters >= 5));
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

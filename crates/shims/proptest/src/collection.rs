@@ -1,0 +1,142 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A range of collection sizes, converted from the same argument types real
+/// proptest accepts where the workspace uses them.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Inclusive lower bound.
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `element` and whose length is
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with a target size drawn from `size`.
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut set = BTreeSet::new();
+        // Duplicates shrink the set below target; retry a bounded number of
+        // times (mirrors proptest, which also gives up on tiny value spaces).
+        let mut attempts = 0usize;
+        let max_attempts = target * 10 + 16;
+        while set.len() < target && attempts < max_attempts {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// Generates `BTreeSet`s whose elements come from `element` and whose size
+/// is drawn from `size` (possibly smaller when duplicates dominate).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut rng = TestRng::for_case("vec-sizes", 0);
+        let strat = vec(any::<u8>(), 2..5);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()), "{}", v.len());
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_with_large_value_space() {
+        let mut rng = TestRng::for_case("set-sizes", 0);
+        let strat = btree_set(any::<u64>(), 10..11);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut rng).len(), 10);
+        }
+    }
+
+    #[test]
+    fn btree_set_gives_up_gracefully_on_tiny_spaces() {
+        let mut rng = TestRng::for_case("set-tiny", 0);
+        // Only two possible values but a target of 50: must terminate.
+        let s = btree_set(0u8..2, 50..51).generate(&mut rng);
+        assert!(s.len() <= 2);
+    }
+}

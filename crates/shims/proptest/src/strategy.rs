@@ -1,0 +1,264 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree or shrinking: a strategy is
+/// just a deterministic-RNG-driven generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between strategies (built by `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total_weight: u64,
+}
+
+impl<V> Union<V> {
+    /// Creates a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Self { arms, total_weight }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *weight as u64;
+        }
+        unreachable!("weight accounting covers the whole range");
+    }
+}
+
+// ---------------------------------------------------------------------
+// `any::<T>()`
+// ---------------------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[inline]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------
+// Ranges as strategies
+// ---------------------------------------------------------------------
+
+/// Integer types usable as range-strategy endpoints.
+pub trait RangeValue: Copy {
+    /// Uniform sample from `[low, high]` inclusive.
+    fn sample_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self;
+    /// The value immediately below `v`.
+    fn step_down(v: Self) -> Self;
+}
+
+macro_rules! range_value {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            #[inline]
+            fn sample_inclusive(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                debug_assert!(low <= high);
+                let span = (high as i128 - low as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                ((low as i128) + rng.below(span + 1) as i128) as $t
+            }
+            #[inline]
+            fn step_down(v: Self) -> Self {
+                v - 1
+            }
+        }
+    )*};
+}
+
+range_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangeValue + PartialOrd> Strategy for std::ops::Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start < self.end, "empty range strategy");
+        T::sample_inclusive(rng, self.start, T::step_down(self.end))
+    }
+}
+
+impl<T: RangeValue + PartialOrd> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(self.start() <= self.end(), "empty range strategy");
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0);
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_tuples_and_map() {
+        let mut rng = rng();
+        let strat = (0u8..4, 10usize..=12).prop_map(|(a, b)| a as usize + b);
+        for _ in 0..1000 {
+            let v = strat.generate(&mut rng);
+            assert!((10..16).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn union_respects_weights() {
+        let mut rng = rng();
+        let strat = crate::prop_oneof![9 => Just(1u8), 1 => Just(2u8)];
+        let ones = (0..10_000)
+            .filter(|_| strat.generate(&mut rng) == 1)
+            .count();
+        assert!((8_500..9_500).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn any_generates_varied_values() {
+        let mut rng = rng();
+        let bools: Vec<bool> = (0..100).map(|_| any::<bool>().generate(&mut rng)).collect();
+        assert!(bools.iter().any(|&b| b) && bools.iter().any(|&b| !b));
+        let bytes: std::collections::HashSet<u8> =
+            (0..5000).map(|_| any::<u8>().generate(&mut rng)).collect();
+        assert_eq!(bytes.len(), 256);
+    }
+}

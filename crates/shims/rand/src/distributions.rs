@@ -1,0 +1,152 @@
+//! Distributions: `Standard`, `Uniform`, and `Alphanumeric`.
+
+use crate::RngCore;
+
+/// A type that produces values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution over a type's full value range.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Uniformly distributed alphanumeric ASCII bytes (`0-9A-Za-z`), matching
+/// `rand 0.8` where `Alphanumeric` is a `Distribution<u8>`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Alphanumeric;
+
+impl Distribution<u8> for Alphanumeric {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        const CHARSET: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        let idx = uniform::sample_u64_below(rng, CHARSET.len() as u64) as usize;
+        CHARSET[idx]
+    }
+}
+
+/// A pre-built uniform distribution over a closed or half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    /// Inclusive upper bound.
+    high: T,
+}
+
+impl<T: uniform::SampleUniform + Copy + PartialOrd> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with empty range");
+        Self {
+            low,
+            high: T::step_down(high),
+        }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(
+            low <= high,
+            "Uniform::new_inclusive called with empty range"
+        );
+        Self { low, high }
+    }
+}
+
+impl<T: uniform::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.low, self.high)
+    }
+}
+
+/// Uniform-sampling machinery (the `rand::distributions::uniform` shape).
+pub mod uniform {
+    use crate::{Rng, RngCore};
+
+    /// Draws a uniform value in `[0, bound)` by rejection sampling, so every
+    /// value is exactly equally likely.
+    #[inline]
+    pub(crate) fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Integer types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized {
+        /// Uniform sample from `[low, high]` (inclusive).
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// The value immediately below `v` (used to convert exclusive
+        /// bounds to inclusive ones).
+        fn step_down(v: Self) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[inline]
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    debug_assert!(low <= high);
+                    let span = (high as i128 - low as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let offset = sample_u64_below(rng, span + 1);
+                    ((low as i128) + offset as i128) as $t
+                }
+                #[inline]
+                fn step_down(v: Self) -> Self {
+                    v - 1
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Ranges acceptable to `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform value from the range.
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + Copy + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_inclusive(rng, self.start, T::step_down(self.end))
+        }
+    }
+
+    impl<T: SampleUniform + Copy + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_inclusive(rng, low, high)
+        }
+    }
+}

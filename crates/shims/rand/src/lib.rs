@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface).
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the pieces of `rand` the workspace actually uses: [`rngs::SmallRng`]
+//! (an xoshiro256++ generator), the [`Rng`]/[`SeedableRng`] traits with
+//! `gen`, `gen_range`, `gen_bool`, `gen_ratio` and `sample`, the
+//! [`distributions`] module with `Uniform`/`Alphanumeric`/`Standard`, and
+//! [`seq::SliceRandom::shuffle`]. The streams are deterministic for a given
+//! seed (Fisher–Yates shuffles, rejection-sampled uniform ranges), which is
+//! all the workloads and tests rely on.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// Core random-number-generator interface (the subset used here).
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Extension methods over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Returns a uniformly random value of `T` (via the `Standard`
+    /// distribution).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Returns a uniformly random value in `range` (a `Range` or
+    /// `RangeInclusive` over an integer type).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random mantissa bits give a uniform float in [0, 1).
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+
+    /// Returns `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0 && numerator <= denominator);
+        self.gen_range(0..denominator) < numerator
+    }
+
+    /// Draws one value from `dist`.
+    fn sample<T, D: Distribution<T>>(&mut self, dist: D) -> T
+    where
+        Self: Sized,
+    {
+        dist.sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of generators from seeds, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u8 = rng.gen_range(0x21u8..=0x7E);
+            assert!((0x21..=0x7E).contains(&w));
+            let s: usize = rng.gen_range(0..3usize);
+            assert!(s < 3);
+            let i: i32 = rng.gen_range(2008..2010);
+            assert!((2008..2010).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 13];
+        for _ in 0..10_000 {
+            seen[rng.gen_range(0..13usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_and_ratio_are_roughly_calibrated() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.15)).count();
+        assert!((12_000..18_000).contains(&hits), "{hits}");
+        let hits = (0..100_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((22_000..28_000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn standard_u8_generation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let bytes: Vec<u8> = (0..10_000).map(|_| rng.gen::<u8>()).collect();
+        let distinct: std::collections::HashSet<_> = bytes.iter().collect();
+        assert_eq!(distinct.len(), 256);
+    }
+}

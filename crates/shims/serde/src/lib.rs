@@ -1,0 +1,8 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace uses serde only as derive annotations on workload types;
+//! nothing serializes through it (the JSON artifacts in this repo are
+//! written by hand). This shim re-exports no-op derive macros so those
+//! annotations compile without the real serde stack.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace only uses serde derives as annotations (no code actually
+//! serializes through serde), and the build environment cannot fetch the
+//! real `serde`/`syn` stack, so these derives expand to nothing. Types
+//! deriving them simply do not receive trait impls — which is fine, because
+//! nothing requires the impls.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (annotation-only `#[derive(Serialize)]`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (annotation-only `#[derive(Deserialize)]`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

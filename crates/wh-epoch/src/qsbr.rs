@@ -5,6 +5,9 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+/// A queued reclamation callback and the epoch it was queued at.
+type DeferredCallback = (u64, Box<dyn FnOnce() + Send>);
+
 /// Per-reader-thread state tracked by the domain.
 #[derive(Debug)]
 struct ThreadState {
@@ -26,7 +29,7 @@ struct Shared {
     /// All registered reader threads.
     threads: Mutex<Vec<Arc<ThreadState>>>,
     /// Deferred destructors: (epoch at which they were queued, callback).
-    deferred: Mutex<Vec<(u64, Box<dyn FnOnce() + Send>)>>,
+    deferred: Mutex<Vec<DeferredCallback>>,
     /// Notified whenever a reader announces a quiescent state, so writers
     /// waiting in `synchronize` do not have to spin.
     quiesce_cv: Condvar,
@@ -75,8 +78,10 @@ thread_local! {
 impl Qsbr {
     /// Creates a new, empty domain.
     pub fn new() -> Self {
-        let mut shared = Shared::default();
-        shared.domain_id = NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed);
+        let shared = Shared {
+            domain_id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
+            ..Shared::default()
+        };
         Self {
             shared: Arc::new(shared),
         }

@@ -16,6 +16,45 @@ pub fn tag16(hash: u32) -> u16 {
     (hash & 0xFFFF) as u16
 }
 
+/// Compares all eight tags of one cache-line bucket against `tag` at once
+/// and returns a bitmask (bit `i` set ⟺ `tags[i]` may equal `tag`).
+///
+/// This is the batch comparison behind the MetaTrieHT's bucketized probe:
+/// the eight 16-bit tags of a 64-byte bucket are packed into two `u64`
+/// words and compared SWAR-style (XOR + zero-lane detection), so a probe
+/// decides "which slots are candidates" from one cache line without any
+/// per-slot branching.
+///
+/// The mask is *conservative in one direction only*: every true match has
+/// its bit set (no false negatives), but a higher lane can rarely be
+/// flagged spuriously when a lower lane in the same word is a true match
+/// (the zero-lane borrow trick propagates across lanes). Callers either
+/// verify the stored key on match (exact probes) or take the lowest set
+/// bit first (optimistic probes), so the slack never changes results.
+#[inline]
+pub fn tag8_match_mask(tags: &[u16; 8], tag: u16) -> u8 {
+    const LANE_LSB: u64 = 0x0001_0001_0001_0001;
+    const LANE_MSB: u64 = 0x8000_8000_8000_8000;
+    let needle = (tag as u64).wrapping_mul(LANE_LSB);
+    let mut mask = 0u8;
+    for (word, chunk) in tags.chunks_exact(4).enumerate() {
+        let packed = chunk[0] as u64
+            | (chunk[1] as u64) << 16
+            | (chunk[2] as u64) << 32
+            | (chunk[3] as u64) << 48;
+        let diff = packed ^ needle;
+        // A zero 16-bit lane in `diff` marks a matching tag.
+        let zero_lanes = diff.wrapping_sub(LANE_LSB) & !diff & LANE_MSB;
+        // Lane high bits sit at positions 15/31/47/63; compress to 4 bits.
+        let lane_bits = ((zero_lanes >> 15) & 1)
+            | ((zero_lanes >> 30) & 2)
+            | ((zero_lanes >> 45) & 4)
+            | ((zero_lanes >> 60) & 8);
+        mask |= (lane_bits as u8) << (word * 4);
+    }
+    mask
+}
+
 /// Returns the expected position of `tag` in a tag-sorted array of `len`
 /// entries (the *DirectPos* speculative starting point).
 #[inline]
@@ -57,6 +96,97 @@ mod tests {
             let p = tag_position_hint(t, len);
             assert!(p >= last);
             last = p;
+        }
+    }
+
+    /// Scalar reference for the SWAR mask: exact per-slot equality.
+    fn scalar_mask(tags: &[u16; 8], tag: u16) -> u8 {
+        let mut mask = 0u8;
+        for (i, &t) in tags.iter().enumerate() {
+            if t == tag {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn tag8_mask_finds_every_true_match() {
+        // No false negatives: every scalar match bit appears in the SWAR
+        // mask, on fixed corner cases and a pseudo-random sweep.
+        let cases: Vec<([u16; 8], u16)> = vec![
+            ([0; 8], 0),
+            ([0; 8], 1),
+            ([u16::MAX; 8], u16::MAX),
+            ([1, 0, 1, 0, 1, 0, 1, 0], 1),
+            ([0xBEEF, 1, 2, 3, 4, 5, 6, 0xBEEF], 0xBEEF),
+            // Borrow-propagation case: a zero lane below a lane holding 1.
+            ([7, 1, 0, 0, 0x8000, 0x8001, 0x7FFF, 1], 7),
+        ];
+        for (tags, tag) in cases {
+            let swar = tag8_match_mask(&tags, tag);
+            let exact = scalar_mask(&tags, tag);
+            assert_eq!(swar & exact, exact, "missed match: {tags:?} vs {tag:#x}");
+        }
+        let mut state = 0x1234_5678_9ABC_DEFFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20_000 {
+            let mut tags = [0u16; 8];
+            for t in &mut tags {
+                // Small value space so collisions and borrow cases occur.
+                *t = (next() % 5) as u16;
+            }
+            let tag = (next() % 5) as u16;
+            let swar = tag8_match_mask(&tags, tag);
+            let exact = scalar_mask(&tags, tag);
+            assert_eq!(swar & exact, exact, "missed match: {tags:?} vs {tag}");
+            // False positives are tolerated, but only above a true match in
+            // the same 4-lane word (the documented borrow direction).
+            let spurious = swar & !exact;
+            for word in 0..2 {
+                let word_bits = 0b1111u8 << (word * 4);
+                let word_spurious = spurious & word_bits;
+                if word_spurious != 0 {
+                    let word_exact = exact & word_bits;
+                    assert!(
+                        word_exact != 0
+                            && word_exact.trailing_zeros() < word_spurious.trailing_zeros(),
+                        "unexplained false positive: {tags:?} vs {tag}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tag8_mask_lowest_bit_is_always_a_true_match() {
+        // The optimistic probe takes the lowest set bit; that bit must be
+        // exact even when higher lanes carry borrow artifacts.
+        let mut state = 0xDEAD_BEEF_0BAD_F00Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20_000 {
+            let mut tags = [0u16; 8];
+            for t in &mut tags {
+                *t = (next() % 7) as u16;
+            }
+            let tag = (next() % 7) as u16;
+            let mask = tag8_match_mask(&tags, tag);
+            if mask != 0 {
+                let first = mask.trailing_zeros() as usize;
+                assert_eq!(tags[first], tag, "{tags:?} vs {tag}");
+            } else {
+                assert!(!tags.contains(&tag));
+            }
         }
     }
 

@@ -206,9 +206,12 @@ pub fn generate(id: KeysetId, count: usize, seed: u64) -> Keyset {
 /// share an item (Az1) or user (Az2) prefix — exactly the property that makes
 /// the two orderings behave differently in trie-based indexes.
 fn amazon_key(rng: &mut SmallRng, item_first: bool) -> Vec<u8> {
-    // Draw items/users from bounded populations so prefixes repeat.
-    let item_pool = 1_000_000u64;
-    let user_pool = 2_000_000u64;
+    // Draw items/users from bounded populations so prefixes repeat. The
+    // pools are sized against DEFAULT_SCALE (not the paper's 142M reviews)
+    // so that shared item/user prefixes actually occur at the key counts
+    // this reproduction generates.
+    let item_pool = 100_000u64;
+    let user_pool = 200_000u64;
     let item = rng.gen_range(0..item_pool);
     let user = rng.gen_range(0..user_pool);
     let time = 1_100_000_000u64 + rng.gen_range(0..300_000_000u64);
@@ -236,8 +239,16 @@ fn url_key(rng: &mut SmallRng) -> Vec<u8> {
         "http://cdn.content-host.net",
     ];
     const SECTIONS: &[&str] = &[
-        "politics", "technology", "entertainment", "sports", "science", "business", "world",
-        "opinion", "health", "culture",
+        "politics",
+        "technology",
+        "entertainment",
+        "sports",
+        "science",
+        "business",
+        "world",
+        "opinion",
+        "health",
+        "culture",
     ];
     let site = SITES[rng.gen_range(0..SITES.len())];
     let section = SECTIONS[rng.gen_range(0..SECTIONS.len())];
@@ -382,7 +393,10 @@ mod tests {
         let klong = prefix_keyset(64, 500, true, 9);
         assert!(kshort.keys.iter().all(|k| k.len() == 64));
         assert!(klong.keys.iter().all(|k| k.len() == 64));
-        assert!(klong.keys.iter().all(|k| k[..60].iter().all(|&c| c == b'0')));
+        assert!(klong
+            .keys
+            .iter()
+            .all(|k| k[..60].iter().all(|&c| c == b'0')));
         // Kshort keys diverge within the first few bytes.
         let first_bytes: HashSet<u8> = kshort.keys.iter().map(|k| k[0]).collect();
         assert!(first_bytes.len() > 10);

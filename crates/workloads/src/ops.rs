@@ -40,7 +40,7 @@ impl OpMix {
 /// the effect of the CPU cache".
 pub fn uniform_indices(count: usize, n_keys: usize, seed: u64) -> Vec<usize> {
     assert!(n_keys > 0, "keyset must not be empty");
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x554E_4946_4F52_4D);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x554E49464F524D);
     (0..count).map(|_| rng.gen_range(0..n_keys)).collect()
 }
 

@@ -190,22 +190,16 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             TargetOutcome::Target(leaf) => Some(leaf),
             TargetOutcome::LeftOf(leaf) => {
                 let prev = leaf.0.data.read().prev.clone();
-                match prev.upgrade() {
-                    Some(prev) => Some(LeafHandle(prev)),
-                    // The left neighbour disappeared under us (merge racing
-                    // with this lookup): let the caller restart.
-                    None => None,
-                }
+                // When the left neighbour disappeared under us (merge racing
+                // with this lookup), return None and let the caller restart.
+                prev.upgrade().map(LeafHandle)
             }
             TargetOutcome::CompareAnchor(leaf) => {
                 let data = leaf.0.data.read();
                 if key < data.leaf.anchor() {
                     let prev = data.prev.clone();
                     drop(data);
-                    match prev.upgrade() {
-                        Some(prev) => Some(LeafHandle(prev)),
-                        None => None,
-                    }
+                    prev.upgrade().map(LeafHandle)
                 } else {
                     drop(data);
                     Some(leaf)
@@ -308,7 +302,9 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
 
         // Perform the split on the leaf list while holding the leaf locks.
         let table_key = current.table.reserve_anchor_key(&anchor);
-        let right_leaf = left_guard.leaf.split_off(at, anchor.clone(), table_key.clone());
+        let right_leaf = left_guard
+            .leaf
+            .split_off(at, anchor.clone(), table_key.clone());
         let old_right = left_guard.next.clone();
         let new_handle = LeafHandle::new(right_leaf, leaf.downgrade(), old_right.clone());
         left_guard.next = Some(new_handle.clone());
@@ -333,12 +329,10 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
 
         // Apply the changes to the spare table and publish it.
         let mut spare = writer.spare.take().expect("spare table present");
-        let relocations = spare.table.apply_split(
-            &table_key,
-            new_handle.clone(),
-            &leaf,
-            old_right.as_ref(),
-        );
+        let relocations =
+            spare
+                .table
+                .apply_split(&table_key, new_handle.clone(), &leaf, old_right.as_ref());
         for (relocated, new_key) in &relocations {
             // The only anchor that can be a proper prefix of the new anchor
             // is the split leaf's own anchor, whose lock we hold.
@@ -493,7 +487,11 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             prev_anchor = Some(anchor);
             cur = data.next.clone();
         }
-        assert_eq!(total, self.len.load(Ordering::Relaxed), "key count mismatch");
+        assert_eq!(
+            total,
+            self.len.load(Ordering::Relaxed),
+            "key count mismatch"
+        );
     }
 }
 
@@ -523,9 +521,12 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
                 ));
             }
             if data.leaf.len() < self.config.leaf_capacity {
-                let old = data
-                    .leaf
-                    .insert(key, hash, pending.take().expect("value present"), &self.config);
+                let old = data.leaf.insert(
+                    key,
+                    hash,
+                    pending.take().expect("value present"),
+                    &self.config,
+                );
                 debug_assert!(old.is_none());
                 return FastPath::Inserted;
             }
@@ -572,14 +573,19 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
         }
         // The scan restarts from the last delivered key whenever it reaches a
         // leaf that has been split or merged since the scan's table snapshot.
-        let mut resume_from = start.to_vec();
+        // The resume key and the per-leaf copy scratch are reused across
+        // leaves and restarts rather than re-allocated for each.
+        let mut resume_from: Vec<u8> = Vec::new();
+        resume_from.extend_from_slice(start);
+        let mut scratch: Vec<(Vec<u8>, V)> = Vec::new();
         'restart: loop {
             let (mut leaf, version) = self.locate(&resume_from);
             loop {
                 let mut data = leaf.0.data.write();
                 if leaf.expected_version() > version {
                     if let Some(last) = out.last() {
-                        resume_from = last.0.clone();
+                        resume_from.clear();
+                        resume_from.extend_from_slice(&last.0);
                     }
                     continue 'restart;
                 }
@@ -589,9 +595,9 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
                 data.leaf.ensure_key_sorted();
                 let lower: &[u8] = if out.is_empty() { start } else { &resume_from };
                 let remaining = (count - out.len()).saturating_add(1);
-                let mut scratch = Vec::with_capacity(remaining.min(1024));
+                scratch.clear();
                 data.leaf.collect_range(lower, remaining, &mut scratch);
-                for (k, v) in scratch {
+                for (k, v) in scratch.drain(..) {
                     // `resume_from` is the last key already delivered; skip it
                     // when the scan restarted on its leaf.
                     if !out.is_empty() && k.as_slice() <= resume_from.as_slice() {
@@ -603,7 +609,8 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
                     out.push((k, v));
                 }
                 if let Some(last) = out.last() {
-                    resume_from = last.0.clone();
+                    resume_from.clear();
+                    resume_from.extend_from_slice(&last.0);
                 }
                 let next = data.next.clone();
                 drop(data);
@@ -676,7 +683,10 @@ mod tests {
         assert_eq!(wh.len(), 11);
         wh.check_invariants();
         let out = wh.range_from(b"Brown", 3);
-        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        let keys: Vec<String> = out
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
         assert_eq!(keys, vec!["Denice", "Jacob", "Jason"]);
     }
 

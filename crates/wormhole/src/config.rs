@@ -98,16 +98,15 @@ impl WormholeConfig {
     pub fn ablation_ladder() -> Vec<(&'static str, WormholeConfig)> {
         let base = Self::base();
         vec![
-            ("BaseWormhole", base.clone()),
-            ("+TagMatching", base.clone().with_tag_matching(true)),
+            ("BaseWormhole", base),
+            ("+TagMatching", base.with_tag_matching(true)),
             (
                 "+IncHashing",
-                base.clone().with_tag_matching(true).with_inc_hashing(true),
+                base.with_tag_matching(true).with_inc_hashing(true),
             ),
             (
                 "+SortByTag",
-                base.clone()
-                    .with_tag_matching(true)
+                base.with_tag_matching(true)
                     .with_inc_hashing(true)
                     .with_sort_by_tag(true),
             ),

@@ -149,7 +149,8 @@ impl<V> LeafNode<V> {
 
     /// Returns a reference to the value stored under `key`.
     pub fn get(&self, key: &[u8], hash: u32, config: &WormholeConfig) -> Option<&V> {
-        self.find_slot(key, hash, config).map(|i| &self.kvs[i].value)
+        self.find_slot(key, hash, config)
+            .map(|i| &self.kvs[i].value)
     }
 
     /// Returns a mutable reference to the value stored under `key`.
@@ -159,7 +160,13 @@ impl<V> LeafNode<V> {
     }
 
     /// Inserts `key`, returning the previous value when it already existed.
-    pub fn insert(&mut self, key: &[u8], hash: u32, value: V, config: &WormholeConfig) -> Option<V> {
+    pub fn insert(
+        &mut self,
+        key: &[u8],
+        hash: u32,
+        value: V,
+        config: &WormholeConfig,
+    ) -> Option<V> {
         if let Some(slot) = self.find_slot(key, hash, config) {
             return Some(std::mem::replace(&mut self.kvs[slot].value, value));
         }
@@ -200,9 +207,17 @@ impl<V> LeafNode<V> {
         // Fix up both orderings: drop the removed index and shift the ones
         // after it down by one.
         let slot = slot as u16;
-        let hpos = self.hash_order.iter().position(|&i| i == slot).expect("hash entry");
+        let hpos = self
+            .hash_order
+            .iter()
+            .position(|&i| i == slot)
+            .expect("hash entry");
         self.hash_order.remove(hpos);
-        let kpos = self.key_order.iter().position(|&i| i == slot).expect("key entry");
+        let kpos = self
+            .key_order
+            .iter()
+            .position(|&i| i == slot)
+            .expect("key entry");
         self.key_order.remove(kpos);
         if kpos < self.sorted_cnt {
             self.sorted_cnt -= 1;
@@ -291,6 +306,60 @@ impl<V> LeafNode<V> {
         appended
     }
 
+    /// Like [`LeafNode::collect_range`], but usable while the key-sorted
+    /// view lags behind (`incSort` not yet run): the sorted prefix and the
+    /// unsorted tail are merged on the fly, ordering the tail through
+    /// `scratch` (a reusable index buffer) instead of cloning the leaf or
+    /// sorting it in place. Read-only range scans use this so they neither
+    /// mutate the leaf nor copy its keys.
+    pub fn collect_range_unsorted(
+        &self,
+        start: &[u8],
+        count: usize,
+        out: &mut Vec<(Vec<u8>, V)>,
+        scratch: &mut Vec<u16>,
+    ) -> usize
+    where
+        V: Clone,
+    {
+        if self.sorted_cnt == self.key_order.len() {
+            return self.collect_range(start, count, out);
+        }
+        scratch.clear();
+        scratch.extend_from_slice(&self.key_order[self.sorted_cnt..]);
+        scratch.sort_unstable_by(|&a, &b| self.kvs[a as usize].key.cmp(&self.kvs[b as usize].key));
+        let sorted = &self.key_order[..self.sorted_cnt];
+        let mut a = sorted.partition_point(|&i| self.kvs[i as usize].key.as_ref() < start);
+        let mut b = scratch.partition_point(|&i| self.kvs[i as usize].key.as_ref() < start);
+        let mut appended = 0;
+        while appended < count {
+            let next = match (sorted.get(a), scratch.get(b)) {
+                (Some(&x), Some(&y)) => {
+                    if self.kvs[x as usize].key <= self.kvs[y as usize].key {
+                        a += 1;
+                        x
+                    } else {
+                        b += 1;
+                        y
+                    }
+                }
+                (Some(&x), None) => {
+                    a += 1;
+                    x
+                }
+                (None, Some(&y)) => {
+                    b += 1;
+                    y
+                }
+                (None, None) => break,
+            };
+            let kv = &self.kvs[next as usize];
+            out.push((kv.key.to_vec(), kv.value.clone()));
+            appended += 1;
+        }
+        appended
+    }
+
     /// Chooses a split position and the new right sibling's logical anchor.
     ///
     /// Implements the anchor-formation rule of §2.2 with the §3.3 relaxation:
@@ -324,7 +393,7 @@ impl<V> LeafNode<V> {
         let mid = n / 2;
         for delta in 0..n {
             for i in [mid.wrapping_sub(delta), mid + delta] {
-                if i >= 1 && i <= n - 1 {
+                if (1..n).contains(&i) {
                     if let Some(anchor) = candidate_at(i, &self.kvs, &self.key_order) {
                         return Some((i, anchor));
                     }
@@ -359,7 +428,9 @@ impl<V> LeafNode<V> {
             }
         }
         // Rebuild the orderings of both leaves from the remap.
-        self.key_order.iter_mut().for_each(|i| *i = remap[*i as usize]);
+        self.key_order
+            .iter_mut()
+            .for_each(|i| *i = remap[*i as usize]);
         self.sorted_cnt = self.key_order.len();
         right.key_order = moved.iter().map(|&i| remap[i as usize]).collect();
         right.sorted_cnt = right.key_order.len();
@@ -412,7 +483,12 @@ mod tests {
         WormholeConfig::optimized().with_leaf_capacity(16)
     }
 
-    fn insert(leaf: &mut LeafNode<u64>, key: &[u8], value: u64, config: &WormholeConfig) -> Option<u64> {
+    fn insert(
+        leaf: &mut LeafNode<u64>,
+        key: &[u8],
+        value: u64,
+        config: &WormholeConfig,
+    ) -> Option<u64> {
         leaf.insert(key, crc32c(key), value, config)
     }
 
@@ -435,7 +511,11 @@ mod tests {
             }
             assert_eq!(leaf.len(), names.len());
             for (i, name) in names.iter().enumerate() {
-                assert_eq!(get(&leaf, name.as_bytes(), &config), Some(i as u64), "{name}");
+                assert_eq!(
+                    get(&leaf, name.as_bytes(), &config),
+                    Some(i as u64),
+                    "{name}"
+                );
             }
             assert_eq!(get(&leaf, b"Zed", &config), None);
             assert_eq!(insert(&mut leaf, b"Bob", 99, &config), Some(1));
@@ -445,7 +525,11 @@ mod tests {
             // Every other key still reachable after the removal fix-ups.
             for (i, name) in names.iter().enumerate() {
                 if *name != "Bob" {
-                    assert_eq!(get(&leaf, name.as_bytes(), &config), Some(i as u64), "{name}");
+                    assert_eq!(
+                        get(&leaf, name.as_bytes(), &config),
+                        Some(i as u64),
+                        "{name}"
+                    );
                 }
             }
         }
@@ -467,7 +551,10 @@ mod tests {
         }
         leaf.ensure_key_sorted();
         let keys: Vec<&[u8]> = leaf.iter_key_order().map(|kv| kv.key.as_ref()).collect();
-        assert_eq!(keys, vec![b"a".as_ref(), b"b", b"c", b"d", b"m", b"q", b"t", b"x"]);
+        assert_eq!(
+            keys,
+            vec![b"a".as_ref(), b"b", b"c", b"d", b"m", b"q", b"t", b"x"]
+        );
     }
 
     #[test]
@@ -481,7 +568,10 @@ mod tests {
         let mut out = Vec::new();
         let n = leaf.collect_range(b"k03", 4, &mut out);
         assert_eq!(n, 4);
-        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        let keys: Vec<String> = out
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
         assert_eq!(keys, vec!["k03", "k04", "k05", "k06"]);
     }
 
@@ -518,7 +608,9 @@ mod tests {
         for (i, k) in keys.iter().enumerate() {
             insert(&mut leaf, k, i as u64, &config);
         }
-        let (at, anchor) = leaf.choose_split().expect("the 1/11 boundary is splittable");
+        let (at, anchor) = leaf
+            .choose_split()
+            .expect("the 1/11 boundary is splittable");
         assert_eq!(anchor, vec![1, 1]);
         assert_eq!(at, 4);
     }

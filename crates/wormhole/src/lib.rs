@@ -18,6 +18,17 @@
 //!   trie descent becomes a binary search over prefix lengths — `O(log L)`
 //!   hash probes.
 //!
+//! The MetaTrieHT uses the paper's cache-line bucket layout (§3.1/§3.4):
+//! one flat allocation of 64-byte buckets, each packing eight 16-bit tags
+//! and eight item indices, with a small overflow chain for the rare bucket
+//! holding more than eight residents. A probe SWAR-compares all eight tags
+//! of a line at once and touches an item record only on a tag match, so the
+//! LPM binary search costs a handful of cache-line fills; see
+//! [`meta`](crate::meta) for the full layout. On top of that layout the
+//! point-lookup path — [`Wormhole::get`], the LPM search, and the trie
+//! sibling step — performs **zero heap allocations per call**, and range
+//! scans reuse their resume-key and scratch buffers across leaves.
+//!
 //! The implementation optimisations of §3 — 16-bit tag matching, incremental
 //! CRC hashing, hash-ordered leaf tag arrays, and speculative leaf
 //! positioning — are all implemented and individually switchable through
@@ -48,8 +59,8 @@
 //! assert_eq!(range[1].0, b"Jason".to_vec());
 //! ```
 
-pub mod config;
 pub mod concurrent;
+pub mod config;
 pub mod leaf;
 pub mod meta;
 pub mod single;

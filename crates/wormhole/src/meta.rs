@@ -8,12 +8,36 @@
 //! and looked up directly, and the longest prefix match is found with a
 //! binary search over prefix lengths (Algorithm 1).
 //!
+//! # Bucket layout (§3.1, §3.4)
+//!
+//! The paper's table packs eight (tag, pointer) pairs into each 64-byte
+//! cache line so a probe inspects one line of tags before dereferencing
+//! anything. This table reproduces that layout:
+//!
+//! * the bucket array is **one flat allocation** of 64-byte, 64-byte-aligned
+//!   [`Bucket`] records — no per-bucket heap allocation, no `Vec<Vec<_>>`
+//!   indirection;
+//! * each bucket holds **eight slots**: a `[u16; 8]` tag lane (16 bytes, the
+//!   §3.1 *TagMatching* filter, compared eight-at-a-time with
+//!   [`wh_hash::tag8_match_mask`]) and a `[u32; 8]` item-index lane, so a
+//!   probe touches exactly one cache line until a tag matches;
+//! * the rare bucket with more than eight residents chains into a small
+//!   **overflow pool** (`overflow` holds an off-by-one index into it; the
+//!   pool is rebuilt empty on every resize, so chains never accumulate);
+//! * item records (prefix bytes, full hash, payload) live in a side array
+//!   indexed by the `u32` slot values; exact probes only touch an item after
+//!   its 16-bit tag matched, optimistic probes not at all.
+//!
+//! `grow()` doubles the flat array and rehashes every slot directly from the
+//! item records (each stores its full CRC), with no intermediate per-bucket
+//! allocations.
+//!
 //! The table is generic over the leaf handle type `L` so the same code backs
 //! both the single-threaded index (arena indices) and the concurrent index
 //! (`Arc` leaf pointers).
 
 use index_traits::IndexStats;
-use wh_hash::{crc32c, mix64, tag16, IncrementalHasher};
+use wh_hash::{crc32c, crc32c_append, mix64, tag16, tag8_match_mask, IncrementalHasher};
 
 use crate::config::WormholeConfig;
 
@@ -106,20 +130,38 @@ impl TokenBitmap {
     }
 }
 
+/// Payload of an interior trie node: the child bitmap plus the subtree's
+/// leaf bounds. Boxed behind [`MetaKind::Internal`] so every item record
+/// stays 40 bytes (down from 72 with the payload inline) — exact probes
+/// then touch at most one extra cache line per key comparison.
+#[derive(Debug, Clone)]
+pub struct InternalNode<L> {
+    /// Which child tokens exist.
+    pub bitmap: TokenBitmap,
+    /// Leftmost leaf of the subtree rooted here.
+    pub leftmost: L,
+    /// Rightmost leaf of the subtree rooted here.
+    pub rightmost: L,
+}
+
 /// Payload of a MetaTrieHT item.
 #[derive(Debug, Clone)]
 pub enum MetaKind<L> {
     /// The prefix is an anchor; the item points at its leaf node.
     Leaf(L),
     /// The prefix is an interior trie node.
-    Internal {
-        /// Which child tokens exist.
-        bitmap: TokenBitmap,
-        /// Leftmost leaf of the subtree rooted here.
-        leftmost: L,
-        /// Rightmost leaf of the subtree rooted here.
-        rightmost: L,
-    },
+    Internal(Box<InternalNode<L>>),
+}
+
+impl<L> MetaKind<L> {
+    /// Builds an internal item payload.
+    pub fn internal(bitmap: TokenBitmap, leftmost: L, rightmost: L) -> Self {
+        MetaKind::Internal(Box::new(InternalNode {
+            bitmap,
+            leftmost,
+            rightmost,
+        }))
+    }
 }
 
 /// One hash-table item: a prefix (or anchor) plus its payload.
@@ -133,17 +175,69 @@ pub struct MetaItem<L> {
     pub kind: MetaKind<L>,
 }
 
-/// One slot in a hash bucket: a 16-bit tag plus the item index.
+/// Number of slots per bucket: eight (tag16, item-index) pairs fill one
+/// 64-byte cache line, the paper's layout.
+const BUCKET_SLOTS: usize = 8;
+
+/// One cache line of the hash table: eight 16-bit tags, eight `u32` item
+/// indices, the live-slot count, and an optional overflow link.
+///
+/// `repr(C, align(64))` pins the record to exactly one 64-byte cache line
+/// (tags 16 B + items 32 B + len/link 8 B + padding), so a probe's tag scan
+/// is a single line fill.
+#[repr(C, align(64))]
 #[derive(Debug, Clone, Copy)]
-struct Slot {
-    tag: u16,
-    item: u32,
+struct Bucket {
+    /// 16-bit tags of the live slots (`0..len`); compared in one SWAR pass.
+    tags: [u16; BUCKET_SLOTS],
+    /// Item indices paired with `tags`.
+    items: [u32; BUCKET_SLOTS],
+    /// Number of live slots (`0..=BUCKET_SLOTS`); live slots are packed at
+    /// the front.
+    len: u8,
+    /// Off-by-one index of the next bucket in the overflow pool (0 = none).
+    overflow: u32,
 }
 
-/// Nominal number of slots that fit in one cache line (the paper packs eight
-/// tag+pointer pairs per 64-byte line). Buckets grow past this only under
-/// unusual collision pressure; the table resizes before that becomes common.
-const BUCKET_TARGET: usize = 8;
+impl Bucket {
+    const EMPTY: Bucket = Bucket {
+        tags: [0; BUCKET_SLOTS],
+        items: [0; BUCKET_SLOTS],
+        len: 0,
+        overflow: 0,
+    };
+
+    /// Bitmask of live slots.
+    #[inline]
+    fn live_mask(&self) -> u8 {
+        ((1u32 << self.len) - 1) as u8
+    }
+
+    /// Bitmask of live slots whose tag equals `tag`: one SWAR pass over the
+    /// bucket's whole tag lane, masked down to the live slots. The lowest
+    /// set bit is always an exact match (see [`tag8_match_mask`]).
+    #[inline]
+    fn tag_matches(&self, tag: u16) -> u8 {
+        tag8_match_mask(&self.tags, tag) & self.live_mask()
+    }
+}
+
+// The whole point of the layout: one bucket, one cache line.
+const _: () = assert!(std::mem::size_of::<Bucket>() == 64);
+const _: () = assert!(std::mem::align_of::<Bucket>() == 64);
+
+/// Position of a bucket: in the flat main array or in the overflow pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BucketLoc {
+    /// Index into the main bucket array.
+    Main(usize),
+    /// Index into the overflow pool.
+    Over(usize),
+}
+
+/// Grow when the table is more than ~3/4 full (6 of 8 slots per bucket on
+/// average), the same load factor the seed layout used.
+const GROW_NUM: usize = BUCKET_SLOTS - 2;
 
 /// Outcome of the trie search (Algorithm 3) before leaf-list adjustment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -157,10 +251,17 @@ pub enum TargetOutcome<L> {
     CompareAnchor(L),
 }
 
-/// The MetaTrieHT hash table.
+/// The MetaTrieHT hash table (cache-line-bucketized; see the module docs
+/// for the layout).
 #[derive(Debug, Clone)]
 pub struct MetaTable<L> {
-    buckets: Vec<Vec<Slot>>,
+    /// The flat bucket array — one contiguous allocation of 64-byte records,
+    /// always a power-of-two length.
+    buckets: Box<[Bucket]>,
+    /// Overflow buckets for the rare >8-collision bucket, chained through
+    /// `Bucket::overflow` links; cleared on every resize.
+    overflow: Vec<Bucket>,
+    /// Item records, indexed by the `u32` values stored in bucket slots.
     items: Vec<Option<MetaItem<L>>>,
     free: Vec<u32>,
     len: usize,
@@ -179,7 +280,8 @@ impl<L: LeafRef> MetaTable<L> {
     /// Creates an empty table.
     pub fn new() -> Self {
         Self {
-            buckets: vec![Vec::new(); 64],
+            buckets: vec![Bucket::EMPTY; 64].into_boxed_slice(),
+            overflow: Vec::new(),
             items: Vec::new(),
             free: Vec::new(),
             len: 0,
@@ -204,14 +306,15 @@ impl<L: LeafRef> MetaTable<L> {
 
     /// Approximate structure bytes used by the table.
     pub fn structure_bytes(&self) -> usize {
-        let slots: usize = self.buckets.iter().map(|b| b.capacity()).sum();
+        let bucket_bytes =
+            (self.buckets.len() + self.overflow.capacity()) * std::mem::size_of::<Bucket>();
         let item_keys: usize = self
             .items
             .iter()
             .flatten()
             .map(|i| i.key.len() + std::mem::size_of::<MetaItem<L>>())
             .sum();
-        slots * std::mem::size_of::<Slot>() + item_keys + self.items.capacity() * 8
+        bucket_bytes + item_keys + self.items.capacity() * 8
     }
 
     /// Memory statistics contribution of the meta structure.
@@ -228,15 +331,51 @@ impl<L: LeafRef> MetaTable<L> {
         (mix64(hash as u64) as usize) & (self.buckets.len() - 1)
     }
 
-    /// Finds the item index for `key` (exact, always verified).
+    #[inline]
+    fn bucket(&self, loc: BucketLoc) -> &Bucket {
+        match loc {
+            BucketLoc::Main(i) => &self.buckets[i],
+            BucketLoc::Over(i) => &self.overflow[i],
+        }
+    }
+
+    #[inline]
+    fn bucket_mut(&mut self, loc: BucketLoc) -> &mut Bucket {
+        match loc {
+            BucketLoc::Main(i) => &mut self.buckets[i],
+            BucketLoc::Over(i) => &mut self.overflow[i],
+        }
+    }
+
+    /// Iterates the bucket chain for `hash`: the main-array bucket first,
+    /// then any overflow buckets linked behind it. Every read-side walk
+    /// (exact find, optimistic probe, child lookup, slot location) goes
+    /// through this single definition of the chain protocol.
+    #[inline]
+    fn chain(&self, hash: u32) -> impl Iterator<Item = (BucketLoc, &Bucket)> {
+        let mut next = Some(BucketLoc::Main(self.bucket_of(hash)));
+        std::iter::from_fn(move || {
+            let loc = next?;
+            let bucket = self.bucket(loc);
+            next = (bucket.overflow != 0).then(|| BucketLoc::Over((bucket.overflow - 1) as usize));
+            Some((loc, bucket))
+        })
+    }
+
+    /// Finds the item index for `key` (exact, always verified): a tag scan
+    /// over each cache-line bucket, dereferencing an item record only after
+    /// its 16-bit tag matched.
     fn find(&self, key: &[u8], hash: u32) -> Option<u32> {
         let tag = tag16(hash);
-        let bucket = &self.buckets[self.bucket_of(hash)];
-        for slot in bucket {
-            if slot.tag == tag {
-                let item = self.items[slot.item as usize].as_ref().expect("live item");
+        for (_, bucket) in self.chain(hash) {
+            let mut mask = bucket.tag_matches(tag);
+            while mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let idx = bucket.items[slot];
+                let item = self.items[idx as usize].as_ref().expect("live item");
                 if item.key.as_ref() == key {
-                    return Some(slot.item);
+                    return Some(idx);
                 }
             }
         }
@@ -245,14 +384,114 @@ impl<L: LeafRef> MetaTable<L> {
 
     /// Probes for a prefix during the LPM binary search. With `optimistic`
     /// set (the *TagMatching* optimisation) the first tag match is trusted
-    /// without comparing the stored prefix bytes.
+    /// without comparing the stored prefix bytes — the probe never leaves
+    /// the bucket cache line(s).
     fn probe(&self, key: &[u8], hash: u32, optimistic: bool) -> Option<u32> {
         if optimistic {
             let tag = tag16(hash);
-            let bucket = &self.buckets[self.bucket_of(hash)];
-            bucket.iter().find(|slot| slot.tag == tag).map(|s| s.item)
+            self.chain(hash).find_map(|(_, bucket)| {
+                let mask = bucket.tag_matches(tag);
+                // The lowest set bit is always an exact tag match (see
+                // `tag8_match_mask`).
+                (mask != 0).then(|| bucket.items[mask.trailing_zeros() as usize])
+            })
         } else {
             self.find(key, hash)
+        }
+    }
+
+    /// Finds the item whose key is `prefix` extended by `token`, given the
+    /// CRC of `prefix`. Used by the trie search's sibling step (Algorithm 3)
+    /// so that no concatenated key needs to be materialised.
+    fn find_child(&self, prefix: &[u8], prefix_hash: u32, token: u8) -> Option<&MetaItem<L>> {
+        let hash = crc32c_append(prefix_hash, &[token]);
+        let tag = tag16(hash);
+        for (_, bucket) in self.chain(hash) {
+            let mut mask = bucket.tag_matches(tag);
+            while mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let idx = bucket.items[slot];
+                let item = self.items[idx as usize].as_ref().expect("live item");
+                let k = item.key.as_ref();
+                if k.len() == prefix.len() + 1
+                    && k[prefix.len()] == token
+                    && &k[..prefix.len()] == prefix
+                {
+                    return Some(item);
+                }
+            }
+        }
+        None
+    }
+
+    /// Locates the bucket and slot currently holding item `target` (which
+    /// must be live under `hash`).
+    fn locate_slot(&self, hash: u32, target: u32) -> Option<(BucketLoc, usize)> {
+        self.chain(hash).find_map(|(loc, bucket)| {
+            (0..bucket.len as usize)
+                .find(|&slot| bucket.items[slot] == target)
+                .map(|slot| (loc, slot))
+        })
+    }
+
+    /// Appends a (tag, item) slot to the bucket chain for `hash`, extending
+    /// the chain with a pool bucket when every slot is full.
+    fn insert_slot(&mut self, hash: u32, item: u32) {
+        let tag = tag16(hash);
+        let mut loc = BucketLoc::Main(self.bucket_of(hash));
+        loop {
+            let bucket = self.bucket_mut(loc);
+            if (bucket.len as usize) < BUCKET_SLOTS {
+                let slot = bucket.len as usize;
+                bucket.tags[slot] = tag;
+                bucket.items[slot] = item;
+                bucket.len += 1;
+                return;
+            }
+            if bucket.overflow != 0 {
+                loc = BucketLoc::Over((bucket.overflow - 1) as usize);
+                continue;
+            }
+            // Chain a fresh overflow bucket holding the new slot.
+            let mut fresh = Bucket::EMPTY;
+            fresh.tags[0] = tag;
+            fresh.items[0] = item;
+            fresh.len = 1;
+            let link = self.overflow.len() as u32 + 1;
+            self.overflow.push(fresh);
+            self.bucket_mut(loc).overflow = link;
+            return;
+        }
+    }
+
+    /// Removes the slot holding `target` by swapping the chain's last live
+    /// slot into the hole, so live slots stay packed at the front of every
+    /// bucket.
+    fn remove_slot(&mut self, hash: u32, target: u32) {
+        let (loc, slot) = self
+            .locate_slot(hash, target)
+            .expect("slot present for removal");
+        // The chain's last live bucket supplies the replacement slot (bucket
+        // fullness is monotone along the chain, so the last live bucket is
+        // unambiguous and at least `loc` itself qualifies).
+        let last_loc = self
+            .chain(hash)
+            .filter(|(_, bucket)| bucket.len > 0)
+            .last()
+            .map(|(loc, _)| loc)
+            .expect("chain holds at least the located bucket");
+        // Swap the chain's final live slot into the hole (may be the hole
+        // itself) and shrink the final bucket. Empty overflow buckets stay
+        // linked; they are reclaimed wholesale on the next resize.
+        let last = self.bucket_mut(last_loc);
+        let last_slot = last.len as usize - 1;
+        let (moved_tag, moved_item) = (last.tags[last_slot], last.items[last_slot]);
+        last.len -= 1;
+        if last_loc != loc || last_slot != slot {
+            let bucket = self.bucket_mut(loc);
+            bucket.tags[slot] = moved_tag;
+            bucket.items[slot] = moved_item;
         }
     }
 
@@ -275,6 +514,15 @@ impl<L: LeafRef> MetaTable<L> {
         self.get(key).is_some()
     }
 
+    /// Tag-only membership probe — the §3.1 optimistic *TagMatching* probe
+    /// the LPM binary search runs at every step: bucket tag lanes are
+    /// scanned without ever touching an item record, so rare 16-bit-tag
+    /// false positives are possible. Exposed for the probe benchmarks.
+    pub fn probe_optimistic(&self, key: &[u8]) -> bool {
+        let hash = crc32c(key);
+        self.probe(key, hash, true).is_some()
+    }
+
     /// Inserts `kind` under `key`, replacing and returning any previous item.
     pub fn insert(&mut self, key: &[u8], kind: MetaKind<L>) -> Option<MetaKind<L>> {
         let hash = crc32c(key);
@@ -282,9 +530,10 @@ impl<L: LeafRef> MetaTable<L> {
             let item = self.items[idx as usize].as_mut().expect("live item");
             return Some(std::mem::replace(&mut item.kind, kind));
         }
-        if self.len + 1 > self.buckets.len() * (BUCKET_TARGET - 2) {
+        if self.len + 1 > self.buckets.len() * GROW_NUM {
             self.grow();
         }
+        let is_leaf = matches!(kind, MetaKind::Leaf(_));
         let item = MetaItem {
             key: key.to_vec().into_boxed_slice(),
             hash,
@@ -300,16 +549,9 @@ impl<L: LeafRef> MetaTable<L> {
                 (self.items.len() - 1) as u32
             }
         };
-        let bucket = self.bucket_of(hash);
-        self.buckets[bucket].push(Slot {
-            tag: tag16(hash),
-            item: idx,
-        });
+        self.insert_slot(hash, idx);
         self.len += 1;
-        if matches!(
-            self.items[idx as usize].as_ref().map(|i| &i.kind),
-            Some(MetaKind::Leaf(_))
-        ) {
+        if is_leaf {
             self.max_anchor_len = self.max_anchor_len.max(key.len());
         }
         None
@@ -319,26 +561,26 @@ impl<L: LeafRef> MetaTable<L> {
     pub fn remove(&mut self, key: &[u8]) -> Option<MetaItem<L>> {
         let hash = crc32c(key);
         let idx = self.find(key, hash)?;
-        let bucket = self.bucket_of(hash);
-        self.buckets[bucket].retain(|slot| slot.item != idx);
+        self.remove_slot(hash, idx);
         self.len -= 1;
         self.free.push(idx);
         self.items[idx as usize].take()
     }
 
+    /// Doubles the flat bucket array, rehashing every slot straight from the
+    /// item records (each stores its full CRC). The overflow pool is rebuilt
+    /// from scratch — under the doubled bucket count almost no chain
+    /// survives — and no per-bucket allocation happens at any point.
     fn grow(&mut self) {
         let new_size = self.buckets.len() * 2;
-        let mut buckets: Vec<Vec<Slot>> = vec![Vec::new(); new_size];
-        for (idx, item) in self.items.iter().enumerate() {
-            if let Some(item) = item {
-                let b = (mix64(item.hash as u64) as usize) & (new_size - 1);
-                buckets[b].push(Slot {
-                    tag: tag16(item.hash),
-                    item: idx as u32,
-                });
-            }
+        self.buckets = vec![Bucket::EMPTY; new_size].into_boxed_slice();
+        self.overflow.clear();
+        for idx in 0..self.items.len() {
+            let Some(hash) = self.items[idx].as_ref().map(|item| item.hash) else {
+                continue;
+            };
+            self.insert_slot(hash, idx as u32);
         }
-        self.buckets = buckets;
     }
 
     /// Iterates all live items.
@@ -356,17 +598,14 @@ impl<L: LeafRef> MetaTable<L> {
     fn search_lpm(&self, key: &[u8], config: &WormholeConfig) -> (u32, usize) {
         let bound = key.len().min(self.max_anchor_len);
         let optimistic = config.tag_matching;
-        loop {
-            let result = self.search_lpm_once(key, bound, optimistic, config.inc_hashing);
-            match result {
-                Some(found) => return found,
-                // A tag false-positive misled the optimistic search; redo it
-                // with full prefix comparisons (§3.1).
-                None => {
-                    debug_assert!(optimistic);
-                    let exact = self.search_lpm_once(key, bound, false, config.inc_hashing);
-                    return exact.expect("exact LPM search cannot fail verification");
-                }
+        match self.search_lpm_once(key, bound, optimistic, config.inc_hashing) {
+            Some(found) => found,
+            // A tag false-positive misled the optimistic search; redo it
+            // with full prefix comparisons (§3.1).
+            None => {
+                debug_assert!(optimistic);
+                self.search_lpm_once(key, bound, false, config.inc_hashing)
+                    .expect("exact LPM search cannot fail verification")
             }
         }
     }
@@ -427,28 +666,25 @@ impl<L: LeafRef> MetaTable<L> {
         let item = self.items[item_idx as usize].as_ref().expect("live item");
         match &item.kind {
             MetaKind::Leaf(leaf) => TargetOutcome::Target(leaf.clone()),
-            MetaKind::Internal {
-                bitmap,
-                leftmost,
-                rightmost,
-            } => {
+            MetaKind::Internal(node) => {
                 if match_len == key.len() {
                     // The whole key is an interior prefix: the target is the
                     // subtree's leftmost leaf or its left neighbour.
-                    return TargetOutcome::CompareAnchor(leftmost.clone());
+                    return TargetOutcome::CompareAnchor(node.leftmost.clone());
                 }
                 let missing = key[match_len];
-                let Some(sibling) = bitmap.find_one_sibling(missing) else {
+                let Some(sibling) = node.bitmap.find_one_sibling(missing) else {
                     // An internal node always has at least one child; treat a
                     // corrupted bitmap as "use the subtree bounds".
                     debug_assert!(false, "internal node with empty bitmap");
-                    return TargetOutcome::Target(rightmost.clone());
+                    return TargetOutcome::Target(node.rightmost.clone());
                 };
-                let mut child_key = Vec::with_capacity(match_len + 1);
-                child_key.extend_from_slice(&key[..match_len]);
-                child_key.push(sibling);
+                // The child's key is the matched prefix plus one token; its
+                // hash extends the matched item's stored CRC, so the probe
+                // needs no materialised key (the lookup hot path stays
+                // allocation-free).
                 let child = self
-                    .get(&child_key)
+                    .find_child(&key[..match_len], item.hash, sibling)
                     .expect("bitmap bit set but child item missing");
                 match &child.kind {
                     MetaKind::Leaf(leaf) => {
@@ -458,15 +694,11 @@ impl<L: LeafRef> MetaTable<L> {
                             TargetOutcome::Target(leaf.clone())
                         }
                     }
-                    MetaKind::Internal {
-                        leftmost,
-                        rightmost,
-                        ..
-                    } => {
+                    MetaKind::Internal(child_node) => {
                         if sibling > missing {
-                            TargetOutcome::LeftOf(leftmost.clone())
+                            TargetOutcome::LeftOf(child_node.leftmost.clone())
                         } else {
-                            TargetOutcome::Target(rightmost.clone())
+                            TargetOutcome::Target(child_node.rightmost.clone())
                         }
                     }
                 }
@@ -507,10 +739,7 @@ impl<L: LeafRef> MetaTable<L> {
         old_right: Option<&L>,
     ) -> Vec<(L, Vec<u8>)> {
         let mut relocations = Vec::new();
-        debug_assert!(
-            !self.contains(table_key),
-            "anchor table key must be unused"
-        );
+        debug_assert!(!self.contains(table_key), "anchor table key must be unused");
         self.insert(table_key, MetaKind::Leaf(new_leaf.clone()));
         for plen in 0..table_key.len() {
             let prefix = &table_key[..plen];
@@ -524,27 +753,19 @@ impl<L: LeafRef> MetaTable<L> {
                     bitmap.set(token);
                     self.insert(
                         prefix,
-                        MetaKind::Internal {
-                            bitmap,
-                            leftmost: new_leaf.clone(),
-                            rightmost: new_leaf.clone(),
-                        },
+                        MetaKind::internal(bitmap, new_leaf.clone(), new_leaf.clone()),
                     );
                     None
                 }
                 Some(item) => match &mut item.kind {
-                    MetaKind::Internal {
-                        bitmap,
-                        leftmost,
-                        rightmost,
-                    } => {
-                        bitmap.set(token);
-                        if rightmost.same(split_leaf) {
-                            *rightmost = new_leaf.clone();
+                    MetaKind::Internal(node) => {
+                        node.bitmap.set(token);
+                        if node.rightmost.same(split_leaf) {
+                            node.rightmost = new_leaf.clone();
                         }
                         if let Some(right) = old_right {
-                            if leftmost.same(right) {
-                                *leftmost = new_leaf.clone();
+                            if node.leftmost.same(right) {
+                                node.leftmost = new_leaf.clone();
                             }
                         }
                         None
@@ -566,11 +787,7 @@ impl<L: LeafRef> MetaTable<L> {
                 bitmap.set(token);
                 self.insert(
                     prefix,
-                    MetaKind::Internal {
-                        bitmap,
-                        leftmost: existing.clone(),
-                        rightmost: new_leaf.clone(),
-                    },
+                    MetaKind::internal(bitmap, existing.clone(), new_leaf.clone()),
                 );
                 relocations.push((existing, relocated_key));
             }
@@ -605,32 +822,26 @@ impl<L: LeafRef> MetaTable<L> {
                     debug_assert!(false, "missing prefix item during merge");
                     continue;
                 };
-                let MetaKind::Internal {
-                    bitmap,
-                    leftmost,
-                    rightmost,
-                } = &mut item.kind
-                else {
+                let MetaKind::Internal(node) = &mut item.kind else {
                     debug_assert!(false, "prefix of an anchor must be an internal item");
                     continue;
                 };
                 if child_removed {
-                    bitmap.clear(token);
+                    node.bitmap.clear(token);
                 }
-                if bitmap.is_empty() {
+                if node.bitmap.is_empty() {
                     true
                 } else {
                     child_removed = false;
-                    if leftmost.same(victim) {
+                    if node.leftmost.same(victim) {
                         // The subtree's leaves form a contiguous run of the
                         // leaf list, so the victim's right neighbour takes
                         // over.
-                        *leftmost = victim_right
-                            .cloned()
-                            .unwrap_or_else(|| victim_left.clone());
+                        node.leftmost =
+                            victim_right.cloned().unwrap_or_else(|| victim_left.clone());
                     }
-                    if rightmost.same(victim) {
-                        *rightmost = victim_left.clone();
+                    if node.rightmost.same(victim) {
+                        node.rightmost = victim_left.clone();
                     }
                     false
                 }
@@ -646,6 +857,27 @@ impl<L: LeafRef> MetaTable<L> {
     pub fn install_root_leaf(&mut self, leaf: L) {
         debug_assert!(self.is_empty());
         self.insert(&[], MetaKind::Leaf(leaf));
+    }
+
+    /// Creates an empty table with a tiny bucket array, so tests can force
+    /// bucket-overflow chains deterministically.
+    #[cfg(test)]
+    fn with_bucket_count(buckets: usize) -> Self {
+        assert!(buckets.is_power_of_two());
+        Self {
+            buckets: vec![Bucket::EMPTY; buckets].into_boxed_slice(),
+            overflow: Vec::new(),
+            items: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+            max_anchor_len: 0,
+        }
+    }
+
+    /// Number of overflow buckets currently allocated (tests only).
+    #[cfg(test)]
+    fn overflow_buckets(&self) -> usize {
+        self.overflow.len()
     }
 }
 
@@ -702,20 +934,102 @@ mod tests {
         assert!(!t.contains(b"J"));
         let mut bitmap = TokenBitmap::new();
         bitmap.set(b'a');
-        t.insert(
-            b"J",
-            MetaKind::Internal {
-                bitmap,
-                leftmost: 1,
-                rightmost: 1,
-            },
-        );
+        t.insert(b"J", MetaKind::internal(bitmap, 1, 1));
         assert_eq!(t.len(), 2);
-        assert!(matches!(t.get(b"J").unwrap().kind, MetaKind::Internal { .. }));
+        assert!(matches!(
+            t.get(b"J").unwrap().kind,
+            MetaKind::Internal { .. }
+        ));
         assert!(t.remove(b"Ja").is_some());
         assert!(!t.contains(b"Ja"));
         assert!(t.remove(b"Ja").is_none());
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn overflow_chain_insert_find_remove() {
+        // A single-bucket table: every key collides, so the ninth insert
+        // must chain into the overflow pool.
+        let mut t: MetaTable<u32> = MetaTable::with_bucket_count(1);
+        let keys: Vec<Vec<u8>> = (0..10u32)
+            .map(|i| format!("ovf-{i}").into_bytes())
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            // Stay below the grow threshold (1 bucket * 6) by growing once:
+            // after the automatic grow to 2 buckets the threshold is 12.
+            t.insert(k, MetaKind::Leaf(i as u32));
+        }
+        assert_eq!(t.len(), 10);
+        for (i, k) in keys.iter().enumerate() {
+            match &t.get(k).expect("present").kind {
+                MetaKind::Leaf(l) => assert_eq!(*l, i as u32, "{k:?}"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Remove from the middle and the ends; every survivor stays findable.
+        let removed = [0usize, 4, 9, 5];
+        for &victim in &removed {
+            assert!(t.remove(&keys[victim]).is_some());
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k).is_some(), !removed.contains(&i), "{k:?}");
+        }
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn overflow_chain_forced_without_grow() {
+        // Force a genuine >8 chain on one bucket of a 2-bucket table by
+        // picking keys that hash into bucket 0.
+        let mut t: MetaTable<u32> = MetaTable::with_bucket_count(2);
+        let mut picked = Vec::new();
+        let mut i = 0u32;
+        while picked.len() < 10 {
+            let key = format!("chain-{i}").into_bytes();
+            if t.bucket_of(wh_hash::crc32c(&key)) == 0 {
+                picked.push(key);
+            }
+            i += 1;
+        }
+        for (v, k) in picked.iter().enumerate() {
+            t.insert(k, MetaKind::Leaf(v as u32));
+        }
+        assert!(t.overflow_buckets() >= 1, "ten colliding keys must chain");
+        for (v, k) in picked.iter().enumerate() {
+            match &t.get(k).expect("present").kind {
+                MetaKind::Leaf(l) => assert_eq!(*l, v as u32),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Drain the chain completely and refill it.
+        for k in &picked {
+            assert!(t.remove(k).is_some());
+        }
+        assert!(t.is_empty());
+        for (v, k) in picked.iter().enumerate() {
+            t.insert(k, MetaKind::Leaf(v as u32));
+            assert!(t.contains(k), "{v}");
+        }
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn grow_rebuilds_overflow_pool() {
+        let mut t: MetaTable<u32> = MetaTable::with_bucket_count(1);
+        // 200 items force several doublings; the pool must shrink back as
+        // buckets spread the load.
+        for i in 0..200u32 {
+            t.insert(format!("g-{i}").as_bytes(), MetaKind::Leaf(i));
+        }
+        for i in 0..200u32 {
+            assert!(t.contains(format!("g-{i}").as_bytes()), "{i}");
+        }
+        // After growing to >= 64 buckets for 200 items, chains are rare.
+        assert!(
+            t.overflow_buckets() <= 4,
+            "grow must rebuild chains, found {}",
+            t.overflow_buckets()
+        );
     }
 
     #[test]
@@ -755,7 +1069,10 @@ mod tests {
     fn figure5_structure() {
         let t = figure5_table();
         // The root is internal; the original leaf was relocated to "\0".
-        assert!(matches!(t.get(b"").unwrap().kind, MetaKind::Internal { .. }));
+        assert!(matches!(
+            t.get(b"").unwrap().kind,
+            MetaKind::Internal { .. }
+        ));
         assert!(matches!(t.get(b"\0").unwrap().kind, MetaKind::Leaf(1)));
         assert!(matches!(t.get(b"Au").unwrap().kind, MetaKind::Leaf(2)));
         assert!(matches!(t.get(b"Jam").unwrap().kind, MetaKind::Leaf(3)));
@@ -768,16 +1085,16 @@ mod tests {
             );
         }
         // Figure 5's root bitmap lists children ⊥, 'A', 'J'.
-        if let MetaKind::Internal { bitmap, leftmost, rightmost } = &t.get(b"").unwrap().kind {
-            assert!(bitmap.test(0) && bitmap.test(b'A') && bitmap.test(b'J'));
-            assert_eq!(bitmap.count(), 3);
-            assert_eq!(*leftmost, 1);
-            assert_eq!(*rightmost, 4);
+        if let MetaKind::Internal(node) = &t.get(b"").unwrap().kind {
+            assert!(node.bitmap.test(0) && node.bitmap.test(b'A') && node.bitmap.test(b'J'));
+            assert_eq!(node.bitmap.count(), 3);
+            assert_eq!(node.leftmost, 1);
+            assert_eq!(node.rightmost, 4);
         }
         // The "J" subtree spans leaves 3..4 ("Jam" and "Jos").
-        if let MetaKind::Internal { leftmost, rightmost, .. } = &t.get(b"J").unwrap().kind {
-            assert_eq!(*leftmost, 3);
-            assert_eq!(*rightmost, 4);
+        if let MetaKind::Internal(node) = &t.get(b"J").unwrap().kind {
+            assert_eq!(node.leftmost, 3);
+            assert_eq!(node.rightmost, 4);
         }
         assert_eq!(t.max_anchor_len(), 3);
     }
@@ -787,18 +1104,30 @@ mod tests {
         let t = figure5_table();
         let config = cfg();
         // "Joseph" matches the anchor "Jos" exactly -> leaf 4.
-        assert_eq!(t.search_target(b"Joseph", &config), TargetOutcome::Target(4));
+        assert_eq!(
+            t.search_target(b"Joseph", &config),
+            TargetOutcome::Target(4)
+        );
         // "James" has LPM "Jam" -> leaf 3.
         assert_eq!(t.search_target(b"James", &config), TargetOutcome::Target(3));
         // "Denice": LPM "", missing 'D', siblings 'A' (left) and 'J' (right);
         // the left subtree's rightmost leaf is leaf 2.
-        assert_eq!(t.search_target(b"Denice", &config), TargetOutcome::Target(2));
+        assert_eq!(
+            t.search_target(b"Denice", &config),
+            TargetOutcome::Target(2)
+        );
         // "Julian": LPM "J", missing 'u', left sibling 'o' -> subtree "Jo"
         // whose rightmost leaf is 4.
-        assert_eq!(t.search_target(b"Julian", &config), TargetOutcome::Target(4));
+        assert_eq!(
+            t.search_target(b"Julian", &config),
+            TargetOutcome::Target(4)
+        );
         // "A": the whole key is an interior prefix -> compare against the
         // anchor of the subtree's leftmost leaf (leaf 2, anchor "Au").
-        assert_eq!(t.search_target(b"A", &config), TargetOutcome::CompareAnchor(2));
+        assert_eq!(
+            t.search_target(b"A", &config),
+            TargetOutcome::CompareAnchor(2)
+        );
         // "Aaron": LPM "A", missing 'a' < 'u' -> right sibling "Au" is a
         // leaf, so the target is its left neighbour.
         assert_eq!(t.search_target(b"Aaron", &config), TargetOutcome::LeftOf(2));
@@ -830,24 +1159,24 @@ mod tests {
         assert!(t.get(b"Jos").is_none());
         assert!(t.get(b"Jo").is_none(), "exclusively-owned prefix removed");
         // "J" still exists for "Jam", and its rightmost pointer fell back to 3.
-        if let MetaKind::Internal { leftmost, rightmost, .. } = &t.get(b"J").unwrap().kind {
-            assert_eq!(*leftmost, 3);
-            assert_eq!(*rightmost, 3);
+        if let MetaKind::Internal(node) = &t.get(b"J").unwrap().kind {
+            assert_eq!(node.leftmost, 3);
+            assert_eq!(node.rightmost, 3);
         } else {
             panic!("'J' should remain an internal item");
         }
         // Lookups that used to land in leaf 4 now land in 3.
-        assert_eq!(
-            t.search_target(b"Joseph", &cfg()),
-            TargetOutcome::Target(3)
-        );
+        assert_eq!(t.search_target(b"Joseph", &cfg()), TargetOutcome::Target(3));
 
         // Merge leaf 3 ("Jam") into 2, then leaf 2 ("Au") into 1.
         t.apply_merge(b"Jam", &3, &2, None);
         t.apply_merge(b"Au", &2, &1, None);
         // Only the relocated root anchor remains.
         assert!(matches!(t.get(b"\0").unwrap().kind, MetaKind::Leaf(1)));
-        assert_eq!(t.search_target(b"Anything", &cfg()), TargetOutcome::Target(1));
+        assert_eq!(
+            t.search_target(b"Anything", &cfg()),
+            TargetOutcome::Target(1)
+        );
         assert_eq!(t.search_target(b"zzz", &cfg()), TargetOutcome::Target(1));
     }
 
@@ -875,7 +1204,10 @@ mod tests {
         assert_eq!(relocations[0].0, 2);
         assert_eq!(relocations[0].1, b"Jo\0".to_vec());
         assert!(matches!(t.get(b"Jo\0").unwrap().kind, MetaKind::Leaf(2)));
-        assert!(matches!(t.get(b"Jo").unwrap().kind, MetaKind::Internal { .. }));
+        assert!(matches!(
+            t.get(b"Jo").unwrap().kind,
+            MetaKind::Internal { .. }
+        ));
         // Lookups for keys owned by the relocated leaf still resolve to it.
         assert_eq!(t.search_target(b"Joe", &cfg()), TargetOutcome::Target(2));
         assert_eq!(t.search_target(b"Joseph", &cfg()), TargetOutcome::Target(3));
@@ -892,6 +1224,9 @@ mod tests {
         let mut probe = anchor.clone();
         probe.push(77);
         assert_eq!(t.search_target(&probe, &cfg()), TargetOutcome::Target(2));
-        assert_eq!(t.search_target(&anchor[..50], &cfg()), TargetOutcome::CompareAnchor(2));
+        assert_eq!(
+            t.search_target(&anchor[..50], &cfg()),
+            TargetOutcome::CompareAnchor(2)
+        );
     }
 }

@@ -53,12 +53,11 @@ impl<V: Clone> WormholeUnsafe<V> {
         // The initial LeafList is a single leaf whose anchor is ⊥ (the empty
         // string); it covers the whole key space.
         let root = LeafNode::new(Vec::new(), Vec::new());
-        let mut leaves = Vec::new();
-        leaves.push(Some(SlotLeaf {
+        let leaves = vec![Some(SlotLeaf {
             leaf: root,
             prev: NIL,
             next: NIL,
-        }));
+        })];
         meta.install_root_leaf(0);
         Self {
             config,
@@ -84,6 +83,11 @@ impl<V: Clone> WormholeUnsafe<V> {
     /// Number of items (anchors and prefixes) in the MetaTrieHT.
     pub fn meta_items(&self) -> usize {
         self.meta.len()
+    }
+
+    /// Read access to the MetaTrieHT (benchmarks and tests).
+    pub fn meta_table(&self) -> &MetaTable<u32> {
+        &self.meta
     }
 
     fn slot(&self, idx: u32) -> &SlotLeaf<V> {
@@ -137,7 +141,10 @@ impl<V: Clone> WormholeUnsafe<V> {
             return false;
         };
         let table_key = self.meta.reserve_anchor_key(&anchor);
-        let right = self.slot_mut(idx).leaf.split_off(at, anchor, table_key.clone());
+        let right = self
+            .slot_mut(idx)
+            .leaf
+            .split_off(at, anchor, table_key.clone());
         let old_next = self.slot(idx).next;
         let new_idx = self.alloc_leaf(SlotLeaf {
             leaf: right,
@@ -149,9 +156,9 @@ impl<V: Clone> WormholeUnsafe<V> {
             self.slot_mut(old_next).prev = new_idx;
         }
         let old_right = (old_next != NIL).then_some(old_next);
-        let relocations =
-            self.meta
-                .apply_split(&table_key, new_idx, &idx, old_right.as_ref());
+        let relocations = self
+            .meta
+            .apply_split(&table_key, new_idx, &idx, old_right.as_ref());
         for (leaf, new_table_key) in relocations {
             self.slot_mut(leaf).leaf.set_table_key(new_table_key);
         }
@@ -241,8 +248,7 @@ impl<V: Clone> OrderedIndex<V> for WormholeUnsafe<V> {
             return Some(std::mem::replace(slot, value));
         }
         // Split first when the leaf is full (Algorithm 2, SET).
-        if self.slot(leaf_idx).leaf.len() >= self.config.leaf_capacity
-            && self.split_leaf(leaf_idx)
+        if self.slot(leaf_idx).leaf.len() >= self.config.leaf_capacity && self.split_leaf(leaf_idx)
         {
             let right = self.slot(leaf_idx).next;
             debug_assert_ne!(right, NIL);
@@ -250,7 +256,10 @@ impl<V: Clone> OrderedIndex<V> for WormholeUnsafe<V> {
                 leaf_idx = right;
             }
         }
-        let old = self.slot_mut(leaf_idx).leaf.insert(key, hash, value, &config);
+        let old = self
+            .slot_mut(leaf_idx)
+            .leaf
+            .insert(key, hash, value, &config);
         debug_assert!(old.is_none());
         self.len += 1;
         self.key_bytes += key.len();
@@ -286,16 +295,16 @@ impl<V: Clone> OrderedIndex<V> for WormholeUnsafe<V> {
         if count == 0 {
             return out;
         }
+        // Read-only scan: each leaf's lazily-sorted tail is merged on the
+        // fly through one reusable index buffer, so no leaf (and none of its
+        // keys) is ever cloned just to order it.
+        let mut scratch: Vec<u16> = Vec::new();
         let mut idx = self.locate_leaf(start);
         while idx != NIL && out.len() < count {
-            // The paper sorts the key array in place (incSort) when a range
-            // scan reaches the node; the thread-unsafe index does the same
-            // through interior mutability of the arena slot.
             let slot = self.leaves[idx as usize].as_ref().expect("live leaf");
             let remaining = count - out.len();
-            let mut leaf = slot.leaf.clone();
-            leaf.ensure_key_sorted();
-            leaf.collect_range(start, remaining, &mut out);
+            slot.leaf
+                .collect_range_unsorted(start, remaining, &mut out, &mut scratch);
             idx = slot.next;
         }
         out
@@ -358,7 +367,10 @@ mod tests {
         assert_eq!(wh.get(b"Zoe"), None);
         // Range query starting at an absent key.
         let out = wh.range_from(b"Brown", 3);
-        let keys: Vec<String> = out.iter().map(|(k, _)| String::from_utf8(k.clone()).unwrap()).collect();
+        let keys: Vec<String> = out
+            .iter()
+            .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
+            .collect();
         assert_eq!(keys, vec!["Denice", "Jacob", "James"]);
         // Prefix-style range query.
         let out = wh.range_from(b"J", 100);
@@ -378,7 +390,8 @@ mod tests {
 
     #[test]
     fn thousands_of_sequential_keys() {
-        let mut wh = WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(16));
+        let mut wh =
+            WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(16));
         for i in 0..5000u64 {
             wh.set(format!("{i:08}").as_bytes(), i);
         }
@@ -402,7 +415,9 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
         let mut wh = WormholeUnsafe::with_config(small_config());
-        let mut keys: Vec<String> = (0..2000).map(|i| format!("user:{:06}:profile", i * 37 % 2000)).collect();
+        let mut keys: Vec<String> = (0..2000)
+            .map(|i| format!("user:{:06}:profile", i * 37 % 2000))
+            .collect();
         keys.shuffle(&mut rng);
         for (i, k) in keys.iter().enumerate() {
             wh.set(k.as_bytes(), i as u64);
@@ -466,7 +481,11 @@ mod tests {
         for (i, k) in keys.iter().enumerate() {
             assert_eq!(wh.get(k), Some(i as u64), "{k:?}");
         }
-        let scan: Vec<Vec<u8>> = wh.range_from(&[], usize::MAX).into_iter().map(|(k, _)| k).collect();
+        let scan: Vec<Vec<u8>> = wh
+            .range_from(&[], usize::MAX)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         let mut expect = keys.clone();
         expect.sort();
         assert_eq!(scan, expect);
@@ -477,11 +496,13 @@ mod tests {
         // §3.3: keys sharing a prefix and differing only in trailing zero
         // bytes cannot produce a valid anchor; the leaf grows fat instead.
         let mut wh = WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(4));
-        let keys: Vec<Vec<u8>> = (0..16).map(|i| {
-            let mut k = vec![7u8];
-            k.extend(std::iter::repeat(0u8).take(i));
-            k
-        }).collect();
+        let keys: Vec<Vec<u8>> = (0..16)
+            .map(|i| {
+                let mut k = vec![7u8];
+                k.extend(std::iter::repeat_n(0u8, i));
+                k
+            })
+            .collect();
         for (i, k) in keys.iter().enumerate() {
             wh.set(k, i as u64);
             wh.check_invariants();

@@ -1,0 +1,345 @@
+//! Property tests for the cache-line-bucketized MetaTrieHT, plus the
+//! allocation guard proving the lookup hot path stays allocation-free.
+//!
+//! * randomized insert/remove sequences must keep the hash-table layer in
+//!   agreement with a `HashMap` model across `grow()` boundaries;
+//! * randomized anchor sets driven through the structural API
+//!   (`apply_split`/`apply_merge`) must produce identical `search_target`
+//!   outcomes in optimistic (TagMatching) and exact probe modes;
+//! * `Wormhole::get` / `WormholeUnsafe::get` — and therefore the LPM binary
+//!   search and trie sibling step under them — must perform **zero** heap
+//!   allocations per call, enforced by a counting `#[global_allocator]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use index_traits::{ConcurrentOrderedIndex, OrderedIndex};
+use proptest::prelude::*;
+use wormhole::meta::{MetaKind, MetaTable, TargetOutcome};
+use wormhole::{Wormhole, WormholeConfig, WormholeUnsafe};
+
+// ---------------------------------------------------------------------
+// Counting allocator
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Allocations made by the current thread (counts `alloc` and
+    /// `realloc`; `dealloc` is free).
+    static THREAD_ALLOCS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Wraps the system allocator, counting per-thread allocation events so a
+/// test can assert a code path allocates nothing — regardless of what other
+/// test threads do concurrently.
+struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the thread-local counter is a plain
+// `Cell<usize>` with const init, so touching it never allocates or drops.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn thread_allocs() -> usize {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+// ---------------------------------------------------------------------
+// Allocation guards: the lookup hot path
+// ---------------------------------------------------------------------
+
+/// Keys covering the shapes that stress the MetaTrieHT: short, long,
+/// prefix-heavy, and binary.
+fn lookup_keyset() -> Vec<Vec<u8>> {
+    let mut keys: Vec<Vec<u8>> = Vec::new();
+    for i in 0..3000u32 {
+        keys.push(format!("user:{:06}:profile", i * 37 % 3000).into_bytes());
+        if i % 3 == 0 {
+            keys.push(format!("url/http/site-{}/deep/path/{i:08}", i % 7).into_bytes());
+        }
+        if i % 5 == 0 {
+            keys.push(vec![(i % 251) as u8, (i / 251) as u8, 0, 1, (i % 17) as u8]);
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+#[test]
+fn concurrent_get_is_allocation_free() {
+    let wh: Wormhole<u64> = Wormhole::new();
+    let keys = lookup_keyset();
+    for (i, k) in keys.iter().enumerate() {
+        wh.set(k, i as u64);
+    }
+    let misses: Vec<Vec<u8>> = (0..512u32)
+        .map(|i| format!("absent-key-{i:05}/nothing-here").into_bytes())
+        .collect();
+    // Warm-up: registers this thread's QSBR handle (first use allocates a
+    // thread-local entry) and faults in lazily initialised TLS.
+    for k in keys.iter().take(16) {
+        assert!(wh.get(k).is_some());
+    }
+    assert_eq!(wh.get(&misses[0]), None);
+
+    let before = thread_allocs();
+    let mut hits = 0usize;
+    for k in &keys {
+        hits += usize::from(wh.get(k).is_some());
+    }
+    for k in &misses {
+        hits += usize::from(wh.get(k).is_some());
+    }
+    let after = thread_allocs();
+    assert_eq!(hits, keys.len());
+    assert_eq!(
+        after - before,
+        0,
+        "Wormhole::get allocated ({} allocations over {} lookups)",
+        after - before,
+        keys.len() + misses.len(),
+    );
+}
+
+#[test]
+fn single_threaded_get_is_allocation_free() {
+    let mut wh: WormholeUnsafe<u64> = WormholeUnsafe::new();
+    let keys = lookup_keyset();
+    for (i, k) in keys.iter().enumerate() {
+        wh.set(k, i as u64);
+    }
+    let misses: Vec<Vec<u8>> = (0..512u32)
+        .map(|i| format!("missing/{i:06}").into_bytes())
+        .collect();
+    for k in keys.iter().take(16) {
+        assert!(wh.get(k).is_some());
+    }
+
+    let before = thread_allocs();
+    let mut hits = 0usize;
+    for k in &keys {
+        hits += usize::from(wh.get(k).is_some());
+    }
+    for k in &misses {
+        hits += usize::from(wh.get(k).is_some());
+    }
+    let after = thread_allocs();
+    assert_eq!(hits, keys.len());
+    assert_eq!(
+        after - before,
+        0,
+        "WormholeUnsafe::get allocated ({} allocations)",
+        after - before,
+    );
+}
+
+#[test]
+fn meta_search_target_is_allocation_free() {
+    // Drive search_target directly (both probe modes), covering the LPM
+    // binary search and the trie sibling step without the leaf layer.
+    let mut wh: WormholeUnsafe<u64> = WormholeUnsafe::new();
+    let keys = lookup_keyset();
+    for (i, k) in keys.iter().enumerate() {
+        wh.set(k, i as u64);
+    }
+    let optimistic = WormholeConfig::optimized();
+    let exact = WormholeConfig::base();
+    let meta = wh.meta_table();
+    let probes: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+
+    let before = thread_allocs();
+    for key in &probes {
+        let a = meta.search_target(key, &optimistic);
+        let b = meta.search_target(key, &exact);
+        assert!(a == b);
+    }
+    let after = thread_allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "search_target allocated ({} allocations)",
+        after - before,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property: hash-table layer agrees with a HashMap model across grow()
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn meta_table_matches_hashmap_model(ops in proptest::collection::vec(
+        (proptest::collection::vec(0u8..6, 0..7), any::<bool>()), 800..1400)) {
+        let mut table: MetaTable<u32> = MetaTable::new();
+        let mut model: HashMap<Vec<u8>, u32> = HashMap::new();
+        for (i, (key, is_remove)) in ops.iter().enumerate() {
+            if *is_remove {
+                let removed = table.remove(key).is_some();
+                prop_assert_eq!(removed, model.remove(key).is_some());
+            } else {
+                let replaced = table.insert(key, MetaKind::Leaf(i as u32)).is_some();
+                prop_assert_eq!(replaced, model.insert(key.clone(), i as u32).is_some());
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        // Every surviving key maps to its latest value; the small alphabet
+        // plus several hundred live items drives the table through at least
+        // one grow() (the initial 64-bucket array resizes at 384 items).
+        for (key, value) in &model {
+            match table.get(key).map(|item| &item.kind) {
+                Some(MetaKind::Leaf(leaf)) => prop_assert_eq!(*leaf, *value),
+                other => return Err(TestCaseError::fail(format!("missing {key:?}: {other:?}"))),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: optimistic and exact probe modes agree through splits/merges
+// ---------------------------------------------------------------------
+
+/// A model of the leaf list: `(table_key, leaf_id)` sorted by table key.
+/// Drives the MetaTrieHT through its structural API the same way the index
+/// does, without needing real leaves.
+struct LeafListModel {
+    table: MetaTable<u32>,
+    leaves: Vec<(Vec<u8>, u32)>,
+    next_leaf: u32,
+}
+
+impl LeafListModel {
+    fn new() -> Self {
+        let mut table = MetaTable::new();
+        table.install_root_leaf(0);
+        Self {
+            table,
+            leaves: vec![(Vec::new(), 0)],
+            next_leaf: 1,
+        }
+    }
+
+    /// Splits the covering leaf at `anchor`, registering a fresh leaf.
+    fn split(&mut self, anchor: &[u8]) {
+        if anchor.is_empty() {
+            return;
+        }
+        let table_key = self.table.reserve_anchor_key(anchor);
+        // Predecessor = last leaf whose table key sorts before the new one.
+        let pos = self.leaves.partition_point(|(k, _)| k < &table_key);
+        // A real split anchor is strictly greater than the covering leaf's
+        // table key (`choose_split` candidates exceed every key of the left
+        // half, and the ⊥-extension gap below the table key holds only
+        // zero-terminated strings, which are rejected). An anchor violating
+        // that cannot arise, so the model skips it.
+        if self.leaves[pos - 1].0.as_slice() >= anchor {
+            return;
+        }
+        let split_leaf = self.leaves[pos - 1].1;
+        let old_right = self.leaves.get(pos).map(|(_, l)| *l);
+        let leaf = self.next_leaf;
+        self.next_leaf += 1;
+        let relocations = self
+            .table
+            .apply_split(&table_key, leaf, &split_leaf, old_right.as_ref());
+        for (moved, new_key) in relocations {
+            let entry = self
+                .leaves
+                .iter_mut()
+                .find(|(_, l)| *l == moved)
+                .expect("relocated leaf is registered");
+            entry.0 = new_key;
+        }
+        self.leaves.insert(pos, (table_key, leaf));
+        // Relocations append ⊥ tokens, which never reorders the list; keep
+        // the invariant checkable.
+        debug_assert!(self.leaves.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// Merges the leaf at (1-based) position `pos mod live leaves` into its
+    /// left neighbour, unregistering it.
+    fn merge(&mut self, pos: usize) {
+        if self.leaves.len() < 2 {
+            return;
+        }
+        let victim_pos = 1 + pos % (self.leaves.len() - 1);
+        let (victim_key, victim) = self.leaves.remove(victim_pos);
+        let left = self.leaves[victim_pos - 1].1;
+        let right = self.leaves.get(victim_pos).map(|(_, l)| *l);
+        self.table
+            .apply_merge(&victim_key, &victim, &left, right.as_ref());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimistic_and_exact_probes_agree(
+        // Anchors may contain interior ⊥ (zero) tokens but never end in
+        // one — `choose_split` skips zero-terminated candidates (§3.3), and
+        // the relocation invariant of Algorithm 4 depends on it.
+        anchors in proptest::collection::vec(
+            (proptest::collection::vec(0u8..5, 0..7), 1u8..5)
+                .prop_map(|(mut head, last)| { head.push(last); head }),
+            80..160),
+        merges in proptest::collection::vec(any::<u16>(), 0..30),
+        probes in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 0..10), 64..128)) {
+        let mut model = LeafListModel::new();
+        for anchor in &anchors {
+            model.split(anchor);
+        }
+        for merge in &merges {
+            model.merge(*merge as usize);
+        }
+        let optimistic = WormholeConfig::optimized();
+        let exact = WormholeConfig::base();
+        // With ~100 live anchors over a 5-token alphabet the table holds
+        // several hundred prefix items, crossing the 384-item grow()
+        // boundary of the initial 64-bucket array.
+        for (table_key, leaf) in &model.leaves {
+            // find: every registered anchor resolves exactly.
+            match model.table.get(table_key).map(|item| &item.kind) {
+                Some(MetaKind::Leaf(found)) => prop_assert_eq!(*found, *leaf),
+                other => return Err(TestCaseError::fail(format!(
+                    "anchor {table_key:?} lost: {other:?}"))),
+            }
+            // LPM on the anchor itself lands on its own leaf in both modes.
+            prop_assert_eq!(
+                model.table.search_target(table_key, &optimistic),
+                TargetOutcome::Target(*leaf)
+            );
+            prop_assert_eq!(
+                model.table.search_target(table_key, &exact),
+                TargetOutcome::Target(*leaf)
+            );
+        }
+        // Arbitrary probe keys: optimistic (tag-trusting) and exact probe
+        // modes must produce identical trie-search outcomes.
+        for probe in &probes {
+            prop_assert_eq!(
+                model.table.search_target(probe, &optimistic),
+                model.table.search_target(probe, &exact),
+                "probe {:?}", probe
+            );
+        }
+    }
+}

@@ -54,9 +54,15 @@ fn main() {
     let mut total = [0usize; 3];
     #[allow(clippy::type_complexity)]
     let timers: Vec<(&str, Box<dyn Fn(&[u8], usize) -> Vec<(Vec<u8>, u64)> + '_>)> = vec![
-        ("wormhole", Box::new(|start, n| wormhole.range_from(start, n))),
+        (
+            "wormhole",
+            Box::new(|start, n| wormhole.range_from(start, n)),
+        ),
         ("b+tree", Box::new(|start, n| btree.range_from(start, n))),
-        ("skiplist", Box::new(|start, n| skiplist.range_from(start, n))),
+        (
+            "skiplist",
+            Box::new(|start, n| skiplist.range_from(start, n)),
+        ),
     ];
 
     for prefix in &prefixes {
@@ -91,7 +97,9 @@ fn main() {
         .into_iter()
         .take_while(|(k, _)| k.as_slice() < upper.as_slice())
         .filter(|(k, _)| {
-            let ts: u64 = String::from_utf8_lossy(&k[k.len() - 10..]).parse().unwrap_or(0);
+            let ts: u64 = String::from_utf8_lossy(&k[k.len() - 10..])
+                .parse()
+                .unwrap_or(0);
             (window.0..window.1).contains(&ts)
         })
         .count();

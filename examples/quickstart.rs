@@ -11,8 +11,8 @@ fn main() {
     // ----------------------------------------------------------------
     let index: Wormhole<String> = Wormhole::new();
     let names = [
-        "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason", "John",
-        "Joseph", "Julian", "Justin",
+        "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason", "John", "Joseph",
+        "Julian", "Justin",
     ];
     for (i, name) in names.iter().enumerate() {
         index.set(name.as_bytes(), format!("person #{i}"));
@@ -40,7 +40,10 @@ fn main() {
 
     // Deletion.
     index.del(b"Jacob");
-    println!("\nafter deleting Jacob, lookup -> {:?}", index.get(b"Jacob"));
+    println!(
+        "\nafter deleting Jacob, lookup -> {:?}",
+        index.get(b"Jacob")
+    );
     println!("total keys: {}", index.len());
 
     // ----------------------------------------------------------------

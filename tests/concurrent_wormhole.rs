@@ -82,7 +82,10 @@ fn readers_never_observe_torn_state_during_splits_and_merges() {
                     );
                     let scan = wh.range_from(b"stable-002", 50);
                     assert_eq!(scan.len(), 50);
-                    assert!(scan.windows(2).all(|w| w[0].0 < w[1].0), "scan out of order");
+                    assert!(
+                        scan.windows(2).all(|w| w[0].0 < w[1].0),
+                        "scan out of order"
+                    );
                     assert!(scan.iter().all(|(k, _)| k.starts_with(b"stable-")));
                 }
             }));
