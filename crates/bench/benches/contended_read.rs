@@ -1,0 +1,57 @@
+//! Criterion bench: point-lookup latency of the concurrent Wormhole while a
+//! structural writer churns splits and merges, RwLock read path vs seqlock
+//! optimistic read path. `BENCH_concurrent.json` (written by
+//! `cargo run -p bench --release --bin contended_read_baseline`) records the
+//! tracked baseline with full reader-thread fan-out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bench::contended::{build_index, churn_wave, resident_key, CHURN_SEED};
+use index_traits::ConcurrentOrderedIndex;
+
+const KEYS: usize = 50_000;
+
+fn bench_contended_read(c: &mut Criterion) {
+    for (mode, optimistic) in [("rwlock", false), ("optimistic", true)] {
+        let wh = Arc::new(build_index(KEYS, optimistic));
+        let probe: Vec<Vec<u8>> = (0..KEYS).map(resident_key).collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let wh = Arc::clone(&wh);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut x = CHURN_SEED;
+                while !stop.load(Ordering::Relaxed) {
+                    churn_wave(&wh, KEYS, &mut x);
+                }
+            })
+        };
+
+        let mut group = c.benchmark_group(format!("contended_read/{mode}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(800));
+        group.bench_function("get_under_churn", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let mut hits = 0usize;
+                for _ in 0..1024 {
+                    i = (i + 1) % probe.len();
+                    hits += usize::from(wh.get(&probe[i]).is_some());
+                }
+                hits
+            })
+        });
+        group.finish();
+
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+}
+
+criterion_group!(benches, bench_contended_read);
+criterion_main!(benches);

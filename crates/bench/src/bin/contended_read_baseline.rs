@@ -1,0 +1,61 @@
+//! Writes `BENCH_concurrent.json`: reader throughput of the concurrent
+//! Wormhole under a splitting/merging writer, per-leaf `RwLock` read path
+//! vs the seqlock optimistic read path, at two reader-thread counts.
+//!
+//! ```text
+//! cargo run -p bench --release --bin contended_read_baseline
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use bench::contended::measure_modes;
+
+fn main() {
+    let keys = 100_000usize;
+    let duration = Duration::from_millis(500);
+    let rounds = 3;
+    let mut rows = Vec::new();
+    for &readers in &[4usize, 8] {
+        eprintln!("measuring {readers} readers ({rounds} interleaved rounds)...");
+        for s in measure_modes(readers, keys, duration, rounds) {
+            eprintln!(
+                "  {:<10} writer={:<5} {:6.1} ns/read  {:7.2} Mreads/s  (writer ops {})",
+                s.mode, s.writer, s.read_ns, s.mreads_per_sec, s.writer_ops,
+            );
+            rows.push(s);
+        }
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"contended_read\",\n");
+    json.push_str(
+        "  \"description\": \"Concurrent Wormhole point-lookup throughput, N reader threads \
+         with/without one structural writer churning splits+merges (best of 3 interleaved \
+         500ms rounds, 100k resident ~20B keys, leaf capacity 64). rwlock = per-leaf \
+         RwLock::read path; optimistic = seqlock-validated lock-free read path. On a \
+         single-CPU host the threads time-slice, so the deltas understate the multicore \
+         benefit of taking no lock (no RMW on the leaf lock word, no reader convoy behind \
+         a preempted writer).\",\n",
+    );
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    json.push_str("  \"series\": [\n");
+    for (i, s) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"readers\": {}, \"writer\": {}, \
+             \"read_ns\": {:.1}, \"mreads_per_sec\": {:.2}, \"writer_ops\": {}}}{comma}",
+            s.mode, s.readers, s.writer, s.read_ns, s.mreads_per_sec, s.writer_ops,
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_concurrent.json", &json).expect("write BENCH_concurrent.json");
+    println!("{json}");
+}

@@ -1,0 +1,198 @@
+//! Contended-read measurement: N reader threads racing one structural
+//! writer, comparing the per-leaf `RwLock` read path against the seqlock
+//! optimistic read path of the concurrent Wormhole.
+//!
+//! The writer continuously inserts a run of sibling keys into a random
+//! region (forcing leaf splits) and deletes them again (forcing merges), so
+//! readers constantly encounter leaves whose write locks are held and whose
+//! seqlock counters are churning. Readers hammer point lookups over the
+//! stable resident keys; their aggregate throughput is the measurement.
+//! `BENCH_concurrent.json` (written by
+//! `cargo run -p bench --release --bin contended_read_baseline`) records the
+//! tracked baseline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use index_traits::ConcurrentOrderedIndex;
+use wormhole::{Wormhole, WormholeConfig};
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct ContendedSample {
+    /// `"rwlock"` or `"optimistic"`.
+    pub mode: &'static str,
+    /// Number of reader threads.
+    pub readers: usize,
+    /// Whether the splitting/merging writer ran during the measurement.
+    pub writer: bool,
+    /// Mean wall-clock nanoseconds per lookup per reader thread.
+    pub read_ns: f64,
+    /// Aggregate reader throughput in million lookups per second.
+    pub mreads_per_sec: f64,
+    /// Writer operations completed during the window (0 without a writer).
+    pub writer_ops: u64,
+}
+
+/// The resident key for slot `i` (stable across the whole run).
+pub fn resident_key(i: usize) -> Vec<u8> {
+    format!("user:{i:08}:profile").into_bytes()
+}
+
+/// Seed for the churn writer's xorshift region picker.
+pub const CHURN_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One churn wave of the structural writer: pick a random resident region,
+/// blow its leaf up with sibling keys (forcing a split), then drain them
+/// (forcing a merge). `x` is the xorshift state; returns operations
+/// performed. Shared by the measurement harness and the Criterion bench so
+/// both exercise the identical contention pattern.
+pub fn churn_wave(wh: &Wormhole<u64>, keys: usize, x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    let base = (*x as usize) % keys;
+    let mut ops = 0u64;
+    for j in 1..=64u8 {
+        let mut k = resident_key(base);
+        k.push(b'~');
+        k.push(j);
+        wh.set(&k, u64::from(j));
+        ops += 1;
+    }
+    for j in 1..=64u8 {
+        let mut k = resident_key(base);
+        k.push(b'~');
+        k.push(j);
+        wh.del(&k);
+        ops += 1;
+    }
+    ops
+}
+
+/// Builds the index under test with the given read mode.
+pub fn build_index(keys: usize, optimistic: bool) -> Wormhole<u64> {
+    let config = WormholeConfig::optimized()
+        .with_leaf_capacity(64)
+        .with_optimistic_reads(optimistic);
+    let wh = Wormhole::with_config(config);
+    for i in 0..keys {
+        wh.set(&resident_key(i), i as u64);
+    }
+    wh
+}
+
+/// Runs one measurement window: `readers` lookup threads over `keys`
+/// resident keys for `duration`, optionally with the churn writer.
+pub fn measure_contended(
+    readers: usize,
+    keys: usize,
+    duration: Duration,
+    optimistic: bool,
+    with_writer: bool,
+) -> ContendedSample {
+    let wh = Arc::new(build_index(keys, optimistic));
+    let probe_keys: Arc<Vec<Vec<u8>>> = Arc::new((0..keys).map(resident_key).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_reads = Arc::new(AtomicU64::new(0));
+    let writer_ops = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        if with_writer {
+            let wh = Arc::clone(&wh);
+            let stop = Arc::clone(&stop);
+            let writer_ops = Arc::clone(&writer_ops);
+            scope.spawn(move || {
+                let mut x = CHURN_SEED;
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    ops += churn_wave(&wh, keys, &mut x);
+                }
+                writer_ops.store(ops, Ordering::Relaxed);
+            });
+        }
+        for r in 0..readers {
+            let wh = Arc::clone(&wh);
+            let stop = Arc::clone(&stop);
+            let total_reads = Arc::clone(&total_reads);
+            let probe_keys = Arc::clone(&probe_keys);
+            scope.spawn(move || {
+                let mut i = r * 7919;
+                let mut local = 0u64;
+                let mut hits = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // A small batch per stop-flag check keeps the flag out
+                    // of the measured loop.
+                    for _ in 0..256 {
+                        i = (i + 1) % probe_keys.len();
+                        hits += u64::from(wh.get(&probe_keys[i]).is_some());
+                        local += 1;
+                    }
+                }
+                assert_eq!(hits, local, "resident keys must never be missed");
+                total_reads.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed();
+    let reads = total_reads.load(Ordering::Relaxed).max(1);
+    ContendedSample {
+        mode: if optimistic { "optimistic" } else { "rwlock" },
+        readers,
+        writer: with_writer,
+        read_ns: elapsed.as_nanos() as f64 * readers as f64 / reads as f64,
+        mreads_per_sec: reads as f64 / elapsed.as_secs_f64() / 1e6,
+        writer_ops: writer_ops.load(Ordering::Relaxed),
+    }
+}
+
+/// Best-of-`rounds` interleaved comparison of both read modes for one
+/// reader count, with and without the churn writer.
+pub fn measure_modes(
+    readers: usize,
+    keys: usize,
+    duration: Duration,
+    rounds: usize,
+) -> Vec<ContendedSample> {
+    let mut best: Vec<Option<ContendedSample>> = vec![None; 4];
+    for _ in 0..rounds {
+        for (slot, (optimistic, with_writer)) in
+            [(false, false), (true, false), (false, true), (true, true)]
+                .into_iter()
+                .enumerate()
+        {
+            let sample = measure_contended(readers, keys, duration, optimistic, with_writer);
+            let better = match &best[slot] {
+                Some(prev) => sample.mreads_per_sec > prev.mreads_per_sec,
+                None => true,
+            };
+            if better {
+                best[slot] = Some(sample);
+            }
+        }
+    }
+    best.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contended_measurement_smoke() {
+        // Tiny run (debug builds are slow): both modes produce non-zero
+        // throughput and the writer actually performs structural churn.
+        let samples = measure_modes(2, 2_000, Duration::from_millis(40), 1);
+        assert_eq!(samples.len(), 4);
+        for s in &samples {
+            assert!(s.mreads_per_sec > 0.0, "{s:?}");
+            assert!(s.read_ns > 0.0);
+            assert_eq!(s.writer_ops > 0, s.writer, "{s:?}");
+        }
+        assert!(samples.iter().any(|s| s.mode == "optimistic" && s.writer));
+        assert!(samples.iter().any(|s| s.mode == "rwlock" && !s.writer));
+    }
+}

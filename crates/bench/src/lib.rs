@@ -14,11 +14,13 @@
 //! Absolute numbers depend on the machine; the paper's claims are about the
 //! *relative* ordering and trends, which is what `EXPERIMENTS.md` records.
 
+pub mod contended;
 pub mod drivers;
 pub mod figures;
 pub mod measure;
 pub mod meta_layouts;
 
+pub use contended::{measure_contended, measure_modes, ContendedSample};
 pub use drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};
 pub use measure::{mops, parallel_lookup_mops, Timer};
 pub use meta_layouts::{measure_layouts, ProbeWorkload, SeedMetaTable};

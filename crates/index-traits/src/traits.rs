@@ -76,6 +76,14 @@ pub trait OrderedIndex<V> {
 /// control; in this workspace the concurrent Wormhole implements this trait,
 /// and a locking wrapper can adapt any [`OrderedIndex`] when a thread-safe
 /// stand-in is needed.
+///
+/// Read methods take `&self` and are expected to be cheap to call from many
+/// threads at once; a high-quality implementation serves them without
+/// blocking on writers (the workspace's Wormhole uses seqlock-validated
+/// lock-free reads with a bounded-retry lock fallback). Implementations
+/// must be *linearisable per key*: a `get` concurrent with structural
+/// reorganisation (splits, merges, rehashing) observes the value either
+/// before or after a racing write — never a torn mixture.
 pub trait ConcurrentOrderedIndex<V>: Send + Sync {
     /// Human-readable name used by the benchmark harness.
     fn name(&self) -> &'static str;

@@ -74,59 +74,112 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 }
 
 /// A reader-writer lock with parking_lot's non-poisoning API.
+///
+/// The protected value lives in an [`UnsafeCell`] *beside* the lock word
+/// (mirroring parking_lot's own layout) rather than inside
+/// `std::sync::RwLock`, so the lock can expose parking_lot's
+/// [`RwLock::data_ptr`] — the escape hatch seqlock-style readers use to
+/// read the data without acquiring the lock, at their own risk.
 #[derive(Default)]
-pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    lock: std::sync::RwLock<()>,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// SAFETY: same bounds std::sync::RwLock<T> provides — exclusive access is
+// mediated by `lock`, and `data_ptr` callers opt into unsafety explicitly.
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+// SAFETY: see above.
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 /// RAII guard returned by [`RwLock::read`].
-pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _guard: std::sync::RwLockReadGuard<'a, ()>,
+    data: &'a T,
+}
 
 /// RAII guard returned by [`RwLock::write`].
-pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _guard: std::sync::RwLockWriteGuard<'a, ()>,
+    data: &'a mut T,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new reader-writer lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        Self(std::sync::RwLock::new(value))
+        Self {
+            lock: std::sync::RwLock::new(()),
+            data: std::cell::UnsafeCell::new(value),
+        }
     }
 
     /// Consumes the lock, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard(self.0.read().unwrap_or_else(|e| e.into_inner()))
+        let guard = self.lock.read().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the shared lock is held for the guard's lifetime.
+        RwLockReadGuard {
+            _guard: guard,
+            data: unsafe { &*self.data.get() },
+        }
     }
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard(self.0.write().unwrap_or_else(|e| e.into_inner()))
+        let guard = self.lock.write().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: the exclusive lock is held for the guard's lifetime.
+        RwLockWriteGuard {
+            _guard: guard,
+            data: unsafe { &mut *self.data.get() },
+        }
     }
 
     /// Attempts to acquire shared read access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.0.try_read() {
-            Ok(g) => Some(RwLockReadGuard(g)),
-            Err(TryLockError::Poisoned(e)) => Some(RwLockReadGuard(e.into_inner())),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.lock.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        // SAFETY: the shared lock is held for the guard's lifetime.
+        Some(RwLockReadGuard {
+            _guard: guard,
+            data: unsafe { &*self.data.get() },
+        })
     }
 
     /// Attempts to acquire exclusive write access without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.0.try_write() {
-            Ok(g) => Some(RwLockWriteGuard(g)),
-            Err(TryLockError::Poisoned(e)) => Some(RwLockWriteGuard(e.into_inner())),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let guard = match self.lock.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        // SAFETY: the exclusive lock is held for the guard's lifetime.
+        Some(RwLockWriteGuard {
+            _guard: guard,
+            data: unsafe { &mut *self.data.get() },
+        })
     }
 
     /// Returns a mutable reference to the protected value.
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+        self.data.get_mut()
+    }
+
+    /// Returns a raw pointer to the protected value **without locking**
+    /// (parking_lot's `data_ptr`). The caller is responsible for ensuring
+    /// any access through the pointer is synchronised some other way — e.g.
+    /// a seqlock validation that discards everything read during a
+    /// concurrent write.
+    pub fn data_ptr(&self) -> *mut T {
+        self.data.get()
     }
 }
 
@@ -142,20 +195,20 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.data
     }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.data
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        self.data
     }
 }
 
@@ -242,6 +295,19 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_data_ptr_bypasses_lock() {
+        let l = RwLock::new(7u32);
+        let p = l.data_ptr();
+        // SAFETY: no concurrent writer exists in this test.
+        assert_eq!(unsafe { *p }, 7);
+        *l.write() += 1;
+        assert_eq!(unsafe { *p }, 8);
+        // The pointer stays valid while a read guard is held.
+        let g = l.read();
+        assert_eq!(unsafe { *p }, *g);
     }
 
     #[test]

@@ -39,6 +39,20 @@ struct Shared {
     next_id: AtomicU64,
 }
 
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // The domain is going away: no handle (and therefore no reader)
+        // exists any more, so every pending grace period has trivially
+        // elapsed. Run — don't leak — the callbacks that were deferred after
+        // the last `synchronize`, e.g. ones queued after the final reader
+        // unregistered.
+        let callbacks: Vec<DeferredCallback> = self.deferred.get_mut().drain(..).collect();
+        for (_, f) in callbacks {
+            f();
+        }
+    }
+}
+
 /// A quiescent-state-based reclamation domain.
 ///
 /// Cloning a `Qsbr` produces another handle to the same domain (the state is
@@ -80,7 +94,12 @@ impl Qsbr {
     pub fn new() -> Self {
         let shared = Shared {
             domain_id: NEXT_DOMAIN_ID.fetch_add(1, Ordering::Relaxed),
-            ..Shared::default()
+            global_epoch: AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+            deferred: Mutex::new(Vec::new()),
+            quiesce_cv: Condvar::new(),
+            quiesce_lock: Mutex::new(()),
+            next_id: AtomicU64::new(0),
         };
         Self {
             shared: Arc::new(shared),
@@ -390,6 +409,50 @@ mod tests {
         q.flush();
         assert_eq!(counter.load(Ordering::SeqCst), 5);
         assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn deferred_callbacks_run_on_domain_drop() {
+        // Callbacks queued after the last reader unregistered (so no future
+        // `synchronize` will ever run) must still execute when the domain
+        // itself is dropped — otherwise the deferred reclamation leaks.
+        let ran = StdArc::new(AtomicUsize::new(0));
+        {
+            let q = Qsbr::new();
+            let h = q.register();
+            let guard = h.enter();
+            drop(guard);
+            drop(h);
+            assert_eq!(q.readers(), 0);
+            for _ in 0..3 {
+                let c = StdArc::clone(&ran);
+                q.defer(Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            assert_eq!(q.pending(), 3);
+            assert_eq!(ran.load(Ordering::SeqCst), 0);
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 3, "domain drop must flush");
+    }
+
+    #[test]
+    fn deferred_callbacks_run_when_last_handle_outlives_domain() {
+        // A reader handle keeps the shared domain state alive; the flush
+        // must happen when the *last* owner (here, the handle) goes away.
+        let ran = StdArc::new(AtomicUsize::new(0));
+        let h = {
+            let q = Qsbr::new();
+            let h = q.register();
+            let c = StdArc::clone(&ran);
+            q.defer(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+            h
+        };
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        drop(h);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
     }
 
     #[test]

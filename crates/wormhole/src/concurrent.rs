@@ -1,24 +1,57 @@
-//! The thread-safe Wormhole index (§2.5 of the paper).
+//! The thread-safe Wormhole index (§2.5 of the paper, with lock-free reads).
 //!
-//! Concurrency control combines three mechanisms, exactly as described in the
-//! paper:
+//! Concurrency control combines four mechanisms:
 //!
-//! * a **reader/writer lock per leaf node** — point and range operations lock
-//!   only the leaf they touch;
+//! * a **seqlock per leaf node** — every leaf carries a version counter
+//!   (even = stable, odd = being written). `get` and `range_from` read the
+//!   leaf **without taking any lock**: they snapshot the counter, perform a
+//!   bounds-checked read of the leaf, and accept the result only if the
+//!   counter is unchanged and still even. Writers bump the counter (odd on
+//!   entry, even on exit) inside the write lock they already hold, so a
+//!   racing read always fails validation and retries. After a bounded
+//!   number of conflicts a reader falls back to the leaf's reader lock,
+//!   which bounds worst-case latency under heavy write contention;
+//! * a **writer lock per leaf node** — in-place inserts, deletes, and the
+//!   structural operations serialise on it exactly as in the paper;
 //! * a single **writer mutex over the MetaTrieHT** — only split and merge
-//!   operations take it, and they apply their changes to a second hash table
-//!   (T2), atomically publish it, wait for an RCU grace period (QSBR), apply
-//!   the same changes to the old table (T1) and keep it as the next spare;
-//! * **version numbers** — every published MetaTrieHT carries a version, and
-//!   a leaf about to be split or merged records `version + 1` as its
-//!   *expected version*. A lookup that reaches a leaf whose expected version
-//!   is newer than the table it searched restarts, which prevents reads
-//!   through a stale table from observing half-moved keys.
+//!   operations take it. They ask the shared core engine
+//!   ([`crate::core`]) for a declarative [`MetaPlan`](crate::meta::MetaPlan)
+//!   and apply it to a second hash table (T2), atomically publish it, wait
+//!   for an RCU grace period (QSBR), apply the *same plan* to the old table
+//!   (T1) and keep it as the next spare. All split-point selection, anchor
+//!   formation, and meta-item bookkeeping lives in the core engine — this
+//!   module only wires leaves into the list and runs the publication
+//!   protocol;
+//! * **version numbers** — every published MetaTrieHT carries a version,
+//!   and a leaf about to be split or merged records `version + 1` as its
+//!   *expected version*. A lookup that reaches a leaf whose expected
+//!   version is newer than the table it searched restarts, which prevents
+//!   reads through a stale table from observing half-moved keys. The
+//!   optimistic read path applies the same gate between its seqlock
+//!   snapshot and validation.
 //!
-//! Readers never take the writer mutex and never wait for grace periods; the
-//! only blocking they can experience is on an individual leaf lock.
+//! Readers never take the writer mutex and never wait for grace periods.
+//! On the hot path they take no lock at all; the only blocking they can
+//! ever experience is on an individual leaf lock after
+//! [`OPTIMISTIC_READ_RETRIES`] consecutive seqlock conflicts.
+//!
+//! # Safety model of the optimistic read
+//!
+//! A racing read may observe a leaf mid-mutation. Three layers make that
+//! tolerable: the whole read runs inside a QSBR critical section, so the
+//! leaf node itself (and the published table that led to it) cannot be
+//! reclaimed; the leaf read uses the `*_checked` methods of
+//! [`LeafNode`], which bounds-check every index step and treat implausible
+//! key lengths as conflicts instead of panicking or over-copying; and the
+//! seqlock validation discards everything read during a write. Like every
+//! seqlock (including the kernel's), the transient read of in-flux data is
+//! a deliberate race; to keep the discarded speculative value clone
+//! harmless, the lock-free path is enabled only for value types without
+//! drop glue (`u64`, small PODs — exactly what the paper stores), while
+//! heap-owning value types transparently fall back to the per-leaf reader
+//! lock.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
 use index_traits::{ConcurrentOrderedIndex, IndexStats};
@@ -27,16 +60,77 @@ use wh_epoch::Qsbr;
 use wh_hash::crc32c;
 
 use crate::config::WormholeConfig;
-use crate::leaf::LeafNode;
+use crate::core;
+use crate::leaf::{LeafNode, ReadConflict};
 use crate::meta::{LeafRef, MetaTable, TargetOutcome};
 
-/// Shared state of one leaf: its data behind a reader/writer lock plus the
-/// expected-version gate used by the start-over protocol.
+/// Seqlock conflicts tolerated before a point read falls back to the leaf
+/// reader lock.
+pub const OPTIMISTIC_READ_RETRIES: usize = 8;
+
+/// Seqlock conflicts tolerated before a range scan falls back to leaf
+/// locks for the remainder of the scan.
+const OPTIMISTIC_SCAN_RETRIES: usize = 8;
+
+/// Keys longer than this are treated as torn state by the optimistic range
+/// reader rather than copied (a racing read of a key's length field could
+/// otherwise provoke an enormous allocation). Legitimate keys of this size
+/// are still served — through the locked fallback.
+const MAX_OPTIMISTIC_KEY_LEN: usize = 1 << 20;
+
+/// Shared state of one leaf: its data behind a reader/writer lock, the
+/// seqlock counter, and the expected-version gate of the start-over
+/// protocol.
 struct LeafShared<V> {
     /// A lookup that searched a MetaTrieHT older than this value must
     /// restart (§2.5).
     expected_version: AtomicU64,
+    /// Seqlock counter: even = stable, odd = a writer is mutating `data`.
+    /// Only ever modified while the `data` write lock is held.
+    seq: AtomicU64,
     data: RwLock<LeafData<V>>,
+}
+
+impl<V> LeafShared<V> {
+    /// Begins an optimistic read: returns the current (even) counter, or
+    /// `None` when a write is in progress.
+    #[inline]
+    fn seq_enter(&self) -> Option<u64> {
+        let s = self.seq.load(Ordering::Acquire);
+        (s & 1 == 0).then_some(s)
+    }
+
+    /// Ends an optimistic read: `true` when no write started since
+    /// [`LeafShared::seq_enter`] returned `snapshot`, i.e. everything read
+    /// in between is consistent.
+    #[inline]
+    fn seq_validate(&self, snapshot: u64) -> bool {
+        fence(Ordering::Acquire);
+        self.seq.load(Ordering::Relaxed) == snapshot
+    }
+}
+
+/// RAII section marking a leaf as being written (seqlock odd) for the
+/// duration of a mutation. Must only be created — and dropped — while the
+/// leaf's write lock is held.
+struct SeqWriteSection<'a>(&'a AtomicU64);
+
+impl<'a> SeqWriteSection<'a> {
+    fn new(seq: &'a AtomicU64) -> Self {
+        let s = seq.load(Ordering::Relaxed);
+        debug_assert_eq!(s & 1, 0, "nested seqlock write section");
+        seq.store(s + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        Self(seq)
+    }
+}
+
+impl Drop for SeqWriteSection<'_> {
+    fn drop(&mut self) {
+        let s = self.0.load(Ordering::Relaxed);
+        debug_assert_eq!(s & 1, 1, "unbalanced seqlock write section");
+        self.0.store(s + 1, Ordering::Release);
+    }
 }
 
 /// Lock-protected contents of a leaf.
@@ -74,6 +168,7 @@ impl<V> LeafHandle<V> {
     fn new(leaf: LeafNode<V>, prev: Weak<LeafShared<V>>, next: Option<LeafHandle<V>>) -> Self {
         Self(Arc::new(LeafShared {
             expected_version: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
             data: RwLock::new(LeafData { leaf, prev, next }),
         }))
     }
@@ -88,6 +183,25 @@ impl<V> LeafHandle<V> {
 
     fn downgrade(&self) -> Weak<LeafShared<V>> {
         Arc::downgrade(&self.0)
+    }
+
+    /// Optimistically reads this leaf's `prev` link without the lock.
+    ///
+    /// The `Weak` is cloned from a raw view of the leaf data and the clone
+    /// is kept only if the seqlock validates; the pointee is protected by
+    /// the caller's QSBR critical section (an unlinked neighbour stays
+    /// strongly referenced by the retired MetaTrieHT until a grace period
+    /// the caller is part of).
+    fn prev_optimistic(&self) -> Result<Option<LeafHandle<V>>, ReadConflict> {
+        let shared = &*self.0;
+        let snapshot = shared.seq_enter().ok_or(ReadConflict)?;
+        // SAFETY: the pointer is valid (we hold the Arc); the racy read of
+        // the Weak is validated below and discarded on conflict.
+        let prev = unsafe { (*shared.data.data_ptr()).prev.clone() };
+        if !shared.seq_validate(snapshot) {
+            return Err(ReadConflict);
+        }
+        Ok(prev.upgrade().map(LeafHandle))
     }
 }
 
@@ -121,7 +235,8 @@ pub struct Wormhole<V> {
 // SAFETY: all interior state is either atomic, lock-protected, or reclaimed
 // through the QSBR domain; `V` crosses threads inside those structures.
 unsafe impl<V: Send + Sync> Send for Wormhole<V> {}
-// SAFETY: see above — shared access only goes through locks and atomics.
+// SAFETY: see above — shared access only goes through locks, atomics, and
+// seqlock-validated reads.
 unsafe impl<V: Send + Sync> Sync for Wormhole<V> {}
 
 impl<V: Clone + Send + Sync> Default for Wormhole<V> {
@@ -168,6 +283,27 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
         &self.config
     }
 
+    /// Whether the optimistic read path is usable for this value type.
+    ///
+    /// A racing read may clone a value mid-overwrite and discard it after
+    /// seqlock validation fails. Discarding is only harmless when dropping
+    /// the speculative clone cannot follow a torn pointer, so the lock-free
+    /// path is reserved for values without drop glue (`u64`, small PODs —
+    /// exactly what the paper stores); heap-owning values transparently use
+    /// the per-leaf reader lock instead. The check is const-folded.
+    ///
+    /// Caveat (part of the documented seqlock race budget): absence of drop
+    /// glue does not prove every bit pattern is valid — a no-drop type with
+    /// a validity invariant (`char`, niche-carrying enums) could still
+    /// observe a torn value before validation discards it. A `Pod`-style
+    /// marker bound would close that gap; stable Rust has none built in, so
+    /// store plain integers (as the paper does) or disable
+    /// `optimistic_reads`.
+    #[inline]
+    fn optimistic_reads_safe() -> bool {
+        !std::mem::needs_drop::<V>()
+    }
+
     /// Number of leaf nodes currently on the LeafList.
     pub fn leaf_count(&self) -> usize {
         let mut n = 0;
@@ -179,8 +315,10 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
         n
     }
 
-    /// Resolves the MetaTrieHT search outcome to a leaf handle. `meta` must
-    /// stay valid for the duration of the call (guard or writer mutex held).
+    /// Resolves the MetaTrieHT search outcome to a leaf handle, taking the
+    /// neighbours' reader locks. Used by writers and the locked fallback;
+    /// `meta` must stay valid for the duration of the call (guard or writer
+    /// mutex held).
     fn resolve_outcome(
         &self,
         outcome: TargetOutcome<LeafHandle<V>>,
@@ -208,6 +346,37 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
         }
     }
 
+    /// Lock-free variant of [`Wormhole::resolve_outcome`]: neighbour and
+    /// anchor reads go through the seqlock. Must run inside a QSBR critical
+    /// section.
+    fn resolve_outcome_optimistic(
+        &self,
+        outcome: TargetOutcome<LeafHandle<V>>,
+        key: &[u8],
+    ) -> Result<LeafHandle<V>, ReadConflict> {
+        match outcome {
+            TargetOutcome::Target(leaf) => Ok(leaf),
+            TargetOutcome::LeftOf(leaf) => leaf.prev_optimistic()?.ok_or(ReadConflict),
+            TargetOutcome::CompareAnchor(leaf) => {
+                let shared = &*leaf.0;
+                let snapshot = shared.seq_enter().ok_or(ReadConflict)?;
+                // SAFETY: pointer valid (handle held); the racy reads are
+                // validated below and discarded on conflict. The anchor
+                // comparison reads at most `key.len()` bytes.
+                let data = unsafe { &*shared.data.data_ptr() };
+                let below = key < data.leaf.anchor();
+                let prev = below.then(|| data.prev.clone());
+                if !shared.seq_validate(snapshot) {
+                    return Err(ReadConflict);
+                }
+                match prev {
+                    None => Ok(leaf),
+                    Some(weak) => weak.upgrade().map(LeafHandle).ok_or(ReadConflict),
+                }
+            }
+        }
+    }
+
     /// Searches the published MetaTrieHT for `key`'s target leaf inside a
     /// QSBR critical section and returns the leaf together with the version
     /// of the table that produced it.
@@ -229,8 +398,42 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
         }
     }
 
+    /// One lock-free attempt to find `key`'s target leaf: table search plus
+    /// seqlock-validated neighbour resolution, no reader locks anywhere.
+    /// Must run inside a QSBR critical section.
+    fn locate_optimistic(&self, key: &[u8]) -> Result<(LeafHandle<V>, u64), ReadConflict> {
+        // SAFETY: inside the caller's QSBR critical section; see `locate`.
+        let meta = unsafe { &*self.current.load(Ordering::Acquire) };
+        let outcome = meta.table.search_target(key, &self.config);
+        let leaf = self.resolve_outcome_optimistic(outcome, key)?;
+        Ok((leaf, meta.version))
+    }
+
+    /// One attempt of the lock-free point read. Must run inside a QSBR
+    /// critical section (the caller keeps it open across retries so the
+    /// published table and every leaf reachable from it stay live).
+    fn try_get_optimistic(&self, key: &[u8], hash: u32) -> Result<Option<V>, ReadConflict> {
+        let (leaf, version) = self.locate_optimistic(key)?;
+        let shared = &*leaf.0;
+        let snapshot = shared.seq_enter().ok_or(ReadConflict)?;
+        if leaf.expected_version() > version {
+            return Err(ReadConflict);
+        }
+        // SAFETY: pointer valid (handle held); `get_checked` bounds-checks
+        // every access, and the result is discarded unless the seqlock
+        // validates.
+        let data = unsafe { &*shared.data.data_ptr() };
+        let value = data.leaf.get_checked(key, hash, &self.config)?.cloned();
+        if !shared.seq_validate(snapshot) {
+            return Err(ReadConflict);
+        }
+        Ok(value)
+    }
+
     /// Runs `f` under the target leaf's read lock, restarting the search when
-    /// the version check detects a concurrent split/merge.
+    /// the version check detects a concurrent split/merge. The contended
+    /// fallback of the optimistic read, and the whole read path when
+    /// `optimistic_reads` is disabled.
     fn with_leaf_read<R>(&self, key: &[u8], mut f: impl FnMut(&LeafNode<V>) -> R) -> R {
         loop {
             let (leaf, version) = self.locate(key);
@@ -244,6 +447,7 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
 
     /// Runs `f` under the target leaf's write lock (for in-place updates that
     /// do not change the set of leaves), restarting on version conflicts.
+    /// The leaf's seqlock is held odd while `f` runs.
     fn with_leaf_write<R>(&self, key: &[u8], mut f: impl FnMut(&mut LeafData<V>) -> R) -> R {
         loop {
             let (leaf, version) = self.locate(key);
@@ -251,12 +455,16 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             if leaf.expected_version() > version {
                 continue;
             }
+            let _section = SeqWriteSection::new(&leaf.0.seq);
             return f(&mut data);
         }
     }
 
     // ------------------------------------------------------------------
-    // Split and merge (the third operation group of §2.5).
+    // Split and merge (the third operation group of §2.5). The logic —
+    // split-point selection, anchor formation, meta-item bookkeeping —
+    // lives in the shared core engine; this code owns only the leaf
+    // linking, the seqlock/version marking, and the T2-then-T1 protocol.
     // ------------------------------------------------------------------
 
     /// Inserts `key` via the split path: takes the writer mutex, re-locates
@@ -278,6 +486,7 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
         };
         let mut left_guard = leaf.0.data.write();
         debug_assert!(leaf.expected_version() <= version);
+        let left_section = SeqWriteSection::new(&leaf.0.seq);
 
         // The situation may have changed between the fast path giving up and
         // the mutex being acquired: re-run the cheap cases first.
@@ -291,7 +500,9 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             self.key_bytes.fetch_add(key.len(), Ordering::Relaxed);
             return None;
         }
-        let Some((at, anchor)) = left_guard.leaf.choose_split() else {
+        // Split point, anchor, table key, and the carved right half all come
+        // from the core engine.
+        let Some(prepared) = core::prepare_split(&mut left_guard.leaf, &current.table) else {
             // Fat node (§3.3): grow past the nominal capacity.
             let old = left_guard.leaf.insert(key, hash, value, &self.config);
             debug_assert!(old.is_none());
@@ -299,20 +510,22 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             self.key_bytes.fetch_add(key.len(), Ordering::Relaxed);
             return None;
         };
+        let core::PreparedSplit {
+            anchor,
+            table_key,
+            right,
+        } = prepared;
 
-        // Perform the split on the leaf list while holding the leaf locks.
-        let table_key = current.table.reserve_anchor_key(&anchor);
-        let right_leaf = left_guard
-            .leaf
-            .split_off(at, anchor.clone(), table_key.clone());
+        // Wire the new leaf into the list while holding the leaf locks.
         let old_right = left_guard.next.clone();
-        let new_handle = LeafHandle::new(right_leaf, leaf.downgrade(), old_right.clone());
+        let new_handle = LeafHandle::new(right, leaf.downgrade(), old_right.clone());
+        let mut right_guard = new_handle.0.data.write();
+        let right_section = SeqWriteSection::new(&new_handle.0.seq);
         left_guard.next = Some(new_handle.clone());
         leaf.set_expected_version(version + 1);
         new_handle.set_expected_version(version + 1);
 
         // Insert the pending key into whichever half now covers it.
-        let mut right_guard = new_handle.0.data.write();
         let old = if key >= anchor.as_slice() {
             right_guard.leaf.insert(key, hash, value, &self.config)
         } else {
@@ -324,26 +537,37 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
 
         // Fix the right neighbour's back link (lock ordering: left to right).
         if let Some(right) = &old_right {
-            right.0.data.write().prev = new_handle.downgrade();
+            let mut neighbour = right.0.data.write();
+            let _section = SeqWriteSection::new(&right.0.seq);
+            neighbour.prev = new_handle.downgrade();
         }
 
-        // Apply the changes to the spare table and publish it.
-        let mut spare = writer.spare.take().expect("spare table present");
-        let relocations =
-            spare
-                .table
-                .apply_split(&table_key, new_handle.clone(), &leaf, old_right.as_ref());
-        for (relocated, new_key) in &relocations {
+        // One plan, two applications: computed against the published table,
+        // applied to its logical copy (the spare), published, and — after
+        // the grace period — applied to the retired original.
+        let plan = core::split_plan(
+            &current.table,
+            &table_key,
+            new_handle.clone(),
+            &leaf,
+            old_right.as_ref(),
+        );
+        for (relocated, new_key) in &plan.relocations {
             // The only anchor that can be a proper prefix of the new anchor
             // is the split leaf's own anchor, whose lock we hold.
             assert!(relocated.same(&leaf), "unexpected anchor relocation");
             left_guard.leaf.set_table_key(new_key.clone());
         }
+        let mut spare = writer.spare.take().expect("spare table present");
+        spare.table.apply_plan(&plan);
         spare.version = version + 1;
         let old_table = self.current.swap(Box::into_raw(spare), Ordering::AcqRel);
 
-        // Release the leaf locks before waiting for the grace period so that
-        // readers blocked on them can finish against the new table (§2.5).
+        // Release the seqlock sections and leaf locks before waiting for the
+        // grace period so that readers blocked on them can finish against
+        // the new table (§2.5).
+        drop(right_section);
+        drop(left_section);
         drop(right_guard);
         drop(left_guard);
 
@@ -352,11 +576,7 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
         // so nobody still dereferences the old table; the mutex guarantees
         // exclusive ownership of it from here on.
         let mut old_table = unsafe { Box::from_raw(old_table) };
-        let same_relocations =
-            old_table
-                .table
-                .apply_split(&table_key, new_handle, &leaf, old_right.as_ref());
-        debug_assert_eq!(same_relocations.len(), relocations.len());
+        old_table.table.apply_plan(&plan);
         old_table.version = version + 1;
         writer.spare = Some(old_table);
         None
@@ -390,11 +610,13 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
                 _ => return false,
             }
             let mut victim_guard = victim.0.data.write();
-            if left_guard.leaf.len() + victim_guard.leaf.len() >= self.config.merge_size {
+            if !core::merge_eligible(left_guard.leaf.len(), victim_guard.leaf.len(), &self.config) {
                 return false;
             }
             left.set_expected_version(version + 1);
             victim.set_expected_version(version + 1);
+            let left_section = SeqWriteSection::new(&left.0.seq);
+            let victim_section = SeqWriteSection::new(&victim.0.seq);
             // Move the items and unlink the victim.
             let victim_leaf = std::mem::replace(
                 &mut victim_guard.leaf,
@@ -406,31 +628,35 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             left_guard.next = right.clone();
             if let Some(right) = &right {
                 // Lock ordering: left < victim < right.
-                right.0.data.write().prev = left.downgrade();
+                let mut neighbour = right.0.data.write();
+                let _section = SeqWriteSection::new(&right.0.seq);
+                neighbour.prev = left.downgrade();
             }
+            // One plan, two applications (see `insert_with_split`).
+            let plan = core::merge_plan(
+                &current.table,
+                &victim_table_key,
+                victim,
+                left,
+                right.as_ref(),
+            );
+            drop(victim_section);
+            drop(left_section);
             drop(victim_guard);
             drop(left_guard);
 
-            let mut spare = writer_spare(&mut writer);
-            spare
-                .table
-                .apply_merge(&victim_table_key, victim, left, right.as_ref());
+            let mut spare = writer.spare.take().expect("spare table present");
+            spare.table.apply_plan(&plan);
             spare.version = version + 1;
             let old_table = self.current.swap(Box::into_raw(spare), Ordering::AcqRel);
             self.qsbr.synchronize();
             // SAFETY: grace period elapsed; the old table is exclusively ours.
             let mut old_table = unsafe { Box::from_raw(old_table) };
-            old_table
-                .table
-                .apply_merge(&victim_table_key, victim, left, right.as_ref());
+            old_table.table.apply_plan(&plan);
             old_table.version = version + 1;
             writer.spare = Some(old_table);
             true
         };
-
-        fn writer_spare<V>(writer: &mut WriterState<V>) -> Box<VersionedMeta<V>> {
-            writer.spare.take().expect("spare table present")
-        }
 
         // Try merging this leaf into its left neighbour first, then absorbing
         // the right neighbour, mirroring Algorithm 2.
@@ -479,6 +705,11 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
         let mut total = 0usize;
         while let Some(leaf) = cur {
             let data = leaf.0.data.read();
+            assert_eq!(
+                leaf.0.seq.load(Ordering::Acquire) & 1,
+                0,
+                "leaf seqlock left odd outside a write"
+            );
             let anchor = data.leaf.anchor().to_vec();
             if let Some(prev) = &prev_anchor {
                 assert!(prev < &anchor, "anchors out of order");
@@ -502,6 +733,26 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
 
     fn get(&self, key: &[u8]) -> Option<V> {
         let hash = crc32c(key);
+        if self.config.optimistic_reads && Self::optimistic_reads_safe() {
+            // Lock-free fast path: bounded seqlock-validated attempts inside
+            // one QSBR critical section (kept open across retries so the
+            // table and the leaves it references stay live).
+            let fast = self.qsbr.with_local_handle(|handle| {
+                let _guard = handle.enter();
+                for _ in 0..OPTIMISTIC_READ_RETRIES {
+                    match self.try_get_optimistic(key, hash) {
+                        Ok(found) => return Some(found),
+                        Err(ReadConflict) => std::hint::spin_loop(),
+                    }
+                }
+                None
+            });
+            if let Some(found) = fast {
+                return found;
+            }
+        }
+        // Contended fallback (or optimistic reads disabled): the paper's
+        // per-leaf reader lock, which always makes progress.
         self.with_leaf_read(key, |leaf| leaf.get(key, hash, &self.config).cloned())
     }
 
@@ -571,35 +822,101 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
         if count == 0 {
             return out;
         }
-        // The scan restarts from the last delivered key whenever it reaches a
-        // leaf that has been split or merged since the scan's table snapshot.
-        // The resume key and the per-leaf copy scratch are reused across
-        // leaves and restarts rather than re-allocated for each.
+        // The scan restarts from the last delivered key whenever it reaches
+        // a leaf that has been split or merged since the scan's table
+        // snapshot. Each leaf is first read optimistically — collected into
+        // a staging buffer that is committed only after the seqlock
+        // validates — and, after too many conflicts, through the leaf locks
+        // for the remainder of the scan. The resume key and the staging
+        // buffers are reused across leaves and restarts.
         let mut resume_from: Vec<u8> = Vec::new();
         resume_from.extend_from_slice(start);
-        let mut scratch: Vec<(Vec<u8>, V)> = Vec::new();
+        let mut staged: Vec<(Vec<u8>, V)> = Vec::new();
+        let mut scratch: Vec<(Vec<u8>, u16)> = Vec::new();
+        let mut conflicts = 0usize;
         'restart: loop {
-            let (mut leaf, version) = self.locate(&resume_from);
-            loop {
-                let mut data = leaf.0.data.write();
-                if leaf.expected_version() > version {
-                    if let Some(last) = out.last() {
-                        resume_from.clear();
-                        resume_from.extend_from_slice(&last.0);
+            let optimistic = self.config.optimistic_reads
+                && Self::optimistic_reads_safe()
+                && conflicts < OPTIMISTIC_SCAN_RETRIES;
+            // Locate the resume leaf lock-free while in optimistic mode —
+            // the locked `locate` takes neighbour reader locks during its
+            // leaf-list adjustment, which would reintroduce reader blocking
+            // on every restart.
+            let located = if optimistic {
+                match self.qsbr.with_local_handle(|handle| {
+                    handle.critical(|| self.locate_optimistic(&resume_from))
+                }) {
+                    Ok(found) => found,
+                    Err(ReadConflict) => {
+                        conflicts += 1;
+                        continue 'restart;
                     }
-                    continue 'restart;
                 }
-                // Sort lazily inserted keys in place (incSort), then copy the
-                // covered range out. One extra item is requested so that the
-                // resume key itself (already delivered) can be skipped.
-                data.leaf.ensure_key_sorted();
+            } else {
+                self.locate(&resume_from)
+            };
+            let (mut leaf, version) = located;
+            loop {
+                // Read one leaf: the covered range goes to `staged`, and the
+                // successor link to `next`. One extra item is requested so
+                // that the resume key itself (already delivered) can be
+                // skipped while committing.
                 let lower: &[u8] = if out.is_empty() { start } else { &resume_from };
                 let remaining = (count - out.len()).saturating_add(1);
-                scratch.clear();
-                data.leaf.collect_range(lower, remaining, &mut scratch);
-                for (k, v) in scratch.drain(..) {
-                    // `resume_from` is the last key already delivered; skip it
-                    // when the scan restarted on its leaf.
+                staged.clear();
+                let step: Result<Option<LeafHandle<V>>, ReadConflict> = if optimistic {
+                    self.qsbr.with_local_handle(|handle| {
+                        handle.critical(|| {
+                            let shared = &*leaf.0;
+                            let snapshot = shared.seq_enter().ok_or(ReadConflict)?;
+                            if leaf.expected_version() > version {
+                                return Err(ReadConflict);
+                            }
+                            // SAFETY: pointer valid (handle held); all reads
+                            // bounds-checked and discarded unless the
+                            // seqlock validates.
+                            let data = unsafe { &*shared.data.data_ptr() };
+                            data.leaf.collect_range_checked(
+                                lower,
+                                remaining,
+                                &mut staged,
+                                &mut scratch,
+                                MAX_OPTIMISTIC_KEY_LEN,
+                            )?;
+                            let next = data.next.clone();
+                            if !shared.seq_validate(snapshot) {
+                                return Err(ReadConflict);
+                            }
+                            Ok(next)
+                        })
+                    })
+                } else {
+                    let mut data = leaf.0.data.write();
+                    if leaf.expected_version() > version {
+                        Err(ReadConflict)
+                    } else {
+                        // Sort lazily inserted keys in place (incSort), then
+                        // copy the covered range out.
+                        let _section = SeqWriteSection::new(&leaf.0.seq);
+                        data.leaf.ensure_key_sorted();
+                        data.leaf.collect_range(lower, remaining, &mut staged);
+                        Ok(data.next.clone())
+                    }
+                };
+                let next = match step {
+                    Ok(next) => next,
+                    Err(ReadConflict) => {
+                        conflicts += 1;
+                        if let Some(last) = out.last() {
+                            resume_from.clear();
+                            resume_from.extend_from_slice(&last.0);
+                        }
+                        continue 'restart;
+                    }
+                };
+                // Commit the staged items, skipping the already-delivered
+                // resume key when the scan restarted on its leaf.
+                for (k, v) in staged.drain(..) {
                     if !out.is_empty() && k.as_slice() <= resume_from.as_slice() {
                         continue;
                     }
@@ -612,8 +929,6 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
                     resume_from.clear();
                     resume_from.extend_from_slice(&last.0);
                 }
-                let next = data.next.clone();
-                drop(data);
                 match next {
                     Some(next) if out.len() < count => leaf = next,
                     _ => return out,
@@ -688,6 +1003,48 @@ mod tests {
             .map(|(k, _)| String::from_utf8(k.clone()).unwrap())
             .collect();
         assert_eq!(keys, vec!["Denice", "Jacob", "Jason"]);
+    }
+
+    #[test]
+    fn locked_reads_match_optimistic_reads() {
+        // The same operations through both read paths give identical
+        // results (the contended-read benchmark relies on the toggle).
+        let optimistic = Wormhole::with_config(small_config());
+        let locked = Wormhole::with_config(small_config().with_optimistic_reads(false));
+        for i in 0..1200u64 {
+            let key = format!("mode-{:05}", i * 31 % 1200);
+            optimistic.set(key.as_bytes(), i);
+            locked.set(key.as_bytes(), i);
+        }
+        for i in 0..1200u64 {
+            let key = format!("mode-{i:05}");
+            assert_eq!(optimistic.get(key.as_bytes()), locked.get(key.as_bytes()));
+        }
+        assert_eq!(
+            optimistic.range_from(b"mode-00300", 200),
+            locked.range_from(b"mode-00300", 200)
+        );
+    }
+
+    #[test]
+    fn heap_values_use_locked_reads_transparently() {
+        // String has drop glue, so `optimistic_reads_safe` routes every
+        // read through the per-leaf lock; behaviour must be unaffected.
+        assert!(!Wormhole::<String>::optimistic_reads_safe());
+        assert!(Wormhole::<u64>::optimistic_reads_safe());
+        let wh: Wormhole<String> = Wormhole::with_config(small_config());
+        for i in 0..500u32 {
+            wh.set(format!("hv-{i:04}").as_bytes(), format!("value-{i}"));
+        }
+        for i in 0..500u32 {
+            assert_eq!(
+                wh.get(format!("hv-{i:04}").as_bytes()),
+                Some(format!("value-{i}")),
+            );
+        }
+        let scan = wh.range_from(b"hv-0100", 10);
+        assert_eq!(scan.len(), 10);
+        assert_eq!(scan[0].1, "value-100");
     }
 
     #[test]

@@ -19,6 +19,13 @@ use wh_hash::{tag16, tag_position_hint};
 
 use crate::config::WormholeConfig;
 
+/// Marker returned by the `*_checked` read methods when an optimistic
+/// (unlocked) read observed internally inconsistent state — an index out of
+/// bounds, an implausible key length, or a lagging sort view. The caller
+/// must validate its seqlock and retry; the observed data is meaningless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadConflict;
+
 /// One key/value item plus its cached hash material.
 #[derive(Debug, Clone)]
 pub struct Kv<V> {
@@ -360,47 +367,191 @@ impl<V> LeafNode<V> {
         appended
     }
 
-    /// Chooses a split position and the new right sibling's logical anchor.
+    /// Like [`LeafNode::get`], but safe to run on a leaf that a concurrent
+    /// writer may be mutating (the seqlock read path): every index access is
+    /// bounds-checked and any inconsistency — instead of panicking or
+    /// over-reading — surfaces as [`ReadConflict`], which the caller turns
+    /// into a retry after its seqlock validation fails.
     ///
-    /// Implements the anchor-formation rule of §2.2 with the §3.3 relaxation:
-    /// starting from the middle, find an adjacent pair `(i-1, i)` such that
-    /// the candidate anchor (common prefix plus one byte) does not end in a
-    /// zero byte (ending in the smallest token would make the anchor
-    /// ambiguous against anchors that only differ by trailing ⊥ tokens).
-    /// Returns `None` when no valid split point exists — the caller keeps the
-    /// leaf as a *fat node*.
-    pub fn choose_split(&mut self) -> Option<(usize, Vec<u8>)> {
-        self.ensure_key_sorted();
-        let n = self.key_order.len();
-        if n < 2 {
-            return None;
+    /// The returned reference (and any value cloned from it) must be
+    /// discarded unless the caller's subsequent version validation succeeds.
+    pub fn get_checked(
+        &self,
+        key: &[u8],
+        hash: u32,
+        config: &WormholeConfig,
+    ) -> Result<Option<&V>, ReadConflict> {
+        if self.kvs.is_empty() {
+            return Ok(None);
         }
-        let candidate_at = |i: usize, kvs: &[Kv<V>], order: &[u16]| -> Option<Vec<u8>> {
-            let prev = kvs[order[i - 1] as usize].key.as_ref();
-            let next = kvs[order[i] as usize].key.as_ref();
-            let cpl = index_traits::common_prefix_len(prev, next);
-            debug_assert!(cpl < next.len(), "adjacent keys must differ");
-            let last = next[cpl];
-            if last == 0 {
-                // Splitting here would create an anchor that ends in the
-                // smallest token; see §3.3 (fat nodes).
-                return None;
-            }
-            Some(next[..=cpl].to_vec())
-        };
-        // Try the middle first, then walk outwards (the paper: "Try another i
-        // in range [1, size-1]").
-        let mid = n / 2;
-        for delta in 0..n {
-            for i in [mid.wrapping_sub(delta), mid + delta] {
-                if (1..n).contains(&i) {
-                    if let Some(anchor) = candidate_at(i, &self.kvs, &self.key_order) {
-                        return Some((i, anchor));
+        if config.sort_by_tag {
+            let tag = tag16(hash);
+            let n = self.hash_order.len();
+            let kv_at = |i: usize| -> Result<&Kv<V>, ReadConflict> {
+                let idx = *self.hash_order.get(i).ok_or(ReadConflict)?;
+                self.kvs.get(idx as usize).ok_or(ReadConflict)
+            };
+            // First position whose tag is >= the search tag, via the same
+            // DirectPos hint walk or a hand-rolled (checked) binary search.
+            let mut i = if config.direct_pos {
+                let mut i = tag_position_hint(tag, n).min(n);
+                while i > 0 && tag <= kv_at(i - 1)?.tag {
+                    i -= 1;
+                }
+                while i < n && tag > kv_at(i)?.tag {
+                    i += 1;
+                }
+                i
+            } else {
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if kv_at(mid)?.tag < tag {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
                     }
                 }
+                lo
+            };
+            while i < n {
+                let kv = kv_at(i)?;
+                if kv.tag != tag {
+                    return Ok(None);
+                }
+                if kv.key.as_ref() == key {
+                    return Ok(Some(&kv.value));
+                }
+                i += 1;
             }
+            Ok(None)
+        } else {
+            // Checked binary search over the key-sorted view.
+            let key_at = |i: usize| -> Result<&Kv<V>, ReadConflict> {
+                let idx = *self.key_order.get(i).ok_or(ReadConflict)?;
+                self.kvs.get(idx as usize).ok_or(ReadConflict)
+            };
+            let (mut lo, mut hi) = (0usize, self.key_order.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                let kv = key_at(mid)?;
+                match kv.key.as_ref().cmp(key) {
+                    std::cmp::Ordering::Less => lo = mid + 1,
+                    std::cmp::Ordering::Greater => hi = mid,
+                    std::cmp::Ordering::Equal => return Ok(Some(&kv.value)),
+                }
+            }
+            Ok(None)
         }
-        None
+    }
+
+    /// Like [`LeafNode::collect_range_unsorted`], but safe on a leaf a
+    /// concurrent writer may be mutating (see [`LeafNode::get_checked`]):
+    /// bounds-checked throughout, and any key whose recorded length exceeds
+    /// `max_key_len` is treated as torn state rather than copied. The
+    /// unsorted tail is snapshotted into `tail_scratch` (owned keys) before
+    /// it is ordered, so the sort comparator never touches racing memory —
+    /// a comparator over in-flux data would not be a total order, which
+    /// `sort_unstable_by` may punish with a panic. Appends to `out`; the
+    /// appended items must be discarded unless the caller's seqlock
+    /// validation succeeds.
+    pub fn collect_range_checked(
+        &self,
+        start: &[u8],
+        count: usize,
+        out: &mut Vec<(Vec<u8>, V)>,
+        tail_scratch: &mut Vec<(Vec<u8>, u16)>,
+        max_key_len: usize,
+    ) -> Result<usize, ReadConflict>
+    where
+        V: Clone,
+    {
+        let total = self.key_order.len();
+        let sorted_cnt = self.sorted_cnt.min(total);
+        let key_of = |idx: u16| -> Result<&Kv<V>, ReadConflict> {
+            let kv = self.kvs.get(idx as usize).ok_or(ReadConflict)?;
+            if kv.key.len() > max_key_len {
+                return Err(ReadConflict);
+            }
+            Ok(kv)
+        };
+        // Snapshot the unsorted tail as (owned key, index) pairs — any torn
+        // index or implausible key surfaces as a conflict here — then sort
+        // the owned snapshot (a genuine total order, immune to races).
+        tail_scratch.clear();
+        for &idx in self.key_order.get(sorted_cnt..total).ok_or(ReadConflict)? {
+            tail_scratch.push((key_of(idx)?.key.to_vec(), idx));
+        }
+        tail_scratch.sort_unstable();
+        let sorted = self.key_order.get(..sorted_cnt).ok_or(ReadConflict)?;
+        // Checked lower bounds in both runs.
+        let mut a = {
+            let (mut lo, mut hi) = (0usize, sorted.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if key_of(sorted[mid])?.key.as_ref() < start {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        let mut b = tail_scratch.partition_point(|(key, _)| key.as_slice() < start);
+        let mut appended = 0;
+        while appended < count {
+            // Merge the two runs; tail entries reuse their snapshotted key.
+            enum Next {
+                Sorted(u16),
+                Tail(usize),
+            }
+            let next = match (sorted.get(a), tail_scratch.get(b)) {
+                (Some(&x), Some((tail_key, _))) => {
+                    if key_of(x)?.key.as_ref() <= tail_key.as_slice() {
+                        a += 1;
+                        Next::Sorted(x)
+                    } else {
+                        b += 1;
+                        Next::Tail(b - 1)
+                    }
+                }
+                (Some(&x), None) => {
+                    a += 1;
+                    Next::Sorted(x)
+                }
+                (None, Some(_)) => {
+                    b += 1;
+                    Next::Tail(b - 1)
+                }
+                (None, None) => break,
+            };
+            match next {
+                Next::Sorted(idx) => {
+                    let kv = key_of(idx)?;
+                    out.push((kv.key.to_vec(), kv.value.clone()));
+                }
+                Next::Tail(pos) => {
+                    let (key, idx) = &mut tail_scratch[pos];
+                    let value = self
+                        .kvs
+                        .get(*idx as usize)
+                        .ok_or(ReadConflict)?
+                        .value
+                        .clone();
+                    out.push((std::mem::take(key), value));
+                }
+            }
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    /// Key at sorted position `i` (requires the key-sorted view to be
+    /// current; see [`LeafNode::ensure_key_sorted`]). Used by the core
+    /// engine's split-point selection.
+    pub fn key_at(&self, i: usize) -> &[u8] {
+        debug_assert_eq!(self.sorted_cnt, self.key_order.len());
+        self.kvs[self.key_order[i] as usize].key.as_ref()
     }
 
     /// Splits the leaf at key-order position `at`, moving items `[at..]` into
@@ -576,66 +727,13 @@ mod tests {
     }
 
     #[test]
-    fn choose_split_prefers_middle_and_short_anchor() {
-        let config = cfg();
-        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
-        let names = [
-            "Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob", "James", "Jason",
-        ];
-        for n in names {
-            insert(&mut leaf, n.as_bytes(), 0, &config);
-        }
-        let (at, anchor) = leaf.choose_split().expect("split point");
-        assert_eq!(at, 4);
-        // Keys sorted: Aaron Abbe Andrew Austin | Denice Jacob James Jason.
-        // Common prefix of "Austin" and "Denice" is empty -> anchor "D".
-        assert_eq!(anchor, b"D".to_vec());
-    }
-
-    #[test]
-    fn choose_split_skips_zero_terminated_candidates() {
-        let config = cfg();
-        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
-        // Keys crafted so the middle candidate would end in a zero byte.
-        let keys: Vec<Vec<u8>> = vec![
-            vec![1],
-            vec![1, 0],
-            vec![1, 0, 0],
-            vec![1, 0, 0, 0],
-            vec![1, 1],
-            vec![1, 1, 1],
-        ];
-        for (i, k) in keys.iter().enumerate() {
-            insert(&mut leaf, k, i as u64, &config);
-        }
-        let (at, anchor) = leaf
-            .choose_split()
-            .expect("the 1/11 boundary is splittable");
-        assert_eq!(anchor, vec![1, 1]);
-        assert_eq!(at, 4);
-    }
-
-    #[test]
-    fn choose_split_returns_none_for_fat_node_keyset() {
-        let config = cfg();
-        let mut leaf = LeafNode::new(Vec::new(), Vec::new());
-        // Every adjacent pair differs only by trailing zero bytes: no valid
-        // split position exists (§3.3's fat-node example).
-        let keys: Vec<Vec<u8>> = vec![vec![1], vec![1, 0], vec![1, 0, 0], vec![1, 0, 0, 0]];
-        for (i, k) in keys.iter().enumerate() {
-            insert(&mut leaf, k, i as u64, &config);
-        }
-        assert!(leaf.choose_split().is_none());
-    }
-
-    #[test]
     fn split_off_partitions_items() {
         let config = cfg();
         let mut leaf = LeafNode::new(Vec::new(), Vec::new());
         for i in 0..10u64 {
             insert(&mut leaf, format!("key{i}").as_bytes(), i, &config);
         }
-        let (at, anchor) = leaf.choose_split().unwrap();
+        let (at, anchor) = crate::core::choose_split_point(&mut leaf).unwrap();
         let right = leaf.split_off(at, anchor.clone(), anchor.clone());
         assert_eq!(leaf.len() + right.len(), 10);
         assert!(leaf.max_key().unwrap() < right.min_key().unwrap());
@@ -670,6 +768,46 @@ mod tests {
         left.ensure_key_sorted();
         let keys: Vec<&[u8]> = left.iter_key_order().map(|kv| kv.key.as_ref()).collect();
         assert_eq!(keys, vec![b"a".as_ref(), b"c", b"e", b"m", b"o", b"q"]);
+    }
+
+    #[test]
+    fn checked_reads_match_unchecked_on_quiescent_leaf() {
+        for config in [
+            WormholeConfig::optimized(),
+            WormholeConfig::optimized().with_direct_pos(false),
+            WormholeConfig::base(),
+        ] {
+            let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+            for i in 0..40u64 {
+                insert(
+                    &mut leaf,
+                    format!("ck{:03}", i * 7 % 40).as_bytes(),
+                    i,
+                    &config,
+                );
+            }
+            for i in 0..40u64 {
+                let key = format!("ck{i:03}");
+                assert_eq!(
+                    leaf.get_checked(key.as_bytes(), crc32c(key.as_bytes()), &config),
+                    Ok(leaf.get(key.as_bytes(), crc32c(key.as_bytes()), &config)),
+                    "{key}"
+                );
+            }
+            assert_eq!(leaf.get_checked(b"zz", crc32c(b"zz"), &config), Ok(None));
+            // Range: the checked collector agrees with the unchecked one
+            // even while the key-sorted view lags behind.
+            let mut expect = Vec::new();
+            let mut scratch16 = Vec::new();
+            leaf.collect_range_unsorted(b"ck010", 12, &mut expect, &mut scratch16);
+            let mut got = Vec::new();
+            let mut tail_scratch = Vec::new();
+            let n = leaf
+                .collect_range_checked(b"ck010", 12, &mut got, &mut tail_scratch, 1 << 20)
+                .expect("quiescent leaf never conflicts");
+            assert_eq!(n, expect.len());
+            assert_eq!(got, expect);
+        }
     }
 
     #[test]

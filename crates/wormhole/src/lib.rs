@@ -36,11 +36,20 @@
 //!
 //! ## Variants
 //!
-//! * [`Wormhole`] — thread-safe: per-leaf reader/writer locks, a writer mutex
-//!   over the MetaTrieHT, and a QSBR-based RCU double-table scheme with
-//!   version-checked restarts (§2.5).
+//! * [`Wormhole`] — thread-safe: seqlock-validated **lock-free reads** (no
+//!   per-leaf lock on the `get`/`range_from` hot path, with a bounded-retry
+//!   fallback to the leaf reader lock), per-leaf writer locks, a writer
+//!   mutex over the MetaTrieHT, and a QSBR-based RCU double-table scheme
+//!   with version-checked restarts (§2.5, extended).
 //! * [`WormholeUnsafe`] — the thread-unsafe variant used by the paper's
 //!   single-thread comparisons (Figure 9's "Wormhole-unsafe").
+//!
+//! Both variants share one split/merge engine: [`core`](crate::core) owns
+//! split-point selection, anchor formation, and merge eligibility, and the
+//! MetaTrieHT changes of a split or merge are computed once as a
+//! declarative [`meta::MetaPlan`] that the single-threaded index applies to
+//! its one table and the concurrent index applies to T2-then-T1 under the
+//! writer mutex.
 //!
 //! ## Quick start
 //!
@@ -61,6 +70,7 @@
 
 pub mod concurrent;
 pub mod config;
+pub mod core;
 pub mod leaf;
 pub mod meta;
 pub mod single;

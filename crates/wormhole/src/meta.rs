@@ -35,6 +35,15 @@
 //! The table is generic over the leaf handle type `L` so the same code backs
 //! both the single-threaded index (arena indices) and the concurrent index
 //! (`Arc` leaf pointers).
+//!
+//! # Structural updates
+//!
+//! Splits and merges do not mutate the table directly: [`MetaTable::plan_split`]
+//! and [`MetaTable::plan_merge`] compute a declarative [`MetaPlan`] (the
+//! absolute item inserts/deletes of Algorithm 4) that
+//! [`MetaTable::apply_plan`] executes — once for the single-threaded index,
+//! and once per table (T2, then T1 after the grace period) for the
+//! concurrent one. See [`meta_plan`].
 
 use index_traits::IndexStats;
 use wh_hash::{crc32c, crc32c_append, mix64, tag16, tag8_match_mask, IncrementalHasher};
@@ -250,6 +259,112 @@ pub enum TargetOutcome<L> {
     /// case the target is its left neighbour (Algorithm 3, lines 4–7).
     CompareAnchor(L),
 }
+
+pub mod meta_plan {
+    //! Declarative meta-update plans (Algorithm 4, factored out).
+    //!
+    //! A split or merge changes the MetaTrieHT by inserting, replacing, and
+    //! deleting whole items. Instead of mutating a table in place, the plan
+    //! builders ([`MetaTable::plan_split`] / [`MetaTable::plan_merge`]) read
+    //! the *current* table and emit the absolute item writes as a
+    //! [`MetaPlan`]. Because the concurrent index keeps its two tables (T1
+    //! and T2) as exact logical copies of each other, the same plan can be
+    //! applied verbatim to both — first to the spare table, then (after the
+    //! RCU grace period) to the retired one — while the single-threaded
+    //! index applies it once. This is what lets the split/merge bookkeeping
+    //! live in exactly one place.
+    //!
+    //! [`MetaTable::plan_split`]: super::MetaTable::plan_split
+    //! [`MetaTable::plan_merge`]: super::MetaTable::plan_merge
+
+    use super::{LeafRef, MetaKind, MetaTable};
+
+    /// One absolute write against a MetaTrieHT.
+    #[derive(Debug, Clone)]
+    pub enum MetaOp<L> {
+        /// Insert `key` with `kind`, replacing any existing item.
+        Put {
+            /// The item key (a prefix or anchor table key).
+            key: Vec<u8>,
+            /// The payload the item must end up with.
+            kind: MetaKind<L>,
+        },
+        /// Remove the item stored under `key`.
+        Del {
+            /// The item key to remove.
+            key: Vec<u8>,
+        },
+    }
+
+    /// The complete set of MetaTrieHT writes for one split or merge, plus
+    /// the anchor relocations the leaf layer must mirror.
+    #[derive(Debug, Clone, Default)]
+    pub struct MetaPlan<L> {
+        /// Item writes, to be applied in order.
+        pub ops: Vec<MetaOp<L>>,
+        /// Existing anchors that moved to a new table key (`prefix ⧺ ⊥`);
+        /// the caller updates each leaf's own `table_key` record.
+        pub relocations: Vec<(L, Vec<u8>)>,
+    }
+
+    /// Builds a plan against a read-only table: pending writes are kept in a
+    /// local overlay consulted before the underlying table, so the builder
+    /// observes its own earlier writes exactly like in-place mutation would.
+    pub(super) struct PlanBuilder<'t, L> {
+        table: &'t MetaTable<L>,
+        overlay: Vec<(Vec<u8>, Option<MetaKind<L>>)>,
+        plan: MetaPlan<L>,
+    }
+
+    impl<'t, L: LeafRef> PlanBuilder<'t, L> {
+        pub(super) fn new(table: &'t MetaTable<L>) -> Self {
+            Self {
+                table,
+                overlay: Vec::new(),
+                plan: MetaPlan {
+                    ops: Vec::new(),
+                    relocations: Vec::new(),
+                },
+            }
+        }
+
+        /// The kind currently stored under `key`, as the plan-so-far would
+        /// leave it (overlay first, then the underlying table).
+        pub(super) fn current(&self, key: &[u8]) -> Option<MetaKind<L>> {
+            if let Some((_, kind)) = self.overlay.iter().find(|(k, _)| k.as_slice() == key) {
+                return kind.clone();
+            }
+            self.table.get(key).map(|item| item.kind.clone())
+        }
+
+        pub(super) fn put(&mut self, key: Vec<u8>, kind: MetaKind<L>) {
+            self.set_overlay(&key, Some(kind.clone()));
+            self.plan.ops.push(MetaOp::Put { key, kind });
+        }
+
+        pub(super) fn del(&mut self, key: Vec<u8>) {
+            self.set_overlay(&key, None);
+            self.plan.ops.push(MetaOp::Del { key });
+        }
+
+        pub(super) fn relocate(&mut self, leaf: L, new_key: Vec<u8>) {
+            self.plan.relocations.push((leaf, new_key));
+        }
+
+        pub(super) fn finish(self) -> MetaPlan<L> {
+            self.plan
+        }
+
+        fn set_overlay(&mut self, key: &[u8], kind: Option<MetaKind<L>>) {
+            match self.overlay.iter_mut().find(|(k, _)| k.as_slice() == key) {
+                Some((_, slot)) => *slot = kind,
+                None => self.overlay.push((key.to_vec(), kind)),
+            }
+        }
+    }
+}
+
+pub use meta_plan::{MetaOp, MetaPlan};
 
 /// The MetaTrieHT hash table (cache-line-bucketized; see the module docs
 /// for the layout).
@@ -721,16 +836,147 @@ impl<L: LeafRef> MetaTable<L> {
         key
     }
 
-    /// Registers a freshly split-off leaf under `table_key` and inserts or
-    /// updates every prefix item (split half of Algorithm 4).
+    /// Computes the meta-update plan registering a freshly split-off leaf
+    /// under `table_key` (split half of Algorithm 4). The table is not
+    /// modified; apply the returned plan with [`MetaTable::apply_plan`].
     ///
     /// * `new_leaf` — the new right sibling created by the split;
     /// * `split_leaf` — the leaf that was split (left half, keeps its anchor);
     /// * `old_right` — the leaf that was to the right of `split_leaf` before
     ///   the split (now to the right of `new_leaf`), if any.
     ///
-    /// Returns the relocations performed on existing anchors (leaf handle and
-    /// its new table key) so the caller can update the leaves' own records.
+    /// The plan's `relocations` list the existing anchors that moved to a new
+    /// table key so the caller can update the leaves' own records.
+    pub fn plan_split(
+        &self,
+        table_key: &[u8],
+        new_leaf: L,
+        split_leaf: &L,
+        old_right: Option<&L>,
+    ) -> MetaPlan<L> {
+        let mut plan = meta_plan::PlanBuilder::new(self);
+        debug_assert!(
+            plan.current(table_key).is_none(),
+            "anchor table key must be unused"
+        );
+        plan.put(table_key.to_vec(), MetaKind::Leaf(new_leaf.clone()));
+        for plen in 0..table_key.len() {
+            let prefix = &table_key[..plen];
+            let token = table_key[plen];
+            match plan.current(prefix) {
+                None => {
+                    let mut bitmap = TokenBitmap::new();
+                    bitmap.set(token);
+                    plan.put(
+                        prefix.to_vec(),
+                        MetaKind::internal(bitmap, new_leaf.clone(), new_leaf.clone()),
+                    );
+                }
+                Some(MetaKind::Internal(mut node)) => {
+                    node.bitmap.set(token);
+                    if node.rightmost.same(split_leaf) {
+                        node.rightmost = new_leaf.clone();
+                    }
+                    if let Some(right) = old_right {
+                        if node.leftmost.same(right) {
+                            node.leftmost = new_leaf.clone();
+                        }
+                    }
+                    plan.put(prefix.to_vec(), MetaKind::Internal(node));
+                }
+                Some(MetaKind::Leaf(existing)) => {
+                    // An existing anchor equals this prefix: relocate it to
+                    // `prefix ⧺ ⊥` and put an internal node in its place
+                    // (Algorithm 4, lines 15–18).
+                    let mut relocated_key = prefix.to_vec();
+                    relocated_key.push(0);
+                    debug_assert!(plan.current(&relocated_key).is_none());
+                    plan.put(relocated_key.clone(), MetaKind::Leaf(existing.clone()));
+                    let mut bitmap = TokenBitmap::new();
+                    bitmap.set(0);
+                    bitmap.set(token);
+                    plan.put(
+                        prefix.to_vec(),
+                        MetaKind::internal(bitmap, existing.clone(), new_leaf.clone()),
+                    );
+                    plan.relocate(existing, relocated_key);
+                }
+            }
+        }
+        plan.finish()
+    }
+
+    /// Computes the meta-update plan unregistering a merged-away leaf (merge
+    /// half of Algorithm 4). The table is not modified; apply the returned
+    /// plan with [`MetaTable::apply_plan`].
+    ///
+    /// * `victim_table_key` — the removed leaf's registration key;
+    /// * `victim` — the removed leaf;
+    /// * `victim_left` — its left neighbour (the leaf that absorbed it);
+    /// * `victim_right` — its right neighbour, if any.
+    pub fn plan_merge(
+        &self,
+        victim_table_key: &[u8],
+        victim: &L,
+        victim_left: &L,
+        victim_right: Option<&L>,
+    ) -> MetaPlan<L> {
+        let mut plan = meta_plan::PlanBuilder::new(self);
+        debug_assert!(
+            matches!(plan.current(victim_table_key), Some(MetaKind::Leaf(_))),
+            "victim anchor must be registered as a leaf item"
+        );
+        plan.del(victim_table_key.to_vec());
+        let mut child_removed = true;
+        for plen in (0..victim_table_key.len()).rev() {
+            let prefix = &victim_table_key[..plen];
+            let token = victim_table_key[plen];
+            let Some(MetaKind::Internal(mut node)) = plan.current(prefix) else {
+                debug_assert!(false, "prefix of an anchor must be an internal item");
+                continue;
+            };
+            if child_removed {
+                node.bitmap.clear(token);
+            }
+            if node.bitmap.is_empty() {
+                plan.del(prefix.to_vec());
+                child_removed = true;
+            } else {
+                child_removed = false;
+                if node.leftmost.same(victim) {
+                    // The subtree's leaves form a contiguous run of the
+                    // leaf list, so the victim's right neighbour takes over.
+                    node.leftmost = victim_right.cloned().unwrap_or_else(|| victim_left.clone());
+                }
+                if node.rightmost.same(victim) {
+                    node.rightmost = victim_left.clone();
+                }
+                plan.put(prefix.to_vec(), MetaKind::Internal(node));
+            }
+        }
+        plan.finish()
+    }
+
+    /// Applies a plan computed by [`MetaTable::plan_split`] or
+    /// [`MetaTable::plan_merge`]. Because plans are absolute item writes, the
+    /// same plan applied to two logically identical tables leaves them
+    /// logically identical again (the concurrent index's T2-then-T1
+    /// protocol relies on this).
+    pub fn apply_plan(&mut self, plan: &MetaPlan<L>) {
+        for op in &plan.ops {
+            match op {
+                MetaOp::Put { key, kind } => {
+                    self.insert(key, kind.clone());
+                }
+                MetaOp::Del { key } => {
+                    self.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Plans and immediately applies a split (convenience for the
+    /// single-table callers and tests). Returns the anchor relocations.
     pub fn apply_split(
         &mut self,
         table_key: &[u8],
@@ -738,69 +984,13 @@ impl<L: LeafRef> MetaTable<L> {
         split_leaf: &L,
         old_right: Option<&L>,
     ) -> Vec<(L, Vec<u8>)> {
-        let mut relocations = Vec::new();
-        debug_assert!(!self.contains(table_key), "anchor table key must be unused");
-        self.insert(table_key, MetaKind::Leaf(new_leaf.clone()));
-        for plen in 0..table_key.len() {
-            let prefix = &table_key[..plen];
-            let token = table_key[plen];
-            // Inspect (and, for internal items, update) the prefix in place;
-            // structural changes that need further table calls are deferred
-            // until the mutable borrow ends.
-            let relocate: Option<L> = match self.get_mut(prefix) {
-                None => {
-                    let mut bitmap = TokenBitmap::new();
-                    bitmap.set(token);
-                    self.insert(
-                        prefix,
-                        MetaKind::internal(bitmap, new_leaf.clone(), new_leaf.clone()),
-                    );
-                    None
-                }
-                Some(item) => match &mut item.kind {
-                    MetaKind::Internal(node) => {
-                        node.bitmap.set(token);
-                        if node.rightmost.same(split_leaf) {
-                            node.rightmost = new_leaf.clone();
-                        }
-                        if let Some(right) = old_right {
-                            if node.leftmost.same(right) {
-                                node.leftmost = new_leaf.clone();
-                            }
-                        }
-                        None
-                    }
-                    MetaKind::Leaf(existing) => Some(existing.clone()),
-                },
-            };
-            if let Some(existing) = relocate {
-                // An existing anchor equals this prefix: relocate it to
-                // `prefix ⧺ ⊥` and put an internal node in its place
-                // (Algorithm 4, lines 15–18).
-                let mut relocated_key = prefix.to_vec();
-                relocated_key.push(0);
-                debug_assert!(!self.contains(&relocated_key));
-                self.remove(prefix).expect("leaf item present");
-                self.insert(&relocated_key, MetaKind::Leaf(existing.clone()));
-                let mut bitmap = TokenBitmap::new();
-                bitmap.set(0);
-                bitmap.set(token);
-                self.insert(
-                    prefix,
-                    MetaKind::internal(bitmap, existing.clone(), new_leaf.clone()),
-                );
-                relocations.push((existing, relocated_key));
-            }
-        }
-        relocations
+        let plan = self.plan_split(table_key, new_leaf, split_leaf, old_right);
+        self.apply_plan(&plan);
+        plan.relocations
     }
 
-    /// Unregisters a merged-away leaf (merge half of Algorithm 4).
-    ///
-    /// * `victim_table_key` — the removed leaf's registration key;
-    /// * `victim` — the removed leaf;
-    /// * `victim_left` — its left neighbour (the leaf that absorbed it);
-    /// * `victim_right` — its right neighbour, if any.
+    /// Plans and immediately applies a merge (convenience for the
+    /// single-table callers and tests).
     pub fn apply_merge(
         &mut self,
         victim_table_key: &[u8],
@@ -808,49 +998,8 @@ impl<L: LeafRef> MetaTable<L> {
         victim_left: &L,
         victim_right: Option<&L>,
     ) {
-        let removed = self.remove(victim_table_key);
-        debug_assert!(
-            matches!(removed.map(|i| i.kind), Some(MetaKind::Leaf(_))),
-            "victim anchor must be registered as a leaf item"
-        );
-        let mut child_removed = true;
-        for plen in (0..victim_table_key.len()).rev() {
-            let prefix = &victim_table_key[..plen];
-            let token = victim_table_key[plen];
-            let remove_prefix = {
-                let Some(item) = self.get_mut(prefix) else {
-                    debug_assert!(false, "missing prefix item during merge");
-                    continue;
-                };
-                let MetaKind::Internal(node) = &mut item.kind else {
-                    debug_assert!(false, "prefix of an anchor must be an internal item");
-                    continue;
-                };
-                if child_removed {
-                    node.bitmap.clear(token);
-                }
-                if node.bitmap.is_empty() {
-                    true
-                } else {
-                    child_removed = false;
-                    if node.leftmost.same(victim) {
-                        // The subtree's leaves form a contiguous run of the
-                        // leaf list, so the victim's right neighbour takes
-                        // over.
-                        node.leftmost =
-                            victim_right.cloned().unwrap_or_else(|| victim_left.clone());
-                    }
-                    if node.rightmost.same(victim) {
-                        node.rightmost = victim_left.clone();
-                    }
-                    false
-                }
-            };
-            if remove_prefix {
-                self.remove(prefix);
-                child_removed = true;
-            }
-        }
+        let plan = self.plan_merge(victim_table_key, victim, victim_left, victim_right);
+        self.apply_plan(&plan);
     }
 
     /// Registers the very first leaf (empty anchor) of a new index.

@@ -5,11 +5,25 @@
 //! configuration measured in Figure 9's `Wormhole-unsafe` series. It is also
 //! the reference implementation that the concurrent variant's behaviour is
 //! tested against.
+//!
+//! # Plan-based structural updates
+//!
+//! This module holds none of the split/merge logic itself. When a leaf
+//! overflows, [`crate::core::prepare_split`] selects the split point, forms
+//! the anchor, and carves the leaf; [`crate::core::split_plan`] then
+//! computes the MetaTrieHT item writes as a declarative
+//! [`MetaPlan`](crate::meta::MetaPlan), which is applied to the single
+//! table with [`MetaTable::apply_plan`]. Merges mirror this with
+//! [`crate::core::merge_eligible`] and [`crate::core::merge_plan`]. The
+//! only work left here is representation-specific: the `u32` arena slots
+//! and their prev/next links. The concurrent variant consumes the exact
+//! same core API, applying each plan to its two tables in turn.
 
 use index_traits::{IndexStats, OrderedIndex};
 use wh_hash::crc32c;
 
 use crate::config::WormholeConfig;
+use crate::core;
 use crate::leaf::LeafNode;
 use crate::meta::{MetaTable, TargetOutcome};
 
@@ -133,21 +147,18 @@ impl<V: Clone> WormholeUnsafe<V> {
     }
 
     /// Splits the leaf `idx` if a valid split point exists. Returns `true`
-    /// when a split happened.
+    /// when a split happened. All split logic lives in [`crate::core`]; this
+    /// method only wires the new leaf into the arena and applies the plan.
     fn split_leaf(&mut self, idx: u32) -> bool {
-        let Some((at, anchor)) = self.slot_mut(idx).leaf.choose_split() else {
+        let slot = self.leaves[idx as usize].as_mut().expect("live leaf");
+        let Some(prepared) = core::prepare_split(&mut slot.leaf, &self.meta) else {
             // No valid anchor can be formed: the leaf becomes a fat node
             // (§3.3) and simply grows past the nominal capacity.
             return false;
         };
-        let table_key = self.meta.reserve_anchor_key(&anchor);
-        let right = self
-            .slot_mut(idx)
-            .leaf
-            .split_off(at, anchor, table_key.clone());
-        let old_next = self.slot(idx).next;
+        let old_next = slot.next;
         let new_idx = self.alloc_leaf(SlotLeaf {
-            leaf: right,
+            leaf: prepared.right,
             prev: idx,
             next: old_next,
         });
@@ -156,16 +167,22 @@ impl<V: Clone> WormholeUnsafe<V> {
             self.slot_mut(old_next).prev = new_idx;
         }
         let old_right = (old_next != NIL).then_some(old_next);
-        let relocations = self
-            .meta
-            .apply_split(&table_key, new_idx, &idx, old_right.as_ref());
-        for (leaf, new_table_key) in relocations {
+        let plan = core::split_plan(
+            &self.meta,
+            &prepared.table_key,
+            new_idx,
+            &idx,
+            old_right.as_ref(),
+        );
+        self.meta.apply_plan(&plan);
+        for (leaf, new_table_key) in plan.relocations {
             self.slot_mut(leaf).leaf.set_table_key(new_table_key);
         }
         true
     }
 
-    /// Merges the leaf `victim` into its left neighbour `left`.
+    /// Merges the leaf `victim` into its left neighbour `left`, applying the
+    /// core engine's merge plan to the single table.
     fn merge_leaves(&mut self, left: u32, victim: u32) {
         debug_assert_eq!(self.slot(left).next, victim);
         let victim_slot = self.leaves[victim as usize].take().expect("live leaf");
@@ -176,12 +193,14 @@ impl<V: Clone> WormholeUnsafe<V> {
             self.slot_mut(right).prev = left;
         }
         let right_opt = (right != NIL).then_some(right);
-        self.meta.apply_merge(
+        let plan = core::merge_plan(
+            &self.meta,
             victim_slot.leaf.table_key(),
             &victim,
             &left,
             right_opt.as_ref(),
         );
+        self.meta.apply_plan(&plan);
         self.slot_mut(left).leaf.absorb(victim_slot.leaf);
     }
 
@@ -278,9 +297,11 @@ impl<V: Clone> OrderedIndex<V> for WormholeUnsafe<V> {
         let size = self.slot(leaf_idx).leaf.len();
         let left = self.slot(leaf_idx).prev;
         let right = self.slot(leaf_idx).next;
-        if left != NIL && size + self.slot(left).leaf.len() < self.config.merge_size {
+        if left != NIL && core::merge_eligible(self.slot(left).leaf.len(), size, &self.config) {
             self.merge_leaves(left, leaf_idx);
-        } else if right != NIL && size + self.slot(right).leaf.len() < self.config.merge_size {
+        } else if right != NIL
+            && core::merge_eligible(size, self.slot(right).leaf.len(), &self.config)
+        {
             self.merge_leaves(leaf_idx, right);
         }
         Some(removed)

@@ -118,6 +118,75 @@ fn concurrent_get_is_allocation_free() {
 }
 
 #[test]
+fn concurrent_get_retry_path_is_allocation_free() {
+    // The seqlock read path must stay allocation-free even when reads race
+    // writers and retry (or fall through to the locked fallback): a churn
+    // thread keeps splitting and merging the probed leaves for the whole
+    // measured window. Allocations are counted per-thread, so the writer's
+    // own allocations do not pollute the reader's count.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let wh: Arc<Wormhole<u64>> = Arc::new(Wormhole::with_config(
+        WormholeConfig::optimized().with_leaf_capacity(8),
+    ));
+    assert!(wh.config().optimistic_reads);
+    let keys = lookup_keyset();
+    for (i, k) in keys.iter().enumerate() {
+        wh.set(k, i as u64);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let wh = Arc::clone(&wh);
+        let stop = Arc::clone(&stop);
+        let churn_keys: Vec<Vec<u8>> = keys
+            .iter()
+            .step_by(5)
+            .map(|k| {
+                let mut c = k.clone();
+                c.extend_from_slice(b"~churn");
+                c
+            })
+            .collect();
+        std::thread::spawn(move || {
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for k in &churn_keys {
+                    wh.set(k, round);
+                }
+                for k in &churn_keys {
+                    wh.del(k);
+                }
+                round += 1;
+            }
+        })
+    };
+    // Warm-up: registers this thread's QSBR handle and faults in TLS.
+    for k in keys.iter().take(16) {
+        assert!(wh.get(k).is_some());
+    }
+
+    let before = thread_allocs();
+    let mut hits = 0usize;
+    for _ in 0..3 {
+        for k in &keys {
+            hits += usize::from(wh.get(k).is_some());
+        }
+    }
+    let after = thread_allocs();
+    stop.store(true, Ordering::Relaxed);
+    churn.join().unwrap();
+    assert_eq!(hits, 3 * keys.len(), "resident keys must never be missed");
+    assert_eq!(
+        after - before,
+        0,
+        "Wormhole::get allocated under churn ({} allocations over {} lookups)",
+        after - before,
+        3 * keys.len(),
+    );
+}
+
+#[test]
 fn single_threaded_get_is_allocation_free() {
     let mut wh: WormholeUnsafe<u64> = WormholeUnsafe::new();
     let keys = lookup_keyset();

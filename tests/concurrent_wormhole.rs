@@ -102,6 +102,98 @@ fn readers_never_observe_torn_state_during_splits_and_merges() {
 }
 
 #[test]
+fn optimistic_readers_see_consistent_state_under_split_merge_churn() {
+    // Stress for the lock-free (seqlock) read path: churn writers force
+    // continuous splits and merges of the leaves holding a stable
+    // population, while readers assert that every point read returns the
+    // exact preloaded value and every scan sees the stable keys exactly
+    // once, in order — i.e. each read observed either the pre- or the
+    // post-split state of a leaf, never a torn mixture. Iteration counts
+    // are kept high only under `--release`; debug builds run a smoke pass.
+    let iters: u64 = if cfg!(debug_assertions) { 300 } else { 25_000 };
+    let n_stable = 2_000u64;
+    let wh = Arc::new(Wormhole::with_config(
+        WormholeConfig::optimized().with_leaf_capacity(8),
+    ));
+    for i in 0..n_stable {
+        wh.set(format!("stable-{i:06}").as_bytes(), i);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // Churn writers: keys of the form `stable-NNNNNN:churnT` land in the
+        // same leaves as the stable keys, so inserting a wave of them splits
+        // those leaves and deleting the wave merges them back.
+        for t in 0..2u64 {
+            let wh = Arc::clone(&wh);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in ((t * 3)..n_stable).step_by(7) {
+                        wh.set(format!("stable-{i:06}:churn{t}").as_bytes(), round);
+                    }
+                    for i in ((t * 3)..n_stable).step_by(7) {
+                        wh.del(format!("stable-{i:06}:churn{t}").as_bytes());
+                    }
+                    round += 1;
+                }
+            });
+        }
+        let mut readers = Vec::new();
+        for r in 0..4u64 {
+            let wh = Arc::clone(&wh);
+            readers.push(scope.spawn(move || {
+                let stable_len = "stable-000000".len();
+                for pass in 0..iters {
+                    let i = (pass * 131 + r * 17) % n_stable;
+                    // Point read: always the exact preloaded value.
+                    assert_eq!(
+                        wh.get(format!("stable-{i:06}").as_bytes()),
+                        Some(i),
+                        "torn point read of stable-{i:06}"
+                    );
+                    if pass % 16 == r % 4 {
+                        // Window scan: the stable keys inside the window form
+                        // exactly the consecutive run starting at `from`.
+                        let from = i.min(n_stable - 40);
+                        let scan = wh.range_from(format!("stable-{from:06}").as_bytes(), 60);
+                        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0), "scan unordered");
+                        let stable: Vec<(u64, u64)> = scan
+                            .iter()
+                            .filter_map(|(k, v)| {
+                                let s = std::str::from_utf8(k).ok()?;
+                                if s.len() == stable_len && s.starts_with("stable-") {
+                                    Some((s["stable-".len()..].parse().ok()?, *v))
+                                } else {
+                                    None
+                                }
+                            })
+                            .collect();
+                        assert!(!stable.is_empty(), "scan lost the stable population");
+                        for (j, (k, v)) in stable.iter().enumerate() {
+                            assert_eq!(
+                                *k,
+                                from + j as u64,
+                                "stable key missing or duplicated in scan"
+                            );
+                            assert_eq!(*v, from + j as u64, "torn scan value");
+                        }
+                    }
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    wh.check_invariants();
+    for i in (0..n_stable).step_by(29) {
+        assert_eq!(wh.get(format!("stable-{i:06}").as_bytes()), Some(i));
+    }
+}
+
+#[test]
 fn netsim_service_end_to_end_over_wormhole() {
     let keyset = generate(KeysetId::Az1, 20_000, 21);
     let wh: Arc<Wormhole<u64>> = Arc::new(Wormhole::new());
