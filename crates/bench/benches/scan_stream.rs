@@ -1,0 +1,47 @@
+//! Criterion bench: ordered-scan window latency on the concurrent
+//! Wormhole, streaming cursor vs materialising `range_from`, short and
+//! long windows. `BENCH_scan.json` (written by
+//! `cargo run -p bench --release --bin scan_stream_baseline`) records the
+//! tracked baseline at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::scan_stream::{build_scan_index, materialise_window, stream_window};
+use workloads::uniform_indices;
+
+const KEYS: usize = 50_000;
+
+fn bench_scan_stream(c: &mut Criterion) {
+    let (wh, keys) = build_scan_index(KEYS, 7);
+    for (label, window, n_starts) in [("short", 100usize, 64usize), ("long", 10_000, 4)] {
+        let starts = uniform_indices(n_starts, keys.len(), 13);
+        let mut group = c.benchmark_group(format!("scan_stream/{label}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(800));
+        group.bench_function("cursor", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &p in &starts {
+                    total += stream_window(&wh, &keys[p], window).0;
+                }
+                total
+            })
+        });
+        group.bench_function("range_from", |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &p in &starts {
+                    total += materialise_window(&wh, &keys[p], window).0;
+                }
+                total
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_scan_stream);
+criterion_main!(benches);

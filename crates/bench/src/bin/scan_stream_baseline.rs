@@ -1,0 +1,101 @@
+//! Writes `BENCH_scan.json`: ordered-window scan latency of the concurrent
+//! Wormhole, streaming the window through the resumable cursor vs
+//! materialising it with `range_from`, at short, long, and full-index
+//! window lengths.
+//!
+//! ```text
+//! cargo run -p bench --release --bin scan_stream_baseline
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::scan_stream::{build_scan_index, materialise_window, stream_window};
+use workloads::uniform_indices;
+
+struct Row {
+    mode: &'static str,
+    label: &'static str,
+    window: usize,
+    pairs: usize,
+    ns_per_key: f64,
+    mkeys_per_sec: f64,
+}
+
+fn main() {
+    let keys_n = 100_000usize;
+    eprintln!("building index over {keys_n} Az1 keys...");
+    let (wh, keys) = build_scan_index(keys_n, 7);
+    // (label, window length, scan starts per round, rounds)
+    let cells = [
+        ("short", 100usize, 256usize, 5usize),
+        ("long", 10_000, 16, 5),
+        ("full", keys_n, 1, 5),
+    ];
+    let mut rows = Vec::new();
+    for (label, window, n_starts, rounds) in cells {
+        let starts = uniform_indices(n_starts, keys.len(), 13);
+        for mode in ["cursor", "range_from"] {
+            // Interleave rounds across modes is unnecessary here (no
+            // background writer); best-of-N bounds scheduler noise.
+            let mut best = f64::INFINITY;
+            let mut pairs = 0usize;
+            for _ in 0..rounds {
+                let t = Instant::now();
+                pairs = 0;
+                for &p in &starts {
+                    pairs += match mode {
+                        "cursor" => stream_window(&wh, &keys[p], window).0,
+                        _ => materialise_window(&wh, &keys[p], window).0,
+                    };
+                }
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            let ns_per_key = best * 1e9 / pairs as f64;
+            let row = Row {
+                mode,
+                label,
+                window,
+                pairs,
+                ns_per_key,
+                mkeys_per_sec: 1e3 / ns_per_key,
+            };
+            eprintln!(
+                "  {label:<6} window={window:<7} {mode:<10} {:8.1} ns/key  {:7.2} Mkeys/s  ({} pairs/round)",
+                row.ns_per_key, row.mkeys_per_sec, row.pairs,
+            );
+            rows.push(row);
+        }
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"scan_stream\",\n");
+    json.push_str(
+        "  \"description\": \"Ordered-window scans over the concurrent Wormhole (100k Az1 \
+         composite keys, leaf capacity 128, quiesced index, best of 5 rounds). cursor = \
+         resumable scan cursor streaming borrowed pairs from one reused per-leaf batch arena; \
+         range_from = same seqlock-validated read path but materialising the window as a \
+         Vec of owned pairs (one key allocation per pair). short = 256 scans of 100 keys, \
+         long = 16 scans of 10k keys, full = one full-index drain.\",\n",
+    );
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    json.push_str("  \"series\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"mode\": \"{}\", \"window_label\": \"{}\", \"window\": {}, \
+             \"pairs_per_round\": {}, \"ns_per_key\": {:.1}, \"mkeys_per_sec\": {:.2}}}{comma}",
+            r.mode, r.label, r.window, r.pairs, r.ns_per_key, r.mkeys_per_sec,
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_scan.json", &json).expect("write BENCH_scan.json");
+    println!("{json}");
+}

@@ -19,6 +19,7 @@ pub mod drivers;
 pub mod figures;
 pub mod measure;
 pub mod meta_layouts;
+pub mod scan_stream;
 
 pub use contended::{measure_contended, measure_modes, ContendedSample};
 pub use drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};

@@ -28,6 +28,18 @@ pub fn is_prefix_of(prefix: &[u8], key: &[u8]) -> bool {
     prefix.len() <= key.len() && &key[..prefix.len()] == prefix
 }
 
+/// Writes the immediate successor of `key` in bytewise order — `key ++ 0x00`,
+/// the smallest byte string strictly greater than `key` — into `buf`,
+/// replacing its contents but reusing its allocation. Scan cursors use it
+/// as a resume bound that excludes exactly the keys already streamed while
+/// remaining expressible as an inclusive `>= start` search.
+pub fn immediate_successor_into(key: &[u8], buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.reserve(key.len() + 1);
+    buf.extend_from_slice(key);
+    buf.push(0);
+}
+
 /// Returns the smallest key strictly greater than every key having `key` as a
 /// prefix, or `None` when no such key exists (all bytes are `0xFF`).
 ///

@@ -13,7 +13,9 @@
 //! value types.
 
 pub mod key;
+pub mod scan;
 pub mod traits;
 
-pub use key::{common_prefix_len, is_prefix_of, successor_key, KeyRange};
+pub use key::{common_prefix_len, immediate_successor_into, is_prefix_of, successor_key, KeyRange};
+pub use scan::{Cursor, CursorSource, RangeSink, ScanBatch};
 pub use traits::{ConcurrentOrderedIndex, IndexStats, OrderedIndex, UnorderedIndex};

@@ -1,0 +1,544 @@
+//! Resumable ordered-scan cursors.
+//!
+//! `range_from` answers a bounded window but materialises a fresh
+//! `Vec<(Vec<u8>, V)>` on every call — an `O(window)` copy that long
+//! analytical scans and pagination loops pay over and over. The types here
+//! let a caller *stream* an ordered scan instead: a [`Cursor`] pulls the
+//! index's pairs batch by batch into one reusable [`ScanBatch`] arena, so a
+//! steady-state scan performs **zero heap allocations per batch** no matter
+//! how far it runs.
+//!
+//! # Consistency contract
+//!
+//! A cursor yields each key **at most once**, in **strictly ascending key
+//! order**. Each batch is an atomic snapshot of one region of the index
+//! (for the Wormhole indexes: exactly one leaf node, captured under seqlock
+//! validation), but there is **no global snapshot across batches**: a key
+//! inserted behind the cursor's position is never seen, a key inserted
+//! ahead of it may or may not be seen depending on timing, and a key that
+//! exists for the whole duration of the scan is seen exactly once. This is
+//! the same per-leaf guarantee `range_from` gives on the concurrent
+//! Wormhole — see `wormhole::concurrent` for the seqlock-over-heap caveat
+//! that bounds what a racing optimistic read may transiently observe before
+//! validation discards it.
+//!
+//! # Resumability
+//!
+//! [`Cursor::resume_key`] reports the start key that continues the scan
+//! after everything consumed so far. The cursor borrows the index, so
+//! single-threaded callers drop it, mutate, and reopen with
+//! `index.scan(&resume_key)`; pagination services persist the resume key
+//! between requests the same way.
+
+use crate::traits::{ConcurrentOrderedIndex, OrderedIndex};
+
+/// Number of pairs the default `range_from`-adapted cursor source fetches
+/// per batch.
+pub const DEFAULT_SCAN_BATCH: usize = 128;
+
+/// One batch of scan output.
+///
+/// Keys are stored concatenated in a single byte arena (`bytes` + end
+/// offsets) rather than as one `Vec<u8>` per key, so refilling a batch in
+/// steady state reuses three flat buffers and allocates nothing.
+#[derive(Debug)]
+pub struct ScanBatch<V> {
+    /// Concatenated key bytes.
+    bytes: Vec<u8>,
+    /// End offset of key `i` in `bytes` (its start is `ends[i - 1]` or 0).
+    ends: Vec<usize>,
+    /// Value of key `i`.
+    values: Vec<V>,
+}
+
+impl<V> Default for ScanBatch<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ScanBatch<V> {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self {
+            bytes: Vec::new(),
+            ends: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Pre-sizes the batch for `items` pairs totalling `key_bytes` of key
+    /// payload, so the first fills are as allocation-free as steady state.
+    pub fn reserve(&mut self, items: usize, key_bytes: usize) {
+        self.bytes.reserve(key_bytes);
+        self.ends.reserve(items);
+        self.values.reserve(items);
+    }
+
+    /// Removes every pair, keeping the buffers for reuse.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.ends.clear();
+        self.values.clear();
+    }
+
+    /// Number of pairs in the batch.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Returns `true` when the batch holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Appends a pair (callers must keep keys ascending).
+    pub fn push(&mut self, key: &[u8], value: V) {
+        self.bytes.extend_from_slice(key);
+        self.ends.push(self.bytes.len());
+        self.values.push(value);
+    }
+
+    /// Key of pair `i`.
+    pub fn key(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        &self.bytes[start..self.ends[i]]
+    }
+
+    /// Value of pair `i`.
+    pub fn value(&self, i: usize) -> &V {
+        &self.values[i]
+    }
+
+    /// Pair `i` as `(key, value)`.
+    pub fn get(&self, i: usize) -> (&[u8], &V) {
+        (self.key(i), self.value(i))
+    }
+
+    /// The last key in the batch, if any.
+    pub fn last_key(&self) -> Option<&[u8]> {
+        self.len().checked_sub(1).map(|i| self.key(i))
+    }
+
+    /// Iterates the pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &V)> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+/// A destination for range-collection primitives: both the materialising
+/// `Vec<(Vec<u8>, V)>` output of `range_from` and the arena-backed
+/// [`ScanBatch`] of a cursor, so an index implements its collection loop
+/// once and serves both APIs.
+pub trait RangeSink<V> {
+    /// Accepts the next pair of the scan, in ascending key order.
+    fn accept(&mut self, key: &[u8], value: &V);
+}
+
+impl<V: Clone> RangeSink<V> for ScanBatch<V> {
+    fn accept(&mut self, key: &[u8], value: &V) {
+        self.push(key, value.clone());
+    }
+}
+
+impl<V: Clone> RangeSink<V> for Vec<(Vec<u8>, V)> {
+    fn accept(&mut self, key: &[u8], value: &V) {
+        self.push((key.to_vec(), value.clone()));
+    }
+}
+
+/// The index-side driver of a [`Cursor`]: produces the scan's batches.
+pub trait CursorSource<V> {
+    /// Clears `batch` and fills it with the next run of pairs, in ascending
+    /// key order and strictly above everything filled by earlier calls.
+    /// Returns `false` when the scan is exhausted (leaving `batch` empty);
+    /// a `true` return guarantees at least one pair.
+    ///
+    /// `limit` caps how many pairs this batch needs to hold (the consumer
+    /// will not take more before asking again): implementations may stop
+    /// collecting — and cloning values — once they reach it, as long as a
+    /// truncated batch still resumes exactly after its last pair. Pass
+    /// `usize::MAX` when streaming without a known bound.
+    fn fill_next(&mut self, batch: &mut ScanBatch<V>, limit: usize) -> bool;
+
+    /// Pre-sizes any internal buffers for batches of `items` pairs and
+    /// `key_bytes` of key payload. Optional; the default does nothing.
+    fn reserve(&mut self, items: usize, key_bytes: usize) {
+        let _ = (items, key_bytes);
+    }
+}
+
+/// Adapts `range_from` into a [`CursorSource`]: each batch is one
+/// `range_from(resume, DEFAULT_SCAN_BATCH)` call, resumed at the successor
+/// (`last key ++ 0x00`) of the previous batch. This is the default `scan`
+/// of every index that does not provide a native streaming path; it removes
+/// the `O(window)` copy of a single huge `range_from` but still pays one
+/// key-`Vec` allocation per pair inside the adapted call.
+struct RangeFnSource<V, F> {
+    fetch: F,
+    /// Inclusive lower bound of the next batch (reused buffer).
+    resume: Vec<u8>,
+    done: bool,
+    _values: std::marker::PhantomData<fn() -> V>,
+}
+
+impl<V, F> CursorSource<V> for RangeFnSource<V, F>
+where
+    F: FnMut(&[u8], usize) -> Vec<(Vec<u8>, V)>,
+{
+    fn fill_next(&mut self, batch: &mut ScanBatch<V>, limit: usize) -> bool {
+        batch.clear();
+        if self.done {
+            return false;
+        }
+        let want = limit.min(DEFAULT_SCAN_BATCH);
+        let got = (self.fetch)(&self.resume, want);
+        if got.len() < want {
+            self.done = true;
+        }
+        for (key, value) in got {
+            batch.push(&key, value);
+        }
+        if let Some(last) = batch.last_key() {
+            crate::key::immediate_successor_into(last, &mut self.resume);
+        }
+        !batch.is_empty()
+    }
+
+    fn reserve(&mut self, _items: usize, key_bytes: usize) {
+        self.resume.reserve(key_bytes);
+    }
+}
+
+/// A resumable ordered-scan cursor over an index.
+///
+/// Borrowing the index for `'a`, the cursor streams pairs in strictly
+/// ascending key order, one [`ScanBatch`] at a time. See the
+/// [module docs](self) for the consistency contract (per-batch snapshots,
+/// no global snapshot) and resumability.
+pub struct Cursor<'a, V> {
+    source: Box<dyn CursorSource<V> + 'a>,
+    batch: ScanBatch<V>,
+    /// Pairs `[..pos]` of `batch` have been consumed.
+    pos: usize,
+    /// Start key continuing the scan after every *fully consumed* batch;
+    /// `resume_key` refines it with the in-batch position.
+    resume: Vec<u8>,
+    /// Advisory per-batch cap passed to the source (`usize::MAX` when
+    /// streaming without a bound); set by `collect_next` so a bounded
+    /// window never makes the index copy more than it asked for.
+    fetch_budget: usize,
+    done: bool,
+}
+
+impl<'a, V> Cursor<'a, V> {
+    /// Wraps an index-provided source into a cursor starting at `start`.
+    pub fn new(start: &[u8], source: Box<dyn CursorSource<V> + 'a>) -> Self {
+        Self {
+            source,
+            batch: ScanBatch::new(),
+            pos: 0,
+            resume: start.to_vec(),
+            fetch_budget: usize::MAX,
+            done: false,
+        }
+    }
+
+    /// Builds a cursor over a `range_from`-style fetch function — the
+    /// default adapter used by indexes without a native streaming path.
+    pub fn adapt_range_from<F>(start: &[u8], fetch: F) -> Self
+    where
+        F: FnMut(&[u8], usize) -> Vec<(Vec<u8>, V)> + 'a,
+        V: 'a,
+    {
+        Self::new(
+            start,
+            Box::new(RangeFnSource {
+                fetch,
+                resume: start.to_vec(),
+                done: false,
+                _values: std::marker::PhantomData,
+            }),
+        )
+    }
+
+    /// Pre-sizes the batch arena (and the source's internal buffers) for
+    /// batches of `items` pairs and `key_bytes` of key payload, so even the
+    /// first batches allocate nothing.
+    pub fn reserve(&mut self, items: usize, key_bytes: usize) {
+        self.batch.reserve(items, key_bytes);
+        self.source.reserve(items, key_bytes);
+        self.resume.reserve(key_bytes);
+    }
+
+    /// Fetches the next batch, recording the resume point of the one being
+    /// abandoned. Returns `false` at the end of the scan.
+    fn refill(&mut self) -> bool {
+        if let Some(last) = self.batch.last_key() {
+            crate::key::immediate_successor_into(last, &mut self.resume);
+        }
+        self.pos = 0;
+        if self.done {
+            self.batch.clear();
+            return false;
+        }
+        if self
+            .source
+            .fill_next(&mut self.batch, self.fetch_budget.max(1))
+        {
+            true
+        } else {
+            self.done = true;
+            false
+        }
+    }
+
+    /// Yields the next pair, fetching a new batch when the current one is
+    /// exhausted. The borrow ends before the next call (lending iteration),
+    /// which is what lets every yielded key live in the reused arena.
+    #[allow(clippy::should_implement_trait)] // lending: item borrows &mut self
+    pub fn next(&mut self) -> Option<(&[u8], &V)> {
+        if self.pos == self.batch.len() && !self.refill() {
+            return None;
+        }
+        let i = self.pos;
+        self.pos += 1;
+        Some(self.batch.get(i))
+    }
+
+    /// Advances to the next non-empty batch and yields it whole. Any pairs
+    /// of the current batch not yet taken with [`Cursor::next`] are
+    /// skipped — batch iteration concedes the batch as a unit.
+    pub fn next_batch(&mut self) -> Option<&ScanBatch<V>> {
+        if !self.refill() {
+            return None;
+        }
+        self.pos = self.batch.len();
+        Some(&self.batch)
+    }
+
+    /// Copies up to `count` pairs into `out` (the materialising bridge that
+    /// lets `range_from` be a thin wrapper over the cursor). Returns how
+    /// many pairs were appended.
+    pub fn collect_next(&mut self, count: usize, out: &mut Vec<(Vec<u8>, V)>) -> usize
+    where
+        V: Clone,
+    {
+        let mut appended = 0;
+        while appended < count {
+            // Tell the source how much of the window is left, so a short
+            // window never snapshots (and clones) a whole leaf of values.
+            self.fetch_budget = count - appended;
+            match self.next() {
+                Some((key, value)) => {
+                    out.push((key.to_vec(), value.clone()));
+                    appended += 1;
+                }
+                None => break,
+            }
+        }
+        self.fetch_budget = usize::MAX;
+        appended
+    }
+
+    /// The start key that continues this scan after everything consumed so
+    /// far: pass it to a fresh `scan` (possibly after mutating the index)
+    /// to resume without re-yielding any pair.
+    pub fn resume_key(&self) -> Vec<u8> {
+        if self.pos > 0 {
+            let mut key = Vec::new();
+            crate::key::immediate_successor_into(self.batch.key(self.pos - 1), &mut key);
+            key
+        } else {
+            self.resume.clone()
+        }
+    }
+
+    /// Returns `true` once the scan is exhausted and fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.done && self.pos == self.batch.len()
+    }
+}
+
+/// Blanket `scan` entry points, kept in free functions so the trait default
+/// methods stay one-liners.
+pub(crate) fn scan_ordered<'a, V, I>(index: &'a I, start: &[u8]) -> Cursor<'a, V>
+where
+    I: OrderedIndex<V> + ?Sized,
+    V: Clone + 'a,
+{
+    Cursor::adapt_range_from(start, move |resume, count| index.range_from(resume, count))
+}
+
+pub(crate) fn scan_concurrent<'a, V, I>(index: &'a I, start: &[u8]) -> Cursor<'a, V>
+where
+    I: ConcurrentOrderedIndex<V> + ?Sized,
+    V: Clone + 'a,
+{
+    Cursor::adapt_range_from(start, move |resume, count| index.range_from(resume, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{IndexStats, OrderedIndex};
+    use std::collections::BTreeMap;
+
+    #[derive(Default)]
+    struct Model {
+        map: BTreeMap<Vec<u8>, u64>,
+    }
+
+    impl OrderedIndex<u64> for Model {
+        fn name(&self) -> &'static str {
+            "model"
+        }
+        fn get(&self, key: &[u8]) -> Option<u64> {
+            self.map.get(key).copied()
+        }
+        fn set(&mut self, key: &[u8], value: u64) -> Option<u64> {
+            self.map.insert(key.to_vec(), value)
+        }
+        fn del(&mut self, key: &[u8]) -> Option<u64> {
+            self.map.remove(key)
+        }
+        fn len(&self) -> usize {
+            self.map.len()
+        }
+        fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+            self.map
+                .range(start.to_vec()..)
+                .take(count)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        }
+        fn stats(&self) -> IndexStats {
+            IndexStats::default()
+        }
+    }
+
+    fn populated(n: u64) -> Model {
+        let mut m = Model::default();
+        for i in 0..n {
+            m.set(format!("key-{i:05}").as_bytes(), i);
+        }
+        m
+    }
+
+    #[test]
+    fn batch_arena_roundtrip() {
+        let mut batch: ScanBatch<u64> = ScanBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.last_key(), None);
+        batch.push(b"alpha", 1);
+        batch.push(b"beta", 2);
+        batch.push(b"", 3); // empty keys are representable
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.get(0), (b"alpha".as_ref(), &1));
+        assert_eq!(batch.get(1), (b"beta".as_ref(), &2));
+        assert_eq!(batch.get(2), (b"".as_ref(), &3));
+        assert_eq!(batch.last_key(), Some(b"".as_ref()));
+        let pairs: Vec<(Vec<u8>, u64)> = batch.iter().map(|(k, v)| (k.to_vec(), *v)).collect();
+        assert_eq!(pairs.len(), 3);
+        batch.clear();
+        assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn default_scan_streams_every_pair_once() {
+        let model = populated(500);
+        let mut cursor = model.scan(b"");
+        let mut seen = Vec::new();
+        while let Some((k, v)) = cursor.next() {
+            seen.push((k.to_vec(), *v));
+        }
+        assert!(cursor.is_done());
+        assert_eq!(seen.len(), 500);
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(seen, model.range_from(b"", usize::MAX));
+    }
+
+    #[test]
+    fn default_scan_exact_batch_multiple() {
+        // A population that is an exact multiple of the adapter batch size
+        // must not yield a trailing phantom batch or duplicate pairs.
+        let model = populated(2 * DEFAULT_SCAN_BATCH as u64);
+        let mut cursor = model.scan(b"");
+        let mut n = 0usize;
+        while let Some(batch) = cursor.next_batch() {
+            assert!(!batch.is_empty());
+            n += batch.len();
+        }
+        assert_eq!(n, 2 * DEFAULT_SCAN_BATCH);
+    }
+
+    #[test]
+    fn scan_respects_start_bound() {
+        let model = populated(300);
+        let mut cursor = model.scan(b"key-00250");
+        let mut seen = Vec::new();
+        while let Some((k, _)) = cursor.next() {
+            seen.push(k.to_vec());
+        }
+        assert_eq!(seen.len(), 50);
+        assert_eq!(seen[0], b"key-00250".to_vec());
+    }
+
+    #[test]
+    fn resume_key_continues_without_duplicates_across_mutation() {
+        let mut model = populated(400);
+        let mut first = Vec::new();
+        let resume = {
+            let mut cursor = model.scan(b"");
+            cursor.collect_next(150, &mut first);
+            cursor.resume_key()
+        };
+        assert_eq!(first.len(), 150);
+        // Mutate behind and ahead of the cursor, then resume.
+        model.del(b"key-00010"); // behind: already yielded, stays yielded once
+        model.set(b"key-00200x", 999); // ahead: must be seen
+        let mut rest = Vec::new();
+        model.scan(&resume).collect_next(usize::MAX, &mut rest);
+        let mut all = first;
+        all.extend(rest);
+        assert!(
+            all.windows(2).all(|w| w[0].0 < w[1].0),
+            "duplicate or disorder"
+        );
+        assert!(all.iter().any(|(k, _)| k == b"key-00200x"));
+        assert_eq!(all.len(), 401); // 400 original + 1 insert, deletion was behind
+    }
+
+    #[test]
+    fn resume_key_mid_batch_points_after_last_consumed() {
+        let model = populated(100);
+        let mut cursor = model.scan(b"");
+        for _ in 0..7 {
+            cursor.next();
+        }
+        let resume = cursor.resume_key();
+        let mut rest = Vec::new();
+        model.scan(&resume).collect_next(usize::MAX, &mut rest);
+        assert_eq!(rest.len(), 93);
+        assert_eq!(rest[0].0, b"key-00007".to_vec());
+    }
+
+    #[test]
+    fn collect_next_matches_range_from_windows() {
+        let model = populated(350);
+        for (start, count) in [(&b""[..], 10usize), (b"key-00100", 77), (b"zzz", 5)] {
+            let mut got = Vec::new();
+            model.scan(start).collect_next(count, &mut got);
+            assert_eq!(got, model.range_from(start, count));
+        }
+    }
+
+    #[test]
+    fn empty_index_scan_is_empty() {
+        let model = Model::default();
+        let mut cursor = model.scan(b"");
+        assert!(cursor.next().is_none());
+        assert!(cursor.next().is_none(), "exhaustion is sticky");
+        assert!(cursor.is_done());
+    }
+}

@@ -1,5 +1,7 @@
 //! Index traits implemented by Wormhole and every baseline.
 
+use crate::scan::Cursor;
+
 /// Approximate memory accounting reported by an index.
 ///
 /// The paper's Figure 16 compares resident memory of the five indexes against
@@ -66,6 +68,20 @@ pub trait OrderedIndex<V> {
     /// at the smallest key `>= start` (the paper's `RangeSearchAscending`).
     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)>;
 
+    /// Opens a resumable streaming cursor at the smallest key `>= start`.
+    ///
+    /// The default adapts [`OrderedIndex::range_from`] batch by batch (see
+    /// [`crate::scan`] for the contract); indexes with a native streaming
+    /// path (Wormhole's leaf list) override it to stream leaf by leaf
+    /// without materialising windows.
+    fn scan<'a>(&'a self, start: &[u8]) -> Cursor<'a, V>
+    where
+        Self: Sized,
+        V: Clone + 'a,
+    {
+        crate::scan::scan_ordered(self, start)
+    }
+
     /// Memory accounting for Figure 16.
     fn stats(&self) -> IndexStats;
 }
@@ -113,6 +129,21 @@ pub trait ConcurrentOrderedIndex<V>: Send + Sync {
     /// Returns up to `count` key/value pairs in ascending key order, starting
     /// at the smallest key `>= start`.
     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)>;
+
+    /// Opens a resumable streaming cursor at the smallest key `>= start`.
+    ///
+    /// Safe to advance while other threads write: each batch is an atomic
+    /// snapshot of one region, with no global snapshot across batches (see
+    /// [`crate::scan`]). The default adapts
+    /// [`ConcurrentOrderedIndex::range_from`]; the concurrent Wormhole
+    /// overrides it with a seqlock-validated leaf-by-leaf stream.
+    fn scan<'a>(&'a self, start: &[u8]) -> Cursor<'a, V>
+    where
+        Self: Sized,
+        V: Clone + 'a,
+    {
+        crate::scan::scan_concurrent(self, start)
+    }
 
     /// Memory accounting for Figure 16.
     fn stats(&self) -> IndexStats;

@@ -3,14 +3,17 @@
 //! Concurrency control combines four mechanisms:
 //!
 //! * a **seqlock per leaf node** — every leaf carries a version counter
-//!   (even = stable, odd = being written). `get` and `range_from` read the
-//!   leaf **without taking any lock**: they snapshot the counter, perform a
-//!   bounds-checked read of the leaf, and accept the result only if the
-//!   counter is unchanged and still even. Writers bump the counter (odd on
-//!   entry, even on exit) inside the write lock they already hold, so a
-//!   racing read always fails validation and retries. After a bounded
-//!   number of conflicts a reader falls back to the leaf's reader lock,
-//!   which bounds worst-case latency under heavy write contention;
+//!   (even = stable, odd = being written). `get` and the scan cursor
+//!   behind `scan`/`range_from` read the leaf **without taking any
+//!   lock**: they snapshot the counter, perform a bounds-checked read of
+//!   the leaf, and accept the result only if the counter is unchanged and
+//!   still even. Writers bump the counter (odd on entry, even on exit)
+//!   inside the write lock they already hold, so a racing read always
+//!   fails validation and retries. After a bounded number of conflicts a
+//!   reader falls back to the leaf's reader lock, which bounds worst-case
+//!   latency under heavy write contention. Ordered scans stream one
+//!   validated leaf snapshot per batch ([`ScanSource`]) — per-leaf
+//!   atomicity, no global snapshot across batches;
 //! * a **writer lock per leaf node** — in-place inserts, deletes, and the
 //!   structural operations serialise on it exactly as in the paper;
 //! * a single **writer mutex over the MetaTrieHT** — only split and merge
@@ -54,21 +57,22 @@
 use std::sync::atomic::{fence, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
-use index_traits::{ConcurrentOrderedIndex, IndexStats};
+use index_traits::{ConcurrentOrderedIndex, Cursor, CursorSource, IndexStats, ScanBatch};
 use parking_lot::{Mutex, RwLock};
 use wh_epoch::Qsbr;
 use wh_hash::crc32c;
 
 use crate::config::WormholeConfig;
 use crate::core;
-use crate::leaf::{LeafNode, ReadConflict};
+use crate::leaf::{LeafNode, ReadConflict, TailScratch};
 use crate::meta::{LeafRef, MetaTable, TargetOutcome};
 
 /// Seqlock conflicts tolerated before a point read falls back to the leaf
 /// reader lock.
 pub const OPTIMISTIC_READ_RETRIES: usize = 8;
 
-/// Seqlock conflicts tolerated before a range scan falls back to leaf
+/// Seqlock conflicts tolerated before a scan cursor (and therefore
+/// `range_from`, which streams through one) falls back to leaf reader
 /// locks for the remainder of the scan.
 const OPTIMISTIC_SCAN_RETRIES: usize = 8;
 
@@ -726,6 +730,270 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
     }
 }
 
+/// Seqlock-validated batch-per-leaf [`CursorSource`] over the concurrent
+/// index — the engine under both `scan` and `range_from`.
+///
+/// Every batch snapshots exactly one leaf inside a QSBR critical section
+/// with the same discipline as the optimistic `get`: locate the leaf
+/// through the published MetaTrieHT, enter its seqlock, apply the
+/// expected-version gate, collect the covered range through the
+/// bounds-checked [`LeafNode::collect_leaf_checked`], and keep the batch
+/// only if the seqlock validates (validate-then-yield). A conflicted batch
+/// is discarded and retried; after [`OPTIMISTIC_SCAN_RETRIES`] conflicts
+/// the remainder of the scan reads leaves under their reader locks.
+///
+/// Between batches the cursor holds **no position inside the structure**:
+/// it records the snapshotted leaf's right-sibling anchor (clamped to the
+/// successor of the last streamed key) as the next inclusive lower bound
+/// and re-descends the MetaTrieHT from it, so leaves split, merged, or
+/// retired between batches are simply re-resolved by the next descent.
+/// This is what makes the stream safe to run for minutes under structural
+/// churn: correctness never depends on a cached leaf link staying current.
+struct ScanSource<'a, V: Clone + Send + Sync> {
+    wh: &'a Wormhole<V>,
+    /// Inclusive lower bound of the next batch; strictly greater than every
+    /// key already streamed. Reused across batches and restarts.
+    resume: Vec<u8>,
+    /// Scratch used to assemble the next bound before swapping it in.
+    bound_buf: Vec<u8>,
+    /// Scratch holding the right sibling's anchor read.
+    anchor_buf: Vec<u8>,
+    /// Snapshot arena for lazily-sorted leaf tails (optimistic mode).
+    tail: TailScratch,
+    /// Index scratch for the locked fallback's lazy-tail merge.
+    scratch16: Vec<u16>,
+    /// Seqlock conflicts so far across the whole scan.
+    conflicts: usize,
+    done: bool,
+}
+
+impl<V: Clone + Send + Sync> ScanSource<'_, V> {
+    /// One optimistic batch attempt: snapshot the leaf covering `resume` —
+    /// up to `limit` pairs of it — and its successor link, all validated by
+    /// the leaf's seqlock. Runs inside one QSBR critical section so the
+    /// published table and the leaf stay live. The `bool` reports whether
+    /// the budget may have truncated the batch mid-leaf, in which case the
+    /// successor link is not meaningful and the caller must resume from the
+    /// last streamed key instead of the sibling anchor.
+    fn try_fill_optimistic(
+        &mut self,
+        batch: &mut ScanBatch<V>,
+        limit: usize,
+    ) -> Result<(Option<LeafHandle<V>>, bool), ReadConflict> {
+        let Self {
+            wh, resume, tail, ..
+        } = self;
+        let wh = *wh;
+        wh.qsbr.with_local_handle(|handle| {
+            handle.critical(|| {
+                let (leaf, version) = wh.locate_optimistic(resume)?;
+                let shared = &*leaf.0;
+                let snapshot = shared.seq_enter().ok_or(ReadConflict)?;
+                if leaf.expected_version() > version {
+                    return Err(ReadConflict);
+                }
+                // SAFETY: pointer valid (handle held); every access is
+                // bounds-checked and the batch is discarded unless the
+                // seqlock validates.
+                let data = unsafe { &*shared.data.data_ptr() };
+                let appended = data.leaf.collect_leaf_checked(
+                    resume,
+                    limit,
+                    batch,
+                    tail,
+                    MAX_OPTIMISTIC_KEY_LEN,
+                )?;
+                let truncated = appended == limit;
+                let next = if truncated { None } else { data.next.clone() };
+                if !shared.seq_validate(snapshot) {
+                    return Err(ReadConflict);
+                }
+                Ok((next, truncated))
+            })
+        })
+    }
+
+    /// Reads `leaf`'s anchor into `buf` under its seqlock, without taking
+    /// any lock. `false` means no clean read was obtained; the caller falls
+    /// back to the successor of the last streamed key.
+    fn read_anchor(leaf: &LeafHandle<V>, buf: &mut Vec<u8>) -> bool {
+        let shared = &*leaf.0;
+        for _ in 0..4 {
+            let Some(snapshot) = shared.seq_enter() else {
+                std::hint::spin_loop();
+                continue;
+            };
+            // SAFETY: pointer valid (handle held). The racy anchor read is
+            // length-guarded and discarded when validation fails — the same
+            // discipline (and documented seqlock-over-heap caveat) as the
+            // anchor comparison in `resolve_outcome_optimistic`.
+            let data = unsafe { &*shared.data.data_ptr() };
+            let anchor = data.leaf.anchor();
+            if anchor.len() > MAX_OPTIMISTIC_KEY_LEN {
+                continue;
+            }
+            buf.clear();
+            buf.extend_from_slice(anchor);
+            if shared.seq_validate(snapshot) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Sets `resume` to `max(anchor, last_key ++ 0x00)` when that strictly
+    /// advances it; returns whether it advanced. The clamp keeps a stale
+    /// anchor (a sibling merged away between batches reports an outdated —
+    /// possibly empty — anchor) from ever moving the bound backwards and
+    /// re-streaming keys.
+    fn bump_resume(
+        resume: &mut Vec<u8>,
+        bound_buf: &mut Vec<u8>,
+        last_key: Option<&[u8]>,
+        anchor: Option<&[u8]>,
+    ) -> bool {
+        bound_buf.clear();
+        if let Some(last) = last_key {
+            // The successor bound excludes exactly the keys already streamed.
+            index_traits::immediate_successor_into(last, bound_buf);
+        }
+        if let Some(anchor) = anchor {
+            if anchor > bound_buf.as_slice() {
+                bound_buf.clear();
+                bound_buf.extend_from_slice(anchor);
+            }
+        }
+        if bound_buf.as_slice() > resume.as_slice() {
+            std::mem::swap(resume, bound_buf);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reader-lock fallback: reads the leaf covering `resume` under its
+    /// read lock (restarting on version conflicts) and advances the bound
+    /// from its right sibling's anchor, which is exact here — holding the
+    /// current leaf's read lock pins the link, since any split or merge
+    /// involving either leaf needs this leaf's write lock.
+    fn fill_locked(&mut self, batch: &mut ScanBatch<V>, limit: usize) {
+        loop {
+            let (leaf, version) = self.wh.locate(&self.resume);
+            let data = leaf.0.data.read();
+            if leaf.expected_version() > version {
+                continue;
+            }
+            batch.clear();
+            let appended =
+                data.leaf
+                    .collect_leaf_unsorted(&self.resume, limit, batch, &mut self.scratch16);
+            if appended == limit {
+                // Possibly truncated mid-leaf by the window budget: resume
+                // just past the last streamed key, within the same leaf.
+                let progressed = Self::bump_resume(
+                    &mut self.resume,
+                    &mut self.bound_buf,
+                    batch.last_key(),
+                    None,
+                );
+                debug_assert!(progressed, "truncated batch holds pairs");
+                return;
+            }
+            match &data.next {
+                None => self.done = true,
+                Some(next) => {
+                    let next_data = next.0.data.read();
+                    let progressed = Self::bump_resume(
+                        &mut self.resume,
+                        &mut self.bound_buf,
+                        batch.last_key(),
+                        Some(next_data.leaf.anchor()),
+                    );
+                    debug_assert!(progressed, "locked scan failed to advance its bound");
+                }
+            }
+            return;
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync> CursorSource<V> for ScanSource<'_, V> {
+    fn fill_next(&mut self, batch: &mut ScanBatch<V>, limit: usize) -> bool {
+        let limit = limit.max(1);
+        batch.clear();
+        while !self.done {
+            let optimistic = self.wh.config.optimistic_reads
+                && Wormhole::<V>::optimistic_reads_safe()
+                && self.conflicts < OPTIMISTIC_SCAN_RETRIES;
+            if !optimistic {
+                self.fill_locked(batch, limit);
+                if !batch.is_empty() {
+                    return true;
+                }
+                continue;
+            }
+            batch.clear();
+            match self.try_fill_optimistic(batch, limit) {
+                Err(ReadConflict) => {
+                    self.conflicts += 1;
+                    std::hint::spin_loop();
+                }
+                Ok((_, true)) => {
+                    // Truncated mid-leaf by the window budget: resume just
+                    // past the last streamed pair; the next batch
+                    // re-descends into the remainder of the same leaf.
+                    let progressed = Self::bump_resume(
+                        &mut self.resume,
+                        &mut self.bound_buf,
+                        batch.last_key(),
+                        None,
+                    );
+                    debug_assert!(progressed, "truncated batch holds pairs");
+                    return true;
+                }
+                Ok((None, false)) => {
+                    self.done = true;
+                }
+                Ok((Some(next_leaf), false)) => {
+                    let have_anchor = Self::read_anchor(&next_leaf, &mut self.anchor_buf);
+                    let anchor = if have_anchor {
+                        Some(self.anchor_buf.as_slice())
+                    } else {
+                        None
+                    };
+                    let progressed = Self::bump_resume(
+                        &mut self.resume,
+                        &mut self.bound_buf,
+                        batch.last_key(),
+                        anchor,
+                    );
+                    if !progressed {
+                        // Only reachable with an empty snapshot and a stale
+                        // (or unreadable) sibling anchor: count it as a
+                        // conflict so the locked mode — whose anchors are
+                        // exact — eventually guarantees progress.
+                        self.conflicts += 1;
+                        continue;
+                    }
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    return true;
+                }
+            }
+        }
+        !batch.is_empty()
+    }
+
+    fn reserve(&mut self, items: usize, key_bytes: usize) {
+        self.resume.reserve(key_bytes);
+        self.bound_buf.reserve(key_bytes);
+        self.anchor_buf.reserve(key_bytes);
+        self.tail.reserve(items, key_bytes);
+        self.scratch16.reserve(items);
+    }
+}
+
 impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
     fn name(&self) -> &'static str {
         "wormhole"
@@ -818,123 +1086,35 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
     }
 
     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        // A thin materialising wrapper over the streaming cursor: the
+        // cursor owns the whole snapshot/validate/resume discipline (and
+        // every reusable buffer); this method only copies the requested
+        // window out of its batches.
         let mut out: Vec<(Vec<u8>, V)> = Vec::with_capacity(count.min(1024));
         if count == 0 {
             return out;
         }
-        // The scan restarts from the last delivered key whenever it reaches
-        // a leaf that has been split or merged since the scan's table
-        // snapshot. Each leaf is first read optimistically — collected into
-        // a staging buffer that is committed only after the seqlock
-        // validates — and, after too many conflicts, through the leaf locks
-        // for the remainder of the scan. The resume key and the staging
-        // buffers are reused across leaves and restarts.
-        let mut resume_from: Vec<u8> = Vec::new();
-        resume_from.extend_from_slice(start);
-        let mut staged: Vec<(Vec<u8>, V)> = Vec::new();
-        let mut scratch: Vec<(Vec<u8>, u16)> = Vec::new();
-        let mut conflicts = 0usize;
-        'restart: loop {
-            let optimistic = self.config.optimistic_reads
-                && Self::optimistic_reads_safe()
-                && conflicts < OPTIMISTIC_SCAN_RETRIES;
-            // Locate the resume leaf lock-free while in optimistic mode —
-            // the locked `locate` takes neighbour reader locks during its
-            // leaf-list adjustment, which would reintroduce reader blocking
-            // on every restart.
-            let located = if optimistic {
-                match self.qsbr.with_local_handle(|handle| {
-                    handle.critical(|| self.locate_optimistic(&resume_from))
-                }) {
-                    Ok(found) => found,
-                    Err(ReadConflict) => {
-                        conflicts += 1;
-                        continue 'restart;
-                    }
-                }
-            } else {
-                self.locate(&resume_from)
-            };
-            let (mut leaf, version) = located;
-            loop {
-                // Read one leaf: the covered range goes to `staged`, and the
-                // successor link to `next`. One extra item is requested so
-                // that the resume key itself (already delivered) can be
-                // skipped while committing.
-                let lower: &[u8] = if out.is_empty() { start } else { &resume_from };
-                let remaining = (count - out.len()).saturating_add(1);
-                staged.clear();
-                let step: Result<Option<LeafHandle<V>>, ReadConflict> = if optimistic {
-                    self.qsbr.with_local_handle(|handle| {
-                        handle.critical(|| {
-                            let shared = &*leaf.0;
-                            let snapshot = shared.seq_enter().ok_or(ReadConflict)?;
-                            if leaf.expected_version() > version {
-                                return Err(ReadConflict);
-                            }
-                            // SAFETY: pointer valid (handle held); all reads
-                            // bounds-checked and discarded unless the
-                            // seqlock validates.
-                            let data = unsafe { &*shared.data.data_ptr() };
-                            data.leaf.collect_range_checked(
-                                lower,
-                                remaining,
-                                &mut staged,
-                                &mut scratch,
-                                MAX_OPTIMISTIC_KEY_LEN,
-                            )?;
-                            let next = data.next.clone();
-                            if !shared.seq_validate(snapshot) {
-                                return Err(ReadConflict);
-                            }
-                            Ok(next)
-                        })
-                    })
-                } else {
-                    let mut data = leaf.0.data.write();
-                    if leaf.expected_version() > version {
-                        Err(ReadConflict)
-                    } else {
-                        // Sort lazily inserted keys in place (incSort), then
-                        // copy the covered range out.
-                        let _section = SeqWriteSection::new(&leaf.0.seq);
-                        data.leaf.ensure_key_sorted();
-                        data.leaf.collect_range(lower, remaining, &mut staged);
-                        Ok(data.next.clone())
-                    }
-                };
-                let next = match step {
-                    Ok(next) => next,
-                    Err(ReadConflict) => {
-                        conflicts += 1;
-                        if let Some(last) = out.last() {
-                            resume_from.clear();
-                            resume_from.extend_from_slice(&last.0);
-                        }
-                        continue 'restart;
-                    }
-                };
-                // Commit the staged items, skipping the already-delivered
-                // resume key when the scan restarted on its leaf.
-                for (k, v) in staged.drain(..) {
-                    if !out.is_empty() && k.as_slice() <= resume_from.as_slice() {
-                        continue;
-                    }
-                    if out.len() == count {
-                        return out;
-                    }
-                    out.push((k, v));
-                }
-                if let Some(last) = out.last() {
-                    resume_from.clear();
-                    resume_from.extend_from_slice(&last.0);
-                }
-                match next {
-                    Some(next) if out.len() < count => leaf = next,
-                    _ => return out,
-                }
-            }
-        }
+        self.scan(start).collect_next(count, &mut out);
+        out
+    }
+
+    fn scan<'a>(&'a self, start: &[u8]) -> Cursor<'a, V>
+    where
+        V: Clone + 'a,
+    {
+        Cursor::new(
+            start,
+            Box::new(ScanSource {
+                wh: self,
+                resume: start.to_vec(),
+                bound_buf: Vec::new(),
+                anchor_buf: Vec::new(),
+                tail: TailScratch::new(),
+                scratch16: Vec::new(),
+                conflicts: 0,
+                done: false,
+            }),
+        )
     }
 
     fn stats(&self) -> IndexStats {

@@ -15,6 +15,7 @@
 //! MetaTrieHT, which may carry appended `⊥`/zero tokens to satisfy the prefix
 //! condition).
 
+use index_traits::RangeSink;
 use wh_hash::{tag16, tag_position_hint};
 
 use crate::config::WormholeConfig;
@@ -25,6 +26,75 @@ use crate::config::WormholeConfig;
 /// must validate its seqlock and retry; the observed data is meaningless.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReadConflict;
+
+/// Reusable snapshot buffer for the unsorted tail of a leaf's key view,
+/// used by the `*_checked` collectors of the optimistic read path.
+///
+/// Tail keys are copied into one flat byte arena (rather than one `Vec<u8>`
+/// per entry) before being ordered, for two reasons: the sort comparator
+/// then runs over owned, immutable bytes — a genuine total order even when
+/// the leaf is being mutated underneath, which `sort_unstable_by` may
+/// otherwise punish with a panic — and a scan that reuses the scratch
+/// across leaves performs zero allocations per batch in steady state.
+#[derive(Debug, Default)]
+pub struct TailScratch {
+    /// Concatenated snapshotted key bytes.
+    bytes: Vec<u8>,
+    /// Per entry: (start, end) into `bytes` plus the item's `kvs` index.
+    ents: Vec<(usize, usize, u16)>,
+}
+
+impl TailScratch {
+    /// Creates an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes for `items` tail entries totalling `key_bytes` of payload.
+    pub fn reserve(&mut self, items: usize, key_bytes: usize) {
+        self.bytes.reserve(key_bytes);
+        self.ents.reserve(items);
+    }
+
+    fn clear(&mut self) {
+        self.bytes.clear();
+        self.ents.clear();
+    }
+
+    fn push(&mut self, key: &[u8], idx: u16) {
+        let start = self.bytes.len();
+        self.bytes.extend_from_slice(key);
+        self.ents.push((start, self.bytes.len(), idx));
+    }
+
+    /// Sorts the entries by snapshotted key (ties broken by item index —
+    /// duplicate keys only arise from torn reads, which the caller's
+    /// validation discards anyway).
+    fn sort(&mut self) {
+        let bytes = &self.bytes;
+        self.ents
+            .sort_unstable_by(|a, b| bytes[a.0..a.1].cmp(&bytes[b.0..b.1]).then(a.2.cmp(&b.2)));
+    }
+
+    fn len(&self) -> usize {
+        self.ents.len()
+    }
+
+    fn key(&self, i: usize) -> &[u8] {
+        let (start, end, _) = self.ents[i];
+        &self.bytes[start..end]
+    }
+
+    fn idx(&self, i: usize) -> u16 {
+        self.ents[i].2
+    }
+
+    /// Index of the first entry with key `>= start` (requires `sort`).
+    fn lower_bound(&self, start: &[u8]) -> usize {
+        self.ents
+            .partition_point(|&(s, e, _)| &self.bytes[s..e] < start)
+    }
+}
 
 /// One key/value item plus its cached hash material.
 #[derive(Debug, Clone)]
@@ -291,12 +361,14 @@ impl<V> LeafNode<V> {
             .map(|&i| self.kvs[i as usize].key.as_ref())
     }
 
-    /// Collects up to `count` items with key `>= start` into `out`, in key
-    /// order. Returns the number of items appended.
-    pub fn collect_range(&self, start: &[u8], count: usize, out: &mut Vec<(Vec<u8>, V)>) -> usize
-    where
-        V: Clone,
-    {
+    /// Collects up to `count` items with key `>= start` into `sink`, in key
+    /// order. Returns the number of items accepted.
+    pub fn collect_range_into<S: RangeSink<V>>(
+        &self,
+        start: &[u8],
+        count: usize,
+        sink: &mut S,
+    ) -> usize {
         debug_assert_eq!(self.sorted_cnt, self.key_order.len());
         let begin = self
             .key_order
@@ -307,30 +379,28 @@ impl<V> LeafNode<V> {
                 break;
             }
             let kv = &self.kvs[i as usize];
-            out.push((kv.key.to_vec(), kv.value.clone()));
+            sink.accept(kv.key.as_ref(), &kv.value);
             appended += 1;
         }
         appended
     }
 
-    /// Like [`LeafNode::collect_range`], but usable while the key-sorted
+    /// Batch-per-leaf primitive of the single-threaded scan cursor: like
+    /// [`LeafNode::collect_range_into`], but usable while the key-sorted
     /// view lags behind (`incSort` not yet run): the sorted prefix and the
     /// unsorted tail are merged on the fly, ordering the tail through
     /// `scratch` (a reusable index buffer) instead of cloning the leaf or
     /// sorting it in place. Read-only range scans use this so they neither
     /// mutate the leaf nor copy its keys.
-    pub fn collect_range_unsorted(
+    pub fn collect_leaf_unsorted<S: RangeSink<V>>(
         &self,
         start: &[u8],
         count: usize,
-        out: &mut Vec<(Vec<u8>, V)>,
+        sink: &mut S,
         scratch: &mut Vec<u16>,
-    ) -> usize
-    where
-        V: Clone,
-    {
+    ) -> usize {
         if self.sorted_cnt == self.key_order.len() {
-            return self.collect_range(start, count, out);
+            return self.collect_range_into(start, count, sink);
         }
         scratch.clear();
         scratch.extend_from_slice(&self.key_order[self.sorted_cnt..]);
@@ -361,7 +431,7 @@ impl<V> LeafNode<V> {
                 (None, None) => break,
             };
             let kv = &self.kvs[next as usize];
-            out.push((kv.key.to_vec(), kv.value.clone()));
+            sink.accept(kv.key.as_ref(), &kv.value);
             appended += 1;
         }
         appended
@@ -445,27 +515,25 @@ impl<V> LeafNode<V> {
         }
     }
 
-    /// Like [`LeafNode::collect_range_unsorted`], but safe on a leaf a
+    /// Batch-per-leaf primitive of the concurrent scan cursor: like
+    /// [`LeafNode::collect_leaf_unsorted`], but safe on a leaf a
     /// concurrent writer may be mutating (see [`LeafNode::get_checked`]):
     /// bounds-checked throughout, and any key whose recorded length exceeds
     /// `max_key_len` is treated as torn state rather than copied. The
-    /// unsorted tail is snapshotted into `tail_scratch` (owned keys) before
-    /// it is ordered, so the sort comparator never touches racing memory —
-    /// a comparator over in-flux data would not be a total order, which
-    /// `sort_unstable_by` may punish with a panic. Appends to `out`; the
-    /// appended items must be discarded unless the caller's seqlock
-    /// validation succeeds.
-    pub fn collect_range_checked(
+    /// unsorted tail is snapshotted into `tail` (a reusable
+    /// [`TailScratch`] arena) before it is ordered, so the sort comparator
+    /// never touches racing memory — a comparator over in-flux data would
+    /// not be a total order, which `sort_unstable_by` may punish with a
+    /// panic. Everything accepted by `sink` must be discarded unless the
+    /// caller's seqlock validation succeeds.
+    pub fn collect_leaf_checked<S: RangeSink<V>>(
         &self,
         start: &[u8],
         count: usize,
-        out: &mut Vec<(Vec<u8>, V)>,
-        tail_scratch: &mut Vec<(Vec<u8>, u16)>,
+        sink: &mut S,
+        tail: &mut TailScratch,
         max_key_len: usize,
-    ) -> Result<usize, ReadConflict>
-    where
-        V: Clone,
-    {
+    ) -> Result<usize, ReadConflict> {
         let total = self.key_order.len();
         let sorted_cnt = self.sorted_cnt.min(total);
         let key_of = |idx: u16| -> Result<&Kv<V>, ReadConflict> {
@@ -475,14 +543,14 @@ impl<V> LeafNode<V> {
             }
             Ok(kv)
         };
-        // Snapshot the unsorted tail as (owned key, index) pairs — any torn
+        // Snapshot the unsorted tail into the scratch arena — any torn
         // index or implausible key surfaces as a conflict here — then sort
         // the owned snapshot (a genuine total order, immune to races).
-        tail_scratch.clear();
+        tail.clear();
         for &idx in self.key_order.get(sorted_cnt..total).ok_or(ReadConflict)? {
-            tail_scratch.push((key_of(idx)?.key.to_vec(), idx));
+            tail.push(key_of(idx)?.key.as_ref(), idx);
         }
-        tail_scratch.sort_unstable();
+        tail.sort();
         let sorted = self.key_order.get(..sorted_cnt).ok_or(ReadConflict)?;
         // Checked lower bounds in both runs.
         let mut a = {
@@ -497,53 +565,46 @@ impl<V> LeafNode<V> {
             }
             lo
         };
-        let mut b = tail_scratch.partition_point(|(key, _)| key.as_slice() < start);
+        let mut b = tail.lower_bound(start);
         let mut appended = 0;
         while appended < count {
             // Merge the two runs; tail entries reuse their snapshotted key.
-            enum Next {
-                Sorted(u16),
-                Tail(usize),
-            }
-            let next = match (sorted.get(a), tail_scratch.get(b)) {
-                (Some(&x), Some((tail_key, _))) => {
-                    if key_of(x)?.key.as_ref() <= tail_key.as_slice() {
-                        a += 1;
-                        Next::Sorted(x)
-                    } else {
-                        b += 1;
-                        Next::Tail(b - 1)
-                    }
-                }
-                (Some(&x), None) => {
-                    a += 1;
-                    Next::Sorted(x)
-                }
-                (None, Some(_)) => {
-                    b += 1;
-                    Next::Tail(b - 1)
-                }
+            let take_sorted = match (sorted.get(a), (b < tail.len()).then(|| tail.key(b))) {
+                (Some(&x), Some(tail_key)) => key_of(x)?.key.as_ref() <= tail_key,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
                 (None, None) => break,
             };
-            match next {
-                Next::Sorted(idx) => {
-                    let kv = key_of(idx)?;
-                    out.push((kv.key.to_vec(), kv.value.clone()));
-                }
-                Next::Tail(pos) => {
-                    let (key, idx) = &mut tail_scratch[pos];
-                    let value = self
-                        .kvs
-                        .get(*idx as usize)
-                        .ok_or(ReadConflict)?
-                        .value
-                        .clone();
-                    out.push((std::mem::take(key), value));
-                }
+            if take_sorted {
+                let kv = key_of(sorted[a])?;
+                a += 1;
+                sink.accept(kv.key.as_ref(), &kv.value);
+            } else {
+                let idx = tail.idx(b) as usize;
+                let value = &self.kvs.get(idx).ok_or(ReadConflict)?.value;
+                sink.accept(tail.key(b), value);
+                b += 1;
             }
             appended += 1;
         }
         Ok(appended)
+    }
+
+    /// [`LeafNode::collect_leaf_checked`] materialising into a pair vector
+    /// (tests compare it against the unchecked collectors on quiescent
+    /// leaves).
+    pub fn collect_range_checked(
+        &self,
+        start: &[u8],
+        count: usize,
+        out: &mut Vec<(Vec<u8>, V)>,
+        tail: &mut TailScratch,
+        max_key_len: usize,
+    ) -> Result<usize, ReadConflict>
+    where
+        V: Clone,
+    {
+        self.collect_leaf_checked(start, count, out, tail, max_key_len)
     }
 
     /// Key at sorted position `i` (requires the key-sorted view to be
@@ -717,7 +778,7 @@ mod tests {
         }
         leaf.ensure_key_sorted();
         let mut out = Vec::new();
-        let n = leaf.collect_range(b"k03", 4, &mut out);
+        let n = leaf.collect_range_into(b"k03", 4, &mut out);
         assert_eq!(n, 4);
         let keys: Vec<String> = out
             .iter()
@@ -799,9 +860,9 @@ mod tests {
             // even while the key-sorted view lags behind.
             let mut expect = Vec::new();
             let mut scratch16 = Vec::new();
-            leaf.collect_range_unsorted(b"ck010", 12, &mut expect, &mut scratch16);
+            leaf.collect_leaf_unsorted(b"ck010", 12, &mut expect, &mut scratch16);
             let mut got = Vec::new();
-            let mut tail_scratch = Vec::new();
+            let mut tail_scratch = TailScratch::new();
             let n = leaf
                 .collect_range_checked(b"ck010", 12, &mut got, &mut tail_scratch, 1 << 20)
                 .expect("quiescent leaf never conflicts");

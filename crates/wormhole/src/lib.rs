@@ -26,8 +26,10 @@
 //! LPM binary search costs a handful of cache-line fills; see
 //! [`meta`](crate::meta) for the full layout. On top of that layout the
 //! point-lookup path — [`Wormhole::get`], the LPM search, and the trie
-//! sibling step — performs **zero heap allocations per call**, and range
-//! scans reuse their resume-key and scratch buffers across leaves.
+//! sibling step — performs **zero heap allocations per call**, and ordered
+//! scans stream through a resumable cursor (`scan(start)` on both index
+//! traits) whose batch-per-leaf arena makes steady-state batch advancement
+//! allocation-free; `range_from` is a thin materialising wrapper over it.
 //!
 //! The implementation optimisations of §3 — 16-bit tag matching, incremental
 //! CRC hashing, hash-ordered leaf tag arrays, and speculative leaf

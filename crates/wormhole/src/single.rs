@@ -19,7 +19,7 @@
 //! and their prev/next links. The concurrent variant consumes the exact
 //! same core API, applying each plan to its two tables in turn.
 
-use index_traits::{IndexStats, OrderedIndex};
+use index_traits::{Cursor, CursorSource, IndexStats, OrderedIndex, ScanBatch};
 use wh_hash::crc32c;
 
 use crate::config::WormholeConfig;
@@ -247,6 +247,56 @@ impl<V: Clone> WormholeUnsafe<V> {
     }
 }
 
+/// Batch-per-leaf [`CursorSource`] over the single-threaded index.
+///
+/// The cursor's `&'a` borrow freezes the structure (no splits or merges can
+/// run while it is alive), so the source simply walks the LeafList by slot
+/// index: one leaf per batch (or less, when the consumer's window budget
+/// caps it), the lower bound applied to the first leaf of each run. Each
+/// leaf's lazily-sorted tail is merged on the fly through one reusable
+/// index buffer, so steady-state batch advancement allocates nothing. To
+/// interleave writes with a scan, drop the cursor and reopen at
+/// [`Cursor::resume_key`].
+struct UnsafeScanSource<'a, V> {
+    wh: &'a WormholeUnsafe<V>,
+    /// Next leaf to stream, [`NIL`] when exhausted.
+    next: u32,
+    /// Lower bound applied to the next streamed leaf (the scan start, or
+    /// the resume point of a budget-truncated batch); cleared otherwise.
+    lower: Vec<u8>,
+    /// Reusable index buffer for the lazy-tail merge.
+    scratch: Vec<u16>,
+}
+
+impl<V: Clone> CursorSource<V> for UnsafeScanSource<'_, V> {
+    fn fill_next(&mut self, batch: &mut ScanBatch<V>, limit: usize) -> bool {
+        let limit = limit.max(1);
+        batch.clear();
+        while self.next != NIL && batch.is_empty() {
+            let slot = self.wh.slot(self.next);
+            let appended =
+                slot.leaf
+                    .collect_leaf_unsorted(&self.lower, limit, batch, &mut self.scratch);
+            if appended == limit {
+                // Possibly truncated mid-leaf by the window budget: stay on
+                // this leaf and resume just past the last streamed key.
+                index_traits::immediate_successor_into(
+                    batch.last_key().expect("truncated batch holds pairs"),
+                    &mut self.lower,
+                );
+            } else {
+                self.lower.clear();
+                self.next = slot.next;
+            }
+        }
+        !batch.is_empty()
+    }
+
+    fn reserve(&mut self, items: usize, _key_bytes: usize) {
+        self.scratch.reserve(items);
+    }
+}
+
 impl<V: Clone> OrderedIndex<V> for WormholeUnsafe<V> {
     fn name(&self) -> &'static str {
         "wormhole-unsafe"
@@ -312,23 +362,28 @@ impl<V: Clone> OrderedIndex<V> for WormholeUnsafe<V> {
     }
 
     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        // A thin materialising wrapper over the streaming cursor.
         let mut out = Vec::with_capacity(count.min(1024));
         if count == 0 {
             return out;
         }
-        // Read-only scan: each leaf's lazily-sorted tail is merged on the
-        // fly through one reusable index buffer, so no leaf (and none of its
-        // keys) is ever cloned just to order it.
-        let mut scratch: Vec<u16> = Vec::new();
-        let mut idx = self.locate_leaf(start);
-        while idx != NIL && out.len() < count {
-            let slot = self.leaves[idx as usize].as_ref().expect("live leaf");
-            let remaining = count - out.len();
-            slot.leaf
-                .collect_range_unsorted(start, remaining, &mut out, &mut scratch);
-            idx = slot.next;
-        }
+        self.scan(start).collect_next(count, &mut out);
         out
+    }
+
+    fn scan<'a>(&'a self, start: &[u8]) -> Cursor<'a, V>
+    where
+        V: Clone + 'a,
+    {
+        Cursor::new(
+            start,
+            Box::new(UnsafeScanSource {
+                wh: self,
+                next: self.locate_leaf(start),
+                lower: start.to_vec(),
+                scratch: Vec::new(),
+            }),
+        )
     }
 
     fn stats(&self) -> IndexStats {

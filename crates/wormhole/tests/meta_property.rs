@@ -186,6 +186,142 @@ fn concurrent_get_retry_path_is_allocation_free() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Allocation guards: the streaming scan cursor
+// ---------------------------------------------------------------------
+
+/// Uniform-length keys for the cursor scans, so buffer demand per batch is
+/// bounded by `leaf_capacity * key_len` and the pre-sizing below is exact.
+fn scan_keyset(n: u64) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| format!("scan-{i:08}").into_bytes())
+        .collect()
+}
+
+#[test]
+fn concurrent_cursor_batch_advancement_is_allocation_free() {
+    // Steady-state batch advancement of the concurrent scan cursor —
+    // locate the leaf, snapshot it into the batch arena, validate, advance
+    // the resume bound — must reuse every buffer: zero allocations per
+    // batch once the arenas have reached their working size.
+    let wh: Wormhole<u64> =
+        Wormhole::with_config(WormholeConfig::optimized().with_leaf_capacity(16));
+    let keys = scan_keyset(12_000);
+    for (i, k) in keys.iter().enumerate() {
+        wh.set(k, i as u64);
+    }
+    // Warm-up: QSBR handle + TLS.
+    assert!(wh.get(&keys[0]).is_some());
+
+    let mut cursor = wh.scan(b"");
+    // Pre-size the arenas for a full leaf (16 keys x 13 bytes), then let two
+    // batches bring every remaining scratch buffer to its working size.
+    cursor.reserve(64, 4096);
+    let mut streamed = 0usize;
+    for _ in 0..2 {
+        streamed += cursor.next_batch().expect("population not exhausted").len();
+    }
+
+    let before = thread_allocs();
+    while let Some(batch) = cursor.next_batch() {
+        streamed += batch.len();
+    }
+    let after = thread_allocs();
+    assert_eq!(streamed, keys.len(), "cursor lost pairs");
+    assert_eq!(
+        after - before,
+        0,
+        "concurrent cursor allocated ({} allocations while streaming)",
+        after - before,
+    );
+}
+
+#[test]
+fn single_threaded_cursor_batch_advancement_is_allocation_free() {
+    let mut wh: WormholeUnsafe<u64> =
+        WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(16));
+    let keys = scan_keyset(12_000);
+    for (i, k) in keys.iter().enumerate() {
+        wh.set(k, i as u64);
+    }
+    let mut cursor = wh.scan(b"");
+    cursor.reserve(64, 4096);
+    let mut streamed = 0usize;
+    for _ in 0..2 {
+        streamed += cursor.next_batch().expect("population not exhausted").len();
+    }
+
+    let before = thread_allocs();
+    while let Some(batch) = cursor.next_batch() {
+        streamed += batch.len();
+    }
+    let after = thread_allocs();
+    assert_eq!(streamed, keys.len(), "cursor lost pairs");
+    assert_eq!(
+        after - before,
+        0,
+        "single-threaded cursor allocated ({} allocations while streaming)",
+        after - before,
+    );
+}
+
+#[test]
+fn concurrent_full_range_from_allocates_only_per_pair_output() {
+    // `range_from(b"", usize::MAX)` now streams through the cursor, so its
+    // per-leaf-hop machinery (resume bound, batch arena, tail snapshot)
+    // must reuse buffers: the only O(n) allocation left is the unavoidable
+    // one key-`Vec` per materialised pair, plus a logarithmic number of
+    // buffer growths. A regression that clones the resume key (or any
+    // other per-hop state) per leaf would add ~one allocation per leaf hop
+    // (750 leaves here) and break the bound.
+    let wh: Wormhole<u64> =
+        Wormhole::with_config(WormholeConfig::optimized().with_leaf_capacity(16));
+    let keys = scan_keyset(12_000);
+    for (i, k) in keys.iter().enumerate() {
+        wh.set(k, i as u64);
+    }
+    assert!(wh.get(&keys[0]).is_some()); // QSBR/TLS warm-up
+
+    let before = thread_allocs();
+    let scan = wh.range_from(b"", usize::MAX);
+    let after = thread_allocs();
+    assert_eq!(scan.len(), keys.len());
+    assert!(
+        after - before <= keys.len() + 64,
+        "range_from allocated {} times for {} pairs (> 1 per pair + slack)",
+        after - before,
+        keys.len(),
+    );
+}
+
+#[test]
+fn short_window_range_from_does_not_copy_whole_leaves() {
+    // The cursor threads the window budget down to the per-leaf collectors,
+    // so a count-1 range on heap values (String forces the locked scan
+    // path, where every collected value is a real clone) must stay O(1):
+    // a whole-leaf snapshot would cost ~leaf_capacity allocations instead.
+    let wh: Wormhole<String> =
+        Wormhole::with_config(WormholeConfig::optimized().with_leaf_capacity(64));
+    for i in 0..2_000u32 {
+        wh.set(
+            format!("short-{i:06}").as_bytes(),
+            format!("value-payload-{i:06}-{}", "x".repeat(24)),
+        );
+    }
+    assert!(wh.get(b"short-000000").is_some()); // warm-up
+
+    let before = thread_allocs();
+    let out = wh.range_from(b"short-001000", 1);
+    let after = thread_allocs();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].0, b"short-001000".to_vec());
+    assert!(
+        after - before <= 24,
+        "count-1 range_from allocated {} times (whole-leaf copy?)",
+        after - before,
+    );
+}
+
 #[test]
 fn single_threaded_get_is_allocation_free() {
     let mut wh: WormholeUnsafe<u64> = WormholeUnsafe::new();

@@ -10,6 +10,25 @@ use netsim::{KvService, LinkModel, WireRequest};
 use workloads::{generate, KeysetId};
 use wormhole::{Wormhole, WormholeConfig};
 
+/// Splits a yielded key of the torn-scan test into its stable id and
+/// whether it is a churn key. Panics on a malformed (torn) key.
+fn parse_torn_scan_key(key: &[u8]) -> (u64, bool) {
+    let s = std::str::from_utf8(key).expect("yielded key is not UTF-8");
+    let rest = s
+        .strip_prefix("stable-")
+        .expect("yielded key lost its prefix");
+    match rest.split_once(":churn") {
+        None => (rest.parse().expect("malformed stable id"), false),
+        Some((id, writer)) => {
+            assert!(
+                writer.len() == 1 && writer.chars().all(|c| c.is_ascii_digit()),
+                "malformed churn suffix in {s:?}"
+            );
+            (id.parse().expect("malformed churn id"), true)
+        }
+    }
+}
+
 #[test]
 fn disjoint_writers_preserve_every_key() {
     let wh = Arc::new(Wormhole::with_config(
@@ -189,6 +208,95 @@ fn optimistic_readers_see_consistent_state_under_split_merge_churn() {
     });
     wh.check_invariants();
     for i in (0..n_stable).step_by(29) {
+        assert_eq!(wh.get(format!("stable-{i:06}").as_bytes()), Some(i));
+    }
+}
+
+#[test]
+fn torn_scan_cursors_stream_consistent_state_under_churn() {
+    // Stress for the streaming scan cursor: readers drain full-index
+    // cursors batch by batch while churn writers force continuous splits
+    // and merges of the leaves being streamed. Every yielded pair must be
+    // well-formed (a key the workload could actually have written, with its
+    // exact value for the stable population), keys must be strictly
+    // ascending across the entire stream — per-leaf snapshots must never
+    // re-yield or reorder across a batch boundary — and every key that is
+    // stable for the whole scan must appear exactly once. Iteration counts
+    // are kept high only under `--release`; debug builds run a smoke pass.
+    let scans: u64 = if cfg!(debug_assertions) { 8 } else { 400 };
+    let n_stable = 2_000u64;
+    let wh = Arc::new(Wormhole::with_config(
+        WormholeConfig::optimized().with_leaf_capacity(8),
+    ));
+    for i in 0..n_stable {
+        wh.set(format!("stable-{i:06}").as_bytes(), i);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // Churn writers: keys interleaved with the stable population split
+        // the streamed leaves on insert and merge them back on delete.
+        for t in 0..2u64 {
+            let wh = Arc::clone(&wh);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in ((t * 3)..n_stable).step_by(5) {
+                        wh.set(format!("stable-{i:06}:churn{t}").as_bytes(), round);
+                    }
+                    for i in ((t * 3)..n_stable).step_by(5) {
+                        wh.del(format!("stable-{i:06}:churn{t}").as_bytes());
+                    }
+                    round += 1;
+                }
+            });
+        }
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let wh = Arc::clone(&wh);
+            readers.push(scope.spawn(move || {
+                for _ in 0..scans {
+                    let mut cursor = wh.scan(b"");
+                    let mut prev: Option<Vec<u8>> = None;
+                    let mut next_stable = 0u64;
+                    while let Some(batch) = cursor.next_batch() {
+                        assert!(!batch.is_empty(), "cursor yielded an empty batch");
+                        for (key, value) in batch.iter() {
+                            if let Some(prev) = &prev {
+                                assert!(
+                                    prev.as_slice() < key,
+                                    "stream not strictly ascending: {:?} !< {:?}",
+                                    String::from_utf8_lossy(prev),
+                                    String::from_utf8_lossy(key),
+                                );
+                            }
+                            let (id, is_churn) = parse_torn_scan_key(key);
+                            assert!(id < n_stable, "id out of range in scan");
+                            if !is_churn {
+                                assert_eq!(
+                                    id, next_stable,
+                                    "stable key missing or duplicated in scan"
+                                );
+                                assert_eq!(*value, id, "torn value for stable-{id:06}");
+                                next_stable += 1;
+                            }
+                            prev = Some(key.to_vec());
+                        }
+                    }
+                    assert_eq!(
+                        next_stable, n_stable,
+                        "scan lost part of the stable population"
+                    );
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    wh.check_invariants();
+    for i in (0..n_stable).step_by(41) {
         assert_eq!(wh.get(format!("stable-{i:06}").as_bytes()), Some(i));
     }
 }

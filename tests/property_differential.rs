@@ -10,7 +10,7 @@ use baseline_btree::BPlusTree;
 use baseline_cuckoo::CuckooHashTable;
 use baseline_masstree::Masstree;
 use baseline_skiplist::SkipList;
-use index_traits::{ConcurrentOrderedIndex, OrderedIndex, UnorderedIndex};
+use index_traits::{ConcurrentOrderedIndex, Cursor, OrderedIndex, UnorderedIndex};
 use proptest::prelude::*;
 use wormhole::{Wormhole, WormholeConfig, WormholeUnsafe};
 
@@ -148,5 +148,110 @@ proptest! {
                 prop_assert_eq!(index.get(key), expect);
             }
         }
+    }
+}
+
+/// Drains up to `count` pairs from a cursor and reports the continuation
+/// key a fresh `scan` would resume at.
+fn pull(mut cursor: Cursor<'_, u64>, count: usize) -> (Vec<(Vec<u8>, u64)>, Vec<u8>) {
+    let mut got = Vec::new();
+    cursor.collect_next(count, &mut got);
+    (got, cursor.resume_key())
+}
+
+proptest! {
+    // The cursor differential runs at a higher case count than the op-level
+    // differentials above: resumption interacts with mutations in ways a
+    // single linear scan never exercises.
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Interleaved resumable scans: apply a batch of mutations, stream a
+    /// window through a cursor on every ordered index, resume from the
+    /// cursor's reported key after the next batch of mutations, and check
+    /// each window — and the final quiesced full drain — against
+    /// `BTreeMap::range`.
+    #[test]
+    fn interleaved_scan_cursors_match_btreemap(
+        phases in proptest::collection::vec(
+            (
+                proptest::collection::vec(
+                    (key_strategy(), any::<u64>(), any::<bool>()), 0..30),
+                1usize..25,
+            ),
+            1..4),
+        start in key_strategy(),
+    ) {
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut skiplist = SkipList::new();
+        let mut btree = BPlusTree::with_fanout(8);
+        let mut art = Art::new();
+        let mut masstree = Masstree::new();
+        let mut wh_unsafe =
+            WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+        let wh = Wormhole::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+
+        let mut resume = start.clone();
+        for (ops, window) in &phases {
+            for (k, v, is_delete) in ops {
+                if *is_delete {
+                    let expect = model.remove(k);
+                    prop_assert_eq!(skiplist.del(k), expect);
+                    prop_assert_eq!(btree.del(k), expect);
+                    prop_assert_eq!(art.del(k), expect);
+                    prop_assert_eq!(masstree.del(k), expect);
+                    prop_assert_eq!(wh_unsafe.del(k), expect);
+                    prop_assert_eq!(wh.del(k), expect);
+                } else {
+                    let expect = model.insert(k.clone(), *v);
+                    prop_assert_eq!(skiplist.set(k, *v), expect);
+                    prop_assert_eq!(btree.set(k, *v), expect);
+                    prop_assert_eq!(art.set(k, *v), expect);
+                    prop_assert_eq!(masstree.set(k, *v), expect);
+                    prop_assert_eq!(wh_unsafe.set(k, *v), expect);
+                    prop_assert_eq!(wh.set(k, *v), expect);
+                }
+            }
+            // Stream one window from the shared resume point on every index
+            // (the baselines via the default range_from-adapted cursor, the
+            // Wormholes via their native leaf-streaming cursors).
+            let expect: Vec<(Vec<u8>, u64)> = model
+                .range(resume.clone()..)
+                .take(*window)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect();
+            let windows = [
+                pull(skiplist.scan(&resume), *window),
+                pull(btree.scan(&resume), *window),
+                pull(art.scan(&resume), *window),
+                pull(masstree.scan(&resume), *window),
+                pull(wh_unsafe.scan(&resume), *window),
+                pull(wh.scan(&resume), *window),
+            ];
+            for (got, resume_key) in &windows {
+                prop_assert_eq!(got, &expect);
+                prop_assert_eq!(resume_key, &windows[0].1, "resume keys diverge");
+            }
+            resume = windows[0].1.clone();
+        }
+
+        // Quiesced: a fresh cursor drained from the original start must
+        // agree with range_from and the model on every index.
+        let expect_all: Vec<(Vec<u8>, u64)> = model
+            .range(start.clone()..)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        let drains = [
+            pull(skiplist.scan(&start), usize::MAX).0,
+            pull(btree.scan(&start), usize::MAX).0,
+            pull(art.scan(&start), usize::MAX).0,
+            pull(masstree.scan(&start), usize::MAX).0,
+            pull(wh_unsafe.scan(&start), usize::MAX).0,
+            pull(wh.scan(&start), usize::MAX).0,
+        ];
+        for drained in &drains {
+            prop_assert_eq!(drained, &expect_all);
+        }
+        prop_assert_eq!(wh_unsafe.range_from(&start, usize::MAX), expect_all.clone());
+        prop_assert_eq!(wh.range_from(&start, usize::MAX), expect_all);
     }
 }
