@@ -1,0 +1,36 @@
+//! Criterion bench: shard-scaling of the range-partitioned front vs the
+//! unsharded concurrent Wormhole, read-heavy and write-heavy mixes at
+//! micro scale. `BENCH_shard.json` (written by
+//! `cargo run -p bench --release --bin shard_scale_baseline`) records the
+//! tracked full-scale baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bench::shard_scale::{build_sharded, build_unsharded, resident_keys, run_window, Mix};
+
+const KEYS: usize = 20_000;
+const THREADS: usize = 4;
+
+fn bench_shard_scale(c: &mut Criterion) {
+    let probes = resident_keys(KEYS);
+    let unsharded = build_unsharded(KEYS);
+    let sharded = build_sharded(4, KEYS);
+    for mix in [Mix::ReadHeavy, Mix::WriteHeavy] {
+        let mut group = c.benchmark_group(format!("shard_scale/{}", mix.label()));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(900));
+        group.bench_function("unsharded", |b| {
+            b.iter(|| run_window(&unsharded, THREADS, &probes, Duration::from_millis(25), mix).0)
+        });
+        group.bench_function("sharded-4", |b| {
+            b.iter(|| run_window(&sharded, THREADS, &probes, Duration::from_millis(25), mix).0)
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_shard_scale);
+criterion_main!(benches);

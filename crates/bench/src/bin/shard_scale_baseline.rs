@@ -1,0 +1,66 @@
+//! Writes `BENCH_shard.json`: aggregate throughput of N worker threads
+//! over the unsharded concurrent Wormhole vs the range-partitioned
+//! `ShardedWormhole` at 1/2/4/8 shards, under a read-heavy (90/10) and a
+//! structural write-heavy (split+merge churn) mix.
+//!
+//! ```text
+//! cargo run -p bench --release --bin shard_scale_baseline
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use bench::shard_scale::measure_scaling;
+
+fn main() {
+    let threads = 8usize;
+    let keys = 100_000usize;
+    let duration = Duration::from_millis(500);
+    let rounds = 3;
+    eprintln!(
+        "measuring {threads} workers over {keys} residents \
+         ({rounds} rounds of {duration:?} per cell)..."
+    );
+    let samples = measure_scaling(threads, keys, duration, rounds);
+    for s in &samples {
+        eprintln!(
+            "  {:<11} shards={:<2} {:<12} {:8.3} Mops/s  ({} ops)",
+            s.frontend, s.shards, s.mix, s.mops, s.ops,
+        );
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"shard_scale\",\n");
+    json.push_str(
+        "  \"description\": \"Aggregate throughput of 8 worker threads over one shared ordered \
+         index, 100k resident ~20B keys, leaf capacity 64, best of 3 interleaved 500ms rounds. \
+         unsharded = one concurrent Wormhole (single MetaTrieHT writer mutex); sharded = \
+         ShardedWormhole with sample-quantile boundaries at the given shard count. read_heavy = \
+         90% point gets / 10% overwrites; write_heavy = split+merge churn waves (64 inserts + \
+         64 deletes around a random resident, each wave taking the owning shard's writer mutex \
+         and an RCU grace period) plus 8 gets. On a single-CPU host the threads time-slice, so \
+         the sharded win comes from eliminating writer-mutex convoys and cross-thread grace-\
+         period waits rather than true parallelism; multicore hosts add the latter on top.\",\n",
+    );
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"frontend\": \"{}\", \"shards\": {}, \"mix\": \"{}\", \
+             \"threads\": {}, \"ops\": {}, \"mops\": {:.3}}}{comma}",
+            s.frontend, s.shards, s.mix, s.threads, s.ops, s.mops,
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    println!("{json}");
+}

@@ -20,8 +20,10 @@ pub mod figures;
 pub mod measure;
 pub mod meta_layouts;
 pub mod scan_stream;
+pub mod shard_scale;
 
 pub use contended::{measure_contended, measure_modes, ContendedSample};
 pub use drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};
 pub use measure::{mops, parallel_lookup_mops, Timer};
 pub use meta_layouts::{measure_layouts, ProbeWorkload, SeedMetaTable};
+pub use shard_scale::{measure_scaling, Mix, ShardSample};

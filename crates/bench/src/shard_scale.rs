@@ -1,0 +1,293 @@
+//! Shard-scaling measurement: N worker threads driving one shared ordered
+//! index — the unsharded concurrent `Wormhole` vs `ShardedWormhole` at
+//! increasing shard counts — under a read-heavy and a write-heavy mix.
+//!
+//! The write-heavy mix is deliberately *structural*: each wave inserts a
+//! run of sibling keys next to a random resident key (forcing a leaf
+//! split) and deletes them again (forcing a merge), so every wave takes
+//! the owning index's MetaTrieHT writer mutex and runs an RCU grace
+//! period. On the unsharded index all workers serialise on that one
+//! mutex; sharding gives each range its own, which is exactly the
+//! contention this benchmark quantifies. `BENCH_shard.json` (written by
+//! `cargo run -p bench --release --bin shard_scale_baseline`) records the
+//! tracked baseline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use index_traits::ConcurrentOrderedIndex;
+use wh_shard::ShardedWormhole;
+use wormhole::{Wormhole, WormholeConfig};
+
+/// One measured cell.
+#[derive(Debug, Clone)]
+pub struct ShardSample {
+    /// `"unsharded"` or `"sharded"`.
+    pub frontend: &'static str,
+    /// Shard count (1 for the unsharded baseline).
+    pub shards: usize,
+    /// `"read_heavy"` or `"write_heavy"`.
+    pub mix: &'static str,
+    /// Worker threads driving the index.
+    pub threads: usize,
+    /// Operations completed inside the window.
+    pub ops: u64,
+    /// Aggregate throughput in million operations per second.
+    pub mops: f64,
+}
+
+/// The workload mixes of the scaling comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// 90% point lookups, 10% overwrites of resident keys: the sharded
+    /// router's overhead with almost no writer-mutex pressure.
+    ReadHeavy,
+    /// Structural churn waves (split + merge per wave) with a sprinkle of
+    /// lookups: the writer-mutex contention sharding removes.
+    WriteHeavy,
+}
+
+impl Mix {
+    /// Label used in samples and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mix::ReadHeavy => "read_heavy",
+            Mix::WriteHeavy => "write_heavy",
+        }
+    }
+}
+
+/// The resident key for slot `i`.
+pub fn resident_key(i: usize) -> Vec<u8> {
+    format!("user:{i:07}:profile").into_bytes()
+}
+
+/// Precomputes every resident key once, so the measured loops never pay
+/// key formatting or allocation.
+pub fn resident_keys(keys: usize) -> Vec<Vec<u8>> {
+    (0..keys).map(resident_key).collect()
+}
+
+/// Per-shard configuration used by every frontend in the comparison.
+pub fn shard_bench_config() -> WormholeConfig {
+    WormholeConfig::optimized().with_leaf_capacity(64)
+}
+
+/// Builds the unsharded baseline index over `keys` resident keys.
+pub fn build_unsharded(keys: usize) -> Wormhole<u64> {
+    let wh = Wormhole::with_config(shard_bench_config());
+    for i in 0..keys {
+        wh.set(&resident_key(i), i as u64);
+    }
+    wh
+}
+
+/// Builds a `shards`-way sharded index over the same residents, with
+/// boundaries sampled from the keyset so the shards are balanced.
+pub fn build_sharded(shards: usize, keys: usize) -> ShardedWormhole<u64> {
+    let sample: Vec<Vec<u8>> = (0..keys)
+        .step_by(16.max(keys / 4096))
+        .map(resident_key)
+        .collect();
+    let config =
+        wh_shard::ShardedConfig::from_sample(shards, &sample).with_inner(shard_bench_config());
+    let sharded = ShardedWormhole::with_config(config);
+    for i in 0..keys {
+        sharded.set(&resident_key(i), i as u64);
+    }
+    sharded
+}
+
+/// One structural churn wave around a resident key: insert 64 siblings
+/// (splitting the resident leaf), then drain them (merging it back).
+/// `buf` is a reusable key buffer so the wave allocates nothing itself.
+/// Returns operations performed.
+fn churn_wave<I: ConcurrentOrderedIndex<u64> + ?Sized>(
+    index: &I,
+    base: &[u8],
+    buf: &mut Vec<u8>,
+) -> u64 {
+    let mut ops = 0u64;
+    buf.clear();
+    buf.extend_from_slice(base);
+    buf.push(b'~');
+    buf.push(0);
+    let last = buf.len() - 1;
+    for j in 1..=64u8 {
+        buf[last] = j;
+        index.set(buf, u64::from(j));
+        ops += 1;
+    }
+    for j in 1..=64u8 {
+        buf[last] = j;
+        index.del(buf);
+        ops += 1;
+    }
+    ops
+}
+
+/// Runs one measurement window: `threads` workers over `keys` residents
+/// for `duration`, with the given mix. Returns total operations and the
+/// elapsed wall-clock seconds.
+pub fn run_window<I: ConcurrentOrderedIndex<u64> + ?Sized>(
+    index: &I,
+    threads: usize,
+    keys: &[Vec<u8>],
+    duration: Duration,
+    mix: Mix,
+) -> (u64, f64) {
+    let stop = AtomicBool::new(false);
+    let total = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stop = &stop;
+            let total = &total;
+            scope.spawn(move || {
+                let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ (t as u64).wrapping_mul(0xdead_beef);
+                let mut buf = Vec::with_capacity(64);
+                let mut local = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let slot = (x as usize) % keys.len();
+                    match mix {
+                        Mix::ReadHeavy => {
+                            // 64-op batch: 90% gets, 10% overwrites.
+                            for j in 0..64usize {
+                                let probe = (slot + j * 131) % keys.len();
+                                if j % 10 == 0 {
+                                    index.set(&keys[probe], x);
+                                } else {
+                                    std::hint::black_box(index.get(&keys[probe]));
+                                }
+                                local += 1;
+                            }
+                        }
+                        Mix::WriteHeavy => {
+                            // One split+merge wave plus a sprinkle of reads.
+                            local += churn_wave(index, &keys[slot], &mut buf);
+                            for j in 0..8usize {
+                                let probe = (slot + j * 977) % keys.len();
+                                std::hint::black_box(index.get(&keys[probe]));
+                                local += 1;
+                            }
+                        }
+                    }
+                }
+                total.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    (
+        total.load(Ordering::Relaxed),
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+/// Best-of-`rounds` measurement of one frontend × mix cell.
+#[allow(clippy::too_many_arguments)] // a flat description of one bench cell
+pub fn measure_frontend<I: ConcurrentOrderedIndex<u64> + ?Sized>(
+    index: &I,
+    frontend: &'static str,
+    shards: usize,
+    threads: usize,
+    keys: &[Vec<u8>],
+    duration: Duration,
+    rounds: usize,
+    mix: Mix,
+) -> ShardSample {
+    let mut best_ops = 0u64;
+    let mut best_mops = 0.0f64;
+    for _ in 0..rounds {
+        let (ops, secs) = run_window(index, threads, keys, duration, mix);
+        let mops = ops as f64 / secs / 1e6;
+        if mops > best_mops {
+            best_mops = mops;
+            best_ops = ops;
+        }
+    }
+    ShardSample {
+        frontend,
+        shards,
+        mix: mix.label(),
+        threads,
+        ops: best_ops,
+        mops: best_mops,
+    }
+}
+
+/// The full scaling sweep of `BENCH_shard.json`: the unsharded baseline
+/// plus 1/2/4/8-shard fronts, for both mixes, interleaved round-robin so
+/// scheduler drift hits every cell equally.
+pub fn measure_scaling(
+    threads: usize,
+    keys: usize,
+    duration: Duration,
+    rounds: usize,
+) -> Vec<ShardSample> {
+    let probes = resident_keys(keys);
+    let unsharded = build_unsharded(keys);
+    let fronts: Vec<(usize, ShardedWormhole<u64>)> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|n| (n, build_sharded(n, keys)))
+        .collect();
+    let mut samples = Vec::new();
+    for mix in [Mix::ReadHeavy, Mix::WriteHeavy] {
+        samples.push(measure_frontend(
+            &unsharded,
+            "unsharded",
+            1,
+            threads,
+            &probes,
+            duration,
+            rounds,
+            mix,
+        ));
+        for (n, front) in &fronts {
+            samples.push(measure_frontend(
+                front, "sharded", *n, threads, &probes, duration, rounds, mix,
+            ));
+        }
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_measurement_smoke() {
+        // Tiny windows (debug builds are slow): every cell produces
+        // non-zero throughput and the sharded fronts stay consistent.
+        let keys = 2_000usize;
+        let probes = resident_keys(keys);
+        let unsharded = build_unsharded(keys);
+        let sharded = build_sharded(4, keys);
+        assert_eq!(unsharded.len(), keys);
+        assert_eq!(sharded.len(), keys);
+        for (index, frontend) in [
+            (&unsharded as &dyn ConcurrentOrderedIndex<u64>, "unsharded"),
+            (&sharded as &dyn ConcurrentOrderedIndex<u64>, "sharded"),
+        ] {
+            for mix in [Mix::ReadHeavy, Mix::WriteHeavy] {
+                let (ops, secs) = run_window(index, 2, &probes, Duration::from_millis(30), mix);
+                assert!(ops > 0, "{frontend}/{} did no work", mix.label());
+                assert!(secs > 0.0);
+            }
+        }
+        // Churn left no garbage behind: every resident still present (the
+        // read-heavy mix overwrites values, so only presence is stable),
+        // and no churn key survived its wave's delete half... unless a
+        // window cut a wave short, which the population count tolerates.
+        for i in (0..keys).step_by(97) {
+            assert!(unsharded.get(&resident_key(i)).is_some());
+            assert!(sharded.get(&resident_key(i)).is_some());
+        }
+        sharded.check_invariants();
+    }
+}

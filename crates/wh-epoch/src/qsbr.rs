@@ -171,15 +171,39 @@ impl Qsbr {
         self.synchronize_inner(Some(handle.state.id));
     }
 
+    /// Starts a grace period *without waiting for it*, returning a token
+    /// for [`Qsbr::wait_grace`]. Together they form an asynchronous grace
+    /// period: start it at publication time, do other work, and wait only
+    /// when the retired object is actually needed — by which point every
+    /// reader has usually announced quiescence and the wait is free.
+    pub fn start_grace(&self) -> u64 {
+        self.shared.global_epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Completes the grace period started by the [`Qsbr::start_grace`] that
+    /// returned `target`: returns once every reader registered now has
+    /// either announced a quiescent state since that call or is currently
+    /// outside any critical section. Also runs reclamation callbacks
+    /// deferred at or before `target`. The caller must not be inside one of
+    /// its own read-side critical sections.
+    pub fn wait_grace(&self, target: u64) {
+        self.wait_grace_inner(target, None);
+    }
+
     fn synchronize_inner(&self, exclude: Option<u64>) {
         // Start a new grace period. Readers that announce a quiescent state
         // after this point will carry an epoch >= `target`.
-        let target = self.shared.global_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let target = self.start_grace();
+        self.wait_grace_inner(target, exclude);
+    }
+
+    fn wait_grace_inner(&self, target: u64, exclude: Option<u64>) {
         let threads: Vec<Arc<ThreadState>> = self.shared.threads.lock().clone();
         for t in threads {
             if Some(t.id) == exclude {
                 continue;
             }
+            let mut spins = 0u32;
             loop {
                 // A reader counts as having passed the grace period when it is
                 // either outside any critical section *right now* (it will see
@@ -189,6 +213,16 @@ impl Qsbr {
                     || t.local_epoch.load(Ordering::SeqCst) >= target
                 {
                     break;
+                }
+                // Read-side critical sections never block, so an active flag
+                // almost always means the reader was *preempted* mid-section
+                // (common on oversubscribed hosts, where this wait is on the
+                // scheduling latency, not the section length). Hand it the
+                // CPU a few times before falling back to timed sleeps.
+                if spins < 64 {
+                    spins += 1;
+                    std::thread::yield_now();
+                    continue;
                 }
                 let mut g = self.shared.quiesce_lock.lock();
                 // Re-check under the lock to avoid missing a wakeup.
@@ -512,5 +546,44 @@ mod tests {
         let _guard = h.enter();
         // Would deadlock if the caller's own active section were considered.
         q.synchronize_excluding(&h);
+    }
+
+    #[test]
+    fn asynchronous_grace_period_completes_after_reader_quiesces() {
+        let q = Qsbr::new();
+        let h = q.register();
+        // Reader active at start_grace: the grace period must not be
+        // considered complete until it exits its critical section.
+        let guard = h.enter();
+        let target = q.start_grace();
+        drop(guard); // quiescent state after the grace period began
+        q.wait_grace(target); // must return without external help
+                              // A fresh critical section entered *after* the grace period began
+                              // does not hold up that (old) grace period.
+        let _guard2 = h.enter();
+        q.wait_grace(target);
+    }
+
+    #[test]
+    fn wait_grace_runs_deferred_callbacks_up_to_target() {
+        let q = Qsbr::new();
+        let ran = StdArc::new(AtomicUsize::new(0));
+        let c = StdArc::clone(&ran);
+        q.defer(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        let target = q.start_grace();
+        // A later deferral belongs to a later grace period and must stay
+        // queued.
+        let c = StdArc::clone(&ran);
+        let _later = q.start_grace();
+        q.defer(Box::new(move || {
+            c.fetch_add(100, Ordering::SeqCst);
+        }));
+        q.wait_grace(target);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(q.pending(), 1);
+        q.flush();
+        assert_eq!(ran.load(Ordering::SeqCst), 101);
     }
 }

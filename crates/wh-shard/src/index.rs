@@ -1,0 +1,344 @@
+//! The sharded index: boundary-key router, per-shard handles, and the
+//! cross-shard scan cursor.
+
+use index_traits::{ChainedSource, ConcurrentOrderedIndex, Cursor, CursorSource, IndexStats};
+use wormhole::Wormhole;
+
+use crate::config::ShardedConfig;
+
+/// A range-partitioned front over `N` independent concurrent [`Wormhole`]
+/// instances.
+///
+/// Point operations are one boundary lookup (a binary search over at most
+/// `N - 1` cached boundary keys) plus the routed shard's own operation —
+/// for reads, a lock-free optimistic lookup. Writers on different shards
+/// share **no** state: each shard owns its MetaTrieHT writer mutex, its
+/// QSBR domain, and its leaf locks, so structural modifications (splits,
+/// merges, grace periods) on one shard never serialise writers on another.
+///
+/// See the [crate docs](crate) for the boundary invariants and the
+/// cross-shard cursor's resume semantics.
+pub struct ShardedWormhole<V> {
+    /// The per-shard indexes, in boundary order. Cached here once at
+    /// construction: routing hands out `&Wormhole<V>` without any
+    /// indirection or locking.
+    shards: Box<[Wormhole<V>]>,
+    /// `shards.len() - 1` strictly ascending, non-empty boundary keys;
+    /// shard `i` owns `[boundaries[i-1], boundaries[i])`.
+    boundaries: Box<[Vec<u8>]>,
+}
+
+impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
+    /// Creates an index with `shards` evenly byte-split shards and the
+    /// default per-shard configuration ([`ShardedConfig::evenly`]).
+    pub fn new(shards: usize) -> Self {
+        Self::with_config(ShardedConfig::evenly(shards))
+    }
+
+    /// Creates an index from a full [`ShardedConfig`].
+    pub fn with_config(config: ShardedConfig) -> Self {
+        let (boundaries, inner) = config.into_parts();
+        let shards: Vec<Wormhole<V>> = (0..boundaries.len() + 1)
+            .map(|_| Wormhole::with_config(inner))
+            .collect();
+        Self {
+            shards: shards.into_boxed_slice(),
+            boundaries: boundaries.into_boxed_slice(),
+        }
+    }
+
+    /// Creates an index whose boundaries are the quantiles of `sample`
+    /// ([`ShardedConfig::from_sample`]): the go-to constructor when a
+    /// representative slice of the expected keyset is at hand.
+    pub fn from_sample<K: AsRef<[u8]>>(shards: usize, sample: &[K]) -> Self {
+        Self::with_config(ShardedConfig::from_sample(shards, sample))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The boundary keys, strictly ascending (`shard_count() - 1` entries).
+    pub fn boundaries(&self) -> &[Vec<u8>] {
+        &self.boundaries
+    }
+
+    /// Index of the shard owning `key`: the number of boundaries `<= key`.
+    #[inline]
+    pub fn shard_for(&self, key: &[u8]) -> usize {
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
+    }
+
+    /// Handle to shard `i` (boundary order).
+    pub fn shard(&self, i: usize) -> &Wormhole<V> {
+        &self.shards[i]
+    }
+
+    /// Handle to the shard owning `key` — the router composed with
+    /// [`ShardedWormhole::shard`].
+    #[inline]
+    pub fn shard_of(&self, key: &[u8]) -> &Wormhole<V> {
+        &self.shards[self.shard_for(key)]
+    }
+
+    /// Total leaf nodes across every shard.
+    pub fn leaf_count(&self) -> usize {
+        self.shards.iter().map(Wormhole::leaf_count).sum()
+    }
+
+    /// Deferred-reclamation callbacks still queued across every shard.
+    pub fn pending_reclamation(&self) -> usize {
+        self.shards.iter().map(Wormhole::pending_reclamation).sum()
+    }
+
+    /// Validates every shard's structural invariants plus the partition
+    /// invariant: each shard holds only keys inside its boundary range
+    /// (tests only — walks every key).
+    pub fn check_invariants(&self) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.check_invariants();
+            let lower = (i > 0).then(|| self.boundaries[i - 1].as_slice());
+            let upper = self.boundaries.get(i).map(Vec::as_slice);
+            let mut cursor = shard.scan(b"");
+            while let Some((key, _)) = cursor.next() {
+                if let Some(lower) = lower {
+                    assert!(key >= lower, "shard {i} holds key below its lower boundary");
+                }
+                if let Some(upper) = upper {
+                    assert!(
+                        key < upper,
+                        "shard {i} holds key at/above its upper boundary"
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWormhole<V> {
+    fn name(&self) -> &'static str {
+        "wormhole-sharded"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<V> {
+        self.shard_of(key).get(key)
+    }
+
+    fn set(&self, key: &[u8], value: V) -> Option<V> {
+        self.shard_of(key).set(key, value)
+    }
+
+    fn del(&self, key: &[u8]) -> Option<V> {
+        self.shard_of(key).del(key)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        let mut out: Vec<(Vec<u8>, V)> = Vec::with_capacity(count.min(1024));
+        if count == 0 {
+            return out;
+        }
+        self.scan(start).collect_next(count, &mut out);
+        out
+    }
+
+    /// Opens a cross-shard streaming cursor: per-shard cursors chained in
+    /// boundary order.
+    ///
+    /// The first segment is the owning shard's cursor opened at `start`;
+    /// each subsequent shard's cursor is opened lazily at that shard's
+    /// lower boundary once the stream crosses the edge. Range partitioning
+    /// makes the concatenation globally ordered (every key of shard `i + 1`
+    /// is `>=` its boundary, which is `>` every key of shard `i`), each
+    /// batch keeps the per-shard cursor's seqlock-validated one-leaf
+    /// atomicity, and [`Cursor::resume_key`] needs no shard awareness at
+    /// all — resuming routes the reported key to exactly the shard the
+    /// stream stopped in.
+    fn scan<'a>(&'a self, start: &[u8]) -> Cursor<'a, V>
+    where
+        V: Clone + 'a,
+    {
+        let shards: &'a [Wormhole<V>] = &self.shards;
+        let boundaries: &'a [Vec<u8>] = &self.boundaries;
+        let mut next = self.shard_for(start);
+        let mut first_start = Some(start.to_vec());
+        let factory = move || -> Option<Box<dyn CursorSource<V> + 'a>> {
+            let shard = shards.get(next)?;
+            let segment: Box<dyn CursorSource<V> + 'a> = match first_start.take() {
+                Some(from) => Box::new(shard.scan(&from)),
+                // Later shards start at their own lower boundary; every key
+                // already streamed from earlier shards is below it.
+                None => Box::new(shard.scan(&boundaries[next - 1])),
+            };
+            next += 1;
+            Some(segment)
+        };
+        Cursor::new(start, Box::new(ChainedSource::new(Box::new(factory))))
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut total = IndexStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.stats();
+            total.keys += s.keys;
+            total.structure_bytes += s.structure_bytes;
+            total.key_bytes += s.key_bytes;
+            total.value_bytes += s.value_bytes;
+        }
+        // The boundary table is index structure too.
+        total.structure_bytes += self.boundaries.iter().map(Vec::len).sum::<usize>();
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole::WormholeConfig;
+
+    fn small() -> ShardedConfig {
+        ShardedConfig::evenly(4).with_inner(WormholeConfig::optimized().with_leaf_capacity(8))
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx: ShardedWormhole<u64> = ShardedWormhole::with_config(small());
+        assert_eq!(idx.shard_count(), 4);
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(b"missing"), None);
+        assert_eq!(idx.del(b"missing"), None);
+        assert!(idx.range_from(b"", 10).is_empty());
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn routing_respects_boundaries() {
+        let idx: ShardedWormhole<u64> =
+            ShardedWormhole::with_config(ShardedConfig::with_boundaries(vec![
+                b"g".to_vec(),
+                b"n".to_vec(),
+                b"t".to_vec(),
+            ]));
+        assert_eq!(idx.shard_for(b""), 0);
+        assert_eq!(idx.shard_for(b"f"), 0);
+        assert_eq!(idx.shard_for(b"g"), 1, "boundary key belongs to the right");
+        assert_eq!(idx.shard_for(b"mzzz"), 1);
+        assert_eq!(idx.shard_for(b"n"), 2);
+        assert_eq!(idx.shard_for(b"zzz"), 3);
+        assert!(std::ptr::eq(idx.shard_of(b"f"), idx.shard(0)));
+        assert!(std::ptr::eq(idx.shard_of(b"zzz"), idx.shard(3)));
+    }
+
+    #[test]
+    fn crud_routes_and_sums() {
+        let idx: ShardedWormhole<u64> = ShardedWormhole::with_config(small());
+        for i in 0..2_000u64 {
+            // First bytes spread over the whole byte space.
+            let key = [(i % 256) as u8, (i / 256) as u8, i as u8];
+            assert_eq!(idx.set(&key, i), None);
+        }
+        assert_eq!(idx.len(), 2_000);
+        // All four shards actually hold data.
+        for s in 0..idx.shard_count() {
+            assert!(idx.shard(s).len() > 0, "shard {s} empty");
+        }
+        for i in 0..2_000u64 {
+            let key = [(i % 256) as u8, (i / 256) as u8, i as u8];
+            assert_eq!(idx.get(&key), Some(i));
+        }
+        idx.check_invariants();
+        for i in (0..2_000u64).step_by(2) {
+            let key = [(i % 256) as u8, (i / 256) as u8, i as u8];
+            assert_eq!(idx.del(&key), Some(i));
+        }
+        assert_eq!(idx.len(), 1_000);
+        let stats = idx.stats();
+        assert_eq!(stats.keys, 1_000);
+        assert!(stats.structure_bytes > 0);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn cross_shard_scan_is_globally_ordered() {
+        let idx: ShardedWormhole<u64> = ShardedWormhole::with_config(small());
+        for i in 0..1_500u64 {
+            let key = format!("{:03}-{i:05}", i * 7 % 256);
+            idx.set(key.as_bytes(), i);
+        }
+        let all = idx.range_from(b"", usize::MAX);
+        assert_eq!(all.len(), 1_500);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scan unordered");
+        // Windows starting inside every shard agree with the full drain.
+        for start in [&b""[..], b"0", b"064", b"128", b"192", b"255", b"zzz"] {
+            let want: Vec<_> = all
+                .iter()
+                .filter(|(k, _)| k.as_slice() >= start)
+                .take(40)
+                .cloned()
+                .collect();
+            assert_eq!(idx.range_from(start, 40), want, "start={start:?}");
+        }
+    }
+
+    #[test]
+    fn cursor_resume_crosses_shard_edges() {
+        let idx: ShardedWormhole<u64> = ShardedWormhole::with_config(small());
+        for i in 0..256u64 {
+            idx.set(&[i as u8, b'x'], i);
+        }
+        // Drain in windows of 10 through resume keys: every window lands on
+        // or crosses shard edges at 64/128/192.
+        let mut seen = Vec::new();
+        let mut resume = Vec::new();
+        loop {
+            let mut cursor = idx.scan(&resume);
+            let mut window = Vec::new();
+            if cursor.collect_next(10, &mut window) == 0 {
+                break;
+            }
+            resume = cursor.resume_key();
+            seen.extend(window);
+        }
+        assert_eq!(seen.len(), 256);
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(seen.first().unwrap().1, 0);
+        assert_eq!(seen.last().unwrap().1, 255);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_plain_wormhole() {
+        let idx: ShardedWormhole<u64> = ShardedWormhole::new(1);
+        assert_eq!(idx.shard_count(), 1);
+        assert!(idx.boundaries().is_empty());
+        for i in 0..500u64 {
+            idx.set(format!("k{i:04}").as_bytes(), i);
+        }
+        assert_eq!(idx.len(), 500);
+        assert_eq!(idx.range_from(b"", usize::MAX).len(), 500);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn sampled_boundaries_balance_skewed_keys() {
+        // All keys share a heavy prefix: even byte-splitting would put
+        // everything in one shard, the sampled split balances it.
+        let keys: Vec<Vec<u8>> = (0..4_000u32)
+            .map(|i| format!("tenant-042/user-{i:05}").into_bytes())
+            .collect();
+        let idx: ShardedWormhole<u64> = ShardedWormhole::from_sample(4, &keys);
+        assert_eq!(idx.shard_count(), 4);
+        for (i, key) in keys.iter().enumerate() {
+            idx.set(key, i as u64);
+        }
+        let max_shard = (0..4).map(|s| idx.shard(s).len()).max().unwrap();
+        assert!(
+            max_shard <= keys.len() / 2,
+            "sampled boundaries failed to spread a skewed keyset (max shard {max_shard})"
+        );
+        idx.check_invariants();
+    }
+}

@@ -1,0 +1,84 @@
+//! # wh-shard: a range-partitioned sharded front over Wormhole
+//!
+//! The concurrent [`wormhole::Wormhole`] serialises all structural
+//! modifications — leaf splits and merges, each including an RCU grace
+//! period — on one MetaTrieHT writer mutex, so multi-writer throughput
+//! stops scaling with core count the moment the workload churns structure.
+//! [`ShardedWormhole`] removes that ceiling by **range-partitioning** the
+//! key space over `N` independent `Wormhole` instances: writers on
+//! different shards share no mutex, no QSBR domain, and no leaf lock,
+//! while point reads pay only one boundary binary search before the usual
+//! lock-free optimistic lookup.
+//!
+//! Hash partitioning would balance load more uniformly, but it destroys
+//! the property this crate exists to keep: **global key order**. With
+//! range partitioning an ordered scan is simply the per-shard scans
+//! chained in boundary order, so the sharded index still implements the
+//! full [`index_traits::ConcurrentOrderedIndex`] contract, streaming
+//! cursor included.
+//!
+//! ## Boundary invariants
+//!
+//! A [`ShardedWormhole`] with `N` shards carries `N - 1` **boundary keys**
+//! `b₀ < b₁ < … < bₙ₋₂`, fixed at construction ([`ShardedConfig`]):
+//!
+//! * boundaries are **strictly ascending** and **non-empty** (an empty
+//!   boundary would leave shard 0 with an empty range);
+//! * shard `i` owns exactly the half-open range `[bᵢ₋₁, bᵢ)` (shard 0
+//!   starts at the empty key ε, the last shard is unbounded above); a
+//!   boundary key itself belongs to the shard on its **right**;
+//! * every operation on key `k` is routed to the unique owning shard
+//!   (`shard_for(k)` = number of boundaries `<= k`), so a key can never
+//!   appear in two shards and `len`/`stats` are plain sums.
+//!
+//! Boundaries never move: this is static partitioning, chosen either
+//! evenly over the byte space, from a sample of the expected keyset
+//! (quantiles), or explicitly — see [`ShardedConfig`]. Re-balancing is a
+//! rebuild, not a background migration.
+//!
+//! ## Cross-shard cursor resume semantics
+//!
+//! `scan(start)` returns the ordinary [`index_traits::Cursor`], driven by
+//! an [`index_traits::ChainedSource`] that opens per-shard cursors
+//! lazily, in boundary order: the first segment starts at `start` inside
+//! the owning shard, each later shard's segment starts at that shard's
+//! lower boundary. Because the partition is by range, the concatenation
+//! is globally ordered and yields each live key at most once; each batch
+//! retains the underlying shard cursor's guarantee (one seqlock-validated
+//! leaf snapshot, no global snapshot across batches).
+//!
+//! [`index_traits::Cursor::resume_key`] therefore needs no shard
+//! awareness: the reported key (successor of the last consumed key) is a
+//! plain global key, and a fresh `scan(resume_key)` routes it back to
+//! exactly the shard the stream stopped in — including the edge case
+//! where the last consumed key was a shard's maximum, in which case the
+//! successor routes to the *next* shard and the scan continues seamlessly
+//! across the boundary. The steady-state allocation-free discipline is
+//! preserved: the chained source delegates each batch fill directly to
+//! the current shard's native leaf-streaming source, into the one batch
+//! arena owned by the outer cursor.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use index_traits::ConcurrentOrderedIndex;
+//! use wh_shard::ShardedWormhole;
+//!
+//! // 4 shards, boundaries split evenly over the first key byte.
+//! let index: ShardedWormhole<u64> = ShardedWormhole::new(4);
+//! index.set(b"James", 1);
+//! index.set(b"aaron", 2);
+//! index.set(b"zoe", 3);
+//! assert_eq!(index.get(b"aaron"), Some(2));
+//! // Ordered scans cross shard boundaries transparently.
+//! let all = index.range_from(b"", usize::MAX);
+//! assert_eq!(all.len(), 3);
+//! assert_eq!(all[0].0, b"James".to_vec());
+//! assert_eq!(all[2].0, b"zoe".to_vec());
+//! ```
+
+pub mod config;
+pub mod index;
+
+pub use config::ShardedConfig;
+pub use index::ShardedWormhole;

@@ -1,0 +1,155 @@
+//! Concurrency tests for the sharded front: parallel writers over disjoint
+//! and overlapping shard sets, and cross-shard cursors racing structural
+//! churn on every shard at once.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use index_traits::ConcurrentOrderedIndex;
+use wh_shard::{ShardedConfig, ShardedWormhole};
+use wormhole::WormholeConfig;
+
+fn churny() -> ShardedConfig {
+    // Tiny leaves force constant splits and merges, so the writer mutex of
+    // each shard is exercised hard.
+    ShardedConfig::evenly(4).with_inner(WormholeConfig::optimized().with_leaf_capacity(8))
+}
+
+#[test]
+fn parallel_writers_on_distinct_shards_preserve_every_key() {
+    let idx = Arc::new(ShardedWormhole::<u64>::with_config(churny()));
+    let threads = 8usize;
+    let per_thread = 3_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let idx = Arc::clone(&idx);
+            scope.spawn(move || {
+                // Thread t's keys start with byte 32·t: threads map onto
+                // shards without perfect alignment (two threads per shard).
+                for i in 0..per_thread {
+                    let key = [(t * 32) as u8, (i >> 8) as u8, i as u8];
+                    idx.set(&key, i);
+                }
+            });
+        }
+    });
+    assert_eq!(idx.len(), threads * per_thread as usize);
+    idx.check_invariants();
+    let all = idx.range_from(b"", usize::MAX);
+    assert_eq!(all.len(), threads * per_thread as usize);
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn cross_shard_scans_stay_ordered_under_churn() {
+    // Smoke-scale in debug builds; the full-scale version of this property
+    // is `sharded_multi_writer_scan_stress` in tests/concurrent_wormhole.rs
+    // (release-gated).
+    let scans = if cfg!(debug_assertions) { 6 } else { 60 };
+    let idx = Arc::new(ShardedWormhole::<u64>::with_config(churny()));
+    let n_stable = 1_024u64;
+    for i in 0..n_stable {
+        // 4 keys per first byte: the stable population spans all shards.
+        idx.set(&[(i / 4) as u8, b'-', i as u8], i);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in ((t * 2)..n_stable).step_by(5) {
+                        idx.set(&[(i / 4) as u8, b'~', i as u8, t as u8], round);
+                    }
+                    for i in ((t * 2)..n_stable).step_by(5) {
+                        idx.del(&[(i / 4) as u8, b'~', i as u8, t as u8]);
+                    }
+                    round += 1;
+                }
+            });
+        }
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let idx = Arc::clone(&idx);
+            readers.push(scope.spawn(move || {
+                for _ in 0..scans {
+                    let mut cursor = idx.scan(b"");
+                    let mut prev: Option<Vec<u8>> = None;
+                    let mut stable_seen = 0u64;
+                    while let Some((key, value)) = cursor.next() {
+                        if let Some(prev) = &prev {
+                            assert!(prev.as_slice() < key, "stream not strictly ascending");
+                        }
+                        if key.len() == 3 && key[1] == b'-' {
+                            let id = u64::from(key[0]) * 4 + u64::from(key[2]) % 4;
+                            assert_eq!(id, stable_seen, "stable key missing or duplicated");
+                            assert_eq!(*value, id, "torn stable value");
+                            stable_seen += 1;
+                        }
+                        prev = Some(key.to_vec());
+                    }
+                    assert_eq!(stable_seen, n_stable, "scan lost stable keys");
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    idx.check_invariants();
+}
+
+#[test]
+fn resume_keys_survive_concurrent_mutation_across_boundaries() {
+    let idx = Arc::new(ShardedWormhole::<u64>::with_config(churny()));
+    for i in 0..512u64 {
+        idx.set(&[(i / 2) as u8, b'k', i as u8], i);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 1_000u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in (0..512u64).step_by(3) {
+                        idx.set(&[(i / 2) as u8, b'z', i as u8], round);
+                        idx.del(&[(i / 2) as u8, b'z', i as u8]);
+                    }
+                    round += 1;
+                }
+            });
+        }
+        // Paginate the stable population in small windows through resume
+        // keys while the writer churns; stable keys must appear exactly
+        // once, in order, across all pages.
+        for _ in 0..10 {
+            let mut resume: Vec<u8> = Vec::new();
+            let mut stable_seen = 0u64;
+            loop {
+                let mut cursor = idx.scan(&resume);
+                let mut page = Vec::new();
+                if cursor.collect_next(7, &mut page) == 0 {
+                    break;
+                }
+                resume = cursor.resume_key();
+                drop(cursor);
+                for (key, value) in &page {
+                    if key.len() == 3 && key[1] == b'k' {
+                        let id = u64::from(key[0]) * 2 + u64::from(key[2]) % 2;
+                        assert_eq!(id, stable_seen, "stable key missing/duplicated in pages");
+                        assert_eq!(*value, id);
+                        stable_seen += 1;
+                    }
+                }
+            }
+            assert_eq!(stable_seen, 512);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    idx.check_invariants();
+}

@@ -19,12 +19,15 @@
 //! * a single **writer mutex over the MetaTrieHT** — only split and merge
 //!   operations take it. They ask the shared core engine
 //!   ([`crate::core`]) for a declarative [`MetaPlan`](crate::meta::MetaPlan)
-//!   and apply it to a second hash table (T2), atomically publish it, wait
-//!   for an RCU grace period (QSBR), apply the *same plan* to the old table
-//!   (T1) and keep it as the next spare. All split-point selection, anchor
-//!   formation, and meta-item bookkeeping lives in the core engine — this
-//!   module only wires leaves into the list and runs the publication
-//!   protocol;
+//!   and apply it to a second hash table (T2), atomically publish it, and
+//!   *start* an RCU grace period (QSBR) that retires the old table (T1)
+//!   with the plan still pending. The **next** structural operation
+//!   completes the grace period — by then it has almost always elapsed for
+//!   free — replays the plan onto T1, and uses it as its spare, so no
+//!   split or merge blocks on reader quiescence in steady state. All
+//!   split-point selection, anchor formation, and meta-item bookkeeping
+//!   lives in the core engine — this module only wires leaves into the
+//!   list and runs the publication protocol;
 //! * **version numbers** — every published MetaTrieHT carries a version,
 //!   and a leaf about to be split or merged records `version + 1` as its
 //!   *expected version*. A lookup that reaches a leaf whose expected
@@ -41,18 +44,26 @@
 //! # Safety model of the optimistic read
 //!
 //! A racing read may observe a leaf mid-mutation. Three layers make that
-//! tolerable: the whole read runs inside a QSBR critical section, so the
-//! leaf node itself (and the published table that led to it) cannot be
-//! reclaimed; the leaf read uses the `*_checked` methods of
+//! tolerable: **every heap block a reader can reach stays allocated for
+//! the whole critical section** — the read runs inside a QSBR critical
+//! section, and writers retire not just tables and leaf nodes but every
+//! *leaf-interior* block they unlink (storage vectors that outgrew their
+//! buffer, removed items' key boxes, merged-away siblings' storage)
+//! through [`LeafGarbage`] and `wh_epoch::Qsbr::defer`, reclaiming it only
+//! after a grace period; the leaf read uses the `*_checked` methods of
 //! [`LeafNode`], which bounds-check every index step and treat implausible
 //! key lengths as conflicts instead of panicking or over-copying; and the
 //! seqlock validation discards everything read during a write. Like every
 //! seqlock (including the kernel's), the transient read of in-flux data is
-//! a deliberate race; to keep the discarded speculative value clone
-//! harmless, the lock-free path is enabled only for value types without
-//! drop glue (`u64`, small PODs — exactly what the paper stores), while
-//! heap-owning value types transparently fall back to the per-leaf reader
-//! lock.
+//! a deliberate race — but it is a race over *live* memory only, never
+//! freed memory. The residual exposure is torn multi-word reads (a fat
+//! pointer observed half-updated), which the bounds checks and the
+//! [`MAX_OPTIMISTIC_KEY_LEN`] guard contain until validation discards
+//! them; to keep discarded speculative value clones harmless, the
+//! lock-free path is enabled only for value types without drop glue (see
+//! `optimistic_reads_safe` for why deferral alone cannot admit pointer
+//! values), while heap-owning value types transparently fall back to the
+//! per-leaf reader lock.
 
 use std::sync::atomic::{fence, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
@@ -64,8 +75,8 @@ use wh_hash::crc32c;
 
 use crate::config::WormholeConfig;
 use crate::core;
-use crate::leaf::{LeafNode, ReadConflict, TailScratch};
-use crate::meta::{LeafRef, MetaTable, TargetOutcome};
+use crate::leaf::{LeafGarbage, LeafNode, ReadConflict, TailScratch};
+use crate::meta::{LeafRef, MetaPlan, MetaTable, TargetOutcome};
 
 /// Seqlock conflicts tolerated before a point read falls back to the leaf
 /// reader lock.
@@ -81,6 +92,11 @@ const OPTIMISTIC_SCAN_RETRIES: usize = 8;
 /// otherwise provoke an enormous allocation). Legitimate keys of this size
 /// are still served — through the locked fallback.
 const MAX_OPTIMISTIC_KEY_LEN: usize = 1 << 20;
+
+/// Deferred-reclamation callbacks tolerated before a point mutation forces
+/// a grace period itself (splits and merges run one anyway and drain the
+/// queue for free).
+const GARBAGE_FLUSH_PENDING: usize = 1024;
 
 /// Shared state of one leaf: its data behind a reader/writer lock, the
 /// seqlock counter, and the expected-version gate of the start-over
@@ -215,11 +231,35 @@ struct VersionedMeta<V> {
     table: MetaTable<LeafHandle<V>>,
 }
 
+/// A table retired by a publication whose grace period is still aging.
+///
+/// The T2-then-T1 protocol does not need the retired table until the
+/// *next* structural operation, so instead of blocking on a grace period
+/// inside every split and merge, the publication merely starts one
+/// ([`Qsbr::start_grace`]) and parks the table here with the plan still to
+/// be replayed. The next structural operation completes the wait
+/// ([`Qsbr::wait_grace`]) — by then every reader has usually announced
+/// quiescence and the wait costs one atomic load per registered thread.
+struct RetiringTable<V> {
+    /// The just-unpublished table; exclusively owned once `grace` elapses.
+    table: *mut VersionedMeta<V>,
+    /// The plan already applied to the published table, pending replay.
+    plan: MetaPlan<LeafHandle<V>>,
+    /// Version the replay brings the table to.
+    version: u64,
+    /// Grace-period token from publication time.
+    grace: u64,
+}
+
 /// Writer-side state protected by the MetaTrieHT mutex.
 struct WriterState<V> {
-    /// The spare table (the paper's "second hash table"). Always an exact
-    /// logical copy of the published table while the mutex is not held.
+    /// The spare table (the paper's "second hash table"). While the mutex
+    /// is not held, either this is an exact logical copy of the published
+    /// table, or it is `None` and `retiring` holds the previous table plus
+    /// the plan whose replay makes it one.
     spare: Option<Box<VersionedMeta<V>>>,
+    /// The previously published table, aging through its grace period.
+    retiring: Option<RetiringTable<V>>,
 }
 
 /// The thread-safe Wormhole ordered index.
@@ -243,13 +283,13 @@ unsafe impl<V: Send + Sync> Send for Wormhole<V> {}
 // seqlock-validated reads.
 unsafe impl<V: Send + Sync> Sync for Wormhole<V> {}
 
-impl<V: Clone + Send + Sync> Default for Wormhole<V> {
+impl<V: Clone + Send + Sync + 'static> Default for Wormhole<V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<V: Clone + Send + Sync> Wormhole<V> {
+impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
     /// Creates an empty index with the default (fully optimised) configuration.
     pub fn new() -> Self {
         Self::with_config(WormholeConfig::default())
@@ -274,6 +314,7 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
                     version: 0,
                     table: t2,
                 })),
+                retiring: None,
             }),
             qsbr: Qsbr::new(),
             head,
@@ -289,12 +330,24 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
 
     /// Whether the optimistic read path is usable for this value type.
     ///
-    /// A racing read may clone a value mid-overwrite and discard it after
-    /// seqlock validation fails. Discarding is only harmless when dropping
-    /// the speculative clone cannot follow a torn pointer, so the lock-free
-    /// path is reserved for values without drop glue (`u64`, small PODs —
-    /// exactly what the paper stores); heap-owning values transparently use
-    /// the per-leaf reader lock instead. The check is const-folded.
+    /// A racing read may clone a value from a leaf mid-mutation and
+    /// discard the clone after seqlock validation fails. The lock-free
+    /// path is reserved for values **without drop glue** (`u64`, small
+    /// PODs — exactly what the paper stores): a garbage speculative clone
+    /// of such a value owns nothing, so reading and discarding it is
+    /// harmless. Heap-owning value types transparently fall back to the
+    /// per-leaf reader lock. The check is const-folded.
+    ///
+    /// The QSBR-deferred reclamation of leaf-interior blocks
+    /// ([`LeafGarbage`]) is *not* enough to relax this gate to pointer
+    /// values like `Box<T>`: deferral guarantees a speculative read never
+    /// touches **freed** memory, but a racing `Clone` of a pointer value
+    /// would dereference it *before* validation, and the insert/remove
+    /// windows can expose a **never-initialised** slot word (a fresh
+    /// buffer's spare capacity racing `Vec::push`'s element/len stores) or
+    /// a mid-`memmove` word that is neither old nor new — a wild pointer
+    /// the bounds checks cannot contain. Only a value whose every bit
+    /// pattern is inert to read and drop survives that window.
     ///
     /// Caveat (part of the documented seqlock race budget): absence of drop
     /// glue does not prove every bit pattern is valid — a no-drop type with
@@ -306,6 +359,79 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
     #[inline]
     fn optimistic_reads_safe() -> bool {
         !std::mem::needs_drop::<V>()
+    }
+
+    /// Whether reads of this index actually run lock-free (configuration
+    /// flag and value-type gate combined). Mutations must defer their heap
+    /// frees exactly when this holds.
+    #[inline]
+    fn uses_optimistic(&self) -> bool {
+        self.config.optimistic_reads && Self::optimistic_reads_safe()
+    }
+
+    /// A garbage bin matching the read mode: deferred reclamation when
+    /// lock-free readers may race, immediate drops otherwise.
+    #[inline]
+    fn new_bin(&self) -> LeafGarbage<V> {
+        if self.uses_optimistic() {
+            LeafGarbage::deferred()
+        } else {
+            LeafGarbage::immediate()
+        }
+    }
+
+    /// Queues a filled garbage bin for reclamation after the next grace
+    /// period. The caller must not be inside a QSBR critical section.
+    fn defer_garbage(&self, bin: LeafGarbage<V>) {
+        if bin.is_empty() {
+            return;
+        }
+        self.qsbr.defer(Box::new(move || drop(bin)));
+    }
+
+    /// [`Wormhole::defer_garbage`], plus a bound on the queue: point
+    /// mutations never run a grace period themselves, so once enough
+    /// garbage has accumulated without an intervening structural operation
+    /// (whose grace-period completion drains the queue as a side effect),
+    /// force one here. An empty bin returns without touching any shared
+    /// state, keeping garbage-free mutations (the common overwrite) off
+    /// the queue's lock entirely.
+    fn retire_garbage(&self, bin: LeafGarbage<V>) {
+        if bin.is_empty() {
+            return;
+        }
+        self.qsbr.defer(Box::new(move || drop(bin)));
+        if self.qsbr.pending() >= GARBAGE_FLUSH_PENDING {
+            self.qsbr.synchronize();
+        }
+    }
+
+    /// Ensures `writer.spare` is available: completes the previous
+    /// publication's (usually long-elapsed) grace period and replays its
+    /// plan onto the retired table. Must be called while holding the
+    /// writer mutex and no QSBR critical section.
+    fn reclaim_spare(&self, writer: &mut WriterState<V>) {
+        if writer.spare.is_some() {
+            return;
+        }
+        let retiring = writer
+            .retiring
+            .take()
+            .expect("either spare or retiring table present");
+        self.qsbr.wait_grace(retiring.grace);
+        // SAFETY: the grace period has elapsed, so no reader that could
+        // have observed the pre-swap published pointer is still inside its
+        // critical section; the mutex makes the table exclusively ours.
+        let mut table = unsafe { Box::from_raw(retiring.table) };
+        table.table.apply_plan(&retiring.plan);
+        table.version = retiring.version;
+        writer.spare = Some(table);
+    }
+
+    /// Number of deferred-reclamation callbacks still waiting for a grace
+    /// period (tests and diagnostics).
+    pub fn pending_reclamation(&self) -> usize {
+        self.qsbr.pending()
     }
 
     /// Number of leaf nodes currently on the LeafList.
@@ -475,7 +601,11 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
     /// the leaf, splits it when (still) necessary, and publishes the new
     /// MetaTrieHT with the RCU double-table protocol.
     fn insert_with_split(&self, key: &[u8], hash: u32, value: V) -> Option<V> {
+        let mut bin = self.new_bin();
         let mut writer = self.writer.lock();
+        // Finish the previous publication's grace period first (usually
+        // already elapsed, so this is one atomic load per reader).
+        self.reclaim_spare(&mut writer);
         // While the mutex is held the published table cannot change or be
         // retired, so it is safe to read it without a QSBR guard.
         // SAFETY: see above; only mutex holders swap or free `current`.
@@ -495,23 +625,41 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
         // The situation may have changed between the fast path giving up and
         // the mutex being acquired: re-run the cheap cases first.
         if let Some(slot) = left_guard.leaf.get_mut(key, hash, &self.config) {
-            return Some(std::mem::replace(slot, value));
+            let old = bin.replace_value(slot, value);
+            drop(left_section);
+            drop(left_guard);
+            drop(writer);
+            self.retire_garbage(bin);
+            return Some(old);
         }
         if left_guard.leaf.len() < self.config.leaf_capacity {
-            let old = left_guard.leaf.insert(key, hash, value, &self.config);
+            let old = left_guard
+                .leaf
+                .insert_retiring(key, hash, value, &self.config, &mut bin);
             debug_assert!(old.is_none());
             self.len.fetch_add(1, Ordering::Relaxed);
             self.key_bytes.fetch_add(key.len(), Ordering::Relaxed);
+            drop(left_section);
+            drop(left_guard);
+            drop(writer);
+            self.retire_garbage(bin);
             return None;
         }
         // Split point, anchor, table key, and the carved right half all come
         // from the core engine.
-        let Some(prepared) = core::prepare_split(&mut left_guard.leaf, &current.table) else {
+        let Some(prepared) = core::prepare_split(&mut left_guard.leaf, &current.table, &mut bin)
+        else {
             // Fat node (§3.3): grow past the nominal capacity.
-            let old = left_guard.leaf.insert(key, hash, value, &self.config);
+            let old = left_guard
+                .leaf
+                .insert_retiring(key, hash, value, &self.config, &mut bin);
             debug_assert!(old.is_none());
             self.len.fetch_add(1, Ordering::Relaxed);
             self.key_bytes.fetch_add(key.len(), Ordering::Relaxed);
+            drop(left_section);
+            drop(left_guard);
+            drop(writer);
+            self.retire_garbage(bin);
             return None;
         };
         let core::PreparedSplit {
@@ -531,9 +679,13 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
 
         // Insert the pending key into whichever half now covers it.
         let old = if key >= anchor.as_slice() {
-            right_guard.leaf.insert(key, hash, value, &self.config)
+            right_guard
+                .leaf
+                .insert_retiring(key, hash, value, &self.config, &mut bin)
         } else {
-            left_guard.leaf.insert(key, hash, value, &self.config)
+            left_guard
+                .leaf
+                .insert_retiring(key, hash, value, &self.config, &mut bin)
         };
         debug_assert!(old.is_none());
         self.len.fetch_add(1, Ordering::Relaxed);
@@ -560,29 +712,31 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             // The only anchor that can be a proper prefix of the new anchor
             // is the split leaf's own anchor, whose lock we hold.
             assert!(relocated.same(&leaf), "unexpected anchor relocation");
-            left_guard.leaf.set_table_key(new_key.clone());
+            left_guard
+                .leaf
+                .set_table_key_retiring(new_key.clone(), &mut bin);
         }
         let mut spare = writer.spare.take().expect("spare table present");
         spare.table.apply_plan(&plan);
         spare.version = version + 1;
         let old_table = self.current.swap(Box::into_raw(spare), Ordering::AcqRel);
 
-        // Release the seqlock sections and leaf locks before waiting for the
-        // grace period so that readers blocked on them can finish against
-        // the new table (§2.5).
+        // Release the seqlock sections and leaf locks so that readers
+        // blocked on them can finish against the new table (§2.5), queue
+        // the garbage, and start — without waiting for — the grace period
+        // that retires the old table. The next structural operation
+        // completes it and replays the plan (`reclaim_spare`).
         drop(right_section);
         drop(left_section);
         drop(right_guard);
         drop(left_guard);
-
-        self.qsbr.synchronize();
-        // SAFETY: every reader has passed a quiescent state since the swap,
-        // so nobody still dereferences the old table; the mutex guarantees
-        // exclusive ownership of it from here on.
-        let mut old_table = unsafe { Box::from_raw(old_table) };
-        old_table.table.apply_plan(&plan);
-        old_table.version = version + 1;
-        writer.spare = Some(old_table);
+        self.defer_garbage(bin);
+        writer.retiring = Some(RetiringTable {
+            table: old_table,
+            plan,
+            version: version + 1,
+            grace: self.qsbr.start_grace(),
+        });
         None
     }
 
@@ -590,6 +744,9 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
     /// (Algorithm 2, DEL). Runs entirely under the writer mutex.
     fn try_merge(&self, key: &[u8]) {
         let mut writer = self.writer.lock();
+        // Finish the previous publication's grace period first (usually
+        // already elapsed; see `reclaim_spare`).
+        self.reclaim_spare(&mut writer);
         // SAFETY: only mutex holders swap or free `current`.
         let current = unsafe { &*self.current.load(Ordering::Acquire) };
         let version = current.version;
@@ -619,6 +776,7 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             }
             left.set_expected_version(version + 1);
             victim.set_expected_version(version + 1);
+            let mut bin = self.new_bin();
             let left_section = SeqWriteSection::new(&left.0.seq);
             let victim_section = SeqWriteSection::new(&victim.0.seq);
             // Move the items and unlink the victim.
@@ -627,7 +785,7 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
                 LeafNode::new(Vec::new(), Vec::new()),
             );
             let victim_table_key = victim_leaf.table_key().to_vec();
-            left_guard.leaf.absorb(victim_leaf);
+            left_guard.leaf.absorb_retiring(victim_leaf, &mut bin);
             let right = victim_guard.next.clone();
             left_guard.next = right.clone();
             if let Some(right) = &right {
@@ -648,17 +806,22 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             drop(left_section);
             drop(victim_guard);
             drop(left_guard);
+            // Queued before the publication's grace period, which therefore
+            // reclaims it.
+            self.defer_garbage(bin);
 
             let mut spare = writer.spare.take().expect("spare table present");
             spare.table.apply_plan(&plan);
             spare.version = version + 1;
             let old_table = self.current.swap(Box::into_raw(spare), Ordering::AcqRel);
-            self.qsbr.synchronize();
-            // SAFETY: grace period elapsed; the old table is exclusively ours.
-            let mut old_table = unsafe { Box::from_raw(old_table) };
-            old_table.table.apply_plan(&plan);
-            old_table.version = version + 1;
-            writer.spare = Some(old_table);
+            // Start — without waiting for — the grace period retiring the
+            // old table; the next structural operation completes it.
+            writer.retiring = Some(RetiringTable {
+                table: old_table,
+                plan,
+                version: version + 1,
+                grace: self.qsbr.start_grace(),
+            });
             true
         };
 
@@ -690,6 +853,11 @@ impl<V: Clone + Send + Sync> Wormhole<V> {
             stats.structure_bytes += current.table.structure_bytes();
             if let Some(spare) = &writer.spare {
                 stats.structure_bytes += spare.table.structure_bytes();
+            } else if let Some(retiring) = &writer.retiring {
+                // SAFETY: the mutex is held, so the retiring table cannot be
+                // reclaimed or mutated (its plan is replayed only under this
+                // mutex); shared reads of it are fine.
+                stats.structure_bytes += unsafe { &*retiring.table }.table.structure_bytes();
             }
         }
         let mut cur = Some(self.head.clone());
@@ -767,7 +935,7 @@ struct ScanSource<'a, V: Clone + Send + Sync> {
     done: bool,
 }
 
-impl<V: Clone + Send + Sync> ScanSource<'_, V> {
+impl<V: Clone + Send + Sync + 'static> ScanSource<'_, V> {
     /// One optimistic batch attempt: snapshot the leaf covering `resume` —
     /// up to `limit` pairs of it — and its successor link, all validated by
     /// the leaf's seqlock. Runs inside one QSBR critical section so the
@@ -825,8 +993,9 @@ impl<V: Clone + Send + Sync> ScanSource<'_, V> {
             };
             // SAFETY: pointer valid (handle held). The racy anchor read is
             // length-guarded and discarded when validation fails — the same
-            // discipline (and documented seqlock-over-heap caveat) as the
-            // anchor comparison in `resolve_outcome_optimistic`.
+            // discipline as the anchor comparison in
+            // `resolve_outcome_optimistic`; the anchor bytes stay allocated
+            // for the leaf's whole lifetime.
             let data = unsafe { &*shared.data.data_ptr() };
             let anchor = data.leaf.anchor();
             if anchor.len() > MAX_OPTIMISTIC_KEY_LEN {
@@ -917,14 +1086,12 @@ impl<V: Clone + Send + Sync> ScanSource<'_, V> {
     }
 }
 
-impl<V: Clone + Send + Sync> CursorSource<V> for ScanSource<'_, V> {
+impl<V: Clone + Send + Sync + 'static> CursorSource<V> for ScanSource<'_, V> {
     fn fill_next(&mut self, batch: &mut ScanBatch<V>, limit: usize) -> bool {
         let limit = limit.max(1);
         batch.clear();
         while !self.done {
-            let optimistic = self.wh.config.optimistic_reads
-                && Wormhole::<V>::optimistic_reads_safe()
-                && self.conflicts < OPTIMISTIC_SCAN_RETRIES;
+            let optimistic = self.wh.uses_optimistic() && self.conflicts < OPTIMISTIC_SCAN_RETRIES;
             if !optimistic {
                 self.fill_locked(batch, limit);
                 if !batch.is_empty() {
@@ -994,14 +1161,14 @@ impl<V: Clone + Send + Sync> CursorSource<V> for ScanSource<'_, V> {
     }
 }
 
-impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
+impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for Wormhole<V> {
     fn name(&self) -> &'static str {
         "wormhole"
     }
 
     fn get(&self, key: &[u8]) -> Option<V> {
         let hash = crc32c(key);
-        if self.config.optimistic_reads && Self::optimistic_reads_safe() {
+        if self.uses_optimistic() {
             // Lock-free fast path: bounded seqlock-validated attempts inside
             // one QSBR critical section (kept open across retries so the
             // table and the leaves it references stay live).
@@ -1027,6 +1194,7 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
     fn set(&self, key: &[u8], value: V) -> Option<V> {
         let hash = crc32c(key);
         let mut pending = Some(value);
+        let mut bin = self.new_bin();
         enum FastPath<V> {
             Replaced(V),
             Inserted,
@@ -1034,23 +1202,24 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
         }
         let outcome = self.with_leaf_write(key, |data| {
             if let Some(slot) = data.leaf.get_mut(key, hash, &self.config) {
-                return FastPath::Replaced(std::mem::replace(
-                    slot,
-                    pending.take().expect("value present"),
-                ));
+                return FastPath::Replaced(
+                    bin.replace_value(slot, pending.take().expect("value present")),
+                );
             }
             if data.leaf.len() < self.config.leaf_capacity {
-                let old = data.leaf.insert(
+                let old = data.leaf.insert_retiring(
                     key,
                     hash,
                     pending.take().expect("value present"),
                     &self.config,
+                    &mut bin,
                 );
                 debug_assert!(old.is_none());
                 return FastPath::Inserted;
             }
             FastPath::NeedsSplit
         });
+        self.retire_garbage(bin);
         match outcome {
             FastPath::Replaced(old) => Some(old),
             FastPath::Inserted => {
@@ -1066,10 +1235,12 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
 
     fn del(&self, key: &[u8]) -> Option<V> {
         let hash = crc32c(key);
+        let mut bin = self.new_bin();
         let (removed, leaf_len) = self.with_leaf_write(key, |data| {
-            let removed = data.leaf.remove(key, hash, &self.config);
+            let removed = data.leaf.remove_retiring(key, hash, &self.config, &mut bin);
             (removed, data.leaf.len())
         });
+        self.retire_garbage(bin);
         let removed = removed?;
         self.len.fetch_sub(1, Ordering::Relaxed);
         self.key_bytes.fetch_sub(key.len(), Ordering::Relaxed);
@@ -1124,6 +1295,18 @@ impl<V: Clone + Send + Sync> ConcurrentOrderedIndex<V> for Wormhole<V> {
 
 impl<V> Drop for Wormhole<V> {
     fn drop(&mut self) {
+        // Run any reclamation still queued behind a grace period (threads'
+        // cached QSBR handles can outlive the index, so waiting for the
+        // domain itself to drop could leak the garbage for a long time).
+        // `&mut self` guarantees no reader of *this* index is active, so
+        // the flush returns promptly.
+        self.qsbr.flush();
+        // A table still aging through its grace period is exclusively ours
+        // now for the same reason; free it without replaying its plan.
+        if let Some(retiring) = self.writer.get_mut().retiring.take() {
+            // SAFETY: no readers remain (`&mut self`).
+            unsafe { drop(Box::from_raw(retiring.table)) };
+        }
         // SAFETY: `&mut self` guarantees no readers or writers remain; the
         // published table pointer is exclusively owned here.
         unsafe {
@@ -1207,10 +1390,90 @@ mod tests {
     }
 
     #[test]
+    fn boxed_values_stay_on_the_locked_path_and_survive_churn() {
+        // QSBR-deferred reclamation closes the freed-memory window, but it
+        // is NOT enough to admit pointer values to the lock-free path: a
+        // speculative `Box` clone would dereference before validation, and
+        // the insert/remove windows can expose a never-initialised slot
+        // word (see `optimistic_reads_safe`). Pointer values must keep the
+        // per-leaf reader lock — and behave correctly under churn there.
+        assert!(!Wormhole::<Box<u64>>::optimistic_reads_safe());
+        assert!(!Wormhole::<StdArc<u64>>::optimistic_reads_safe());
+        assert!(!Wormhole::<Option<Box<u64>>>::optimistic_reads_safe());
+        let wh: StdArc<Wormhole<Box<u64>>> = StdArc::new(Wormhole::with_config(small_config()));
+        for i in 0..500u64 {
+            wh.set(format!("bx-{i:04}").as_bytes(), Box::new(i));
+        }
+        // Readers race overwrite/delete churn that frees old boxes.
+        let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            {
+                let wh = StdArc::clone(&wh);
+                let stop = StdArc::clone(&stop);
+                scope.spawn(move || {
+                    let mut round = 1000u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for i in (0..500u64).step_by(3) {
+                            wh.set(format!("bx-{i:04}").as_bytes(), Box::new(round));
+                            wh.set(format!("bx-{i:04}:x").as_bytes(), Box::new(round));
+                            wh.del(format!("bx-{i:04}:x").as_bytes());
+                        }
+                        round += 1;
+                    }
+                });
+            }
+            let mut readers = Vec::new();
+            for r in 0..2u64 {
+                let wh = StdArc::clone(&wh);
+                readers.push(scope.spawn(move || {
+                    for pass in 0..4_000u64 {
+                        let i = (pass * 31 + r) % 500;
+                        let got = wh.get(format!("bx-{i:04}").as_bytes());
+                        let got = *got.expect("stable key present");
+                        assert!(got == i || got >= 1000, "torn boxed value {got}");
+                    }
+                }));
+            }
+            for reader in readers {
+                reader.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        wh.check_invariants();
+    }
+
+    #[test]
+    fn deferred_reclamation_stays_bounded() {
+        // Point deletes defer their key boxes; the queue must stay bounded
+        // even across thousands of mutations (splits/merges and the
+        // threshold flush both drain it), and drop flushes the rest.
+        let wh: Wormhole<u64> = Wormhole::with_config(small_config());
+        for round in 0..3u64 {
+            for i in 0..2_000u64 {
+                wh.set(format!("gc-{i:05}").as_bytes(), round);
+            }
+            for i in (0..2_000u64).step_by(2) {
+                assert_eq!(wh.del(format!("gc-{i:05}").as_bytes()), Some(round));
+            }
+            for i in (0..2_000u64).step_by(2) {
+                wh.set(format!("gc-{i:05}").as_bytes(), round);
+            }
+        }
+        assert!(
+            wh.pending_reclamation() <= GARBAGE_FLUSH_PENDING,
+            "reclamation queue unbounded: {}",
+            wh.pending_reclamation()
+        );
+        wh.check_invariants();
+    }
+
+    #[test]
     fn heap_values_use_locked_reads_transparently() {
-        // String has drop glue, so `optimistic_reads_safe` routes every
-        // read through the per-leaf lock; behaviour must be unaffected.
+        // String is a multi-word heap-owning value, so
+        // `optimistic_reads_safe` routes every read through the per-leaf
+        // lock; behaviour must be unaffected.
         assert!(!Wormhole::<String>::optimistic_reads_safe());
+        assert!(!Wormhole::<Vec<u8>>::optimistic_reads_safe());
         assert!(Wormhole::<u64>::optimistic_reads_safe());
         let wh: Wormhole<String> = Wormhole::with_config(small_config());
         for i in 0..500u32 {

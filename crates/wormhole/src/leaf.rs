@@ -96,6 +96,151 @@ impl TailScratch {
     }
 }
 
+/// Heap blocks unlinked from a leaf while optimistic readers may still be
+/// traversing them.
+///
+/// Every mutation of a [`LeafNode`] that would free memory — a storage
+/// vector outgrowing its buffer, a removed item's key box, a replaced table
+/// key, a merged-away sibling's storage — funnels the doomed block through
+/// one of these bins instead of dropping it inline. In **immediate** mode
+/// (the single-threaded index, or the concurrent index serving reads under
+/// leaf locks) the bin drops each block on the spot, so behaviour is
+/// unchanged. In **deferred** mode the blocks accumulate and the concurrent
+/// index hands the filled bin to `wh_epoch::Qsbr::defer`, so a lock-free
+/// reader that loaded a pointer to the old block inside its QSBR critical
+/// section can never touch freed memory: the block outlives every critical
+/// section that could have observed it.
+#[derive(Debug)]
+pub struct LeafGarbage<V> {
+    defer: bool,
+    kv_bufs: Vec<Vec<Kv<V>>>,
+    idx_bufs: Vec<Vec<u16>>,
+    keys: Vec<Box<[u8]>>,
+    values: Vec<V>,
+    byte_bufs: Vec<Vec<u8>>,
+}
+
+impl<V> LeafGarbage<V> {
+    fn with_mode(defer: bool) -> Self {
+        Self {
+            defer,
+            kv_bufs: Vec::new(),
+            idx_bufs: Vec::new(),
+            keys: Vec::new(),
+            values: Vec::new(),
+            byte_bufs: Vec::new(),
+        }
+    }
+
+    /// A bin that drops every retired block immediately (no readers race
+    /// with the mutation).
+    pub fn immediate() -> Self {
+        Self::with_mode(false)
+    }
+
+    /// A bin that accumulates retired blocks for reclamation after a QSBR
+    /// grace period.
+    pub fn deferred() -> Self {
+        Self::with_mode(true)
+    }
+
+    /// Returns `true` when nothing has been retired into the bin.
+    pub fn is_empty(&self) -> bool {
+        self.kv_bufs.is_empty()
+            && self.idx_bufs.is_empty()
+            && self.keys.is_empty()
+            && self.values.is_empty()
+            && self.byte_bufs.is_empty()
+    }
+
+    /// Whether removed or overwritten *values* must also outlive a grace
+    /// period: only in deferred mode, and only when dropping a `V` frees
+    /// heap memory a racing optimistic reader could be cloning from.
+    /// (Currently always `false` in practice — the concurrent index only
+    /// runs deferred bins for no-drop-glue values — but it is the hook any
+    /// future widening of the optimistic value gate would rely on.)
+    pub fn defers_values(&self) -> bool {
+        self.defer && std::mem::needs_drop::<V>()
+    }
+
+    /// Takes ownership of a value unlinked from a leaf and returns what
+    /// the caller may hand out: the value itself in immediate mode, or —
+    /// when values are deferred — a clone, with the original retired so a
+    /// racing reader cloning from the old bits can never chase freed
+    /// memory.
+    pub fn hand_off_value(&mut self, value: V) -> V
+    where
+        V: Clone,
+    {
+        if self.defers_values() {
+            let returned = value.clone();
+            self.values.push(value);
+            returned
+        } else {
+            value
+        }
+    }
+
+    fn retire_kv_buf(&mut self, buf: Vec<Kv<V>>) {
+        if self.defer {
+            self.kv_bufs.push(buf);
+        }
+    }
+
+    fn retire_idx_buf(&mut self, buf: Vec<u16>) {
+        if self.defer {
+            self.idx_bufs.push(buf);
+        }
+    }
+
+    fn retire_key(&mut self, key: Box<[u8]>) {
+        if self.defer {
+            self.keys.push(key);
+        }
+    }
+
+    fn retire_bytes(&mut self, bytes: Vec<u8>) {
+        if self.defer {
+            self.byte_bufs.push(bytes);
+        }
+    }
+
+    /// Replaces `*slot` with `new`, returning the previous value (through
+    /// [`LeafGarbage::hand_off_value`], so a deferred-mode caller receives
+    /// a clone while the original is retired).
+    pub fn replace_value(&mut self, slot: &mut V, new: V) -> V
+    where
+        V: Clone,
+    {
+        let old = std::mem::replace(slot, new);
+        self.hand_off_value(old)
+    }
+}
+
+/// Appends to a leaf's item storage, retiring — instead of freeing — the
+/// old buffer when the append would reallocate. Elements are *moved* into
+/// the grown buffer (`append`), which leaves their bytes (and therefore the
+/// key pointers a racing reader may have loaded) intact in the retired one.
+fn push_kv<V>(v: &mut Vec<Kv<V>>, kv: Kv<V>, bin: &mut LeafGarbage<V>) {
+    if v.len() == v.capacity() {
+        let mut grown = Vec::with_capacity((v.capacity() * 2).max(8));
+        grown.append(v);
+        bin.retire_kv_buf(std::mem::replace(v, grown));
+    }
+    v.push(kv);
+}
+
+/// Inserts into an ordering vector, retiring the old buffer on growth
+/// (see [`push_kv`]).
+fn insert_idx<V>(v: &mut Vec<u16>, pos: usize, idx: u16, bin: &mut LeafGarbage<V>) {
+    if v.len() == v.capacity() {
+        let mut grown = Vec::with_capacity((v.capacity() * 2).max(8));
+        grown.extend_from_slice(v);
+        bin.retire_idx_buf(std::mem::replace(v, grown));
+    }
+    v.insert(pos, idx);
+}
+
 /// One key/value item plus its cached hash material.
 #[derive(Debug, Clone)]
 pub struct Kv<V> {
@@ -237,48 +382,84 @@ impl<V> LeafNode<V> {
     }
 
     /// Inserts `key`, returning the previous value when it already existed.
-    pub fn insert(
+    pub fn insert(&mut self, key: &[u8], hash: u32, value: V, config: &WormholeConfig) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.insert_retiring(key, hash, value, config, &mut LeafGarbage::immediate())
+    }
+
+    /// [`LeafNode::insert`], retiring every freed heap block through `bin`.
+    pub fn insert_retiring(
         &mut self,
         key: &[u8],
         hash: u32,
         value: V,
         config: &WormholeConfig,
-    ) -> Option<V> {
+        bin: &mut LeafGarbage<V>,
+    ) -> Option<V>
+    where
+        V: Clone,
+    {
         if let Some(slot) = self.find_slot(key, hash, config) {
-            return Some(std::mem::replace(&mut self.kvs[slot].value, value));
+            return Some(bin.replace_value(&mut self.kvs[slot].value, value));
         }
         let idx = self.kvs.len() as u16;
         let tag = tag16(hash);
-        self.kvs.push(Kv {
-            hash,
-            tag,
-            key: key.to_vec().into_boxed_slice(),
-            value,
-        });
+        push_kv(
+            &mut self.kvs,
+            Kv {
+                hash,
+                tag,
+                key: key.to_vec().into_boxed_slice(),
+                value,
+            },
+            bin,
+        );
         // Keep the tag array sorted by (tag, key): the paper's hash-ordered
         // tag array supports DirectPos positioning.
         let pos = self.hash_order.partition_point(|&i| {
             let kv = &self.kvs[i as usize];
             (kv.tag, kv.key.as_ref()) < (tag, key)
         });
-        self.hash_order.insert(pos, idx);
+        insert_idx(&mut self.hash_order, pos, idx, bin);
         if config.sort_by_tag {
             // Key order is allowed to lag: append unsorted (incSort later).
-            self.key_order.push(idx);
+            let end = self.key_order.len();
+            insert_idx(&mut self.key_order, end, idx, bin);
         } else {
             // Without SortByTag the key order must stay fully sorted so that
             // lookups can binary-search it.
             let pos = self
                 .key_order
                 .partition_point(|&i| self.kvs[i as usize].key.as_ref() < key);
-            self.key_order.insert(pos, idx);
+            insert_idx(&mut self.key_order, pos, idx, bin);
             self.sorted_cnt = self.key_order.len();
         }
         None
     }
 
     /// Removes `key`, returning its value when present.
-    pub fn remove(&mut self, key: &[u8], hash: u32, config: &WormholeConfig) -> Option<V> {
+    pub fn remove(&mut self, key: &[u8], hash: u32, config: &WormholeConfig) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.remove_retiring(key, hash, config, &mut LeafGarbage::immediate())
+    }
+
+    /// [`LeafNode::remove`], retiring the removed item's key box (and, when
+    /// values are deferred, the value itself — the caller then receives a
+    /// clone) through `bin`.
+    pub fn remove_retiring(
+        &mut self,
+        key: &[u8],
+        hash: u32,
+        config: &WormholeConfig,
+        bin: &mut LeafGarbage<V>,
+    ) -> Option<V>
+    where
+        V: Clone,
+    {
         let slot = self.find_slot(key, hash, config)?;
         let removed = self.kvs.remove(slot);
         // Fix up both orderings: drop the removed index and shift the ones
@@ -309,13 +490,20 @@ impl<V> LeafNode<V> {
                 *i -= 1;
             }
         }
-        Some(removed.value)
+        bin.retire_key(removed.key);
+        Some(bin.hand_off_value(removed.value))
     }
 
     /// The paper's `incSort`: brings the key-sorted view up to date by
     /// sorting the unsorted tail and two-way merging it with the sorted
     /// prefix.
     pub fn ensure_key_sorted(&mut self) {
+        self.ensure_key_sorted_retiring(&mut LeafGarbage::immediate());
+    }
+
+    /// [`LeafNode::ensure_key_sorted`], retiring the replaced key-order
+    /// buffer through `bin`.
+    pub fn ensure_key_sorted_retiring(&mut self, bin: &mut LeafGarbage<V>) {
         if self.sorted_cnt == self.key_order.len() {
             return;
         }
@@ -337,6 +525,9 @@ impl<V> LeafNode<V> {
         self.key_order.extend_from_slice(&sorted[a..]);
         self.key_order.extend_from_slice(&tail[b..]);
         self.sorted_cnt = self.key_order.len();
+        // `sorted` is the buffer readers may still hold a pointer into;
+        // `tail` was freshly allocated here and never published.
+        bin.retire_idx_buf(sorted);
     }
 
     /// Iterates items in ascending key order. Call [`Self::ensure_key_sorted`]
@@ -618,6 +809,19 @@ impl<V> LeafNode<V> {
     /// Splits the leaf at key-order position `at`, moving items `[at..]` into
     /// a new leaf with the given anchor and table key.
     pub fn split_off(&mut self, at: usize, anchor: Vec<u8>, table_key: Vec<u8>) -> LeafNode<V> {
+        self.split_off_retiring(at, anchor, table_key, &mut LeafGarbage::immediate())
+    }
+
+    /// [`LeafNode::split_off`], retiring the replaced storage buffers of the
+    /// left half through `bin` (the right half is freshly allocated and not
+    /// yet visible to readers).
+    pub fn split_off_retiring(
+        &mut self,
+        at: usize,
+        anchor: Vec<u8>,
+        table_key: Vec<u8>,
+        bin: &mut LeafGarbage<V>,
+    ) -> LeafNode<V> {
         debug_assert_eq!(self.sorted_cnt, self.key_order.len());
         debug_assert!(at > 0 && at < self.key_order.len());
         let moved: Vec<u16> = self.key_order.split_off(at);
@@ -628,9 +832,9 @@ impl<V> LeafNode<V> {
         for &i in &self.key_order {
             keep[i as usize] = true;
         }
-        let old_kvs = std::mem::take(&mut self.kvs);
+        let mut old_kvs = std::mem::take(&mut self.kvs);
         let mut remap = vec![u16::MAX; old_kvs.len()];
-        for (i, kv) in old_kvs.into_iter().enumerate() {
+        for (i, kv) in old_kvs.drain(..).enumerate() {
             if keep[i] {
                 remap[i] = self.kvs.len() as u16;
                 self.kvs.push(kv);
@@ -639,6 +843,7 @@ impl<V> LeafNode<V> {
                 right.kvs.push(kv);
             }
         }
+        bin.retire_kv_buf(old_kvs);
         // Rebuild the orderings of both leaves from the remap.
         self.key_order
             .iter_mut()
@@ -654,35 +859,56 @@ impl<V> LeafNode<V> {
             });
             order
         };
-        self.hash_order = rebuild_hash(&self.kvs);
+        let old_hash = std::mem::replace(&mut self.hash_order, rebuild_hash(&self.kvs));
+        bin.retire_idx_buf(old_hash);
         right.hash_order = rebuild_hash(&right.kvs);
         right
     }
 
     /// Moves every item of `victim` into this leaf (used by merge).
     pub fn absorb(&mut self, victim: LeafNode<V>) {
-        for kv in victim.kvs {
+        self.absorb_retiring(victim, &mut LeafGarbage::immediate());
+    }
+
+    /// [`LeafNode::absorb`], retiring the victim's storage (and any buffer
+    /// this leaf outgrows) through `bin`.
+    pub fn absorb_retiring(&mut self, mut victim: LeafNode<V>, bin: &mut LeafGarbage<V>) {
+        for kv in victim.kvs.drain(..) {
             let idx = self.kvs.len() as u16;
             let pos = self.hash_order.partition_point(|&i| {
                 let cur = &self.kvs[i as usize];
                 (cur.tag, cur.key.as_ref()) < (kv.tag, kv.key.as_ref())
             });
-            self.hash_order.insert(pos, idx);
-            self.kvs.push(kv);
-            self.key_order.push(idx);
+            insert_idx(&mut self.hash_order, pos, idx, bin);
+            push_kv(&mut self.kvs, kv, bin);
+            let end = self.key_order.len();
+            insert_idx(&mut self.key_order, end, idx, bin);
         }
+        // Readers may still be traversing the victim's (now drained)
+        // storage and anchor: retire the buffers wholesale.
+        bin.retire_kv_buf(std::mem::take(&mut victim.kvs));
+        bin.retire_idx_buf(std::mem::take(&mut victim.hash_order));
+        bin.retire_idx_buf(std::mem::take(&mut victim.key_order));
+        bin.retire_bytes(std::mem::take(&mut victim.anchor));
+        bin.retire_bytes(std::mem::take(&mut victim.table_key));
         // The absorbed items landed in the unsorted tail; merges are rare and
         // bounded by the merge size, so restore the key order eagerly. This
         // keeps the "fully sorted" invariant the non-SortByTag configuration
         // relies on for its binary searches.
         self.sorted_cnt = self.sorted_cnt.min(self.key_order.len());
-        self.ensure_key_sorted();
+        self.ensure_key_sorted_retiring(bin);
     }
 
     /// Updates the leaf's table key (used when an anchor is relocated with an
     /// appended ⊥ token by a later split).
     pub fn set_table_key(&mut self, table_key: Vec<u8>) {
-        self.table_key = table_key;
+        self.set_table_key_retiring(table_key, &mut LeafGarbage::immediate());
+    }
+
+    /// [`LeafNode::set_table_key`], retiring the replaced key bytes through
+    /// `bin`.
+    pub fn set_table_key_retiring(&mut self, table_key: Vec<u8>, bin: &mut LeafGarbage<V>) {
+        bin.retire_bytes(std::mem::replace(&mut self.table_key, table_key));
     }
 }
 

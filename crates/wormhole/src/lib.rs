@@ -46,6 +46,12 @@
 //! * [`WormholeUnsafe`] — the thread-unsafe variant used by the paper's
 //!   single-thread comparisons (Figure 9's "Wormhole-unsafe").
 //!
+//! For multi-writer scaling beyond one writer mutex, the `wh-shard` crate
+//! layers a range-partitioned sharded front (`ShardedWormhole`) over `N`
+//! independent [`Wormhole`] instances built from the same
+//! [`WormholeConfig`]; it is re-exported as `wormhole_repro::sharded` by
+//! the umbrella crate.
+//!
 //! Both variants share one split/merge engine: [`core`](crate::core) owns
 //! split-point selection, anchor formation, and merge eligibility, and the
 //! MetaTrieHT changes of a split or merge are computed once as a

@@ -24,7 +24,7 @@ use wh_hash::crc32c;
 
 use crate::config::WormholeConfig;
 use crate::core;
-use crate::leaf::LeafNode;
+use crate::leaf::{LeafGarbage, LeafNode};
 use crate::meta::{MetaTable, TargetOutcome};
 
 /// Null leaf-list link.
@@ -151,7 +151,10 @@ impl<V: Clone> WormholeUnsafe<V> {
     /// method only wires the new leaf into the arena and applies the plan.
     fn split_leaf(&mut self, idx: u32) -> bool {
         let slot = self.leaves[idx as usize].as_mut().expect("live leaf");
-        let Some(prepared) = core::prepare_split(&mut slot.leaf, &self.meta) else {
+        // No concurrent readers exist: retired blocks drop immediately.
+        let Some(prepared) =
+            core::prepare_split(&mut slot.leaf, &self.meta, &mut LeafGarbage::immediate())
+        else {
             // No valid anchor can be formed: the leaf becomes a fat node
             // (§3.3) and simply grows past the nominal capacity.
             return false;

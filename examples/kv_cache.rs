@@ -1,11 +1,15 @@
-//! A Memcached-style shared key-value cache served by the thread-safe
-//! Wormhole index — the scenario that motivates the paper's introduction
-//! (in-memory KV stores whose index cost dominates once I/O is gone).
+//! A Memcached-style shared key-value cache served by the **sharded**
+//! Wormhole front — the scenario that motivates the paper's introduction
+//! (in-memory KV stores whose index cost dominates once I/O is gone), at
+//! the multi-writer scale where a single index's writer mutex would start
+//! to serialise structural changes.
 //!
-//! Several worker threads serve a mixed workload of GETs and SETs over
-//! Amazon-review-style keys (~40 bytes, as in the paper's Az1 keyset), while
-//! one analytics thread periodically runs ordered range scans — the operation
-//! a plain hash-table cache cannot serve.
+//! The cache range-partitions the keyset over four independent Wormhole
+//! shards (boundaries sampled from the expected keys, so even a skewed
+//! keyset spreads evenly). Several worker threads serve a mixed GET/SET
+//! workload, while one analytics thread periodically runs ordered range
+//! scans — which stream straight across shard boundaries, the operation a
+//! plain hash-partitioned cache cannot serve in key order.
 //!
 //! Run with: `cargo run --release --example kv_cache`
 
@@ -14,11 +18,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use index_traits::ConcurrentOrderedIndex;
+use wh_shard::ShardedWormhole;
 use workloads::{generate, uniform_indices, KeysetId};
-use wormhole::Wormhole;
 
 const KEYS: usize = 200_000;
 const OPS_PER_WORKER: usize = 300_000;
+const SHARDS: usize = 4;
 
 fn main() {
     let workers = std::thread::available_parallelism()
@@ -26,20 +31,36 @@ fn main() {
         .unwrap_or(4);
     println!("generating {KEYS} Az1-style keys…");
     let keyset = generate(KeysetId::Az1, KEYS, 7);
-    let cache: Arc<Wormhole<u64>> = Arc::new(Wormhole::new());
+    // Boundaries drawn from a thin sample of the keyset: each shard gets
+    // roughly a quarter of the traffic, whatever the key distribution.
+    let sample: Vec<&[u8]> = keyset.keys.iter().step_by(64).map(Vec::as_slice).collect();
+    let cache: Arc<ShardedWormhole<u64>> = Arc::new(ShardedWormhole::from_sample(SHARDS, &sample));
+    println!(
+        "sharded cache: {} shards, boundaries at {:?}",
+        cache.shard_count(),
+        cache
+            .boundaries()
+            .iter()
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+            .collect::<Vec<_>>(),
+    );
 
     // Warm the cache with half of the keyset.
     for (i, key) in keyset.keys.iter().take(KEYS / 2).enumerate() {
         cache.set(key, i as u64);
     }
     println!("cache warmed with {} entries", cache.len());
+    for s in 0..cache.shard_count() {
+        println!("  shard {s}: {} entries", cache.shard(s).len());
+    }
 
     let hits = Arc::new(AtomicUsize::new(0));
     let misses = Arc::new(AtomicUsize::new(0));
     let start = Instant::now();
 
     std::thread::scope(|scope| {
-        // Mixed GET/SET workers (90% GET / 10% SET).
+        // Mixed GET/SET workers (90% GET / 10% SET); writers on different
+        // shards never meet on a writer mutex.
         for w in 0..workers {
             let cache = Arc::clone(&cache);
             let keys = &keyset.keys;
@@ -58,7 +79,8 @@ fn main() {
                 }
             });
         }
-        // One analytics thread scanning key ranges while writers run.
+        // One analytics thread scanning key ranges while writers run; the
+        // ordered windows cross shard boundaries transparently.
         {
             let cache = Arc::clone(&cache);
             scope.spawn(move || {

@@ -15,6 +15,11 @@ pub use index_traits as traits;
 pub use netsim;
 pub use wh_epoch as epoch;
 pub use wh_hash as hash;
+/// The range-partitioned sharded front (`wh-shard`), re-exported as
+/// `sharded` so callers can write `wormhole_repro::sharded::ShardedWormhole`
+/// next to `wormhole_repro::wormhole::Wormhole` (the `wormhole` crate itself
+/// cannot host the module — it is a dependency of `wh-shard`).
+pub use wh_shard as sharded;
 pub use workloads;
 pub use wormhole;
 

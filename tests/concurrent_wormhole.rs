@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use index_traits::ConcurrentOrderedIndex;
 use netsim::{KvService, LinkModel, WireRequest};
+use wh_shard::{ShardedConfig, ShardedWormhole};
 use workloads::{generate, KeysetId};
 use wormhole::{Wormhole, WormholeConfig};
 
@@ -298,6 +299,103 @@ fn torn_scan_cursors_stream_consistent_state_under_churn() {
     wh.check_invariants();
     for i in (0..n_stable).step_by(41) {
         assert_eq!(wh.get(format!("stable-{i:06}").as_bytes()), Some(i));
+    }
+}
+
+#[test]
+fn sharded_multi_writer_scan_stress() {
+    // Release-gated stress for the sharded front: writers churn splits and
+    // merges on EVERY shard at once while readers drain full cross-shard
+    // cursors, asserting strict global key order across every shard
+    // boundary, well-formed pairs only, and the stable population seen
+    // exactly once per scan. Iteration counts are high only under
+    // `--release`; debug builds run a smoke pass.
+    let scans: u64 = if cfg!(debug_assertions) { 6 } else { 250 };
+    let n_stable = 2_000u64;
+    let idx = Arc::new(ShardedWormhole::<u64>::with_config(
+        ShardedConfig::with_boundaries(vec![
+            b"stable-000500".to_vec(),
+            b"stable-001000".to_vec(),
+            b"stable-001500".to_vec(),
+        ])
+        .with_inner(WormholeConfig::optimized().with_leaf_capacity(8)),
+    ));
+    for i in 0..n_stable {
+        idx.set(format!("stable-{i:06}").as_bytes(), i);
+    }
+    // Sanity: the population really spans all four shards.
+    for s in 0..idx.shard_count() {
+        assert!(idx.shard(s).len() > 0, "shard {s} empty before stress");
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // Churn writers: interleaved churn keys split the streamed leaves
+        // on insert and merge them back on delete — in every shard,
+        // including leaves that straddle scan batches at shard boundaries.
+        for t in 0..3u64 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in ((t * 3)..n_stable).step_by(5) {
+                        idx.set(format!("stable-{i:06}:churn{t}").as_bytes(), round);
+                    }
+                    for i in ((t * 3)..n_stable).step_by(5) {
+                        idx.del(format!("stable-{i:06}:churn{t}").as_bytes());
+                    }
+                    round += 1;
+                }
+            });
+        }
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let idx = Arc::clone(&idx);
+            readers.push(scope.spawn(move || {
+                for _ in 0..scans {
+                    let mut cursor = idx.scan(b"");
+                    let mut prev: Option<Vec<u8>> = None;
+                    let mut next_stable = 0u64;
+                    while let Some(batch) = cursor.next_batch() {
+                        assert!(!batch.is_empty(), "cursor yielded an empty batch");
+                        for (key, value) in batch.iter() {
+                            if let Some(prev) = &prev {
+                                assert!(
+                                    prev.as_slice() < key,
+                                    "stream not strictly ascending across shards: \
+                                     {:?} !< {:?}",
+                                    String::from_utf8_lossy(prev),
+                                    String::from_utf8_lossy(key),
+                                );
+                            }
+                            let (id, is_churn) = parse_torn_scan_key(key);
+                            assert!(id < n_stable, "id out of range in scan");
+                            if !is_churn {
+                                assert_eq!(
+                                    id, next_stable,
+                                    "stable key missing or duplicated in sharded scan"
+                                );
+                                assert_eq!(*value, id, "torn value for stable-{id:06}");
+                                next_stable += 1;
+                            }
+                            prev = Some(key.to_vec());
+                        }
+                    }
+                    assert_eq!(
+                        next_stable, n_stable,
+                        "sharded scan lost part of the stable population"
+                    );
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    idx.check_invariants();
+    for i in (0..n_stable).step_by(37) {
+        assert_eq!(idx.get(format!("stable-{i:06}").as_bytes()), Some(i));
     }
 }
 

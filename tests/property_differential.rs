@@ -12,7 +12,25 @@ use baseline_masstree::Masstree;
 use baseline_skiplist::SkipList;
 use index_traits::{ConcurrentOrderedIndex, Cursor, OrderedIndex, UnorderedIndex};
 use proptest::prelude::*;
+use wh_shard::{ShardedConfig, ShardedWormhole};
 use wormhole::{Wormhole, WormholeConfig, WormholeUnsafe};
+
+/// The sharded front under differential test: boundaries planted inside
+/// every family the key strategies generate (short binary keys, printable
+/// ASCII, high-byte blobs), so generated operations and cursor windows
+/// constantly land on and cross shard edges.
+fn sharded_under_test() -> ShardedWormhole<u64> {
+    ShardedWormhole::with_config(
+        ShardedConfig::with_boundaries(vec![
+            vec![0x01],
+            vec![0x02, 0x02],
+            b"5".to_vec(),
+            b"a".to_vec(),
+            vec![0xa0],
+        ])
+        .with_inner(WormholeConfig::optimized().with_leaf_capacity(8)),
+    )
+}
 
 /// An operation in the generated sequences.
 #[derive(Debug, Clone)]
@@ -53,6 +71,7 @@ proptest! {
         let mut masstree = Masstree::new();
         let mut wh_unsafe = WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
         let wh = Wormhole::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+        let sharded = sharded_under_test();
 
         for op in &ops {
             match op {
@@ -64,6 +83,7 @@ proptest! {
                     prop_assert_eq!(masstree.set(k, *v), expect);
                     prop_assert_eq!(wh_unsafe.set(k, *v), expect);
                     prop_assert_eq!(wh.set(k, *v), expect);
+                    prop_assert_eq!(sharded.set(k, *v), expect);
                 }
                 Op::Del(k) => {
                     let expect = model.remove(k);
@@ -73,6 +93,7 @@ proptest! {
                     prop_assert_eq!(masstree.del(k), expect);
                     prop_assert_eq!(wh_unsafe.del(k), expect);
                     prop_assert_eq!(wh.del(k), expect);
+                    prop_assert_eq!(sharded.del(k), expect);
                 }
                 Op::Range(start, count) => {
                     let expect: Vec<(Vec<u8>, u64)> = model
@@ -85,7 +106,8 @@ proptest! {
                     prop_assert_eq!(art.range_from(start, *count), expect.clone());
                     prop_assert_eq!(masstree.range_from(start, *count), expect.clone());
                     prop_assert_eq!(wh_unsafe.range_from(start, *count), expect.clone());
-                    prop_assert_eq!(wh.range_from(start, *count), expect);
+                    prop_assert_eq!(wh.range_from(start, *count), expect.clone());
+                    prop_assert_eq!(sharded.range_from(start, *count), expect);
                 }
             }
         }
@@ -97,10 +119,13 @@ proptest! {
         prop_assert_eq!(masstree.len(), model.len());
         prop_assert_eq!(wh_unsafe.len(), model.len());
         prop_assert_eq!(ConcurrentOrderedIndex::len(&wh), model.len());
+        prop_assert_eq!(ConcurrentOrderedIndex::len(&sharded), model.len());
+        sharded.check_invariants();
         let expect_all: Vec<(Vec<u8>, u64)> = model.iter().map(|(k, v)| (k.clone(), *v)).collect();
         prop_assert_eq!(btree.range_from(&[], usize::MAX), expect_all.clone());
         prop_assert_eq!(wh_unsafe.range_from(&[], usize::MAX), expect_all.clone());
-        prop_assert_eq!(wh.range_from(&[], usize::MAX), expect_all);
+        prop_assert_eq!(wh.range_from(&[], usize::MAX), expect_all.clone());
+        prop_assert_eq!(sharded.range_from(&[], usize::MAX), expect_all);
         for (k, v) in &model {
             prop_assert_eq!(art.get(k), Some(*v));
             prop_assert_eq!(masstree.get(k), Some(*v));
@@ -189,6 +214,7 @@ proptest! {
         let mut wh_unsafe =
             WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
         let wh = Wormhole::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+        let sharded = sharded_under_test();
 
         let mut resume = start.clone();
         for (ops, window) in &phases {
@@ -201,6 +227,7 @@ proptest! {
                     prop_assert_eq!(masstree.del(k), expect);
                     prop_assert_eq!(wh_unsafe.del(k), expect);
                     prop_assert_eq!(wh.del(k), expect);
+                    prop_assert_eq!(sharded.del(k), expect);
                 } else {
                     let expect = model.insert(k.clone(), *v);
                     prop_assert_eq!(skiplist.set(k, *v), expect);
@@ -209,6 +236,7 @@ proptest! {
                     prop_assert_eq!(masstree.set(k, *v), expect);
                     prop_assert_eq!(wh_unsafe.set(k, *v), expect);
                     prop_assert_eq!(wh.set(k, *v), expect);
+                    prop_assert_eq!(sharded.set(k, *v), expect);
                 }
             }
             // Stream one window from the shared resume point on every index
@@ -226,6 +254,7 @@ proptest! {
                 pull(masstree.scan(&resume), *window),
                 pull(wh_unsafe.scan(&resume), *window),
                 pull(wh.scan(&resume), *window),
+                pull(sharded.scan(&resume), *window),
             ];
             for (got, resume_key) in &windows {
                 prop_assert_eq!(got, &expect);
@@ -247,11 +276,13 @@ proptest! {
             pull(masstree.scan(&start), usize::MAX).0,
             pull(wh_unsafe.scan(&start), usize::MAX).0,
             pull(wh.scan(&start), usize::MAX).0,
+            pull(sharded.scan(&start), usize::MAX).0,
         ];
         for drained in &drains {
             prop_assert_eq!(drained, &expect_all);
         }
         prop_assert_eq!(wh_unsafe.range_from(&start, usize::MAX), expect_all.clone());
-        prop_assert_eq!(wh.range_from(&start, usize::MAX), expect_all);
+        prop_assert_eq!(wh.range_from(&start, usize::MAX), expect_all.clone());
+        prop_assert_eq!(sharded.range_from(&start, usize::MAX), expect_all);
     }
 }
