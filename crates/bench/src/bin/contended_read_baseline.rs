@@ -5,18 +5,23 @@
 //! ```text
 //! cargo run -p bench --release --bin contended_read_baseline
 //! ```
+//!
+//! Set `WH_BENCH_QUICK=1` for CI's smoke mode (seconds, numbers not
+//! comparable to tracked baselines).
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use bench::contended::measure_modes;
+use bench::quick_or;
 
 fn main() {
-    let keys = 100_000usize;
-    let duration = Duration::from_millis(500);
-    let rounds = 3;
+    let keys = quick_or(100_000usize, 8_000);
+    let duration = Duration::from_millis(quick_or(500, 40));
+    let rounds = quick_or(3, 1);
+    let reader_counts: &[usize] = quick_or(&[4usize, 8], &[2]);
     let mut rows = Vec::new();
-    for &readers in &[4usize, 8] {
+    for &readers in reader_counts {
         eprintln!("measuring {readers} readers ({rounds} interleaved rounds)...");
         for s in measure_modes(readers, keys, duration, rounds) {
             eprintln!(

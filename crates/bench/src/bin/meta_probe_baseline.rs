@@ -9,16 +9,20 @@
 //! ```text
 //! cargo run -p bench --release --bin meta_probe_baseline
 //! ```
+//!
+//! Set `WH_BENCH_QUICK=1` for CI's smoke mode (seconds, numbers not
+//! comparable to tracked baselines).
 
 use std::fmt::Write as _;
 
 use bench::meta_layouts::measure_layouts;
+use bench::quick_or;
 
 fn main() {
-    let anchor_counts = [100_000usize, 1_000_000];
-    let rounds = 9;
+    let anchor_counts: &[usize] = quick_or(&[100_000usize, 1_000_000], &[20_000]);
+    let rounds = quick_or(9, 1);
     let mut rows = Vec::new();
-    for &anchors in &anchor_counts {
+    for &anchors in anchor_counts {
         eprintln!("measuring {anchors} anchors ({rounds} interleaved rounds)...");
         for t in measure_layouts(anchors, rounds) {
             eprintln!(
@@ -37,6 +41,10 @@ fn main() {
          rounds, 16384 uniform probes, Az1 ~40B keys). get_* = exact probe; tag_* = \
          optimistic tag-only probe (the LPM binary-search hot path).\",\n",
     );
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     json.push_str("  \"series\": [\n");
     for (i, (anchors, t)) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };

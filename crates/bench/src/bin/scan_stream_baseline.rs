@@ -23,14 +23,15 @@ struct Row {
 }
 
 fn main() {
-    let keys_n = 100_000usize;
+    let keys_n = bench::quick_or(100_000usize, 10_000);
+    let rounds = bench::quick_or(5usize, 1);
     eprintln!("building index over {keys_n} Az1 keys...");
     let (wh, keys) = build_scan_index(keys_n, 7);
     // (label, window length, scan starts per round, rounds)
     let cells = [
-        ("short", 100usize, 256usize, 5usize),
-        ("long", 10_000, 16, 5),
-        ("full", keys_n, 1, 5),
+        ("short", 100usize, bench::quick_or(256usize, 32), rounds),
+        ("long", keys_n / 10, bench::quick_or(16, 4), rounds),
+        ("full", keys_n, 1, rounds),
     ];
     let mut rows = Vec::new();
     for (label, window, n_starts, rounds) in cells {

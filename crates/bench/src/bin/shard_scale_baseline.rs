@@ -1,25 +1,32 @@
 //! Writes `BENCH_shard.json`: aggregate throughput of N worker threads
 //! over the unsharded concurrent Wormhole vs the range-partitioned
 //! `ShardedWormhole` at 1/2/4/8 shards, under a read-heavy (90/10) and a
-//! structural write-heavy (split+merge churn) mix.
+//! structural write-heavy (split+merge churn) mix — plus the skew-shift
+//! scenario measuring how online rebalancing recovers write-heavy
+//! throughput after the hot range collapses onto one shard.
 //!
 //! ```text
 //! cargo run -p bench --release --bin shard_scale_baseline
 //! ```
+//!
+//! Set `WH_BENCH_QUICK=1` for CI's smoke mode (seconds, numbers not
+//! comparable to tracked baselines).
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use bench::shard_scale::measure_scaling;
+use bench::shard_scale::{measure_scaling, measure_skew_shift};
+use bench::{quick_mode, quick_or};
 
 fn main() {
-    let threads = 8usize;
-    let keys = 100_000usize;
-    let duration = Duration::from_millis(500);
-    let rounds = 3;
+    let threads = quick_or(8usize, 4);
+    let keys = quick_or(100_000usize, 8_000);
+    let duration = Duration::from_millis(quick_or(500, 40));
+    let rounds = quick_or(3, 1);
     eprintln!(
         "measuring {threads} workers over {keys} residents \
-         ({rounds} rounds of {duration:?} per cell)..."
+         ({rounds} rounds of {duration:?} per cell, quick={})...",
+        quick_mode(),
     );
     let samples = measure_scaling(threads, keys, duration, rounds);
     for s in &samples {
@@ -27,6 +34,18 @@ fn main() {
             "  {:<11} shards={:<2} {:<12} {:8.3} Mops/s  ({} ops)",
             s.frontend, s.shards, s.mix, s.mops, s.ops,
         );
+    }
+    eprintln!("measuring skew-shift recovery (rebalance off / on)...");
+    let mut skew = Vec::new();
+    for rebalance in [false, true] {
+        for s in measure_skew_shift(threads, keys, duration, rebalance) {
+            eprintln!(
+                "  rebalance={:<5} {:<10} {:8.3} Mops/s  \
+                 (migrations {} moved {})",
+                s.rebalance, s.phase, s.mops, s.migrations, s.moved_keys,
+            );
+            skew.push(s);
+        }
     }
 
     let host_cpus = std::thread::available_parallelism()
@@ -42,9 +61,14 @@ fn main() {
          ShardedWormhole with sample-quantile boundaries at the given shard count. read_heavy = \
          90% point gets / 10% overwrites; write_heavy = split+merge churn waves (64 inserts + \
          64 deletes around a random resident, each wave taking the owning shard's writer mutex \
-         and an RCU grace period) plus 8 gets. On a single-CPU host the threads time-slice, so \
-         the sharded win comes from eliminating writer-mutex convoys and cross-thread grace-\
-         period waits rather than true parallelism; multicore hosts add the latter on top.\",\n",
+         and an RCU grace period) plus 8 gets. skew_shift = a 4-shard front whose write-heavy \
+         churn collapses onto the first quarter of the keyset (one shard): balanced = pre-shift \
+         rate, shifted = right after the collapse, recovered = after a recovery window of \
+         traffic bursts interleaved with maybe_rebalance() decisions (rebalance=true) or plain \
+         traffic (rebalance=false); migrations/moved_keys count the boundary moves the online \
+         rebalancer performed. On a single-CPU host the threads time-slice, so the sharded win \
+         comes from eliminating writer-mutex convoys and cross-thread grace-period waits rather \
+         than true parallelism; multicore hosts add the latter on top.\",\n",
     );
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"threads\": {threads},");
@@ -56,6 +80,17 @@ fn main() {
             "    {{\"frontend\": \"{}\", \"shards\": {}, \"mix\": \"{}\", \
              \"threads\": {}, \"ops\": {}, \"mops\": {:.3}}}{comma}",
             s.frontend, s.shards, s.mix, s.threads, s.ops, s.mops,
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"skew_shift\": [\n");
+    for (i, s) in skew.iter().enumerate() {
+        let comma = if i + 1 == skew.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"phase\": \"{}\", \"rebalance\": {}, \"ops\": {}, \"mops\": {:.3}, \
+             \"migrations\": {}, \"moved_keys\": {}}}{comma}",
+            s.phase, s.rebalance, s.ops, s.mops, s.migrations, s.moved_keys,
         );
     }
     json.push_str("  ]\n");

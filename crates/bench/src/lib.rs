@@ -24,6 +24,6 @@ pub mod shard_scale;
 
 pub use contended::{measure_contended, measure_modes, ContendedSample};
 pub use drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};
-pub use measure::{mops, parallel_lookup_mops, Timer};
+pub use measure::{mops, parallel_lookup_mops, quick_mode, quick_or, Timer};
 pub use meta_layouts::{measure_layouts, ProbeWorkload, SeedMetaTable};
-pub use shard_scale::{measure_scaling, Mix, ShardSample};
+pub use shard_scale::{measure_scaling, measure_skew_shift, Mix, ShardSample, SkewShiftSample};

@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use index_traits::ConcurrentOrderedIndex;
-use wh_shard::ShardedWormhole;
+use wh_shard::{RebalanceConfig, ShardedWormhole};
 use wormhole::{Wormhole, WormholeConfig};
 
 /// One measured cell.
@@ -256,9 +256,129 @@ pub fn measure_scaling(
     samples
 }
 
+/// One phase of the skew-shift scenario.
+#[derive(Debug, Clone)]
+pub struct SkewShiftSample {
+    /// `"balanced"` (uniform churn over the whole keyset), `"shifted"`
+    /// (churn confined to the first quarter, right after the shift), or
+    /// `"recovered"` (same confined churn after the recovery window).
+    pub phase: &'static str,
+    /// Whether `maybe_rebalance` ran during the recovery window.
+    pub rebalance: bool,
+    /// Operations completed inside the window.
+    pub ops: u64,
+    /// Aggregate throughput in million operations per second.
+    pub mops: f64,
+    /// Boundary migrations executed so far in this scenario run.
+    pub migrations: usize,
+    /// Keys moved by those migrations.
+    pub moved_keys: usize,
+}
+
+/// The skew-shift scenario: a 4-shard front built balanced for the whole
+/// keyset, hit with structural write-heavy churn that suddenly confines
+/// itself to the first quarter of the key space (one shard's range). With
+/// `rebalance` off the front degenerates toward a single writer mutex;
+/// with it on, a recovery window of traffic interleaved with
+/// [`ShardedWormhole::maybe_rebalance`] migrates boundaries into the hot
+/// range and spreads the load back out. Returns the three measured phases.
+pub fn measure_skew_shift(
+    threads: usize,
+    keys: usize,
+    duration: Duration,
+    rebalance: bool,
+) -> Vec<SkewShiftSample> {
+    let all_keys = resident_keys(keys);
+    let hot_keys: Vec<Vec<u8>> = all_keys[..keys / 4].to_vec();
+    let sample: Vec<Vec<u8>> = (0..keys)
+        .step_by(16.max(keys / 4096))
+        .map(resident_key)
+        .collect();
+    let config = wh_shard::ShardedConfig::from_sample(4, &sample)
+        .with_inner(shard_bench_config())
+        .with_rebalance(RebalanceConfig {
+            // Low friction: the recovery window's short traffic bursts
+            // must be enough signal to act on (they are tiny in the debug
+            // smoke test).
+            min_pair_ops: 512,
+            imbalance_percent: 150,
+            batch_keys: 512,
+            sample_cap: 2_048,
+            min_move_keys: 64,
+        });
+    let front: ShardedWormhole<u64> = ShardedWormhole::with_config(config);
+    for i in 0..keys {
+        front.set(&resident_key(i), i as u64);
+    }
+    let mut migrations = 0usize;
+    let mut moved_keys = 0usize;
+    let mut samples = Vec::new();
+    let mut record = |phase, ops: u64, secs: f64, migrations: usize, moved_keys: usize| {
+        samples.push(SkewShiftSample {
+            phase,
+            rebalance,
+            ops,
+            mops: ops as f64 / secs / 1e6,
+            migrations,
+            moved_keys,
+        });
+    };
+
+    // Phase 1: the workload the boundaries were built for.
+    let (ops, secs) = run_window(&front, threads, &all_keys, duration, Mix::WriteHeavy);
+    record("balanced", ops, secs, migrations, moved_keys);
+
+    // Phase 2: the hot range shifts onto one shard.
+    let (ops, secs) = run_window(&front, threads, &hot_keys, duration, Mix::WriteHeavy);
+    record("shifted", ops, secs, migrations, moved_keys);
+
+    // Recovery window: short bursts of the shifted traffic feed the op
+    // counters, each followed by one rebalance decision. Disabled runs
+    // burn the same wall-clock on traffic alone, so the phase-3 windows
+    // are comparable.
+    let burst = Duration::from_millis((duration.as_millis() as u64 / 5).max(20));
+    for _ in 0..12 {
+        run_window(&front, threads, &hot_keys, burst, Mix::WriteHeavy);
+        if rebalance {
+            if let wh_shard::RebalanceOutcome::Migrated(report) = front.maybe_rebalance() {
+                migrations += 1;
+                moved_keys += report.moved_keys;
+            }
+        }
+    }
+
+    // Phase 3: the same shifted traffic after the recovery window.
+    let (ops, secs) = run_window(&front, threads, &hot_keys, duration, Mix::WriteHeavy);
+    record("recovered", ops, secs, migrations, moved_keys);
+    samples
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn skew_shift_measurement_smoke() {
+        // Tiny windows: all three phases produce throughput, the
+        // rebalancing run records its migrations, and the index stays
+        // consistent afterwards.
+        let samples = measure_skew_shift(2, 4_000, Duration::from_millis(40), true);
+        assert_eq!(samples.len(), 3);
+        assert_eq!(
+            samples.iter().map(|s| s.phase).collect::<Vec<_>>(),
+            vec!["balanced", "shifted", "recovered"]
+        );
+        for s in &samples {
+            assert!(s.ops > 0, "phase {} did no work", s.phase);
+            assert!(s.rebalance);
+        }
+        assert!(
+            samples[2].migrations > 0,
+            "confined churn must trigger at least one migration"
+        );
+        let disabled = measure_skew_shift(2, 4_000, Duration::from_millis(40), false);
+        assert_eq!(disabled[2].migrations, 0, "disabled run must not migrate");
+    }
 
     #[test]
     fn scaling_measurement_smoke() {

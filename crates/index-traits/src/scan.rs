@@ -121,6 +121,21 @@ impl<V> ScanBatch<V> {
         self.len().checked_sub(1).map(|i| self.key(i))
     }
 
+    /// Keeps only the first `len` pairs, trimming the key arena to match
+    /// (no-op when `len >= self.len()`). Lets a consumer that must not
+    /// observe keys beyond an upper bound — e.g. a range-sharded scan
+    /// clamping a segment to its shard's boundary — drop a batch's tail
+    /// without copying or reallocating.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.ends.len() {
+            return;
+        }
+        let bytes_end = if len == 0 { 0 } else { self.ends[len - 1] };
+        self.bytes.truncate(bytes_end);
+        self.ends.truncate(len);
+        self.values.truncate(len);
+    }
+
     /// Iterates the pairs in order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], &V)> + '_ {
         (0..self.len()).map(move |i| self.get(i))
@@ -224,8 +239,11 @@ where
 /// long as each segment does.
 ///
 /// A whole [`Cursor`] can serve as a segment — see the
-/// [`CursorSource` impl for `Cursor`](Cursor#impl-CursorSource%3CV%3E-for-Cursor%3C'a,+V%3E) —
-/// which is how `ShardedWormhole` chains its per-shard cursors.
+/// [`CursorSource` impl for `Cursor`](Cursor#impl-CursorSource%3CV%3E-for-Cursor%3C'a,+V%3E).
+/// (`ShardedWormhole` used to chain its per-shard cursors through this
+/// type; online rebalancing moved it to its own routed source that
+/// re-validates boundaries per batch, so this remains as the general
+/// static-partition building block.)
 pub struct ChainedSource<'a, V> {
     /// Produces the next segment, or `None` when every segment has been
     /// consumed. Invoked exactly once per segment, in chain order.
@@ -564,6 +582,29 @@ mod tests {
         assert_eq!(pairs.len(), 3);
         batch.clear();
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn batch_truncate_trims_arena_and_pairs() {
+        let mut batch: ScanBatch<u64> = ScanBatch::new();
+        batch.push(b"aa", 1);
+        batch.push(b"bbbb", 2);
+        batch.push(b"c", 3);
+        batch.truncate(5); // beyond len: no-op
+        assert_eq!(batch.len(), 3);
+        batch.truncate(2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.get(0), (b"aa".as_ref(), &1));
+        assert_eq!(batch.get(1), (b"bbbb".as_ref(), &2));
+        assert_eq!(batch.last_key(), Some(b"bbbb".as_ref()));
+        // The arena end matches the kept keys, so further pushes append
+        // cleanly after a truncation.
+        batch.push(b"dd", 4);
+        assert_eq!(batch.get(2), (b"dd".as_ref(), &4));
+        batch.truncate(0);
+        assert!(batch.is_empty());
+        batch.push(b"e", 5);
+        assert_eq!(batch.get(0), (b"e".as_ref(), &5));
     }
 
     #[test]

@@ -130,6 +130,44 @@ pub trait ConcurrentOrderedIndex<V>: Send + Sync {
     /// at the smallest key `>= start`.
     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)>;
 
+    /// Removes every key with `lo <= key < hi`, returning how many were
+    /// removed. An empty or inverted window removes nothing.
+    ///
+    /// This is the bulk-drain hook behind online shard migration: after a
+    /// migrated range has been copied to its new owner and republished, the
+    /// donor's stale copy of the range is drained with one call. The
+    /// default walks the range via `range_from` windows and deletes key by
+    /// key — correct against concurrent writers (each delete is an ordinary
+    /// linearisable `del`; keys inserted into the range behind the sweep
+    /// position may survive, as with any non-snapshot range operation). The
+    /// concurrent Wormhole overrides it with a leaf-at-a-time batched
+    /// removal that reuses the merge engine to shrink the structure as it
+    /// drains.
+    fn delete_range(&self, lo: &[u8], hi: &[u8]) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        let mut removed = 0usize;
+        let mut resume = lo.to_vec();
+        loop {
+            let window = self.range_from(&resume, crate::scan::DEFAULT_SCAN_BATCH);
+            let mut exhausted = window.len() < crate::scan::DEFAULT_SCAN_BATCH;
+            for (key, _) in window {
+                if key.as_slice() >= hi {
+                    exhausted = true;
+                    break;
+                }
+                if self.del(&key).is_some() {
+                    removed += 1;
+                }
+                crate::key::immediate_successor_into(&key, &mut resume);
+            }
+            if exhausted {
+                return removed;
+            }
+        }
+    }
+
     /// Opens a resumable streaming cursor at the smallest key `>= start`.
     ///
     /// Safe to advance while other threads write: each batch is an atomic
@@ -252,6 +290,64 @@ mod tests {
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].0, b"Abbe".to_vec());
         assert_eq!(out[2].0, b"Austin".to_vec());
+    }
+
+    /// A minimal thread-safe model exercising the `ConcurrentOrderedIndex`
+    /// default methods (notably `delete_range`).
+    #[derive(Default)]
+    struct LockedOrdered {
+        map: std::sync::Mutex<BTreeMap<Vec<u8>, u64>>,
+    }
+
+    impl ConcurrentOrderedIndex<u64> for LockedOrdered {
+        fn name(&self) -> &'static str {
+            "locked-btreemap"
+        }
+        fn get(&self, key: &[u8]) -> Option<u64> {
+            self.map.lock().unwrap().get(key).copied()
+        }
+        fn set(&self, key: &[u8], value: u64) -> Option<u64> {
+            self.map.lock().unwrap().insert(key.to_vec(), value)
+        }
+        fn del(&self, key: &[u8]) -> Option<u64> {
+            self.map.lock().unwrap().remove(key)
+        }
+        fn len(&self) -> usize {
+            self.map.lock().unwrap().len()
+        }
+        fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+            self.map
+                .lock()
+                .unwrap()
+                .range(start.to_vec()..)
+                .take(count)
+                .map(|(k, v)| (k.clone(), *v))
+                .collect()
+        }
+        fn stats(&self) -> IndexStats {
+            IndexStats::default()
+        }
+    }
+
+    #[test]
+    fn default_delete_range_drains_half_open_window() {
+        let idx = LockedOrdered::default();
+        for i in 0..400u64 {
+            idx.set(format!("dr-{i:04}").as_bytes(), i);
+        }
+        // Window larger than one default sweep batch, bounds exclusive on
+        // the right, inclusive on the left.
+        assert_eq!(idx.delete_range(b"dr-0050", b"dr-0350"), 300);
+        assert_eq!(idx.len(), 100);
+        assert_eq!(idx.get(b"dr-0049"), Some(49));
+        assert_eq!(idx.get(b"dr-0050"), None);
+        assert_eq!(idx.get(b"dr-0349"), None);
+        assert_eq!(idx.get(b"dr-0350"), Some(350));
+        // Degenerate windows remove nothing.
+        assert_eq!(idx.delete_range(b"dr-0350", b"dr-0350"), 0);
+        assert_eq!(idx.delete_range(b"dr-0350", b"dr-0000"), 0);
+        assert_eq!(idx.delete_range(b"zz", b"zzz"), 0);
+        assert_eq!(idx.len(), 100);
     }
 
     #[test]

@@ -190,6 +190,21 @@ impl Qsbr {
         self.wait_grace_inner(target, None);
     }
 
+    /// Non-blocking probe of the grace period started by the
+    /// [`Qsbr::start_grace`] that returned `target`: `true` when every
+    /// registered reader has already passed it (a subsequent
+    /// [`Qsbr::wait_grace`] would return without waiting). Unlike
+    /// `wait_grace` this runs no deferred callbacks — it only observes.
+    ///
+    /// The asynchronous-grace users call this to *account* for how often
+    /// the start-early/wait-late pattern made the wait free (e.g. the shard
+    /// migration engine reports elapsed-for-free vs blocking grace waits).
+    pub fn grace_elapsed(&self, target: u64) -> bool {
+        self.shared.threads.lock().iter().all(|t| {
+            !t.active.load(Ordering::SeqCst) || t.local_epoch.load(Ordering::SeqCst) >= target
+        })
+    }
+
     fn synchronize_inner(&self, exclude: Option<u64>) {
         // Start a new grace period. Readers that announce a quiescent state
         // after this point will carry an epoch >= `target`.
@@ -562,6 +577,26 @@ mod tests {
                               // does not hold up that (old) grace period.
         let _guard2 = h.enter();
         q.wait_grace(target);
+    }
+
+    #[test]
+    fn grace_elapsed_probe_tracks_reader_quiescence() {
+        let q = Qsbr::new();
+        // No readers: every grace period is trivially elapsed.
+        assert!(q.grace_elapsed(q.start_grace()));
+        let h = q.register();
+        let guard = h.enter();
+        let target = q.start_grace();
+        assert!(
+            !q.grace_elapsed(target),
+            "reader active since before the grace period began"
+        );
+        drop(guard);
+        assert!(q.grace_elapsed(target), "reader announced quiescence");
+        // A critical section entered *after* the grace period began does
+        // not regress the (already elapsed) old grace period.
+        let _guard2 = h.enter();
+        assert!(q.grace_elapsed(target));
     }
 
     #[test]

@@ -16,12 +16,32 @@
 
 use wormhole::WormholeConfig;
 
+use crate::rebalance::RebalanceConfig;
+
 /// Construction parameters of a [`crate::ShardedWormhole`]: the resolved
-/// boundary keys plus the per-shard Wormhole configuration.
+/// boundary keys, the per-shard Wormhole configuration, and the rebalance
+/// policy applied by [`crate::ShardedWormhole::maybe_rebalance`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardedConfig {
     boundaries: Vec<Vec<u8>>,
     inner: WormholeConfig,
+    rebalance: RebalanceConfig,
+}
+
+/// The `numer/denom` quantile of an ascending key sample: the shared
+/// machinery under both [`ShardedConfig::from_sample`] (construction-time
+/// boundaries) and the online rebalancer's boundary pick (which feeds it a
+/// stride sample of the live donor shard streamed through a cursor).
+///
+/// Returns `None` for an empty sample or a quantile beyond its end; the
+/// returned key is a member of the sample, so choosing it as a boundary
+/// always lands on (the location of) a real key.
+pub fn sample_quantile<K: AsRef<[u8]>>(sorted: &[K], numer: usize, denom: usize) -> Option<&[u8]> {
+    if sorted.is_empty() || denom == 0 {
+        return None;
+    }
+    let idx = ((numer as u128 * sorted.len() as u128) / denom as u128) as usize;
+    sorted.get(idx).map(K::as_ref)
 }
 
 /// Validates the boundary invariants: strictly ascending and non-empty
@@ -55,6 +75,7 @@ impl ShardedConfig {
         Self {
             boundaries,
             inner: WormholeConfig::default(),
+            rebalance: RebalanceConfig::default(),
         }
     }
 
@@ -66,6 +87,7 @@ impl ShardedConfig {
         Self {
             boundaries,
             inner: WormholeConfig::default(),
+            rebalance: RebalanceConfig::default(),
         }
     }
 
@@ -86,7 +108,7 @@ impl ShardedConfig {
         sorted.dedup();
         let mut boundaries: Vec<Vec<u8>> = Vec::with_capacity(shards.saturating_sub(1));
         for i in 1..shards {
-            let Some(&candidate) = sorted.get(i * sorted.len() / shards) else {
+            let Some(candidate) = sample_quantile(&sorted, i, shards) else {
                 continue;
             };
             if boundaries.last().map(Vec::as_slice) != Some(candidate) {
@@ -97,6 +119,7 @@ impl ShardedConfig {
         Self {
             boundaries,
             inner: WormholeConfig::default(),
+            rebalance: RebalanceConfig::default(),
         }
     }
 
@@ -104,6 +127,18 @@ impl ShardedConfig {
     pub fn with_inner(mut self, inner: WormholeConfig) -> Self {
         self.inner = inner;
         self
+    }
+
+    /// Overrides the rebalance policy consulted by
+    /// [`crate::ShardedWormhole::maybe_rebalance`].
+    pub fn with_rebalance(mut self, rebalance: RebalanceConfig) -> Self {
+        self.rebalance = rebalance;
+        self
+    }
+
+    /// The rebalance policy.
+    pub fn rebalance(&self) -> &RebalanceConfig {
+        &self.rebalance
     }
 
     /// Number of shards the configuration produces.
@@ -121,8 +156,8 @@ impl ShardedConfig {
         &self.inner
     }
 
-    pub(crate) fn into_parts(self) -> (Vec<Vec<u8>>, WormholeConfig) {
-        (self.boundaries, self.inner)
+    pub(crate) fn into_parts(self) -> (Vec<Vec<u8>>, WormholeConfig, RebalanceConfig) {
+        (self.boundaries, self.inner, self.rebalance)
     }
 }
 
@@ -163,6 +198,24 @@ mod tests {
         assert!(config.shard_count() <= 2, "one distinct key, ≤ 2 shards");
         let empty: Vec<Vec<u8>> = Vec::new();
         assert_eq!(ShardedConfig::from_sample(8, &empty).shard_count(), 1);
+    }
+
+    #[test]
+    fn sample_quantile_selects_by_fraction() {
+        let sample: Vec<Vec<u8>> = (0..100u32)
+            .map(|i| format!("q{i:03}").into_bytes())
+            .collect();
+        assert_eq!(sample_quantile(&sample, 0, 4), Some(&b"q000"[..]));
+        assert_eq!(sample_quantile(&sample, 1, 4), Some(&b"q025"[..]));
+        assert_eq!(sample_quantile(&sample, 3, 4), Some(&b"q075"[..]));
+        assert_eq!(
+            sample_quantile(&sample, 4, 4),
+            None,
+            "end quantile is out of range"
+        );
+        assert_eq!(sample_quantile(&sample, 1, 0), None, "zero denominator");
+        let empty: Vec<Vec<u8>> = Vec::new();
+        assert_eq!(sample_quantile(&empty, 1, 2), None);
     }
 
     #[test]

@@ -1,31 +1,117 @@
-//! The sharded index: boundary-key router, per-shard handles, and the
-//! cross-shard scan cursor.
+//! The sharded index: the epoch-published boundary router, per-shard
+//! handles and op counters, and the cross-shard scan cursor.
+//!
+//! See the [crate docs](crate) for the boundary invariants, the
+//! router-epoch protocol, and the cross-shard cursor's resume semantics.
 
-use index_traits::{ChainedSource, ConcurrentOrderedIndex, Cursor, CursorSource, IndexStats};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use index_traits::{ConcurrentOrderedIndex, Cursor, CursorSource, IndexStats, ScanBatch};
+use parking_lot::Mutex;
+use wh_epoch::Qsbr;
 use wormhole::Wormhole;
 
 use crate::config::ShardedConfig;
+use crate::rebalance::{MigrationState, RebalanceConfig};
+
+/// The immutable routing state published to readers: one of these is live
+/// at any instant, swapped atomically by the migration engine and retired
+/// through the router's QSBR domain (`wh_epoch::Qsbr`) — the same
+/// async-grace pattern the concurrent Wormhole uses for its MetaTrieHT
+/// publications.
+pub(crate) struct RouterTable {
+    /// Publication counter, bumped by every swap. Long-lived consumers (a
+    /// cross-shard scan segment) record it when they make a routing
+    /// decision and re-validate before acting on that decision again.
+    pub(crate) epoch: u64,
+    /// `shards - 1` strictly ascending, non-empty boundary keys; shard `i`
+    /// owns `[boundaries[i-1], boundaries[i])`.
+    pub(crate) boundaries: Box<[Vec<u8>]>,
+    /// A half-open key range whose *writes* are briefly paused while a
+    /// migration batch copies it from donor to recipient. Reads are never
+    /// paused — the range still routes to the donor, whose copy stays
+    /// authoritative until the boundary moves.
+    pub(crate) freeze: Option<(Vec<u8>, Vec<u8>)>,
+}
+
+impl RouterTable {
+    /// Index of the shard owning `key`: the number of boundaries `<= key`.
+    #[inline]
+    pub(crate) fn route(&self, key: &[u8]) -> usize {
+        self.boundaries.partition_point(|b| b.as_slice() <= key)
+    }
+
+    /// Whether a write to `key` must wait for the in-flight migration
+    /// batch to publish its new boundary.
+    #[inline]
+    fn write_frozen(&self, key: &[u8]) -> bool {
+        match &self.freeze {
+            Some((lo, hi)) => key >= lo.as_slice() && key < hi.as_slice(),
+            None => false,
+        }
+    }
+}
+
+/// Send-wrapper freeing a retired router table once its grace period has
+/// elapsed (queued through `Qsbr::defer`).
+struct RetiredRouter(*mut RouterTable);
+
+// SAFETY: the wrapper owns the only reference that will ever free the
+// table; the pointee is plain owned data (`Vec<u8>` keys).
+unsafe impl Send for RetiredRouter {}
+
+impl Drop for RetiredRouter {
+    fn drop(&mut self) {
+        // SAFETY: run after the grace period following the swap that
+        // unpublished the table — no reader can still hold it.
+        unsafe { drop(Box::from_raw(self.0)) }
+    }
+}
+
+/// A per-shard operation counter on its own cache line, so the hot-path
+/// relaxed increments of different shards never false-share.
+#[repr(align(64))]
+pub(crate) struct ShardCounter(pub(crate) AtomicU64);
 
 /// A range-partitioned front over `N` independent concurrent [`Wormhole`]
-/// instances.
+/// instances, with **online rebalancing**: the boundary between two
+/// adjacent shards can migrate at runtime without blocking readers or
+/// writers outside the migrating range.
 ///
 /// Point operations are one boundary lookup (a binary search over at most
-/// `N - 1` cached boundary keys) plus the routed shard's own operation —
-/// for reads, a lock-free optimistic lookup. Writers on different shards
-/// share **no** state: each shard owns its MetaTrieHT writer mutex, its
-/// QSBR domain, and its leaf locks, so structural modifications (splits,
-/// merges, grace periods) on one shard never serialise writers on another.
+/// `N - 1` boundary keys in the epoch-published [`RouterTable`]) plus the
+/// routed shard's own operation — for reads, a lock-free optimistic
+/// lookup. Writers on different shards share **no** state: each shard
+/// owns its MetaTrieHT writer mutex, its QSBR domain, and its leaf locks,
+/// so structural modifications (splits, merges, grace periods) on one
+/// shard never serialise writers on another.
 ///
-/// See the [crate docs](crate) for the boundary invariants and the
-/// cross-shard cursor's resume semantics.
+/// Every point operation routes inside a read-side critical section of
+/// the router's QSBR domain, which is what lets the migration engine
+/// order its publications against in-flight operations with asynchronous
+/// grace periods instead of locks — see the [crate docs](crate) for the
+/// full protocol, and [`ShardedWormhole::maybe_rebalance`] /
+/// [`ShardedWormhole::migrate_boundary`] for the entry points.
 pub struct ShardedWormhole<V> {
-    /// The per-shard indexes, in boundary order. Cached here once at
-    /// construction: routing hands out `&Wormhole<V>` without any
-    /// indirection or locking.
+    /// The per-shard indexes, in boundary order. The array is fixed at
+    /// construction — migration moves *boundaries* (and the keys between
+    /// them), never shards — so routing hands out `&Wormhole<V>` without
+    /// indirection.
     shards: Box<[Wormhole<V>]>,
-    /// `shards.len() - 1` strictly ascending, non-empty boundary keys;
-    /// shard `i` owns `[boundaries[i-1], boundaries[i])`.
-    boundaries: Box<[Vec<u8>]>,
+    /// The live routing state. Readers dereference it inside a critical
+    /// section of `router_qsbr`; the migration engine swaps it and retires
+    /// the old table after a grace period.
+    router: AtomicPtr<RouterTable>,
+    /// QSBR domain protecting `router` publications.
+    router_qsbr: Qsbr,
+    /// Per-shard point-op counters — the load signal `maybe_rebalance`
+    /// consumes. Relaxed increments, cache-line padded.
+    ops: Box<[ShardCounter]>,
+    /// The rebalance policy (from [`ShardedConfig`]).
+    rebalance: RebalanceConfig,
+    /// Serialises migrations and holds the rebalancer's decision state
+    /// (the op-counter snapshot deltas are computed against).
+    pub(crate) migration: Mutex<MigrationState>,
 }
 
 impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
@@ -37,13 +123,25 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
 
     /// Creates an index from a full [`ShardedConfig`].
     pub fn with_config(config: ShardedConfig) -> Self {
-        let (boundaries, inner) = config.into_parts();
+        let (boundaries, inner, rebalance) = config.into_parts();
         let shards: Vec<Wormhole<V>> = (0..boundaries.len() + 1)
             .map(|_| Wormhole::with_config(inner))
             .collect();
+        let ops: Vec<ShardCounter> = (0..shards.len())
+            .map(|_| ShardCounter(AtomicU64::new(0)))
+            .collect();
+        let router = Box::into_raw(Box::new(RouterTable {
+            epoch: 0,
+            boundaries: boundaries.into_boxed_slice(),
+            freeze: None,
+        }));
         Self {
             shards: shards.into_boxed_slice(),
-            boundaries: boundaries.into_boxed_slice(),
+            router: AtomicPtr::new(router),
+            router_qsbr: Qsbr::new(),
+            ops: ops.into_boxed_slice(),
+            rebalance,
+            migration: Mutex::new(MigrationState::default()),
         }
     }
 
@@ -59,15 +157,71 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
         self.shards.len()
     }
 
-    /// The boundary keys, strictly ascending (`shard_count() - 1` entries).
-    pub fn boundaries(&self) -> &[Vec<u8>] {
-        &self.boundaries
+    /// Runs `f` against the live router table inside a read-side critical
+    /// section of the router's QSBR domain (the table cannot be retired
+    /// while `f` runs).
+    pub(crate) fn with_router<R>(&self, f: impl FnOnce(&RouterTable) -> R) -> R {
+        self.router_qsbr.with_local_handle(|handle| {
+            handle.critical(|| {
+                // SAFETY: `router` always points to a live table; the
+                // migration engine retires a swapped-out table only after a
+                // grace period, and we are inside a critical section.
+                let router = unsafe { &*self.router.load(Ordering::Acquire) };
+                f(router)
+            })
+        })
     }
 
-    /// Index of the shard owning `key`: the number of boundaries `<= key`.
+    /// Publishes a new router table, starts — without waiting for — the
+    /// grace period retiring the old one, and returns the grace token.
+    /// Must only be called while holding the migration mutex.
+    pub(crate) fn publish_router(
+        &self,
+        boundaries: Box<[Vec<u8>]>,
+        freeze: Option<(Vec<u8>, Vec<u8>)>,
+    ) -> u64 {
+        // SAFETY: the migration mutex serialises all swaps, so reading the
+        // current epoch without a guard is race-free.
+        let epoch = unsafe { &*self.router.load(Ordering::Acquire) }.epoch + 1;
+        let fresh = Box::into_raw(Box::new(RouterTable {
+            epoch,
+            boundaries,
+            freeze,
+        }));
+        let prev = self.router.swap(fresh, Ordering::AcqRel);
+        // Defer *before* starting the grace period so the retirement is
+        // stamped with this publication's grace token: the migration
+        // engine's own `wait_grace(grace)` then reclaims the table, rather
+        // than parking it until the following publication.
+        let retired = RetiredRouter(prev);
+        self.router_qsbr.defer(Box::new(move || drop(retired)));
+        self.router_qsbr.start_grace()
+    }
+
+    /// The router's QSBR domain (migration engine only).
+    pub(crate) fn router_qsbr(&self) -> &Qsbr {
+        &self.router_qsbr
+    }
+
+    /// The rebalance policy this index was built with.
+    pub(crate) fn rebalance_config(&self) -> &RebalanceConfig {
+        &self.rebalance
+    }
+
+    /// A snapshot of the current boundary keys, strictly ascending
+    /// (`shard_count() - 1` entries). Boundaries move under online
+    /// rebalancing, so this is a copy, not a borrow of live state.
+    pub fn boundaries(&self) -> Vec<Vec<u8>> {
+        self.with_router(|router| router.boundaries.to_vec())
+    }
+
+    /// Index of the shard owning `key` under the *current* boundaries.
+    /// Advisory under concurrent rebalancing: a migration may re-home the
+    /// key after this returns. Point operations therefore never use this —
+    /// they route inside a router critical section.
     #[inline]
     pub fn shard_for(&self, key: &[u8]) -> usize {
-        self.boundaries.partition_point(|b| b.as_slice() <= key)
+        self.with_router(|router| router.route(key))
     }
 
     /// Handle to shard `i` (boundary order).
@@ -76,10 +230,58 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     }
 
     /// Handle to the shard owning `key` — the router composed with
-    /// [`ShardedWormhole::shard`].
+    /// [`ShardedWormhole::shard`]. Advisory, like
+    /// [`ShardedWormhole::shard_for`].
     #[inline]
     pub fn shard_of(&self, key: &[u8]) -> &Wormhole<V> {
         &self.shards[self.shard_for(key)]
+    }
+
+    /// Cumulative point-operation count per shard (the rebalancer's load
+    /// signal; also handy for demos and diagnostics).
+    pub fn op_counts(&self) -> Vec<u64> {
+        self.ops
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Routes a read: one router critical section spanning the boundary
+    /// lookup *and* the shard operation, so a migration's grace periods
+    /// order donor draining after every in-flight read that routed to it.
+    #[inline]
+    fn routed_read<R>(&self, key: &[u8], f: impl FnOnce(&Wormhole<V>) -> R) -> R {
+        self.with_router(|router| {
+            let shard = router.route(key);
+            self.ops[shard].0.fetch_add(1, Ordering::Relaxed);
+            f(&self.shards[shard])
+        })
+    }
+
+    /// Routes a write, waiting out a migration batch that has frozen the
+    /// key's range (bounded: one batch copy plus a grace period). The wait
+    /// spins *outside* any critical section so it never holds up the very
+    /// grace period that will unfreeze the range.
+    #[inline]
+    fn routed_write<R>(&self, key: &[u8], mut f: impl FnMut(&Wormhole<V>) -> R) -> R {
+        loop {
+            let done = self.router_qsbr.with_local_handle(|handle| {
+                handle.critical(|| {
+                    // SAFETY: see `with_router`.
+                    let router = unsafe { &*self.router.load(Ordering::Acquire) };
+                    if router.write_frozen(key) {
+                        return None;
+                    }
+                    let shard = router.route(key);
+                    self.ops[shard].0.fetch_add(1, Ordering::Relaxed);
+                    Some(f(&self.shards[shard]))
+                })
+            });
+            match done {
+                Some(result) => return result,
+                None => std::thread::yield_now(),
+            }
+        }
     }
 
     /// Total leaf nodes across every shard.
@@ -94,12 +296,14 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
 
     /// Validates every shard's structural invariants plus the partition
     /// invariant: each shard holds only keys inside its boundary range
-    /// (tests only — walks every key).
+    /// (tests only — walks every key; call it quiesced, not while a
+    /// migration batch is mid-flight).
     pub fn check_invariants(&self) {
+        let boundaries = self.boundaries();
         for (i, shard) in self.shards.iter().enumerate() {
             shard.check_invariants();
-            let lower = (i > 0).then(|| self.boundaries[i - 1].as_slice());
-            let upper = self.boundaries.get(i).map(Vec::as_slice);
+            let lower = (i > 0).then(|| boundaries[i - 1].as_slice());
+            let upper = boundaries.get(i).map(Vec::as_slice);
             let mut cursor = shard.scan(b"");
             while let Some((key, _)) = cursor.next() {
                 if let Some(lower) = lower {
@@ -116,23 +320,200 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     }
 }
 
+impl<V> Drop for ShardedWormhole<V> {
+    fn drop(&mut self) {
+        // `&mut self` guarantees no reader holds a router critical section
+        // on *this* index; flush any table retirements still aging.
+        self.router_qsbr.flush();
+        // SAFETY: exclusively owned now.
+        unsafe { drop(Box::from_raw(self.router.load(Ordering::Acquire))) };
+    }
+}
+
+/// The cross-shard [`CursorSource`]: streams per-shard cursor *segments*
+/// in global key order, re-routing through the live boundaries whenever
+/// the router epoch moves.
+///
+/// Each segment is the owning shard's native cursor opened at the sweep
+/// bound `resume`. Every batch fill runs inside a router critical section
+/// and first re-validates that the segment's routing decision is still
+/// current (`segment.epoch == router.epoch`); a stale segment is dropped
+/// and re-routed from `resume`, which the live boundaries may now send to
+/// a *different* shard — exactly what keeps the stream exhaustive when a
+/// migration moves part of the unswept range to a neighbouring shard.
+/// Because the migration engine drains a donor only after the grace
+/// period that follows the boundary publication, a fill that validated
+/// against the old epoch always completes against the donor's still-
+/// authoritative copy; see the crate docs for the full argument.
+///
+/// In the steady state (no migration, segment mid-shard) a fill is: one
+/// epoch compare, the shard cursor's native leaf-snapshot fill straight
+/// into the outer arena, and a successor bump of the reused `resume`
+/// buffer — no allocation.
+struct RoutedSource<'a, V: Clone + Send + Sync + 'static> {
+    index: &'a ShardedWormhole<V>,
+    /// Inclusive lower bound of the next batch; strictly above every key
+    /// already streamed (reused buffer).
+    resume: Vec<u8>,
+    segment: Option<Segment<'a, V>>,
+    /// Reserve hint replayed onto each newly opened segment.
+    hint: Option<(usize, usize)>,
+    done: bool,
+}
+
+/// One per-shard cursor plus the routing decision it was opened under.
+struct Segment<'a, V> {
+    cursor: Cursor<'a, V>,
+    /// Router epoch of the table that routed this segment.
+    epoch: u64,
+    /// The shard the segment streams.
+    shard: usize,
+}
+
+/// Outcome of one routed fill attempt.
+enum FillStep {
+    /// The batch holds pairs; the sweep bound advanced past them.
+    Filled,
+    /// The segment's shard held nothing at/above the sweep bound; the
+    /// bound jumped to the shard's upper boundary and the next attempt
+    /// re-routes.
+    NextShard,
+    /// The last shard is exhausted: the scan is complete.
+    Done,
+}
+
+impl<V: Clone + Send + Sync + 'static> CursorSource<V> for RoutedSource<'_, V> {
+    fn fill_next(&mut self, batch: &mut ScanBatch<V>, limit: usize) -> bool {
+        batch.clear();
+        while !self.done {
+            let Self {
+                index,
+                resume,
+                segment,
+                hint,
+                ..
+            } = self;
+            let index = *index;
+            let step = index.router_qsbr.with_local_handle(|handle| {
+                handle.critical(|| {
+                    // SAFETY: see `ShardedWormhole::with_router`.
+                    let router = unsafe { &*index.router.load(Ordering::Acquire) };
+                    let valid = matches!(segment, Some(seg) if seg.epoch == router.epoch);
+                    if !valid {
+                        // (Re-)route the sweep bound through the live
+                        // boundaries and open the owning shard's cursor.
+                        let shard = router.route(resume);
+                        let mut cursor = index.shards[shard].scan(resume);
+                        if let Some((items, key_bytes)) = *hint {
+                            cursor.reserve(items, key_bytes);
+                        }
+                        *segment = Some(Segment {
+                            cursor,
+                            epoch: router.epoch,
+                            shard,
+                        });
+                    }
+                    let seg = segment.as_mut().expect("segment open");
+                    let upper = router.boundaries.get(seg.shard);
+                    if CursorSource::fill_next(&mut seg.cursor, batch, limit) {
+                        // Clamp the segment to its shard's upper boundary:
+                        // keys at/above it that the shard cursor surfaced are
+                        // a migration's in-flight copies, whose authoritative
+                        // home is still the *donor* — streaming them here
+                        // could let the sweep bound advance past copies that
+                        // land behind the shard cursor's internal position,
+                        // silently skipping them. The donor (or, after the
+                        // boundary publishes, a re-routed segment) serves
+                        // them instead.
+                        if let Some(upper) = upper {
+                            let mut keep = batch.len();
+                            while keep > 0 && batch.key(keep - 1) >= upper.as_slice() {
+                                keep -= 1;
+                            }
+                            batch.truncate(keep);
+                        }
+                        if let Some(last) = batch.last_key() {
+                            // Advance the sweep bound past everything
+                            // streamed, so a re-route (or a later segment)
+                            // resumes exactly after this batch.
+                            index_traits::immediate_successor_into(last, resume);
+                            FillStep::Filled
+                        } else {
+                            // Everything the shard yielded was at/above its
+                            // boundary: this segment is done; sweep on from
+                            // the boundary.
+                            let upper = upper.expect("clamp only fires with an upper boundary");
+                            if upper.as_slice() > resume.as_slice() {
+                                resume.clear();
+                                resume.extend_from_slice(upper);
+                            }
+                            FillStep::NextShard
+                        }
+                    } else {
+                        match upper {
+                            // Jump the sweep bound to the shard's upper
+                            // boundary (forward only — the bound may already
+                            // sit exactly on it when a boundary equals a
+                            // streamed key's successor). Either way the next
+                            // attempt routes to a later shard, so the sweep
+                            // progresses.
+                            Some(upper) => {
+                                if upper.as_slice() > resume.as_slice() {
+                                    resume.clear();
+                                    resume.extend_from_slice(upper);
+                                }
+                                FillStep::NextShard
+                            }
+                            None => FillStep::Done,
+                        }
+                    }
+                })
+            });
+            match step {
+                FillStep::Filled => return true,
+                FillStep::NextShard => self.segment = None,
+                FillStep::Done => self.done = true,
+            }
+        }
+        false
+    }
+
+    fn reserve(&mut self, items: usize, key_bytes: usize) {
+        self.hint = Some((items, key_bytes));
+        self.resume.reserve(key_bytes);
+        if let Some(seg) = self.segment.as_mut() {
+            seg.cursor.reserve(items, key_bytes);
+        }
+    }
+}
+
 impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWormhole<V> {
     fn name(&self) -> &'static str {
         "wormhole-sharded"
     }
 
     fn get(&self, key: &[u8]) -> Option<V> {
-        self.shard_of(key).get(key)
+        self.routed_read(key, |shard| shard.get(key))
     }
 
     fn set(&self, key: &[u8], value: V) -> Option<V> {
-        self.shard_of(key).set(key, value)
+        let mut value = Some(value);
+        self.routed_write(key, |shard| {
+            shard.set(
+                key,
+                value.take().expect("value handed to exactly one shard"),
+            )
+        })
     }
 
     fn del(&self, key: &[u8]) -> Option<V> {
-        self.shard_of(key).del(key)
+        self.routed_write(key, |shard| shard.del(key))
     }
 
+    /// Total keys. While a migration batch is between its copy and its
+    /// donor drain, the moved batch is transiently counted in both shards
+    /// (at most one batch's worth); the count is exact whenever no
+    /// migration is mid-flight.
     fn len(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()
     }
@@ -146,38 +527,28 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWorm
         out
     }
 
-    /// Opens a cross-shard streaming cursor: per-shard cursors chained in
-    /// boundary order.
+    /// Opens a cross-shard streaming cursor: per-shard cursor segments
+    /// chained in live boundary order (see [`RoutedSource`]).
     ///
-    /// The first segment is the owning shard's cursor opened at `start`;
-    /// each subsequent shard's cursor is opened lazily at that shard's
-    /// lower boundary once the stream crosses the edge. Range partitioning
-    /// makes the concatenation globally ordered (every key of shard `i + 1`
-    /// is `>=` its boundary, which is `>` every key of shard `i`), each
-    /// batch keeps the per-shard cursor's seqlock-validated one-leaf
-    /// atomicity, and [`Cursor::resume_key`] needs no shard awareness at
-    /// all — resuming routes the reported key to exactly the shard the
-    /// stream stopped in.
+    /// [`Cursor::resume_key`] needs no shard awareness: the reported key
+    /// (successor of the last consumed key) is a plain global key, and a
+    /// fresh `scan(resume_key)` routes it through the boundaries *current
+    /// at that time* — a scan therefore resumes correctly even across a
+    /// migration that re-homed the resume position between the two scans.
     fn scan<'a>(&'a self, start: &[u8]) -> Cursor<'a, V>
     where
         V: Clone + 'a,
     {
-        let shards: &'a [Wormhole<V>] = &self.shards;
-        let boundaries: &'a [Vec<u8>] = &self.boundaries;
-        let mut next = self.shard_for(start);
-        let mut first_start = Some(start.to_vec());
-        let factory = move || -> Option<Box<dyn CursorSource<V> + 'a>> {
-            let shard = shards.get(next)?;
-            let segment: Box<dyn CursorSource<V> + 'a> = match first_start.take() {
-                Some(from) => Box::new(shard.scan(&from)),
-                // Later shards start at their own lower boundary; every key
-                // already streamed from earlier shards is below it.
-                None => Box::new(shard.scan(&boundaries[next - 1])),
-            };
-            next += 1;
-            Some(segment)
-        };
-        Cursor::new(start, Box::new(ChainedSource::new(Box::new(factory))))
+        Cursor::new(
+            start,
+            Box::new(RoutedSource {
+                index: self,
+                resume: start.to_vec(),
+                segment: None,
+                hint: None,
+                done: false,
+            }),
+        )
     }
 
     fn stats(&self) -> IndexStats {
@@ -189,8 +560,9 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWorm
             total.key_bytes += s.key_bytes;
             total.value_bytes += s.value_bytes;
         }
-        // The boundary table is index structure too.
-        total.structure_bytes += self.boundaries.iter().map(Vec::len).sum::<usize>();
+        // The router table is index structure too.
+        total.structure_bytes +=
+            self.with_router(|router| router.boundaries.iter().map(Vec::len).sum::<usize>());
         total
     }
 }
@@ -242,10 +614,12 @@ mod tests {
             assert_eq!(idx.set(&key, i), None);
         }
         assert_eq!(idx.len(), 2_000);
-        // All four shards actually hold data.
+        // All four shards actually hold data, and the op counters saw the
+        // routed traffic.
         for s in 0..idx.shard_count() {
             assert!(idx.shard(s).len() > 0, "shard {s} empty");
         }
+        assert_eq!(idx.op_counts().iter().sum::<u64>(), 2_000);
         for i in 0..2_000u64 {
             let key = [(i % 256) as u8, (i / 256) as u8, i as u8];
             assert_eq!(idx.get(&key), Some(i));
@@ -259,6 +633,7 @@ mod tests {
         let stats = idx.stats();
         assert_eq!(stats.keys, 1_000);
         assert!(stats.structure_bytes > 0);
+        assert_eq!(idx.op_counts().iter().sum::<u64>(), 5_000);
         idx.check_invariants();
     }
 

@@ -20,7 +20,7 @@
 //! ## Boundary invariants
 //!
 //! A [`ShardedWormhole`] with `N` shards carries `N - 1` **boundary keys**
-//! `b₀ < b₁ < … < bₙ₋₂`, fixed at construction ([`ShardedConfig`]):
+//! `b₀ < b₁ < … < bₙ₋₂`:
 //!
 //! * boundaries are **strictly ascending** and **non-empty** (an empty
 //!   boundary would leave shard 0 with an empty range);
@@ -28,35 +28,61 @@
 //!   starts at the empty key ε, the last shard is unbounded above); a
 //!   boundary key itself belongs to the shard on its **right**;
 //! * every operation on key `k` is routed to the unique owning shard
-//!   (`shard_for(k)` = number of boundaries `<= k`), so a key can never
-//!   appear in two shards and `len`/`stats` are plain sums.
+//!   (`shard_for(k)` = number of boundaries `<= k`), so a key is never
+//!   *reachable* in two shards at once and `len`/`stats` are plain sums
+//!   (with a documented transient overcount of at most one in-flight
+//!   migration batch).
 //!
-//! Boundaries never move: this is static partitioning, chosen either
-//! evenly over the byte space, from a sample of the expected keyset
-//! (quantiles), or explicitly — see [`ShardedConfig`]. Re-balancing is a
-//! rebuild, not a background migration.
+//! Initial boundaries come from [`ShardedConfig`] (even byte-split, sample
+//! quantiles, or explicit keys) — and, unlike the crate's first iteration,
+//! they are **not** frozen afterwards: rebalancing is a live background
+//! range migration, not a rebuild.
 //!
-//! ## Cross-shard cursor resume semantics
+//! ## The router-epoch protocol
 //!
-//! `scan(start)` returns the ordinary [`index_traits::Cursor`], driven by
-//! an [`index_traits::ChainedSource`] that opens per-shard cursors
-//! lazily, in boundary order: the first segment starts at `start` inside
-//! the owning shard, each later shard's segment starts at that shard's
-//! lower boundary. Because the partition is by range, the concatenation
-//! is globally ordered and yields each live key at most once; each batch
-//! retains the underlying shard cursor's guarantee (one seqlock-validated
-//! leaf snapshot, no global snapshot across batches).
+//! Routing state lives in one immutable, heap-allocated table (the
+//! boundary array, a publication **epoch**, and an optional write-frozen
+//! range), published through an atomic pointer and protected by its own
+//! [`wh_epoch::Qsbr`] domain — the same asynchronous-grace publication
+//! pattern the concurrent Wormhole uses for its MetaTrieHT tables:
 //!
-//! [`index_traits::Cursor::resume_key`] therefore needs no shard
-//! awareness: the reported key (successor of the last consumed key) is a
-//! plain global key, and a fresh `scan(resume_key)` routes it back to
-//! exactly the shard the stream stopped in — including the edge case
-//! where the last consumed key was a shard's maximum, in which case the
-//! successor routes to the *next* shard and the scan continues seamlessly
-//! across the boundary. The steady-state allocation-free discipline is
-//! preserved: the chained source delegates each batch fill directly to
-//! the current shard's native leaf-streaming source, into the one batch
-//! arena owned by the outer cursor.
+//! * **Point ops** route *and execute* inside one read-side critical
+//!   section of the router domain. Reads never block on the router. A
+//!   write whose key falls in the (rare, bounded) frozen range of an
+//!   in-flight migration batch waits — outside any critical section —
+//!   until the batch publishes its new boundary; every other write
+//!   proceeds untouched.
+//! * **Migration** (see [`rebalance`]) swaps the table (bumping the
+//!   epoch), starts a grace period without waiting for it, and completes
+//!   it only at the next point it needs the ordering guarantee. Old
+//!   tables are retired through `Qsbr::defer`. The grace periods give the
+//!   two reader-visibility guarantees the protocol rests on: after the
+//!   *freeze* publication's grace, no in-flight write can still be
+//!   mutating the batch range in the donor (so the copy is of immutable
+//!   data); after the *boundary* publication's grace, no in-flight read
+//!   or scan fill can still be resolving the range against the donor (so
+//!   the donor's stale copy can be drained).
+//! * **Scans** record the router epoch each cursor segment was routed
+//!   under and re-validate it on every batch fill (inside a router
+//!   critical section); a stale segment is dropped and its sweep bound
+//!   re-routed through the live boundaries. A long-running cross-shard
+//!   cursor therefore stays globally ordered, never yields a key twice,
+//!   and never loses a key to a concurrent boundary move — and a
+//!   [`index_traits::Cursor::resume_key`] is a plain global key that a
+//!   fresh `scan` re-routes through whatever the boundaries are *then*.
+//!
+//! ## Load-driven rebalancing
+//!
+//! Every routed op bumps a cache-line-padded per-shard counter.
+//! [`ShardedWormhole::maybe_rebalance`] turns those counters into
+//! boundary moves: when an adjacent pair's load ratio exceeds the
+//! configured threshold, the hot shard sheds keys — the new boundary
+//! picked by the same sample-quantile machinery that chooses
+//! construction-time boundaries, fed by a live cursor sample — in bounded
+//! freeze/copy/publish/drain batches. [`RebalanceConfig`] holds the
+//! policy knobs; [`ShardedWormhole::migrate_boundary`] is the explicit,
+//! policy-free entry point. See the [`rebalance`] module docs for the
+//! batch protocol and its exactly-one-home argument.
 //!
 //! ## Quick start
 //!
@@ -75,10 +101,15 @@
 //! assert_eq!(all.len(), 3);
 //! assert_eq!(all[0].0, b"James".to_vec());
 //! assert_eq!(all[2].0, b"zoe".to_vec());
+//! // Boundaries can move while the index serves traffic.
+//! index.migrate_boundary(0, b"ab").expect("live boundary move");
+//! assert_eq!(index.get(b"aaron"), Some(2));
 //! ```
 
 pub mod config;
 pub mod index;
+pub mod rebalance;
 
 pub use config::ShardedConfig;
 pub use index::ShardedWormhole;
+pub use rebalance::{MigrateError, MigrationReport, RebalanceConfig, RebalanceOutcome};

@@ -837,6 +837,67 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
         }
     }
 
+    /// Removes every key with `lo <= key < hi`, returning how many were
+    /// removed — the batched range removal behind
+    /// [`ConcurrentOrderedIndex::delete_range`].
+    ///
+    /// The range is drained **one leaf per batch**: locate the leaf
+    /// covering the sweep position, unlink its in-range run under the leaf
+    /// write lock (inside a seqlock write section, retiring every key box
+    /// through the QSBR garbage bin so racing optimistic readers never
+    /// touch freed memory), then advance to the right sibling's anchor.
+    /// A leaf left below the merge threshold is handed straight to the
+    /// ordinary merge engine (`try_merge`), so the structure shrinks with
+    /// the same MetaPlan/T2-then-T1 publication path as point deletes —
+    /// there is no separate structural protocol to get wrong.
+    ///
+    /// Concurrent-semantics note: like the trait default, this is a sweep,
+    /// not a snapshot — keys inserted into the range behind the sweep
+    /// position survive, keys inserted ahead of it are removed.
+    pub fn remove_range(&self, lo: &[u8], hi: &[u8]) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        let mut removed_total = 0usize;
+        let mut pos = lo.to_vec();
+        loop {
+            let mut bin = self.new_bin();
+            let (removed, key_bytes, leaf_len, next_anchor) = loop {
+                let (leaf, version) = self.locate(&pos);
+                let mut data = leaf.0.data.write();
+                if leaf.expected_version() > version {
+                    continue;
+                }
+                let (n, kb) = {
+                    let _section = SeqWriteSection::new(&leaf.0.seq);
+                    data.leaf.remove_range_retiring(&pos, hi, &mut bin)
+                };
+                // Right sibling's anchor = the next sweep position (lock
+                // order left → right, same as the merge engine).
+                let next_anchor = data
+                    .next
+                    .as_ref()
+                    .map(|next| next.0.data.read().leaf.anchor().to_vec());
+                break (n, kb, data.leaf.len(), next_anchor);
+            };
+            self.len.fetch_sub(removed, Ordering::Relaxed);
+            self.key_bytes.fetch_sub(key_bytes, Ordering::Relaxed);
+            removed_total += removed;
+            self.retire_garbage(bin);
+            if removed > 0 && leaf_len < self.config.merge_size {
+                // `pos` lies inside the drained leaf's range, so the merge
+                // engine re-locates the same leaf and runs the ordinary
+                // Algorithm-2 eligibility checks and plan publication.
+                self.try_merge(&pos);
+            }
+            match next_anchor {
+                Some(anchor) if anchor.as_slice() < hi => pos = anchor,
+                _ => break,
+            }
+        }
+        removed_total
+    }
+
     /// Memory accounting (Figure 16).
     pub fn stats(&self) -> IndexStats {
         let mut stats = IndexStats {
@@ -1256,6 +1317,10 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for Wormhole<V>
         self.len.load(Ordering::Relaxed)
     }
 
+    fn delete_range(&self, lo: &[u8], hi: &[u8]) -> usize {
+        Wormhole::remove_range(self, lo, hi)
+    }
+
     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
         // A thin materialising wrapper over the streaming cursor: the
         // cursor owns the whole snapshot/validate/resume discipline (and
@@ -1511,6 +1576,86 @@ mod tests {
         assert!(wh.is_empty());
         wh.check_invariants();
         assert!(wh.leaf_count() < 5, "leaves merge back as keys disappear");
+    }
+
+    #[test]
+    fn remove_range_drains_across_leaves_and_merges_back() {
+        let wh = Wormhole::with_config(small_config());
+        for i in 0..3_000u64 {
+            wh.set(format!("{i:06}").as_bytes(), i);
+        }
+        let leaves_before = wh.leaf_count();
+        assert!(leaves_before > 50);
+        // A mid-index window spanning many leaves.
+        assert_eq!(wh.remove_range(b"000500", b"002500"), 2_000);
+        assert_eq!(wh.len(), 1_000);
+        wh.check_invariants();
+        assert!(
+            wh.leaf_count() < leaves_before / 2,
+            "drained leaves must merge away ({} -> {})",
+            leaves_before,
+            wh.leaf_count()
+        );
+        for i in 0..3_000u64 {
+            let expect = !(500..2_500).contains(&i);
+            assert_eq!(wh.get(format!("{i:06}").as_bytes()).is_some(), expect);
+        }
+        // The survivors scan in order with no stragglers.
+        let all = wh.range_from(b"", usize::MAX);
+        assert_eq!(all.len(), 1_000);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        // Degenerate and disjoint windows are no-ops; full drains empty it.
+        assert_eq!(wh.remove_range(b"zzz", b"zz"), 0);
+        assert_eq!(wh.remove_range(b"000500", b"000500"), 0);
+        assert_eq!(wh.remove_range(b"", b"\xff"), 1_000);
+        assert!(wh.is_empty());
+        wh.check_invariants();
+    }
+
+    #[test]
+    fn remove_range_races_concurrent_readers_safely() {
+        let wh = StdArc::new(Wormhole::with_config(small_config()));
+        for i in 0..4_000u64 {
+            wh.set(format!("k{i:06}").as_bytes(), i);
+        }
+        // Stable prefix and suffix the readers verify while the middle is
+        // repeatedly drained and refilled.
+        std::thread::scope(|scope| {
+            let stop = StdArc::new(std::sync::atomic::AtomicBool::new(false));
+            {
+                let wh = StdArc::clone(&wh);
+                let stop = StdArc::clone(&stop);
+                scope.spawn(move || {
+                    for round in 0..20u64 {
+                        wh.remove_range(b"k001000", b"k003000");
+                        for i in 1_000..3_000u64 {
+                            wh.set(format!("k{i:06}").as_bytes(), round * 10_000 + i);
+                        }
+                    }
+                    stop.store(true, Ordering::Relaxed);
+                });
+            }
+            for r in 0..2u64 {
+                let wh = StdArc::clone(&wh);
+                let stop = StdArc::clone(&stop);
+                scope.spawn(move || {
+                    let mut pass = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let i = (pass * 37 + r) % 1_000;
+                        assert_eq!(wh.get(format!("k{i:06}").as_bytes()), Some(i));
+                        let j = 3_000 + (pass * 53 + r) % 1_000;
+                        assert_eq!(wh.get(format!("k{j:06}").as_bytes()), Some(j));
+                        if pass.is_multiple_of(64) {
+                            let scan = wh.range_from(b"k000900", 300);
+                            assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+                        }
+                        pass += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(wh.len(), 4_000);
+        wh.check_invariants();
     }
 
     #[test]

@@ -181,6 +181,16 @@ impl<V> LeafGarbage<V> {
         }
     }
 
+    /// Retires a value unlinked from a leaf that nobody will be handed
+    /// (bulk range removal): kept past the grace period when values are
+    /// deferred, dropped on the spot otherwise. Unlike
+    /// [`LeafGarbage::hand_off_value`] this never clones.
+    pub fn retire_value(&mut self, value: V) {
+        if self.defers_values() {
+            self.values.push(value);
+        }
+    }
+
     fn retire_kv_buf(&mut self, buf: Vec<Kv<V>>) {
         if self.defer {
             self.kv_bufs.push(buf);
@@ -461,9 +471,17 @@ impl<V> LeafNode<V> {
         V: Clone,
     {
         let slot = self.find_slot(key, hash, config)?;
+        let removed = self.remove_slot(slot);
+        bin.retire_key(removed.key);
+        Some(bin.hand_off_value(removed.value))
+    }
+
+    /// Unlinks the item at storage slot `slot`, fixing up both orderings:
+    /// the removed index is dropped and every index after it shifts down by
+    /// one. The caller retires the returned item's key (and value, when
+    /// values are deferred).
+    fn remove_slot(&mut self, slot: usize) -> Kv<V> {
         let removed = self.kvs.remove(slot);
-        // Fix up both orderings: drop the removed index and shift the ones
-        // after it down by one.
         let slot = slot as u16;
         let hpos = self
             .hash_order
@@ -490,8 +508,49 @@ impl<V> LeafNode<V> {
                 *i -= 1;
             }
         }
-        bin.retire_key(removed.key);
-        Some(bin.hand_off_value(removed.value))
+        removed
+    }
+
+    /// Removes every item with `lo <= key < hi`, retiring the unlinked key
+    /// boxes (and, when values are deferred, the values) through `bin`.
+    /// Returns `(items removed, key payload bytes removed)`.
+    ///
+    /// This is the leaf-level primitive of the concurrent index's batched
+    /// range removal (shard migration drains a donor's migrated range with
+    /// it); the whole doomed run is resolved against the key-sorted view
+    /// once and unlinked slot by slot in descending storage order, so the
+    /// shift-down fixups of earlier removals never invalidate later ones.
+    pub fn remove_range_retiring(
+        &mut self,
+        lo: &[u8],
+        hi: &[u8],
+        bin: &mut LeafGarbage<V>,
+    ) -> (usize, usize)
+    where
+        V: Clone,
+    {
+        self.ensure_key_sorted_retiring(bin);
+        let start = self
+            .key_order
+            .partition_point(|&i| self.kvs[i as usize].key.as_ref() < lo);
+        let end = self
+            .key_order
+            .partition_point(|&i| self.kvs[i as usize].key.as_ref() < hi);
+        if start == end {
+            return (0, 0);
+        }
+        let mut doomed: Vec<u16> = self.key_order[start..end].to_vec();
+        doomed.sort_unstable_by(|a, b| b.cmp(a));
+        let mut removed = 0usize;
+        let mut key_bytes = 0usize;
+        for slot in doomed {
+            let kv = self.remove_slot(slot as usize);
+            removed += 1;
+            key_bytes += kv.key.len();
+            bin.retire_key(kv.key);
+            bin.retire_value(kv.value);
+        }
+        (removed, key_bytes)
     }
 
     /// The paper's `incSort`: brings the key-sorted view up to date by
@@ -1103,5 +1162,49 @@ mod tests {
         leaf.set_table_key(b"Jo\0".to_vec());
         assert_eq!(leaf.anchor(), b"Jo");
         assert_eq!(leaf.table_key(), b"Jo\0");
+    }
+
+    #[test]
+    fn remove_range_drains_exactly_the_half_open_window() {
+        for config in [
+            WormholeConfig::optimized(),
+            WormholeConfig::base(),
+            WormholeConfig::optimized().with_direct_pos(false),
+        ] {
+            let mut leaf = LeafNode::new(Vec::new(), Vec::new());
+            for i in 0..24u64 {
+                // Insert out of key order so the sorted view lags (incSort
+                // must run inside remove_range_retiring).
+                insert(
+                    &mut leaf,
+                    format!("rr{:02}", i * 7 % 24).as_bytes(),
+                    i,
+                    &config,
+                );
+            }
+            let mut bin = LeafGarbage::immediate();
+            let (n, bytes) = leaf.remove_range_retiring(b"rr05", b"rr15", &mut bin);
+            assert_eq!(n, 10);
+            assert_eq!(bytes, 10 * 4);
+            assert_eq!(leaf.len(), 14);
+            for i in 0..24u64 {
+                let key = format!("rr{i:02}");
+                let expect = !(5..15).contains(&i);
+                assert_eq!(
+                    get(&leaf, key.as_bytes(), &config).is_some(),
+                    expect,
+                    "{key}"
+                );
+            }
+            // Empty window and disjoint window are no-ops.
+            assert_eq!(
+                leaf.remove_range_retiring(b"rr05", b"rr05", &mut bin),
+                (0, 0)
+            );
+            assert_eq!(leaf.remove_range_retiring(b"zz", b"zzz", &mut bin), (0, 0));
+            // Lookups and further mutation still work after the bulk fixups.
+            assert_eq!(insert(&mut leaf, b"rr07", 100, &config), None);
+            assert_eq!(get(&leaf, b"rr07", &config), Some(100));
+        }
     }
 }

@@ -11,19 +11,38 @@
 //! scans — which stream straight across shard boundaries, the operation a
 //! plain hash-partitioned cache cannot serve in key order.
 //!
+//! The second act demonstrates **online rebalancing**: the workload
+//! shifts onto a narrow hot range (one shard absorbs everything, the way
+//! a tenant going viral would), a rebalancer thread watches the per-shard
+//! op counters through `maybe_rebalance()`, and the boundary migrates
+//! live — no rebuild, no downtime — until the hot range spans shards
+//! again. Per-shard op counters are printed before and after.
+//!
 //! Run with: `cargo run --release --example kv_cache`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use index_traits::ConcurrentOrderedIndex;
-use wh_shard::ShardedWormhole;
+use wh_shard::{RebalanceConfig, ShardedConfig, ShardedWormhole};
 use workloads::{generate, uniform_indices, KeysetId};
 
 const KEYS: usize = 200_000;
 const OPS_PER_WORKER: usize = 300_000;
 const SHARDS: usize = 4;
+
+/// Prints one line per shard: keys resident and ops absorbed since start.
+fn print_shard_stats(cache: &ShardedWormhole<u64>, label: &str) {
+    println!("{label}:");
+    for (s, ops) in cache.op_counts().iter().enumerate() {
+        println!(
+            "  shard {s}: {:>7} entries, {:>9} ops",
+            cache.shard(s).len(),
+            ops
+        );
+    }
+}
 
 fn main() {
     let workers = std::thread::available_parallelism()
@@ -34,7 +53,14 @@ fn main() {
     // Boundaries drawn from a thin sample of the keyset: each shard gets
     // roughly a quarter of the traffic, whatever the key distribution.
     let sample: Vec<&[u8]> = keyset.keys.iter().step_by(64).map(Vec::as_slice).collect();
-    let cache: Arc<ShardedWormhole<u64>> = Arc::new(ShardedWormhole::from_sample(SHARDS, &sample));
+    let config = ShardedConfig::from_sample(SHARDS, &sample).with_rebalance(RebalanceConfig {
+        min_pair_ops: 10_000,
+        imbalance_percent: 200,
+        batch_keys: 1_024,
+        sample_cap: 4_096,
+        min_move_keys: 512,
+    });
+    let cache: Arc<ShardedWormhole<u64>> = Arc::new(ShardedWormhole::with_config(config));
     println!(
         "sharded cache: {} shards, boundaries at {:?}",
         cache.shard_count(),
@@ -106,4 +132,88 @@ fn main() {
         misses.load(Ordering::Relaxed),
         cache.len()
     );
+
+    // ---- Act 2: the hot range shifts, the rebalancer follows. ----
+    // A contiguous slice at the bottom of the key order — one shard's
+    // territory — suddenly takes all the traffic (a tenant going viral).
+    let mut sorted: Vec<&Vec<u8>> = keyset.keys.iter().collect();
+    sorted.sort_unstable();
+    let hot: Vec<&Vec<u8>> = sorted[..KEYS / 8].to_vec();
+    println!(
+        "\nhot-range shift: all traffic moves to the lowest {} keys",
+        hot.len()
+    );
+    print_shard_stats(&cache, "before the shift");
+    let before = cache.boundaries();
+
+    let live_workers = Arc::new(AtomicUsize::new(workers));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // The rebalancer: a background ticker calling the counter-driven
+        // policy — every migration is a live boundary move, readers and
+        // unrelated writers never stop. It retires once the last worker
+        // drains.
+        {
+            let cache = Arc::clone(&cache);
+            let live_workers = Arc::clone(&live_workers);
+            scope.spawn(move || {
+                let mut migrations = 0usize;
+                let mut moved = 0usize;
+                while live_workers.load(Ordering::Relaxed) > 0 {
+                    std::thread::sleep(Duration::from_millis(50));
+                    if let wh_shard::RebalanceOutcome::Migrated(report) = cache.maybe_rebalance() {
+                        migrations += 1;
+                        moved += report.moved_keys;
+                        println!(
+                            "  rebalance: boundary {} of donor shard {} moved \
+                             ({} keys in {} batches, grace waits {} free / {} blocked)",
+                            report.pair,
+                            report.donor,
+                            report.moved_keys,
+                            report.batches,
+                            report.grace_waits_free,
+                            report.grace_waits_blocked,
+                        );
+                    }
+                }
+                println!("rebalancer: {migrations} migrations, {moved} keys moved live");
+            });
+        }
+        for w in 0..workers {
+            let cache = Arc::clone(&cache);
+            let hot = &hot;
+            let live_workers = Arc::clone(&live_workers);
+            scope.spawn(move || {
+                let probes = uniform_indices(OPS_PER_WORKER * 2, hot.len(), w as u64 + 900);
+                for (i, &p) in probes.iter().enumerate() {
+                    if i % 10 == 0 {
+                        cache.set(hot[p], p as u64);
+                    } else {
+                        std::hint::black_box(cache.get(hot[p]));
+                    }
+                }
+                live_workers.fetch_sub(1, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "skewed phase: {} ops in {secs:.2}s  ({:.2} Mops/s)",
+        workers * OPS_PER_WORKER * 2,
+        (workers * OPS_PER_WORKER * 2) as f64 / secs / 1e6
+    );
+    print_shard_stats(&cache, "after the shift + live rebalancing");
+    let after = cache.boundaries();
+    for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+        if b != a {
+            println!(
+                "boundary {i} migrated: {:?} -> {:?}",
+                String::from_utf8_lossy(b),
+                String::from_utf8_lossy(a)
+            );
+        }
+    }
+    cache.check_invariants();
+    println!("invariants hold after live migration — no rebuild, no downtime");
 }

@@ -7,9 +7,21 @@ use std::sync::Arc;
 
 use index_traits::ConcurrentOrderedIndex;
 use netsim::{KvService, LinkModel, WireRequest};
-use wh_shard::{ShardedConfig, ShardedWormhole};
+use wh_shard::{RebalanceConfig, ShardedConfig, ShardedWormhole};
 use workloads::{generate, KeysetId};
 use wormhole::{Wormhole, WormholeConfig};
+
+/// Iteration multiplier for the release-gated stress tests, read from
+/// `WH_STRESS_MULT` (default 1). PR CI runs at 1; the nightly CI job
+/// boosts it so long-soak races get real wall-clock without slowing every
+/// pull request.
+fn stress_mult() -> u64 {
+    std::env::var("WH_STRESS_MULT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&m| m > 0)
+        .unwrap_or(1)
+}
 
 /// Splits a yielded key of the torn-scan test into its stable id and
 /// whether it is a churn key. Panics on a malformed (torn) key.
@@ -129,8 +141,13 @@ fn optimistic_readers_see_consistent_state_under_split_merge_churn() {
     // exact preloaded value and every scan sees the stable keys exactly
     // once, in order — i.e. each read observed either the pre- or the
     // post-split state of a leaf, never a torn mixture. Iteration counts
-    // are kept high only under `--release`; debug builds run a smoke pass.
-    let iters: u64 = if cfg!(debug_assertions) { 300 } else { 25_000 };
+    // are kept high only under `--release` (scaled by WH_STRESS_MULT for
+    // nightly soaks); debug builds run a smoke pass.
+    let iters: u64 = if cfg!(debug_assertions) {
+        300
+    } else {
+        25_000 * stress_mult()
+    };
     let n_stable = 2_000u64;
     let wh = Arc::new(Wormhole::with_config(
         WormholeConfig::optimized().with_leaf_capacity(8),
@@ -223,8 +240,13 @@ fn torn_scan_cursors_stream_consistent_state_under_churn() {
     // ascending across the entire stream — per-leaf snapshots must never
     // re-yield or reorder across a batch boundary — and every key that is
     // stable for the whole scan must appear exactly once. Iteration counts
-    // are kept high only under `--release`; debug builds run a smoke pass.
-    let scans: u64 = if cfg!(debug_assertions) { 8 } else { 400 };
+    // are kept high only under `--release` (scaled by WH_STRESS_MULT for
+    // nightly soaks); debug builds run a smoke pass.
+    let scans: u64 = if cfg!(debug_assertions) {
+        8
+    } else {
+        400 * stress_mult()
+    };
     let n_stable = 2_000u64;
     let wh = Arc::new(Wormhole::with_config(
         WormholeConfig::optimized().with_leaf_capacity(8),
@@ -309,8 +331,13 @@ fn sharded_multi_writer_scan_stress() {
     // cursors, asserting strict global key order across every shard
     // boundary, well-formed pairs only, and the stable population seen
     // exactly once per scan. Iteration counts are high only under
-    // `--release`; debug builds run a smoke pass.
-    let scans: u64 = if cfg!(debug_assertions) { 6 } else { 250 };
+    // `--release` (scaled by WH_STRESS_MULT for nightly soaks); debug
+    // builds run a smoke pass.
+    let scans: u64 = if cfg!(debug_assertions) {
+        6
+    } else {
+        250 * stress_mult()
+    };
     let n_stable = 2_000u64;
     let idx = Arc::new(ShardedWormhole::<u64>::with_config(
         ShardedConfig::with_boundaries(vec![
@@ -395,6 +422,174 @@ fn sharded_multi_writer_scan_stress() {
     });
     idx.check_invariants();
     for i in (0..n_stable).step_by(37) {
+        assert_eq!(idx.get(format!("stable-{i:06}").as_bytes()), Some(i));
+    }
+}
+
+#[test]
+fn migration_under_churn_stress() {
+    // Release-gated stress for online shard rebalancing: a migration
+    // thread forces boundary moves back and forth through the middle of
+    // the stable population while churn writers split/merge leaves in
+    // every shard (including inside the migrating ranges), point readers
+    // assert every stable key is readable with its exact value at every
+    // instant (a migrated key must never be unreachable or torn), and
+    // cross-shard cursor readers drain full scans asserting strict global
+    // order and the stable population seen exactly once. Iteration counts
+    // are high only under `--release` (scaled by WH_STRESS_MULT for
+    // nightly soaks); debug builds run a smoke pass.
+    let migrations: u64 = if cfg!(debug_assertions) {
+        6
+    } else {
+        600 * stress_mult()
+    };
+    let scans: u64 = if cfg!(debug_assertions) {
+        4
+    } else {
+        300 * stress_mult()
+    };
+    let n_stable = 2_000u64;
+    let idx = Arc::new(ShardedWormhole::<u64>::with_config(
+        ShardedConfig::with_boundaries(vec![
+            b"stable-000500".to_vec(),
+            b"stable-001000".to_vec(),
+            b"stable-001500".to_vec(),
+        ])
+        .with_inner(WormholeConfig::optimized().with_leaf_capacity(8))
+        .with_rebalance(RebalanceConfig {
+            min_pair_ops: 512,
+            imbalance_percent: 150,
+            batch_keys: 64,
+            sample_cap: 512,
+            min_move_keys: 8,
+        }),
+    ));
+    for i in 0..n_stable {
+        idx.set(format!("stable-{i:06}").as_bytes(), i);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        // The migration thread bounces boundary 1 between two targets that
+        // each re-home a 200-key slice (plus its churn keys), and lets the
+        // counter-driven policy take an occasional extra decision.
+        {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let targets: [&[u8]; 2] = [b"stable-000800", b"stable-001200"];
+                for m in 0..migrations {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match idx.migrate_boundary(1, targets[(m % 2) as usize]) {
+                        Ok(_) => {}
+                        // A policy-driven move of a neighbouring boundary
+                        // (the maybe_rebalance below) can make a forced
+                        // target degenerate; that rejection is correct.
+                        Err(wh_shard::MigrateError::InvalidTarget { .. }) => {}
+                        Err(e) => panic!("forced migration failed: {e}"),
+                    }
+                    if m % 8 == 0 {
+                        let _ = idx.maybe_rebalance();
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+        // Churn writers: splits and merges in every shard, including keys
+        // interleaved with the migrating slices.
+        for t in 0..2u64 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in ((t * 3)..n_stable).step_by(5) {
+                        idx.set(format!("stable-{i:06}:churn{t}").as_bytes(), round);
+                    }
+                    for i in ((t * 3)..n_stable).step_by(5) {
+                        idx.del(format!("stable-{i:06}:churn{t}").as_bytes());
+                    }
+                    round += 1;
+                }
+            });
+        }
+        // Point readers: a stable key is present with its exact value at
+        // every instant of a migration (freeze/copy/publish/drain).
+        for r in 0..2u64 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut pass = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Bias probes toward the migrating slice (700..1300).
+                    let i = if pass.is_multiple_of(2) {
+                        700 + (pass * 131 + r * 17) % 600
+                    } else {
+                        (pass * 131 + r * 17) % n_stable
+                    };
+                    assert_eq!(
+                        idx.get(format!("stable-{i:06}").as_bytes()),
+                        Some(i),
+                        "stable-{i:06} unreachable or torn during migration"
+                    );
+                    pass += 1;
+                }
+            });
+        }
+        // Cursor readers: full cross-shard drains stay strictly ascending
+        // and exhaustive while boundaries move underneath them.
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            readers.push(scope.spawn(move || {
+                let mut done = 0u64;
+                while done < scans && !stop.load(Ordering::Relaxed) {
+                    let mut cursor = idx.scan(b"");
+                    let mut prev: Option<Vec<u8>> = None;
+                    let mut next_stable = 0u64;
+                    while let Some(batch) = cursor.next_batch() {
+                        assert!(!batch.is_empty(), "cursor yielded an empty batch");
+                        for (key, value) in batch.iter() {
+                            if let Some(prev) = &prev {
+                                assert!(
+                                    prev.as_slice() < key,
+                                    "stream not strictly ascending across a migration: \
+                                     {:?} !< {:?}",
+                                    String::from_utf8_lossy(prev),
+                                    String::from_utf8_lossy(key),
+                                );
+                            }
+                            let (id, is_churn) = parse_torn_scan_key(key);
+                            assert!(id < n_stable, "id out of range in scan");
+                            if !is_churn {
+                                assert_eq!(
+                                    id, next_stable,
+                                    "stable key missing or duplicated in scan racing migration"
+                                );
+                                assert_eq!(*value, id, "torn value for stable-{id:06}");
+                                next_stable += 1;
+                            }
+                            prev = Some(key.to_vec());
+                        }
+                    }
+                    assert_eq!(
+                        next_stable, n_stable,
+                        "scan racing migration lost part of the stable population"
+                    );
+                    done += 1;
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    idx.check_invariants();
+    assert_eq!(idx.len() as u64, n_stable, "churn or migration leaked keys");
+    for i in 0..n_stable {
         assert_eq!(idx.get(format!("stable-{i:06}").as_bytes()), Some(i));
     }
 }

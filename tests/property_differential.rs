@@ -12,13 +12,15 @@ use baseline_masstree::Masstree;
 use baseline_skiplist::SkipList;
 use index_traits::{ConcurrentOrderedIndex, Cursor, OrderedIndex, UnorderedIndex};
 use proptest::prelude::*;
-use wh_shard::{ShardedConfig, ShardedWormhole};
+use wh_shard::{RebalanceConfig, ShardedConfig, ShardedWormhole};
 use wormhole::{Wormhole, WormholeConfig, WormholeUnsafe};
 
 /// The sharded front under differential test: boundaries planted inside
 /// every family the key strategies generate (short binary keys, printable
 /// ASCII, high-byte blobs), so generated operations and cursor windows
-/// constantly land on and cross shard edges.
+/// constantly land on and cross shard edges. The rebalance policy is
+/// cranked all the way down so interleaved `maybe_rebalance()` calls
+/// actually migrate boundaries mid-sequence.
 fn sharded_under_test() -> ShardedWormhole<u64> {
     ShardedWormhole::with_config(
         ShardedConfig::with_boundaries(vec![
@@ -28,7 +30,14 @@ fn sharded_under_test() -> ShardedWormhole<u64> {
             b"a".to_vec(),
             vec![0xa0],
         ])
-        .with_inner(WormholeConfig::optimized().with_leaf_capacity(8)),
+        .with_inner(WormholeConfig::optimized().with_leaf_capacity(8))
+        .with_rebalance(RebalanceConfig {
+            min_pair_ops: 4,
+            imbalance_percent: 120,
+            batch_keys: 4,
+            sample_cap: 64,
+            min_move_keys: 1,
+        }),
     )
 }
 
@@ -38,6 +47,9 @@ enum Op {
     Set(Vec<u8>, u64),
     Del(Vec<u8>),
     Range(Vec<u8>, usize),
+    /// Nudges the sharded front's online rebalancer (no observable effect
+    /// on the key/value state — every other index ignores it).
+    Rebalance,
 }
 
 fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
@@ -56,6 +68,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
         3 => (key_strategy(), any::<u64>()).prop_map(|(k, v)| Op::Set(k, v)),
         1 => key_strategy().prop_map(Op::Del),
         1 => (key_strategy(), 0usize..40).prop_map(|(k, n)| Op::Range(k, n)),
+        1 => Just(Op::Rebalance),
     ]
 }
 
@@ -108,6 +121,12 @@ proptest! {
                     prop_assert_eq!(wh_unsafe.range_from(start, *count), expect.clone());
                     prop_assert_eq!(wh.range_from(start, *count), expect.clone());
                     prop_assert_eq!(sharded.range_from(start, *count), expect);
+                }
+                Op::Rebalance => {
+                    // Only the sharded front reacts: boundaries may migrate
+                    // mid-sequence, but the observable key/value state must
+                    // stay identical to every other index.
+                    let _ = sharded.maybe_rebalance();
                 }
             }
         }
@@ -239,6 +258,10 @@ proptest! {
                     prop_assert_eq!(sharded.set(k, *v), expect);
                 }
             }
+            // A rebalance decision between mutation batches may migrate a
+            // boundary under the resumable scans below — resume keys must
+            // re-route through the moved boundaries transparently.
+            let _ = sharded.maybe_rebalance();
             // Stream one window from the shared resume point on every index
             // (the baselines via the default range_from-adapted cursor, the
             // Wormholes via their native leaf-streaming cursors).
