@@ -1,0 +1,115 @@
+//! Writes `BENCH_wal.json`: durable SET throughput of the group-commit
+//! write-ahead log at several writer counts, against real files.
+//!
+//! Each writer loops `set` + per-operation commit on one shared
+//! `DurableWormhole` (`SyncPolicy::Always`), so every acknowledged
+//! operation is covered by a synced `Commit` frame. The interesting
+//! number is `ops_per_fsync`: with one writer every commit pays its own
+//! fsync (≈1.0); with contending writers the batch leader seals the whole
+//! pending buffer, so the cost is shared and the ratio climbs.
+//!
+//! ```text
+//! cargo run -p bench --release --bin wal_commit_baseline
+//! ```
+//!
+//! Set `WH_BENCH_QUICK=1` for CI's smoke mode (seconds, numbers not
+//! comparable to tracked baselines).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::{quick_mode, quick_or};
+use index_traits::ConcurrentOrderedIndex;
+use wh_durable::{DurableOptions, DurableWormhole};
+
+struct Sample {
+    writers: usize,
+    ops: u64,
+    mops: f64,
+    fsyncs: u64,
+    ops_per_fsync: f64,
+}
+
+fn measure(writers: usize, per_writer: u64, dir: &std::path::Path) -> Sample {
+    let _ = std::fs::remove_dir_all(dir);
+    let idx: DurableWormhole<u64> =
+        DurableWormhole::open_with(dir, DurableOptions::default()).expect("open durable index");
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let idx = &idx;
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    let key = format!("w{w:02}-{i:08}");
+                    idx.set(key.as_bytes(), i);
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let ops = writers as u64 * per_writer;
+    let fsyncs = idx.sync_count();
+    let _ = std::fs::remove_dir_all(dir);
+    Sample {
+        writers,
+        ops,
+        mops: ops as f64 / secs / 1e6,
+        fsyncs,
+        ops_per_fsync: ops as f64 / fsyncs.max(1) as f64,
+    }
+}
+
+fn main() {
+    let per_writer = quick_or(20_000u64, 1_500);
+    let writer_counts: &[usize] = if quick_mode() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let dir = std::env::temp_dir().join(format!("wal_commit_baseline_{}", std::process::id()));
+    eprintln!(
+        "measuring durable SET throughput, {per_writer} ops/writer, quick={}...",
+        quick_mode(),
+    );
+    let mut samples = Vec::new();
+    for &writers in writer_counts {
+        let s = measure(writers, per_writer, &dir);
+        eprintln!(
+            "  writers={:<2} {:8.3} Mops/s  {:>8} fsyncs  {:6.1} ops/fsync",
+            s.writers, s.mops, s.fsyncs, s.ops_per_fsync,
+        );
+        samples.push(s);
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"wal_commit\",\n");
+    json.push_str(
+        "  \"description\": \"Durable SET throughput of DurableWormhole (write-ahead log with \
+         group commit, SyncPolicy::Always, real files under the OS temp dir) at increasing \
+         writer-thread counts, ~13B keys, 20k acknowledged ops per writer, fresh directory per \
+         cell. Every op is logged, applied, and covered by a synced Commit frame before set() \
+         returns; fsyncs counts the storage sync barriers actually paid, so ops_per_fsync is the \
+         group-commit batching factor (1.0 = every commit paid its own fsync; higher = the batch \
+         leader amortised the barrier over concurrent writers). Absolute Mops/s tracks the \
+         fsync latency of the host's temp filesystem more than anything else; the batching \
+         factor is the portable signal. On a single-CPU host writers time-slice, which caps how \
+         many commits pile up behind one leader.\",\n",
+    );
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"ops_per_writer\": {per_writer},");
+    json.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"writers\": {}, \"ops\": {}, \"mops\": {:.3}, \"fsyncs\": {}, \
+             \"ops_per_fsync\": {:.2}}}{comma}",
+            s.writers, s.ops, s.mops, s.fsyncs, s.ops_per_fsync,
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_wal.json", &json).expect("write BENCH_wal.json");
+    println!("{json}");
+}

@@ -18,4 +18,4 @@ pub mod traits;
 
 pub use key::{common_prefix_len, immediate_successor_into, is_prefix_of, successor_key, KeyRange};
 pub use scan::{ChainedSource, Cursor, CursorSource, RangeSink, ScanBatch};
-pub use traits::{ConcurrentOrderedIndex, IndexStats, OrderedIndex, UnorderedIndex};
+pub use traits::{ConcurrentOrderedIndex, DurableIndex, IndexStats, OrderedIndex, UnorderedIndex};

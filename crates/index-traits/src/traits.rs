@@ -187,6 +187,37 @@ pub trait ConcurrentOrderedIndex<V>: Send + Sync {
     fn stats(&self) -> IndexStats;
 }
 
+/// A concurrent ordered index with crash durability.
+///
+/// Implementations log every mutation to stable storage before (or
+/// atomically with) applying it, and can be re-opened after a crash to
+/// exactly the state covered by the last durable commit. The inherited
+/// [`ConcurrentOrderedIndex`] methods acknowledge an operation only once
+/// it is durable under the implementation's sync policy; the methods here
+/// expose the durability machinery itself — explicit barriers and
+/// checkpoint triggers — without prescribing file layout or log format.
+pub trait DurableIndex<V>: ConcurrentOrderedIndex<V> {
+    /// Forces every operation applied so far to stable storage and
+    /// returns the durable watermark (an implementation-defined sequence
+    /// number; operations at or below it survive a crash).
+    fn wal_sync(&self) -> std::io::Result<u64>;
+
+    /// The current durable watermark, without forcing anything.
+    fn durable_watermark(&self) -> u64;
+
+    /// Writes a full checkpoint (snapshot) and prunes log data it makes
+    /// redundant. Returns the watermark the checkpoint covers.
+    fn checkpoint(&self) -> std::io::Result<u64>;
+
+    /// Checkpoint-if-warranted policy hook: like `checkpoint`, but only
+    /// when the implementation's policy (log growth, elapsed work, …)
+    /// says it is worth the cost, and never blocking behind another
+    /// in-flight checkpoint. Returns `Ok(None)` when nothing was done.
+    fn maybe_checkpoint(&self) -> std::io::Result<Option<u64>> {
+        Ok(None)
+    }
+}
+
 /// A point-only (unordered) index — the cuckoo hash table baseline.
 ///
 /// Figure 13 compares Wormhole's lookup throughput against a hash table that

@@ -1,0 +1,450 @@
+//! A range-partitioned durable front: N independent [`DurableWormhole`]
+//! shards, **one WAL per shard**, under one directory.
+//!
+//! Partitioning durability by range keeps the group-commit contention
+//! domain per shard — writers on different shards never meet on a log
+//! mutex or share an fsync — at the price of *static* boundaries: the
+//! boundary set is chosen at creation time, persisted in a `MANIFEST`
+//! file, and never moves. Live rebalancing (what `wh_shard` does for the
+//! in-memory front) is deliberately unsupported here: migrating a range
+//! between shards would move keys across logs, and a crash mid-migration
+//! could then find the same key's operations split across two logs with
+//! no global order between them. Until a cross-log fencing record exists,
+//! static boundaries are the honest contract.
+//!
+//! Durability semantics are **per shard**: each operation is logged,
+//! applied, and committed entirely inside the shard that owns its key, so
+//! single-key operations have exactly the [`DurableWormhole`] guarantees.
+//! Multi-shard `delete_range` issues one `DeleteRange` record per
+//! overlapped shard — a crash between shards can recover a partially
+//! applied range removal (each shard is still internally consistent).
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/MANIFEST          boundary set (CRC-framed, tmp+rename published)
+//! <dir>/shard-<i>/        one DurableWormhole directory per shard
+//! ```
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use index_traits::{
+    ChainedSource, ConcurrentOrderedIndex, Cursor, CursorSource, DurableIndex, IndexStats,
+};
+use wh_hash::crc32c;
+
+use crate::durable::{DurableOptions, DurableWormhole};
+use crate::value::DurableValue;
+
+/// Manifest file magic (8 bytes, includes a format version).
+pub const MANIFEST_MAGIC: &[u8; 8] = b"WHSHRD01";
+
+const MANIFEST: &str = "MANIFEST";
+
+fn bad_manifest(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {msg}"))
+}
+
+/// Encodes and atomically publishes the boundary set.
+fn write_manifest(dir: &Path, boundaries: &[Vec<u8>]) -> io::Result<()> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MANIFEST_MAGIC);
+    buf.extend_from_slice(&(boundaries.len() as u32).to_le_bytes());
+    for boundary in boundaries {
+        buf.extend_from_slice(&(boundary.len() as u32).to_le_bytes());
+        buf.extend_from_slice(boundary);
+    }
+    buf.extend_from_slice(&crc32c(&buf).to_le_bytes());
+    let tmp = dir.join("MANIFEST.tmp");
+    let final_path = dir.join(MANIFEST);
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(&buf)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, &final_path)?;
+    crate::snapshot::sync_dir(dir)
+}
+
+fn read_manifest(path: &Path) -> io::Result<Vec<Vec<u8>>> {
+    let mut buf = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut buf)?;
+    if buf.len() < 8 + 4 + 4 || &buf[..8] != MANIFEST_MAGIC {
+        return Err(bad_manifest("truncated or bad magic"));
+    }
+    let body = buf.len() - 4;
+    let crc = u32::from_le_bytes(buf[body..].try_into().unwrap());
+    if crc32c(&buf[..body]) != crc {
+        return Err(bad_manifest("bad crc"));
+    }
+    let count = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+    let mut boundaries = Vec::with_capacity(count);
+    let mut pos = 12usize;
+    for _ in 0..count {
+        let end = pos.checked_add(4).filter(|&e| e <= body);
+        let end = end.ok_or_else(|| bad_manifest("boundary overruns body"))?;
+        let len = u32::from_le_bytes(buf[pos..end].try_into().unwrap()) as usize;
+        let stop = end.checked_add(len).filter(|&e| e <= body);
+        let stop = stop.ok_or_else(|| bad_manifest("boundary overruns body"))?;
+        boundaries.push(buf[end..stop].to_vec());
+        pos = stop;
+    }
+    if pos != body {
+        return Err(bad_manifest("trailing bytes"));
+    }
+    Ok(boundaries)
+}
+
+/// A range-partitioned [`DurableWormhole`] with one WAL per shard (see
+/// the [module docs](self) for semantics and layout).
+pub struct DurableSharded<V: DurableValue> {
+    shards: Vec<DurableWormhole<V>>,
+    /// `boundaries[i]` is the inclusive lower bound of shard `i + 1`;
+    /// shard 0 starts at the empty key. Strictly ascending, non-empty.
+    boundaries: Vec<Vec<u8>>,
+    dir: PathBuf,
+}
+
+impl<V: DurableValue> DurableSharded<V> {
+    /// Opens (or creates) a sharded index in `dir`. On first open the
+    /// given `boundaries` are validated and persisted to the `MANIFEST`;
+    /// on every later open the **persisted** set wins — boundaries are
+    /// part of the on-disk state, not a tunable (see the module docs for
+    /// why they cannot move).
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        boundaries: &[Vec<u8>],
+        options: DurableOptions,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let manifest = dir.join(MANIFEST);
+        let boundaries = if manifest.exists() {
+            read_manifest(&manifest)?
+        } else {
+            let owned = boundaries.to_vec();
+            Self::validate_boundaries(&owned)?;
+            write_manifest(&dir, &owned)?;
+            owned
+        };
+        let mut shards = Vec::with_capacity(boundaries.len() + 1);
+        for i in 0..=boundaries.len() {
+            shards.push(DurableWormhole::open_with(
+                dir.join(format!("shard-{i}")),
+                options,
+            )?);
+        }
+        Ok(Self {
+            shards,
+            boundaries,
+            dir,
+        })
+    }
+
+    /// [`DurableSharded::open_with`] with default options.
+    pub fn open(dir: impl AsRef<Path>, boundaries: &[Vec<u8>]) -> io::Result<Self> {
+        Self::open_with(dir, boundaries, DurableOptions::default())
+    }
+
+    fn validate_boundaries(boundaries: &[Vec<u8>]) -> io::Result<()> {
+        for pair in boundaries.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(bad_manifest("boundaries must be strictly ascending"));
+            }
+        }
+        if boundaries.iter().any(|b| b.is_empty()) {
+            return Err(bad_manifest("empty boundary key"));
+        }
+        Ok(())
+    }
+
+    /// Number of shards (boundaries + 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The persisted boundary set.
+    pub fn boundaries(&self) -> &[Vec<u8>] {
+        &self.boundaries
+    }
+
+    /// Direct access to shard `i` (tests and stats).
+    pub fn shard(&self, i: usize) -> &DurableWormhole<V> {
+        &self.shards[i]
+    }
+
+    /// The persistence directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn shard_for(&self, key: &[u8]) -> usize {
+        self.boundaries
+            .partition_point(|boundary| boundary.as_slice() <= key)
+    }
+}
+
+impl<V: DurableValue> ConcurrentOrderedIndex<V> for DurableSharded<V> {
+    fn name(&self) -> &'static str {
+        "wormhole-durable-sharded"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<V> {
+        self.shards[self.shard_for(key)].get(key)
+    }
+
+    /// Panics if the owning shard's WAL fails — the per-shard failure
+    /// policy of [`DurableWormhole::set`](ConcurrentOrderedIndex::set).
+    fn set(&self, key: &[u8], value: V) -> Option<V> {
+        self.shards[self.shard_for(key)].set(key, value)
+    }
+
+    /// Panics if the owning shard's WAL fails.
+    fn del(&self, key: &[u8]) -> Option<V> {
+        self.shards[self.shard_for(key)].del(key)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|shard| shard.len()).sum()
+    }
+
+    /// One logged `DeleteRange` per overlapped shard, clamped to the
+    /// shard's territory; durability is per shard (module docs).
+    fn delete_range(&self, lo: &[u8], hi: &[u8]) -> usize {
+        if lo >= hi {
+            return 0;
+        }
+        let first = self.shard_for(lo);
+        let last = self.shard_for(hi);
+        let mut removed = 0usize;
+        for i in first..=last.min(self.shards.len() - 1) {
+            let shard_lo = if i == first {
+                lo
+            } else {
+                self.boundaries[i - 1].as_slice()
+            };
+            let shard_hi = if i < self.boundaries.len() && self.boundaries[i].as_slice() < hi {
+                self.boundaries[i].as_slice()
+            } else {
+                hi
+            };
+            if shard_lo < shard_hi {
+                removed += self.shards[i].delete_range(shard_lo, shard_hi);
+            }
+        }
+        removed
+    }
+
+    fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, V)> {
+        let mut out = Vec::new();
+        self.scan(start).collect_next(count, &mut out);
+        out
+    }
+
+    /// Streams across shard boundaries by chaining the per-shard cursors
+    /// (disjoint ascending ranges, so the concatenation stays strictly
+    /// ascending).
+    fn scan<'a>(&'a self, start: &[u8]) -> Cursor<'a, V>
+    where
+        V: Clone + 'a,
+    {
+        let first = self.shard_for(start);
+        let shards = &self.shards;
+        let start_owned = start.to_vec();
+        let mut next = first;
+        let factory = move || -> Option<Box<dyn CursorSource<V> + 'a>> {
+            let shard = shards.get(next)?;
+            let from = if next == first {
+                start_owned.clone()
+            } else {
+                Vec::new()
+            };
+            next += 1;
+            Some(Box::new(shard.scan(&from)))
+        };
+        Cursor::new(start, Box::new(ChainedSource::new(Box::new(factory))))
+    }
+
+    fn stats(&self) -> IndexStats {
+        let mut total = IndexStats::default();
+        for shard in &self.shards {
+            let stats = shard.stats();
+            total.keys += stats.keys;
+            total.structure_bytes += stats.structure_bytes;
+            total.key_bytes += stats.key_bytes;
+            total.value_bytes += stats.value_bytes;
+        }
+        total
+    }
+}
+
+impl<V: DurableValue> DurableIndex<V> for DurableSharded<V> {
+    /// Syncs every shard's log; the returned watermark is the **minimum**
+    /// across shards (watermarks are per-log sequence numbers, so the
+    /// minimum is the only value meaningful for the whole front).
+    fn wal_sync(&self) -> io::Result<u64> {
+        let mut min = u64::MAX;
+        for shard in &self.shards {
+            min = min.min(shard.wal_sync()?);
+        }
+        Ok(min)
+    }
+
+    fn durable_watermark(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.durable_watermark())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Checkpoints every shard; returns the minimum covered LSN.
+    fn checkpoint(&self) -> io::Result<u64> {
+        let mut min = u64::MAX;
+        for shard in &self.shards {
+            min = min.min(shard.checkpoint()?);
+        }
+        Ok(min)
+    }
+
+    /// Ticks every shard's checkpoint policy independently; `Some` when
+    /// at least one shard checkpointed (with the smallest covered LSN
+    /// among those that did).
+    fn maybe_checkpoint(&self) -> io::Result<Option<u64>> {
+        let mut done: Option<u64> = None;
+        for shard in &self.shards {
+            if let Some(covered) = shard.maybe_checkpoint()? {
+                done = Some(done.map_or(covered, |d| d.min(covered)));
+            }
+        }
+        Ok(done)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormhole::WormholeConfig;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wh-durable-shard-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny() -> DurableOptions {
+        DurableOptions {
+            config: WormholeConfig::optimized().with_leaf_capacity(8),
+            ..DurableOptions::default()
+        }
+    }
+
+    fn boundaries() -> Vec<Vec<u8>> {
+        vec![b"h".to_vec(), b"p".to_vec()]
+    }
+
+    #[test]
+    fn routes_persists_and_recovers_across_shards() {
+        let dir = test_dir("route");
+        {
+            let idx: DurableSharded<u64> =
+                DurableSharded::open_with(&dir, &boundaries(), tiny()).unwrap();
+            assert_eq!(idx.shard_count(), 3);
+            for i in 0..300u64 {
+                idx.set(
+                    format!("{}{i:04}", (b'a' + (i % 26) as u8) as char).as_bytes(),
+                    i,
+                );
+            }
+            assert!(idx.shard(0).len() > 0);
+            assert!(idx.shard(1).len() > 0);
+            assert!(idx.shard(2).len() > 0);
+            assert_eq!(idx.len(), 300);
+        }
+        let idx: DurableSharded<u64> =
+            DurableSharded::open_with(&dir, &boundaries(), tiny()).unwrap();
+        assert_eq!(idx.len(), 300);
+        for i in 0..300u64 {
+            let key = format!("{}{i:04}", (b'a' + (i % 26) as u8) as char);
+            assert_eq!(idx.get(key.as_bytes()), Some(i), "{key}");
+        }
+        // Cross-shard ordered scan yields everything in global key order.
+        let all = idx.range_from(b"", usize::MAX);
+        assert_eq!(all.len(), 300);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persisted_boundaries_win_over_the_argument() {
+        let dir = test_dir("manifest");
+        {
+            let _idx: DurableSharded<u64> =
+                DurableSharded::open_with(&dir, &boundaries(), tiny()).unwrap();
+        }
+        let idx: DurableSharded<u64> =
+            DurableSharded::open_with(&dir, &[b"zzz".to_vec()], tiny()).unwrap();
+        assert_eq!(idx.boundaries(), boundaries().as_slice());
+        assert_eq!(idx.shard_count(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_boundaries_are_rejected() {
+        let dir = test_dir("invalid");
+        let unsorted = vec![b"p".to_vec(), b"h".to_vec()];
+        assert!(DurableSharded::<u64>::open_with(&dir, &unsorted, tiny()).is_err());
+        let empty_key = vec![Vec::new()];
+        assert!(DurableSharded::<u64>::open_with(&dir, &empty_key, tiny()).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delete_range_spans_shards_with_one_record_each() {
+        let dir = test_dir("span");
+        {
+            let idx: DurableSharded<u64> =
+                DurableSharded::open_with(&dir, &boundaries(), tiny()).unwrap();
+            for c in b'a'..=b'z' {
+                for i in 0..10u64 {
+                    idx.set(format!("{}{i}", c as char).as_bytes(), i);
+                }
+            }
+            assert_eq!(idx.len(), 260);
+            // [f, s) crosses both boundaries: f..h in shard 0, h..p in
+            // shard 1, p..s in shard 2.
+            let removed = idx.delete_range(b"f", b"s");
+            assert_eq!(removed, 130);
+            assert_eq!(idx.len(), 130);
+        }
+        let idx: DurableSharded<u64> =
+            DurableSharded::open_with(&dir, &boundaries(), tiny()).unwrap();
+        assert_eq!(idx.len(), 130, "range delete must replay on every shard");
+        assert_eq!(idx.get(b"e0"), Some(0));
+        assert_eq!(idx.get(b"f0"), None);
+        assert_eq!(idx.get(b"r9"), None);
+        assert_eq!(idx.get(b"s0"), Some(0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_and_watermarks_cover_all_shards() {
+        let dir = test_dir("ckpt");
+        let idx: DurableSharded<u64> =
+            DurableSharded::open_with(&dir, &boundaries(), tiny()).unwrap();
+        for c in [b'a', b'j', b'q'] {
+            for i in 0..50u64 {
+                idx.set(format!("{}{i:03}", c as char).as_bytes(), i);
+            }
+        }
+        assert_eq!(idx.durable_watermark(), 50);
+        let covered = idx.checkpoint().unwrap();
+        assert_eq!(covered, 50);
+        for i in 0..3 {
+            assert!(idx.shard(i).recovery().committed_lsn <= 50);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

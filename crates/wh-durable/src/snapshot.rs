@@ -1,0 +1,283 @@
+//! Crash-consistent snapshot files.
+//!
+//! A snapshot is the full key/value image of the index at (or after) a
+//! known WAL position, written with the strict publish ordering that
+//! makes a crash at *any* point leave either the old snapshot set or the
+//! new one — never a half-visible file:
+//!
+//! 1. stream the records into a **temp file** (`*.tmp`),
+//! 2. `fsync` the temp file so every data byte is on the medium,
+//! 3. **atomic rename** to the final `snap-<lsn>.snap` name,
+//! 4. `fsync` the directory so the rename itself survives.
+//!
+//! The rename is the publish step — a reader either sees the complete,
+//! CRC-verified file under its final name or does not see it at all
+//! (ADR-0003's records → links → header-publish discipline, with the
+//! directory entry playing the header's role).
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! magic "WHSNAP01" (8) | covered_lsn u64le |
+//! records: (klen u32le | key | vlen u32le | value)* |
+//! count u64le | crc u32le
+//! ```
+//!
+//! `crc` is the CRC-32c of every preceding byte, so torn or bit-rotted
+//! snapshot files are rejected as a whole and recovery falls back to the
+//! next-older one. `covered_lsn` keys WAL truncation: WAL segments whose
+//! every record has `lsn <= covered_lsn` are redundant once the snapshot
+//! is published.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use wh_hash::crc32c_append;
+
+/// Snapshot file magic (8 bytes, includes a format version).
+pub const SNAP_MAGIC: &[u8; 8] = b"WHSNAP01";
+
+/// Buffered snapshot writer that tracks the running CRC.
+struct CrcWriter {
+    file: io::BufWriter<File>,
+    crc: u32,
+}
+
+impl CrcWriter {
+    fn write(&mut self, data: &[u8]) -> io::Result<()> {
+        self.crc = crc32c_append(self.crc, data);
+        self.file.write_all(data)
+    }
+}
+
+/// Streams `records` into a temp file next to `final_path`, then
+/// publishes it by fsync + atomic rename + directory fsync. Returns the
+/// number of records written.
+///
+/// `records` may be a live cursor over a concurrently-mutating index: the
+/// snapshot is *fuzzy*, and callers restore consistency by replaying the
+/// WAL from `covered_lsn + 1` (every record is a last-write-wins state
+/// assignment, so replay converges — see [`crate::durable`]).
+pub fn write_snapshot(
+    final_path: &Path,
+    covered_lsn: u64,
+    records: impl Iterator<Item = (Vec<u8>, Vec<u8>)>,
+) -> io::Result<u64> {
+    let (tmp_path, count) = write_snapshot_tmp(final_path, covered_lsn, records)?;
+    publish_snapshot(&tmp_path, final_path)?;
+    Ok(count)
+}
+
+/// The write half of [`write_snapshot`]: streams the records into the
+/// temp file and fsyncs it, but does **not** publish. Checkpointing uses
+/// the gap between the two halves to commit the WAL through everything
+/// the fuzzy scan may have observed *before* the snapshot becomes
+/// load-bearing.
+pub fn write_snapshot_tmp(
+    final_path: &Path,
+    covered_lsn: u64,
+    records: impl Iterator<Item = (Vec<u8>, Vec<u8>)>,
+) -> io::Result<(PathBuf, u64)> {
+    let tmp_path = final_path.with_extension("tmp");
+    let file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+    let mut writer = CrcWriter {
+        file: io::BufWriter::new(file),
+        crc: 0,
+    };
+    writer.write(SNAP_MAGIC)?;
+    writer.write(&covered_lsn.to_le_bytes())?;
+    let mut count = 0u64;
+    for (key, value) in records {
+        writer.write(&(key.len() as u32).to_le_bytes())?;
+        writer.write(&key)?;
+        writer.write(&(value.len() as u32).to_le_bytes())?;
+        writer.write(&value)?;
+        count += 1;
+    }
+    writer.write(&count.to_le_bytes())?;
+    let crc = writer.crc;
+    writer.file.write_all(&crc.to_le_bytes())?;
+    let file = writer.file.into_inner()?;
+    // Every data byte is durable before the final name can exist.
+    file.sync_all()?;
+    Ok((tmp_path, count))
+}
+
+/// The publish half of [`write_snapshot`]: atomic rename to the final
+/// name, then a directory fsync so the rename itself survives. The
+/// snapshot must already be fully synced ([`write_snapshot_tmp`]).
+pub fn publish_snapshot(tmp_path: &Path, final_path: &Path) -> io::Result<()> {
+    fs::rename(tmp_path, final_path)?;
+    sync_dir(final_path.parent().unwrap_or(Path::new(".")))
+}
+
+/// A fully validated, decoded snapshot.
+pub struct SnapshotData {
+    /// Every WAL record with `lsn <= covered_lsn` is reflected in (or
+    /// superseded by) this snapshot.
+    pub covered_lsn: u64,
+    /// The key/value image, in the order the cursor emitted it (sorted
+    /// for a quiescent index).
+    pub records: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {msg}"))
+}
+
+/// Reads and fully validates a snapshot file. Any structural defect —
+/// short file, bad magic, bad CRC, count mismatch — is an error; the
+/// caller treats the file as absent and falls back to an older snapshot.
+pub fn load_snapshot(path: &Path) -> io::Result<SnapshotData> {
+    let mut buf = Vec::new();
+    File::open(path)?.read_to_end(&mut buf)?;
+    if buf.len() < SNAP_MAGIC.len() + 8 + 8 + 4 {
+        return Err(bad("truncated header"));
+    }
+    if &buf[..8] != SNAP_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let body_len = buf.len() - 4;
+    let crc = u32::from_le_bytes(buf[body_len..].try_into().unwrap());
+    if crc32c_append(0, &buf[..body_len]) != crc {
+        return Err(bad("bad crc"));
+    }
+    let count = u64::from_le_bytes(buf[body_len - 8..body_len].try_into().unwrap());
+    let covered_lsn = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+    let mut pos = 16usize;
+    let records_end = body_len - 8;
+    while pos < records_end {
+        let read_chunk = |pos: &mut usize| -> io::Result<Vec<u8>> {
+            let len_end = pos.checked_add(4).filter(|&e| e <= records_end);
+            let len_end = len_end.ok_or_else(|| bad("record overruns body"))?;
+            let len = u32::from_le_bytes(buf[*pos..len_end].try_into().unwrap()) as usize;
+            let end = len_end.checked_add(len).filter(|&e| e <= records_end);
+            let end = end.ok_or_else(|| bad("record overruns body"))?;
+            let chunk = buf[len_end..end].to_vec();
+            *pos = end;
+            Ok(chunk)
+        };
+        let key = read_chunk(&mut pos)?;
+        let value = read_chunk(&mut pos)?;
+        records.push((key, value));
+    }
+    if records.len() as u64 != count {
+        return Err(bad("record count mismatch"));
+    }
+    Ok(SnapshotData {
+        covered_lsn,
+        records,
+    })
+}
+
+/// Fsyncs a directory so renames/creates/unlinks inside it are durable.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Lists snapshot files (`snap-*.snap`) in `dir`, newest (highest
+/// covered LSN) first. Zero-padded names make the lexical sort numeric.
+pub fn list_snapshots(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut snaps: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension().is_some_and(|e| e == "snap")
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("snap-"))
+        })
+        .collect();
+    snaps.sort();
+    snaps.reverse();
+    Ok(snaps)
+}
+
+/// The canonical snapshot file name for a covered LSN.
+pub fn snapshot_path(dir: &Path, covered_lsn: u64) -> PathBuf {
+    dir.join(format!("snap-{covered_lsn:020}.snap"))
+}
+
+/// The covered LSN encoded in a snapshot file's name, if well-formed.
+pub fn covered_lsn_of(path: &Path) -> Option<u64> {
+    path.file_name()?
+        .to_str()?
+        .strip_prefix("snap-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("wh-durable-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_preserves_records_and_lsn() {
+        let dir = tmp_dir("roundtrip");
+        let path = snapshot_path(&dir, 42);
+        let records = vec![
+            (b"alpha".to_vec(), b"1".to_vec()),
+            (b"beta".to_vec(), vec![]),
+            (vec![], b"empty-key".to_vec()),
+        ];
+        let count = write_snapshot(&path, 42, records.clone().into_iter()).unwrap();
+        assert_eq!(count, 3);
+        let snap = load_snapshot(&path).unwrap();
+        assert_eq!(snap.covered_lsn, 42);
+        assert_eq!(snap.records, records);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_anywhere_is_rejected() {
+        let dir = tmp_dir("corrupt");
+        let path = snapshot_path(&dir, 7);
+        write_snapshot(&path, 7, vec![(b"k".to_vec(), b"v".to_vec())].into_iter()).unwrap();
+        let clean = fs::read(&path).unwrap();
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x01;
+            fs::write(&path, &bad).unwrap();
+            assert!(load_snapshot(&path).is_err(), "flip at byte {i} accepted");
+        }
+        // Truncation at every point is also rejected.
+        for cut in 0..clean.len() {
+            fs::write(&path, &clean[..cut]).unwrap();
+            assert!(
+                load_snapshot(&path).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn listing_orders_newest_first_and_ignores_tmp() {
+        let dir = tmp_dir("list");
+        for lsn in [5u64, 999, 70] {
+            write_snapshot(&snapshot_path(&dir, lsn), lsn, std::iter::empty()).unwrap();
+        }
+        fs::write(dir.join("snap-junk.tmp"), b"partial").unwrap();
+        let snaps = list_snapshots(&dir).unwrap();
+        let lsns: Vec<u64> = snaps
+            .iter()
+            .map(|p| load_snapshot(p).unwrap().covered_lsn)
+            .collect();
+        assert_eq!(lsns, vec![999, 70, 5]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

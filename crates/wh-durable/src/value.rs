@@ -1,0 +1,70 @@
+//! Value encoding for WAL records and snapshot files.
+//!
+//! Keys are raw byte strings throughout the workspace; values are generic,
+//! so anything stored durably must say how it becomes bytes. The codec is
+//! deliberately minimal — no self-description, no versioning — because the
+//! containing frame (WAL record or snapshot entry) already carries the
+//! length, and a `DurableWormhole<V>` is only ever reopened as the same
+//! `V`.
+
+/// A value type that can round-trip through the WAL and snapshots.
+pub trait DurableValue: Clone + Send + Sync + 'static {
+    /// Appends this value's encoding to `out`.
+    fn encode_into(&self, out: &mut Vec<u8>);
+    /// Decodes a value from exactly `bytes`; `None` on malformed input
+    /// (treated as corruption by recovery).
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl DurableValue for u64 {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl DurableValue for Vec<u8> {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(bytes.to_vec())
+    }
+}
+
+impl DurableValue for String {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<V: DurableValue + PartialEq + std::fmt::Debug>(value: V) {
+        let mut buf = Vec::new();
+        value.encode_into(&mut buf);
+        assert_eq!(V::decode(&buf), Some(value));
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(Vec::<u8>::new());
+        roundtrip(vec![1u8, 2, 3]);
+        roundtrip(String::from("héllo"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert_eq!(u64::decode(b"short"), None);
+        assert_eq!(String::decode(&[0xFF, 0xFE]), None);
+    }
+}

@@ -126,6 +126,41 @@ mod tests {
         assert_eq!(crc32c(b""), 0);
     }
 
+    /// The canonical CRC-32c vector table from RFC 3720 §B.4 (iSCSI, the
+    /// polynomial's defining use). The WAL frames every record with this
+    /// CRC ([`wh-durable`]'s torn-tail detection), so these vectors pin
+    /// the on-disk checksum against any future change to the kernel —
+    /// a table or folding rewrite that drifts from the standard would
+    /// silently invalidate every existing log file.
+    #[test]
+    fn rfc3720_vector_table() {
+        let ascending: Vec<u8> = (0u8..32).collect();
+        let descending: Vec<u8> = (0u8..32).rev().collect();
+        let vectors: [(&[u8], u32); 4] = [
+            (&[0u8; 32], 0x8A91_36AA),
+            (&[0xFFu8; 32], 0x62A8_AB43),
+            (&ascending, 0x46DD_794E),
+            (&descending, 0x113F_DB5C),
+        ];
+        for (i, (input, expected)) in vectors.iter().enumerate() {
+            assert_eq!(crc32c(input), *expected, "RFC 3720 vector {i}");
+        }
+    }
+
+    /// The incremental form must agree with the vector table too — WAL
+    /// snapshot writing streams through `crc32c_append` chunk by chunk.
+    #[test]
+    fn rfc3720_vectors_hold_under_chunked_append() {
+        let zeros = [0u8; 32];
+        for chunk in [1usize, 3, 8, 13, 32] {
+            let mut state = 0u32;
+            for piece in zeros.chunks(chunk) {
+                state = crc32c_append(state, piece);
+            }
+            assert_eq!(state, 0x8A91_36AA, "chunk size {chunk}");
+        }
+    }
+
     #[test]
     fn matches_reference_on_various_lengths() {
         let data: Vec<u8> = (0..=255u8).cycle().take(1024).collect();

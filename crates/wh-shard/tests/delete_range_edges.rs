@@ -1,0 +1,127 @@
+//! Edge cases of `delete_range` on the sharded front (and the plain
+//! index underneath it): degenerate windows, the full-index window, a
+//! window whose endpoints sit exactly on a shard boundary, and a window
+//! inside a range that a live migration has frozen mid-sweep.
+
+use index_traits::ConcurrentOrderedIndex;
+use wh_shard::{RebalanceConfig, ShardedConfig, ShardedWormhole};
+use wormhole::{Wormhole, WormholeConfig};
+
+fn two_sharded() -> ShardedWormhole<u64> {
+    ShardedWormhole::with_config(
+        ShardedConfig::with_boundaries(vec![b"m".to_vec()])
+            .with_inner(WormholeConfig::optimized().with_leaf_capacity(8)),
+    )
+}
+
+fn fill(idx: &impl ConcurrentOrderedIndex<u64>, n: u64) {
+    for i in 0..n {
+        let key = format!("{}{:04}", (b'a' + (i % 26) as u8) as char, i);
+        idx.set(key.as_bytes(), i);
+    }
+}
+
+#[test]
+fn degenerate_windows_remove_nothing_everywhere() {
+    let plain = Wormhole::<u64>::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+    let sharded = two_sharded();
+    fill(&plain, 500);
+    fill(&sharded, 500);
+    for idx in [&plain as &dyn ConcurrentOrderedIndex<u64>, &sharded] {
+        assert_eq!(idx.delete_range(b"", b""), 0, "empty-empty window");
+        assert_eq!(idx.delete_range(b"g", b"g"), 0, "point window");
+        assert_eq!(idx.delete_range(b"t", b"g"), 0, "inverted window");
+        assert_eq!(idx.delete_range(b"zzz", b"zzzz"), 0, "window past all keys");
+        assert_eq!(idx.len(), 500);
+    }
+    // The empty index accepts any window.
+    let empty = two_sharded();
+    assert_eq!(empty.delete_range(b"", b"\xff"), 0);
+    assert_eq!(empty.len(), 0);
+}
+
+#[test]
+fn full_index_window_drains_every_shard() {
+    let idx = two_sharded();
+    fill(&idx, 600);
+    // Both shards are populated before the drain.
+    assert!(idx.shard(0).len() > 0 && idx.shard(1).len() > 0);
+    assert_eq!(idx.delete_range(b"", b"\xff"), 600);
+    assert_eq!(idx.len(), 0);
+    assert!(idx.range_from(b"", usize::MAX).is_empty());
+    idx.check_invariants();
+    // The index keeps working after a full drain.
+    idx.set(b"reborn", 1);
+    assert_eq!(idx.get(b"reborn"), Some(1));
+}
+
+#[test]
+fn window_endpoints_exactly_on_a_shard_boundary() {
+    // Keys m0000..m0009 sit at the very bottom of shard 1 (boundary "m").
+    let idx = two_sharded();
+    fill(&idx, 600);
+    let below: Vec<_> = idx
+        .range_from(b"f", usize::MAX)
+        .into_iter()
+        .take_while(|(k, _)| k.as_slice() < b"m" as &[u8])
+        .collect();
+    // hi == boundary: the window ends exactly where shard 0 ends; nothing
+    // in shard 1 (keys >= "m") may be touched.
+    let shard1_before = idx.shard(1).len();
+    assert_eq!(idx.delete_range(b"f", b"m"), below.len());
+    assert_eq!(idx.shard(1).len(), shard1_before);
+    assert!(idx.get(b"f0005").is_none());
+    assert!(idx.get(b"m0012").is_some());
+
+    // lo == boundary: the window starts exactly where shard 1 begins;
+    // shard 0's remaining keys are untouched.
+    let shard0_before = idx.shard(0).len();
+    let mid: Vec<_> = idx
+        .range_from(b"m", usize::MAX)
+        .into_iter()
+        .take_while(|(k, _)| k.as_slice() < b"p" as &[u8])
+        .collect();
+    assert!(!mid.is_empty());
+    assert_eq!(idx.delete_range(b"m", b"p"), mid.len());
+    assert_eq!(idx.shard(0).len(), shard0_before);
+    assert!(idx.get(b"m0012").is_none());
+    idx.check_invariants();
+}
+
+#[test]
+fn window_inside_a_frozen_migrating_range_is_exact() {
+    // Small batches make the migration freeze/publish many times while the
+    // sweep below runs, so deletes genuinely hit frozen sub-ranges and
+    // have to wait them out.
+    let idx = ShardedWormhole::<u64>::with_config(
+        ShardedConfig::with_boundaries(vec![b"t".to_vec()])
+            .with_inner(WormholeConfig::optimized().with_leaf_capacity(8))
+            .with_rebalance(RebalanceConfig {
+                batch_keys: 16,
+                ..RebalanceConfig::default()
+            }),
+    );
+    fill(&idx, 2_000);
+    let in_window = idx
+        .range_from(b"g", usize::MAX)
+        .into_iter()
+        .take_while(|(k, _)| k.as_slice() < b"l" as &[u8])
+        .count();
+    assert!(in_window > 100, "window too small to be interesting");
+    let total = idx.len();
+    std::thread::scope(|scope| {
+        let idx = &idx;
+        let migrator = scope.spawn(move || {
+            // Drag the boundary down through the window and back up: the
+            // deletes race freeze windows on both sides of their sweep.
+            idx.migrate_boundary(0, b"h").unwrap();
+            idx.migrate_boundary(0, b"t").unwrap()
+        });
+        let removed = idx.delete_range(b"g", b"l");
+        assert_eq!(removed, in_window, "every key deleted exactly once");
+        migrator.join().unwrap();
+    });
+    assert_eq!(idx.len(), total - in_window);
+    assert!(idx.range_from(b"g", 1)[0].0.as_slice() >= b"l" as &[u8]);
+    idx.check_invariants();
+}

@@ -328,6 +328,103 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
         &self.config
     }
 
+    /// Bulk-loads a **strictly ascending** stream of key/value pairs into
+    /// a fresh index by packing leaves directly — the snapshot-restore
+    /// path: instead of `set`-ing every pair through the split machinery
+    /// (O(n) splits, each publishing a table), leaves are greedy-packed to
+    /// ~¾ of the configured capacity, linked into the leaf list, and
+    /// registered in both hash tables as they are produced.
+    ///
+    /// Anchor formation follows the same §2.2 rule as a live split (common
+    /// prefix of the boundary pair plus one byte, never ending in a ⊥
+    /// token); when no valid anchor exists at the target boundary the
+    /// current leaf keeps growing past the target — the §3.3 fat-node
+    /// relaxation, arising here for the same reason it does under `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input is not strictly ascending (equal keys
+    /// included) — callers stream from an ordered source (a snapshot file
+    /// written by an ordered cursor), so an out-of-order pair means the
+    /// source is corrupt.
+    pub fn from_sorted(
+        config: WormholeConfig,
+        pairs: impl IntoIterator<Item = (Vec<u8>, V)>,
+    ) -> Self {
+        let head = LeafHandle::new(LeafNode::new(Vec::new(), Vec::new()), Weak::new(), None);
+        let mut t1 = MetaTable::new();
+        t1.install_root_leaf(head.clone());
+        let mut t2 = MetaTable::new();
+        t2.install_root_leaf(head.clone());
+
+        // Pack to ¾ capacity so post-restore inserts do not immediately
+        // split every leaf, while staying well above the merge threshold.
+        let target = (config.leaf_capacity * 3 / 4).max(1);
+        let mut tail = head.clone();
+        let mut in_leaf = 0usize;
+        let mut last_key: Option<Vec<u8>> = None;
+        let mut len = 0usize;
+        let mut key_bytes = 0usize;
+
+        for (key, value) in pairs {
+            if let Some(last) = &last_key {
+                assert!(key > *last, "from_sorted requires strictly ascending keys");
+                if in_leaf >= target {
+                    let cpl = index_traits::common_prefix_len(last, &key);
+                    // A candidate anchor ending in ⊥ is invalid (§3.3):
+                    // keep extending the current leaf instead.
+                    if key[cpl] != 0 {
+                        let anchor = key[..=cpl].to_vec();
+                        let table_key = t1.reserve_anchor_key(&anchor);
+                        let leaf = LeafNode::new(anchor, table_key.clone());
+                        let handle = LeafHandle::new(leaf, tail.downgrade(), None);
+                        tail.0.data.write().next = Some(handle.clone());
+                        let relocations = t1.apply_split(&table_key, handle.clone(), &tail, None);
+                        let relocations_t2 =
+                            t2.apply_split(&table_key, handle.clone(), &tail, None);
+                        debug_assert_eq!(relocations.len(), relocations_t2.len());
+                        for (leaf, new_key) in relocations {
+                            leaf.0.data.write().leaf.set_table_key(new_key);
+                        }
+                        tail = handle;
+                        in_leaf = 0;
+                    }
+                }
+            }
+            key_bytes += key.len();
+            len += 1;
+            in_leaf += 1;
+            let old = tail
+                .0
+                .data
+                .write()
+                .leaf
+                .insert(&key, crc32c(&key), value, &config);
+            debug_assert!(old.is_none());
+            last_key = Some(key);
+        }
+
+        let current = Box::into_raw(Box::new(VersionedMeta {
+            version: 0,
+            table: t1,
+        }));
+        Self {
+            config,
+            current: AtomicPtr::new(current),
+            writer: Mutex::new(WriterState {
+                spare: Some(Box::new(VersionedMeta {
+                    version: 0,
+                    table: t2,
+                })),
+                retiring: None,
+            }),
+            qsbr: Qsbr::new(),
+            head,
+            len: AtomicUsize::new(len),
+            key_bytes: AtomicUsize::new(key_bytes),
+        }
+    }
+
     /// Whether the optimistic read path is usable for this value type.
     ///
     /// A racing read may clone a value from a leaf mid-mutation and
@@ -1404,6 +1501,77 @@ mod tests {
         assert_eq!(wh.del(b"missing"), None);
         assert!(wh.range_from(b"", 10).is_empty());
         wh.check_invariants();
+    }
+
+    #[test]
+    fn from_sorted_builds_a_fully_functional_index() {
+        let keys: Vec<Vec<u8>> = (0..5_000u64)
+            .map(|i| format!("bulk-{i:06}").into_bytes())
+            .collect();
+        let wh: Wormhole<u64> = Wormhole::from_sorted(
+            small_config(),
+            keys.iter().enumerate().map(|(i, k)| (k.clone(), i as u64)),
+        );
+        assert_eq!(wh.len(), keys.len());
+        assert!(wh.leaf_count() > 1, "bulk load must pack multiple leaves");
+        wh.check_invariants();
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(wh.get(key), Some(i as u64));
+        }
+        // Ordered iteration sees every key in order.
+        let all = wh.range_from(b"", keys.len() + 1);
+        assert_eq!(all.len(), keys.len());
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        // The index keeps working as a live index: inserts split packed
+        // leaves, deletes merge them.
+        for key in keys.iter().step_by(2) {
+            assert!(wh.del(key).is_some());
+        }
+        for (i, key) in keys.iter().enumerate() {
+            let mut grown = key.clone();
+            grown.push(b'x');
+            wh.set(&grown, i as u64);
+        }
+        assert_eq!(wh.len(), keys.len() + keys.len() / 2);
+        wh.check_invariants();
+    }
+
+    #[test]
+    fn from_sorted_handles_fat_node_runs_and_empty_input() {
+        let empty: Wormhole<u64> = Wormhole::from_sorted(small_config(), Vec::new());
+        assert!(empty.is_empty());
+        empty.check_invariants();
+
+        // Keys differing only by trailing ⊥ tokens cannot be split apart:
+        // the packer must extend the leaf (fat node) instead of forming an
+        // invalid anchor.
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for stem in 1u8..=4 {
+            let mut k = vec![stem];
+            for _ in 0..12 {
+                keys.push(k.clone());
+                k.push(0);
+            }
+        }
+        keys.sort();
+        let wh: Wormhole<u64> = Wormhole::from_sorted(
+            WormholeConfig::optimized().with_leaf_capacity(4),
+            keys.iter().enumerate().map(|(i, k)| (k.clone(), i as u64)),
+        );
+        assert_eq!(wh.len(), keys.len());
+        wh.check_invariants();
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(wh.get(key), Some(i as u64), "key {key:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_sorted_rejects_unsorted_input() {
+        let _wh: Wormhole<u64> = Wormhole::from_sorted(
+            small_config(),
+            vec![(b"b".to_vec(), 1u64), (b"a".to_vec(), 2u64)],
+        );
     }
 
     #[test]

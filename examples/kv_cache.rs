@@ -18,13 +18,22 @@
 //! live — no rebuild, no downtime — until the hot range spans shards
 //! again. Per-shard op counters are printed before and after.
 //!
+//! The third act demonstrates **crash durability**: the cache contents
+//! are persisted into a `DurableSharded` (one write-ahead log per shard),
+//! checkpointed into snapshots, and the in-memory state is dropped — the
+//! process forgetting everything it served. `open()` then rebuilds the
+//! cache from disk (newest snapshot + WAL tail per shard), the contents
+//! are verified entry for entry, and the workers resume serving against
+//! the durable index, with every acknowledged write group-committed.
+//!
 //! Run with: `cargo run --release --example kv_cache`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use index_traits::ConcurrentOrderedIndex;
+use index_traits::{ConcurrentOrderedIndex, DurableIndex};
+use wh_durable::{DurableOptions, DurableSharded, SyncPolicy};
 use wh_shard::{RebalanceConfig, ShardedConfig, ShardedWormhole};
 use workloads::{generate, uniform_indices, KeysetId};
 
@@ -216,4 +225,97 @@ fn main() {
     }
     cache.check_invariants();
     println!("invariants hold after live migration — no rebuild, no downtime");
+
+    // ---- Act 3: the cache survives its process. ----
+    // Persist the served state into a durable sharded index (one WAL per
+    // shard, boundaries inherited from wherever the rebalancer left
+    // them), checkpoint, and throw the in-memory cache away — then prove
+    // a fresh `open()` serves the exact same contents.
+    let store_dir = std::env::temp_dir().join(format!("kv_cache_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    println!("\npersisting the cache to {}…", store_dir.display());
+    let durable_options = DurableOptions {
+        // Bulk load without a barrier per entry; one sync at the end
+        // makes the whole image durable at once.
+        sync: SyncPolicy::Manual,
+        ..DurableOptions::default()
+    };
+    let boundaries = cache.boundaries();
+    let expected: Vec<(Vec<u8>, u64)> = cache.range_from(b"", usize::MAX);
+    let start = Instant::now();
+    {
+        let store: DurableSharded<u64> =
+            DurableSharded::open_with(&store_dir, &boundaries, durable_options)
+                .expect("create durable store");
+        for (key, value) in &expected {
+            store.set(key, *value);
+        }
+        store.wal_sync().expect("durability barrier");
+        let covered = store.checkpoint().expect("checkpoint");
+        println!(
+            "persisted {} entries in {:.2}s (checkpoint covers LSN {covered} per shard)",
+            expected.len(),
+            start.elapsed().as_secs_f64()
+        );
+        // `store` (and `cache` conceptually) drop here: process state gone.
+    }
+    drop(cache);
+
+    let start = Instant::now();
+    let store: Arc<DurableSharded<u64>> = Arc::new(
+        DurableSharded::open_with(&store_dir, &[], DurableOptions::default())
+            .expect("recover durable store"),
+    );
+    println!(
+        "recovered {} entries in {:.2}s from snapshots + WAL tails",
+        store.len(),
+        start.elapsed().as_secs_f64()
+    );
+    for s in 0..store.shard_count() {
+        let report = store.shard(s).recovery();
+        println!(
+            "  shard {s}: {} snapshot records, {} WAL ops replayed, committed LSN {}",
+            report.snapshot_records, report.replayed_operations, report.committed_lsn
+        );
+    }
+    let recovered: Vec<(Vec<u8>, u64)> = store.range_from(b"", usize::MAX);
+    assert_eq!(recovered, expected, "recovered contents diverge");
+    println!(
+        "verified: all {} entries match the pre-drop cache",
+        recovered.len()
+    );
+
+    // Resume serving — same mixed workload shape, now with every
+    // acknowledged SET durable (group commit batches the fsyncs).
+    let resume_ops = 4_000usize;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let store = Arc::clone(&store);
+            let keys = &keyset.keys;
+            scope.spawn(move || {
+                let probes = uniform_indices(resume_ops, keys.len(), w as u64 + 4242);
+                for (i, &p) in probes.iter().enumerate() {
+                    if i % 10 == 0 {
+                        store.set(&keys[p], p as u64);
+                    } else {
+                        std::hint::black_box(store.get(&keys[p]));
+                    }
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let fsyncs: u64 = (0..store.shard_count())
+        .map(|s| store.shard(s).sync_count())
+        .sum();
+    let sets = workers * resume_ops / 10;
+    println!(
+        "resumed serving: {} ops in {secs:.2}s — {sets} durable SETs cost {fsyncs} fsyncs \
+         ({:.1} sets per fsync)",
+        workers * resume_ops,
+        sets as f64 / fsyncs.max(1) as f64
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+    println!("the cache now outlives its process — crash recovery is a reopen");
 }

@@ -13,6 +13,10 @@ pub use baseline_masstree as masstree;
 pub use baseline_skiplist as skiplist;
 pub use index_traits as traits;
 pub use netsim;
+/// Crash durability for the index (`wh-durable`): write-ahead log,
+/// crash-consistent snapshots, and the recovering `DurableWormhole` /
+/// `DurableSharded` fronts.
+pub use wh_durable as durable;
 pub use wh_epoch as epoch;
 pub use wh_hash as hash;
 /// The range-partitioned sharded front (`wh-shard`), re-exported as
