@@ -1,0 +1,109 @@
+//! Criterion bench: batched point lookups (`get_batch`) vs a loop of
+//! single `get`s, per frontend and batch size, at micro scale. The tracked
+//! large-keyset baseline lives in `BENCH_batch.json` (see
+//! `bench::batch_lookup`); this bench watches the same shapes with
+//! Criterion's statistics on a keyset small enough for CI.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+use bench::shard_scale::{build_sharded, build_unsharded, resident_keys, shard_bench_config};
+use index_traits::{ConcurrentOrderedIndex, OrderedIndex};
+use workloads::uniform_indices;
+use wormhole::WormholeUnsafe;
+
+const KEYS: usize = 20_000;
+const PROBES: usize = 4096;
+
+fn bench_batch_lookup(c: &mut Criterion) {
+    let resident = resident_keys(KEYS);
+    let order = uniform_indices(PROBES, KEYS, 7);
+    let probes: Vec<&[u8]> = order.iter().map(|&i| resident[i].as_slice()).collect();
+
+    let single = {
+        let mut wh = WormholeUnsafe::with_config(shard_bench_config());
+        for (i, key) in resident.iter().enumerate() {
+            wh.set(key, i as u64);
+        }
+        wh
+    };
+    let concurrent = build_unsharded(KEYS);
+    let sharded = build_sharded(4, KEYS);
+
+    for batch in [8usize, 32, 128] {
+        let mut group = c.benchmark_group(format!("batch_lookup/batch={batch}"));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(300))
+            .measurement_time(Duration::from_millis(800));
+        group.bench_function("single/get_loop", |b| {
+            b.iter_batched(
+                || (),
+                |()| probes.iter().filter(|k| single.get(k).is_some()).count(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("single/get_batch", |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    probes
+                        .chunks(batch)
+                        .map(|chunk| single.get_batch(chunk).iter().flatten().count())
+                        .sum::<usize>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("concurrent/get_loop", |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    probes
+                        .iter()
+                        .filter(|k| ConcurrentOrderedIndex::get(&concurrent, k).is_some())
+                        .count()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("concurrent/get_batch", |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    probes
+                        .chunks(batch)
+                        .map(|chunk| {
+                            ConcurrentOrderedIndex::get_batch(&concurrent, chunk)
+                                .iter()
+                                .flatten()
+                                .count()
+                        })
+                        .sum::<usize>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function("sharded/get_batch", |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    probes
+                        .chunks(batch)
+                        .map(|chunk| {
+                            ConcurrentOrderedIndex::get_batch(&sharded, chunk)
+                                .iter()
+                                .flatten()
+                                .count()
+                        })
+                        .sum::<usize>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_batch_lookup);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Writes `BENCH_batch.json`: `get_batch` vs a loop of single `get`s over
+//! the single-threaded `WormholeUnsafe`, the concurrent `Wormhole`, and a
+//! 4-shard `ShardedWormhole`, at batch sizes 1/8/32/128/800 — plus a
+//! Figure-12-style series of client-observed throughput through the netsim
+//! service loop at the paper's 800-request message size.
+//!
+//! ```text
+//! cargo run -p bench --release --bin batch_lookup_baseline
+//! ```
+//!
+//! Set `WH_BENCH_QUICK=1` for CI's smoke mode (seconds, numbers not
+//! comparable to tracked baselines).
+
+use std::fmt::Write as _;
+
+use bench::batch_lookup::{measure_batch_lookup, measure_service_batches};
+use bench::{quick_mode, quick_or};
+
+fn main() {
+    let batches = [1usize, 8, 32, 128, 800];
+    let rounds = quick_or(3, 1);
+    let sizes: &[usize] = if quick_mode() {
+        &[8_000]
+    } else {
+        &[100_000, 1_200_000]
+    };
+    let mut samples = Vec::new();
+    for &keys in sizes {
+        eprintln!(
+            "measuring batched lookups over {keys} residents \
+             (batches {batches:?}, best of {rounds} rounds, quick={})...",
+            quick_mode(),
+        );
+        let run = measure_batch_lookup(keys, &batches, rounds);
+        for s in &run {
+            eprintln!(
+                "  {:<10} keys={:<8} batch={:<4} {:<15} {:8.1} ns/key  {:7.3} Mops/s",
+                s.frontend, s.keys, s.batch, s.mode, s.ns_per_key, s.mops,
+            );
+        }
+        samples.extend(run);
+    }
+    let service_keys = quick_or(100_000, 8_000);
+    eprintln!("measuring service-loop throughput over {service_keys} residents (batch 800)...");
+    let service = measure_service_batches(service_keys, 800);
+    for s in &service {
+        eprintln!(
+            "  service {:<10} keys={:<8} batch={:<4} {:7.3} Mops/s",
+            s.frontend, s.keys, s.batch, s.mops,
+        );
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"batch_lookup\",\n");
+    json.push_str(
+        "  \"description\": \"Point-lookup cost of get_batch vs a loop of single gets over the \
+         same shuffled probe stream (every resident visited once, ~20B keys, leaf capacity 64, \
+         best round). frontends: single = WormholeUnsafe, concurrent = Wormhole (optimistic \
+         seqlock reads), sharded = 4-shard ShardedWormhole (one router critical section per \
+         batch). get_batch pipelines up to BATCH_WINDOW=16 probes: hashes computed up front, \
+         MetaTrieHT buckets prefetched, LPM binary-search steps round-robined so concurrent \
+         cache misses overlap; batch=1 degenerates to the windowed engine with one probe. The \
+         service series is the netsim client/server loop (encode, channel, decode, batched \
+         execution) at the paper's 800-request message size, client-observed. The speedup from \
+         overlap depends on how much of the probe working set misses cache: small keysets fit \
+         in LLC and show mostly the reduced per-key dispatch cost; the 1.2M-key set is where \
+         memory-level parallelism shows. Single-vCPU hosts still benefit: the overlap is \
+         per-core memory parallelism, not thread parallelism.\",\n",
+    );
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    json.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"frontend\": \"{}\", \"keys\": {}, \"batch\": {}, \"mode\": \"{}\", \
+             \"ns_per_key\": {:.1}, \"mops\": {:.3}}}{comma}",
+            s.frontend, s.keys, s.batch, s.mode, s.ns_per_key, s.mops,
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"service\": [\n");
+    for (i, s) in service.iter().enumerate() {
+        let comma = if i + 1 == service.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"frontend\": \"{}\", \"keys\": {}, \"batch\": {}, \"mops\": {:.3}}}{comma}",
+            s.frontend, s.keys, s.batch, s.mops,
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("{json}");
+}

@@ -14,6 +14,7 @@
 //! Absolute numbers depend on the machine; the paper's claims are about the
 //! *relative* ordering and trends, which is what `EXPERIMENTS.md` records.
 
+pub mod batch_lookup;
 pub mod contended;
 pub mod drivers;
 pub mod figures;
@@ -22,6 +23,9 @@ pub mod meta_layouts;
 pub mod scan_stream;
 pub mod shard_scale;
 
+pub use batch_lookup::{
+    measure_batch_lookup, measure_service_batches, BatchSample, ServiceBatchSample,
+};
 pub use contended::{measure_contended, measure_modes, ContendedSample};
 pub use drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};
 pub use measure::{mops, parallel_lookup_mops, quick_mode, quick_or, Timer};

@@ -50,6 +50,18 @@ pub trait OrderedIndex<V> {
         self.get(key).is_some()
     }
 
+    /// Point-looks-up every key of `keys`, returning one result per key in
+    /// input order (duplicates allowed, each answered independently).
+    ///
+    /// The default is a plain per-key loop, so every baseline is correct by
+    /// construction. Indexes built for memory-level parallelism (Wormhole's
+    /// MetaTrieHT) override it with a software-pipelined probe engine that
+    /// overlaps the cache misses of many in-flight lookups; batched and
+    /// per-key results are always identical.
+    fn get_batch(&self, keys: &[&[u8]]) -> Vec<Option<V>> {
+        keys.iter().map(|key| self.get(key)).collect()
+    }
+
     /// Inserts or overwrites `key`, returning the previous value if any.
     fn set(&mut self, key: &[u8], value: V) -> Option<V>;
 
@@ -110,6 +122,22 @@ pub trait ConcurrentOrderedIndex<V>: Send + Sync {
     /// Returns `true` when `key` is present without copying its value.
     fn contains(&self, key: &[u8]) -> bool {
         self.get(key).is_some()
+    }
+
+    /// Point-looks-up every key of `keys`, returning one result per key in
+    /// input order (duplicates allowed, each answered independently).
+    ///
+    /// The default is a per-key loop. Each lookup is individually
+    /// linearisable; the batch as a whole is **not** a snapshot — a racing
+    /// writer may land between two keys of one batch, exactly as it could
+    /// between two separate `get` calls. The concurrent Wormhole overrides
+    /// this with a pipelined probe engine (shared QSBR critical section,
+    /// prefetched buckets, seqlock-validated leaf reads with the usual
+    /// bounded-retry fallback), and the sharded front routes a whole batch
+    /// inside one router epoch. Batched and per-key results are always
+    /// identical.
+    fn get_batch(&self, keys: &[&[u8]]) -> Vec<Option<V>> {
+        keys.iter().map(|key| self.get(key)).collect()
     }
 
     /// Inserts or overwrites `key`, returning the previous value if any.
@@ -306,6 +334,26 @@ mod tests {
         idx.set(b"a", 1);
         assert!(idx.contains(b"a"));
         assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn default_get_batch_answers_each_key_in_order() {
+        let mut idx = StdOrdered::default();
+        for (i, k) in ["Aaron", "Abbe", "Andrew"].iter().enumerate() {
+            idx.set(k.as_bytes(), i as u64);
+        }
+        // Hits, misses, and duplicates, answered in input order.
+        let keys: Vec<&[u8]> = vec![b"Abbe", b"missing", b"Aaron", b"Abbe", b""];
+        assert_eq!(
+            idx.get_batch(&keys),
+            vec![Some(1), None, Some(0), Some(1), None]
+        );
+        assert!(idx.get_batch(&[]).is_empty());
+
+        let locked = LockedOrdered::default();
+        locked.set(b"k", 9);
+        let keys: Vec<&[u8]> = vec![b"k", b"nope", b"k"];
+        assert_eq!(locked.get_batch(&keys), vec![Some(9), None, Some(9)]);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`service`] — an in-process client/server pair connected by channels
 //!   that actually encodes requests into buffers, batches them (800 per
 //!   message, like the paper), decodes them on the server thread, executes
-//!   them against any index, and ships encoded responses back.
+//!   them against any index, and ships encoded responses back. The server
+//!   decodes a whole message before executing it and feeds runs of
+//!   consecutive point lookups through the index's `get_batch`, so an
+//!   800-request lookup batch becomes pipelined probes with overlapped
+//!   cache misses rather than 800 serial descents.
 //!
 //! The `figures` harness combines both: it measures real batched-service
 //! throughput and applies the link model, so the reported series keeps the

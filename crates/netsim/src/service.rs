@@ -1,6 +1,13 @@
 //! An in-process batched key-value service: client and server threads
 //! exchanging encoded request/response batches over channels, mimicking
 //! HERD's request loop.
+//!
+//! The server decodes each incoming batch in full before touching the index,
+//! then executes every run of consecutive point lookups through the index's
+//! [`get_batch`](index_traits::ConcurrentOrderedIndex::get_batch) so the
+//! pipelined probe engine can overlap their cache misses; writes and range
+//! scans are executed individually in arrival order, so the response stream
+//! is byte-for-byte equivalent to serial per-request execution.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -92,28 +99,58 @@ impl KvService<u64> {
         let (resp_tx, resp_rx) = bounded::<ResponseBatch>(16);
         let index = Arc::clone(&self.index);
         let handle = std::thread::spawn(move || {
+            let mut requests: Vec<WireRequest> = Vec::new();
             while let Ok(batch) = req_rx.recv() {
+                // Decode the whole batch up front, then execute runs of
+                // consecutive point lookups through `get_batch` so the index
+                // can overlap their cache misses. Sets and ranges are executed
+                // individually in place, preserving response order.
                 let mut payload = batch.payload;
-                let mut out = BytesMut::with_capacity(batch.count * 16);
-                let mut served = 0usize;
+                requests.clear();
+                requests.reserve(batch.count);
                 while let Some(req) = WireRequest::decode(&mut payload) {
-                    let resp = match req {
-                        WireRequest::Get { key } => match index.get(&key) {
-                            Some(v) => WireResponse::Value(v),
-                            None => WireResponse::Miss,
-                        },
-                        WireRequest::Set { key, value } => match index.set(&key, value) {
-                            Some(v) => WireResponse::Value(v),
-                            None => WireResponse::Miss,
-                        },
-                        WireRequest::Range { start, count } => {
-                            WireResponse::Range(index.range_from(&start, count as usize))
-                        }
-                    };
-                    resp.encode(&mut out);
-                    served += 1;
+                    requests.push(req);
                 }
-                let _ = served;
+                let mut out = BytesMut::with_capacity(requests.len() * 16);
+                let mut i = 0usize;
+                while i < requests.len() {
+                    match &requests[i] {
+                        WireRequest::Get { .. } => {
+                            let run_end = requests[i..]
+                                .iter()
+                                .position(|r| !matches!(r, WireRequest::Get { .. }))
+                                .map_or(requests.len(), |off| i + off);
+                            let keys: Vec<&[u8]> = requests[i..run_end]
+                                .iter()
+                                .map(|r| match r {
+                                    WireRequest::Get { key } => key.as_slice(),
+                                    _ => unreachable!("run contains only gets"),
+                                })
+                                .collect();
+                            for value in index.get_batch(&keys) {
+                                match value {
+                                    Some(v) => WireResponse::Value(v),
+                                    None => WireResponse::Miss,
+                                }
+                                .encode(&mut out);
+                            }
+                            i = run_end;
+                        }
+                        WireRequest::Set { key, value } => {
+                            match index.set(key, *value) {
+                                Some(v) => WireResponse::Value(v),
+                                None => WireResponse::Miss,
+                            }
+                            .encode(&mut out);
+                            i += 1;
+                        }
+                        WireRequest::Range { start, count } => {
+                            WireResponse::Range(index.range_from(start, *count as usize))
+                                .encode(&mut out);
+                            i += 1;
+                        }
+                    }
+                }
                 if resp_tx
                     .send(ResponseBatch {
                         payload: out.freeze(),
@@ -248,6 +285,42 @@ mod tests {
         // The write really landed in the index.
         use index_traits::ConcurrentOrderedIndex;
         assert_eq!(index.get(b"fresh"), Some(9));
+    }
+
+    #[test]
+    fn get_runs_split_around_writes_and_observe_them_in_order() {
+        // Gets after a Set in the same batch must see its effect: if the
+        // server hoisted all lookups into one batched run it would answer
+        // the later gets from the pre-write state and the hit count drops.
+        let index = loaded_index(10);
+        let service = KvService::with_batch_size(index, 800);
+        let requests = vec![
+            WireRequest::Get {
+                key: b"fresh".to_vec(),
+            },
+            WireRequest::Set {
+                key: b"fresh".to_vec(),
+                value: 1,
+            },
+            WireRequest::Get {
+                key: b"fresh".to_vec(),
+            },
+            WireRequest::Get {
+                key: b"absent".to_vec(),
+            },
+            WireRequest::Set {
+                key: b"fresh".to_vec(),
+                value: 2,
+            },
+            WireRequest::Get {
+                key: b"fresh".to_vec(),
+            },
+        ];
+        let stats = service.run(&requests);
+        assert_eq!(stats.operations, 6);
+        // Hits: the get after the first set, the second set's old value, and
+        // the final get. The leading get and the "absent" probe miss.
+        assert_eq!(stats.hits, 3);
     }
 
     #[test]

@@ -496,6 +496,53 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWorm
         self.routed_read(key, |shard| shard.get(key))
     }
 
+    /// Batched point lookups with one router critical-section entry for the
+    /// whole batch: every key is routed against a single table snapshot,
+    /// the per-shard sub-batches run through each shard's pipelined
+    /// `get_batch`, and results are scattered back to input order. The
+    /// epoch entry/exit (two SeqCst stores plus a wake check per op on the
+    /// per-key path) is paid once per batch instead of once per key.
+    ///
+    /// A migration freeze never affects this path: freezes pause *writes*
+    /// only, and a frozen range keeps routing reads to the donor shard,
+    /// whose copy stays authoritative until the boundary moves.
+    fn get_batch(&self, keys: &[&[u8]]) -> Vec<Option<V>> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        self.with_router(|router| {
+            let mut out: Vec<Option<V>> = Vec::new();
+            out.resize_with(keys.len(), || None);
+            let routes: Vec<usize> = keys.iter().map(|key| router.route(key)).collect();
+            let mut sub_keys: Vec<&[u8]> = Vec::new();
+            let mut sub_pos: Vec<usize> = Vec::new();
+            for shard in 0..self.shards.len() {
+                sub_keys.clear();
+                sub_pos.clear();
+                for (i, &s) in routes.iter().enumerate() {
+                    if s == shard {
+                        sub_keys.push(keys[i]);
+                        sub_pos.push(i);
+                    }
+                }
+                if sub_keys.is_empty() {
+                    continue;
+                }
+                // One counter bump per sub-batch; the rebalancer's load
+                // signal still counts individual ops.
+                self.ops[shard]
+                    .0
+                    .fetch_add(sub_keys.len() as u64, Ordering::Relaxed);
+                let values = self.shards[shard].get_batch(&sub_keys);
+                debug_assert_eq!(values.len(), sub_pos.len());
+                for (value, &i) in values.into_iter().zip(&sub_pos) {
+                    out[i] = value;
+                }
+            }
+            out
+        })
+    }
+
     fn set(&self, key: &[u8], value: V) -> Option<V> {
         let mut value = Some(value);
         self.routed_write(key, |shard| {
@@ -682,6 +729,77 @@ mod tests {
         assert!(seen.windows(2).all(|w| w[0].0 < w[1].0));
         assert_eq!(seen.first().unwrap().1, 0);
         assert_eq!(seen.last().unwrap().1, 255);
+    }
+
+    #[test]
+    fn batched_gets_split_by_boundary_and_match_per_key_gets() {
+        let idx: ShardedWormhole<u64> = ShardedWormhole::with_config(small());
+        for i in 0..2_000u64 {
+            let key = [(i % 256) as u8, (i / 256) as u8, i as u8];
+            idx.set(&key, i);
+        }
+        let ops_before: u64 = idx.op_counts().iter().sum();
+        // A batch mixing hits across every shard, misses, and duplicates.
+        let mut key_bytes: Vec<Vec<u8>> = (0..700u64)
+            .map(|i| {
+                let i = i * 3 % 2_100; // every third key is a miss
+                vec![(i % 256) as u8, (i / 256) as u8, i as u8]
+            })
+            .collect();
+        key_bytes.push(key_bytes[0].clone());
+        key_bytes.push(b"not-anywhere".to_vec());
+        let keys: Vec<&[u8]> = key_bytes.iter().map(|k| k.as_slice()).collect();
+        let batched = idx.get_batch(&keys);
+        assert_eq!(batched.len(), keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(batched[i], idx.get(key), "key {key:?}");
+        }
+        // The load signal counted every batched key exactly once (plus the
+        // per-key verification gets just issued).
+        let ops_after: u64 = idx.op_counts().iter().sum();
+        assert_eq!(ops_after - ops_before, 2 * keys.len() as u64);
+    }
+
+    #[test]
+    fn batch_spanning_frozen_range_reads_the_donor() {
+        // A migration batch freezes writes to a sub-range while it copies;
+        // reads — batched or not — must keep routing to the donor, whose
+        // copy stays authoritative until the boundary actually moves.
+        let idx: ShardedWormhole<u64> = ShardedWormhole::with_config(small());
+        for i in 0..1_000u64 {
+            let key = [(i % 256) as u8, (i / 256) as u8, i as u8];
+            idx.set(&key, i);
+        }
+        let boundaries = idx.boundaries().into_boxed_slice();
+        // Freeze a range straddling the shard-1/shard-2 edge, as a
+        // mid-migration publication would.
+        let freeze = Some((vec![0x50u8], vec![0x90u8]));
+        {
+            let _migration = idx.migration.lock();
+            idx.publish_router(boundaries, freeze);
+        }
+        let key_bytes: Vec<Vec<u8>> = (0..1_050u64)
+            .step_by(7)
+            .map(|i| vec![(i % 256) as u8, (i / 256) as u8, i as u8])
+            .collect();
+        let keys: Vec<&[u8]> = key_bytes.iter().map(|k| k.as_slice()).collect();
+        let batched = idx.get_batch(&keys);
+        for (i, key) in keys.iter().enumerate() {
+            let expect = (key[0] as u64) + (key[1] as u64) * 256;
+            if expect < 1_000 {
+                assert_eq!(batched[i], Some(expect), "frozen-range key {key:?} lost");
+            } else {
+                assert_eq!(batched[i], None, "phantom value for {key:?}");
+            }
+        }
+        // Unfreeze (publish the same boundaries without a freeze window) and
+        // confirm the batch is identical.
+        let boundaries = idx.boundaries().into_boxed_slice();
+        {
+            let _migration = idx.migration.lock();
+            idx.publish_router(boundaries, None);
+        }
+        assert_eq!(idx.get_batch(&keys), batched);
     }
 
     #[test]

@@ -76,7 +76,8 @@ use wh_hash::crc32c;
 use crate::config::WormholeConfig;
 use crate::core;
 use crate::leaf::{LeafGarbage, LeafNode, ReadConflict, TailScratch};
-use crate::meta::{LeafRef, MetaPlan, MetaTable, TargetOutcome};
+use crate::meta::{LeafRef, MetaPlan, MetaTable, TargetOutcome, BATCH_WINDOW};
+use crate::prefetch::prefetch_read;
 
 /// Seqlock conflicts tolerated before a point read falls back to the leaf
 /// reader lock.
@@ -641,6 +642,21 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
     /// published table and every leaf reachable from it stay live).
     fn try_get_optimistic(&self, key: &[u8], hash: u32) -> Result<Option<V>, ReadConflict> {
         let (leaf, version) = self.locate_optimistic(key)?;
+        self.leaf_read_optimistic(&leaf, key, hash, version)
+    }
+
+    /// The seqlock-validated leaf read of the lock-free point path, shared
+    /// by the per-key and batched lookups: snapshot the counter, apply the
+    /// expected-version gate against the searched table's `version`, do the
+    /// bounds-checked read, and keep the result only if the counter is
+    /// unchanged. Must run inside a QSBR critical section.
+    fn leaf_read_optimistic(
+        &self,
+        leaf: &LeafHandle<V>,
+        key: &[u8],
+        hash: u32,
+        version: u64,
+    ) -> Result<Option<V>, ReadConflict> {
         let shared = &*leaf.0;
         let snapshot = shared.seq_enter().ok_or(ReadConflict)?;
         if leaf.expected_version() > version {
@@ -1347,6 +1363,86 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for Wormhole<V>
         // Contended fallback (or optimistic reads disabled): the paper's
         // per-leaf reader lock, which always makes progress.
         self.with_leaf_read(key, |leaf| leaf.get(key, hash, &self.config).cloned())
+    }
+
+    fn get_batch(&self, keys: &[&[u8]]) -> Vec<Option<V>> {
+        let mut out: Vec<Option<V>> = Vec::with_capacity(keys.len());
+        if !self.uses_optimistic() {
+            // Without the lock-free read there is no miss chain to overlap
+            // (every leaf read takes its lock anyway): plain per-key loop.
+            out.extend(keys.iter().map(|key| {
+                let hash = crc32c(key);
+                self.with_leaf_read(key, |leaf| leaf.get(key, hash, &self.config).cloned())
+            }));
+            return out;
+        }
+        // Pipelined batch path: per window of BATCH_WINDOW keys, one QSBR
+        // critical section covers the batched meta search (prefetched,
+        // round-robined probes), the neighbour resolutions, and the
+        // seqlock-validated leaf reads — amortising the epoch entry and
+        // overlapping every level's cache misses. Keys that still conflict
+        // after the bounded retries are re-read through the per-key path
+        // (its own retries plus the locked fallback) after the guard closes.
+        for chunk in keys.chunks(BATCH_WINDOW) {
+            // `Some(result)` = answered lock-free; `None` = needs fallback.
+            let mut values: [Option<Option<V>>; BATCH_WINDOW] = [const { None }; BATCH_WINDOW];
+            self.qsbr.with_local_handle(|handle| {
+                let _guard = handle.enter();
+                // SAFETY: `current` always points to a live VersionedMeta;
+                // we are inside a read-side critical section (see `locate`).
+                let meta = unsafe { &*self.current.load(Ordering::Acquire) };
+                let mut outcomes: [Option<TargetOutcome<LeafHandle<V>>>; BATCH_WINDOW] =
+                    [const { None }; BATCH_WINDOW];
+                meta.table
+                    .search_targets_window(chunk, &self.config, &mut outcomes);
+                // Resolve every outcome to its leaf and prefetch the leaf
+                // headers (seqlock + expected-version line) before any
+                // seqlock read executes, so those fills overlap too.
+                let mut located: [Option<LeafHandle<V>>; BATCH_WINDOW] =
+                    [const { None }; BATCH_WINDOW];
+                for (i, key) in chunk.iter().enumerate() {
+                    let outcome = outcomes[i].take().expect("window filled");
+                    if let Ok(leaf) = self.resolve_outcome_optimistic(outcome, key) {
+                        prefetch_read(Arc::as_ptr(&leaf.0));
+                        located[i] = Some(leaf);
+                    }
+                }
+                for (i, key) in chunk.iter().enumerate() {
+                    let hash = crc32c(key);
+                    // First attempt reuses the batched search; later
+                    // attempts re-search per key, like single-key `get`.
+                    let first = match located[i].take() {
+                        Some(leaf) => self.leaf_read_optimistic(&leaf, key, hash, meta.version),
+                        None => Err(ReadConflict),
+                    };
+                    if let Ok(found) = first {
+                        values[i] = Some(found);
+                        continue;
+                    }
+                    for _ in 1..OPTIMISTIC_READ_RETRIES {
+                        match self.try_get_optimistic(key, hash) {
+                            Ok(found) => {
+                                values[i] = Some(found);
+                                break;
+                            }
+                            Err(ReadConflict) => std::hint::spin_loop(),
+                        }
+                    }
+                }
+            });
+            for (i, key) in chunk.iter().enumerate() {
+                match values[i].take() {
+                    Some(found) => out.push(found),
+                    None => {
+                        let hash = crc32c(key);
+                        out.push(self.with_leaf_read(key, |leaf| {
+                            leaf.get(key, hash, &self.config).cloned()
+                        }));
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn set(&self, key: &[u8], value: V) -> Option<V> {

@@ -36,6 +36,29 @@
 //! positioning — are all implemented and individually switchable through
 //! [`WormholeConfig`] (the paper's Figure 11 ablation).
 //!
+//! ## Batched lookups (memory-level parallelism)
+//!
+//! Both variants additionally expose `get_batch(&[&[u8]]) -> Vec<Option<V>>`
+//! (defaulted on the index traits, overridden here with a pipelined
+//! implementation). A single `get` serialises one DRAM miss chain: each LPM
+//! binary-search step must finish its bucket-line fill before the next
+//! prefix can be probed. The batched path instead processes a window of up
+//! to [`meta::BATCH_WINDOW`] keys at once and **round-robins** the search
+//! steps across them: every in-flight probe first computes its next prefix
+//! hash and issues a software prefetch ([`prefetch::prefetch_read`]) for the
+//! corresponding MetaTrieHT bucket, and only then are the probes executed in
+//! turn — so while probe *i* waits for its cache line, the lines of probes
+//! *i+1..* are already in flight. The trie sibling step and the final leaf
+//! probes are overlapped the same way. On the concurrent index the leaf
+//! reads stay seqlock-validated with the usual per-key bounded-retry
+//! fallback, and the whole window shares one QSBR critical section.
+//!
+//! Prefetching is a pure hint: on targets without the intrinsic it is a
+//! no-op (see [`prefetch`]) and `get_batch` degrades to a correct, merely
+//! unaccelerated loop. Like single-key `get`, the steady-state batched path
+//! performs zero heap allocations per call beyond the returned result
+//! vector (all per-probe scratch lives in fixed-size stack arrays).
+//!
 //! ## Variants
 //!
 //! * [`Wormhole`] — thread-safe: seqlock-validated **lock-free reads** (no
@@ -81,6 +104,7 @@ pub mod config;
 pub mod core;
 pub mod leaf;
 pub mod meta;
+pub mod prefetch;
 pub mod single;
 
 pub use concurrent::Wormhole;

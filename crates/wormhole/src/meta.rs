@@ -49,6 +49,7 @@ use index_traits::IndexStats;
 use wh_hash::{crc32c, crc32c_append, mix64, tag16, tag8_match_mask, IncrementalHasher};
 
 use crate::config::WormholeConfig;
+use crate::prefetch::prefetch_read;
 
 /// A handle to a leaf node stored inside the MetaTrieHT.
 pub trait LeafRef: Clone {
@@ -247,6 +248,92 @@ enum BucketLoc {
 /// Grow when the table is more than ~3/4 full (6 of 8 slots per bucket on
 /// average), the same load factor the seed layout used.
 const GROW_NUM: usize = BUCKET_SLOTS - 2;
+
+/// Number of lookups kept in flight by the batched search pipeline
+/// ([`MetaTable::search_targets_window`]). Large enough that every probe's
+/// bucket-line fill overlaps several others', small enough that the
+/// prefetched lines are not evicted before their probe executes and that the
+/// per-window scratch stays a few hundred stack bytes.
+pub const BATCH_WINDOW: usize = 16;
+
+/// Per-key state of one in-flight LPM binary search in the batched pipeline.
+/// Deliberately plain data (no borrows) so a whole window of probes lives in
+/// one stack array and `get_batch` stays allocation-free.
+#[derive(Clone, Copy)]
+struct LpmProbe {
+    /// Binary-search bounds over prefix lengths (Algorithm 1).
+    lo: usize,
+    hi: usize,
+    /// Best match so far.
+    best_len: usize,
+    best_item: u32,
+    /// The prefix length whose bucket is prefetched and probed next.
+    mid: usize,
+    /// CRC-32c of `key[..mid]`.
+    hash: u32,
+    /// Incremental-hashing state (the paper's *IncHashing*, mirroring
+    /// [`IncrementalHasher`] in POD form).
+    committed_len: usize,
+    committed_state: u32,
+    /// Whether the binary search still has steps to run.
+    live: bool,
+}
+
+impl LpmProbe {
+    const IDLE: LpmProbe = LpmProbe {
+        lo: 0,
+        hi: 0,
+        best_len: 0,
+        best_item: 0,
+        mid: 0,
+        hash: 0,
+        committed_len: 0,
+        committed_state: 0,
+        live: false,
+    };
+
+    /// CRC-32c of `key[..len]`, reusing (and extending) the committed state
+    /// exactly like [`IncrementalHasher::hash_prefix_and_commit`].
+    #[inline]
+    fn prefix_hash(&mut self, key: &[u8], len: usize, inc_hashing: bool) -> u32 {
+        if !inc_hashing {
+            return crc32c(&key[..len]);
+        }
+        if len >= self.committed_len {
+            let h = crc32c_append(self.committed_state, &key[self.committed_len..len]);
+            self.committed_len = len;
+            self.committed_state = h;
+            h
+        } else {
+            crc32c_append(0, &key[..len])
+        }
+    }
+}
+
+/// A queued sibling/child step of the batched trie search: everything needed
+/// to finish Algorithm 3 for one key once its child bucket's prefetch lands.
+#[derive(Clone, Copy)]
+struct PendingChild {
+    /// The LPM item whose stored CRC seeds the child hash.
+    item_idx: u32,
+    /// Length of the matched prefix.
+    match_len: usize,
+    /// The sibling token chosen by `findOneSibling`.
+    sibling: u8,
+    /// Whether the sibling is above the missing token (`LeftOf` outcomes).
+    above: bool,
+    live: bool,
+}
+
+impl PendingChild {
+    const IDLE: PendingChild = PendingChild {
+        item_idx: 0,
+        match_len: 0,
+        sibling: 0,
+        above: false,
+        live: false,
+    };
+}
 
 /// Outcome of the trie search (Algorithm 3) before leaf-list adjustment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -822,6 +909,174 @@ impl<L: LeafRef> MetaTable<L> {
     }
 
     // ------------------------------------------------------------------
+    // Batched search (the memory-level-parallelism pipeline).
+    // ------------------------------------------------------------------
+
+    /// Prefetches the main-array bucket for `hash` — the first cache line a
+    /// probe for that hash will touch. Overflow chains (rare by
+    /// construction) are not prefetched.
+    #[inline]
+    fn prefetch_bucket(&self, hash: u32) {
+        prefetch_read(&self.buckets[self.bucket_of(hash)] as *const Bucket);
+    }
+
+    /// Pipelined LPM binary search over a window of keys (Algorithm 1,
+    /// batched). Semantically identical to running [`MetaTable::search_lpm`]
+    /// per key; the difference is scheduling: every in-flight probe's next
+    /// bucket is prefetched before any probe executes, and the search steps
+    /// are round-robined across the keys so each probe's cache miss overlaps
+    /// the others'. Fills `out[..keys.len()]` with `(item, match_len)`.
+    fn search_lpm_window(
+        &self,
+        keys: &[&[u8]],
+        config: &WormholeConfig,
+        out: &mut [(u32, usize); BATCH_WINDOW],
+    ) {
+        debug_assert!(keys.len() <= BATCH_WINDOW);
+        let optimistic = config.tag_matching;
+        let inc_hashing = config.inc_hashing;
+        // The empty prefix (the trie root) is shared by every key in the
+        // window: probe it once for all of them.
+        let root_item = self
+            .probe(&[], crc32c(&[]), false)
+            .expect("the root item must exist");
+        let mut probes = [LpmProbe::IDLE; BATCH_WINDOW];
+        let mut live = 0usize;
+        for (i, key) in keys.iter().enumerate() {
+            let bound = key.len().min(self.max_anchor_len);
+            let p = &mut probes[i];
+            *p = LpmProbe {
+                lo: 0,
+                hi: bound + 1,
+                best_item: root_item,
+                ..LpmProbe::IDLE
+            };
+            if p.lo + 1 < p.hi {
+                p.mid = (p.lo + p.hi) / 2;
+                p.hash = p.prefix_hash(key, p.mid, inc_hashing);
+                self.prefetch_bucket(p.hash);
+                p.live = true;
+                live += 1;
+            }
+        }
+        // Round-robin rounds: execute each probe's already-prefetched step,
+        // then immediately compute and prefetch its next one. While probe
+        // i's line is filling, probes i+1.. execute theirs.
+        while live > 0 {
+            for (i, key) in keys.iter().enumerate() {
+                let p = &mut probes[i];
+                if !p.live {
+                    continue;
+                }
+                match self.probe(&key[..p.mid], p.hash, optimistic) {
+                    Some(item) => {
+                        p.lo = p.mid;
+                        p.best_len = p.mid;
+                        p.best_item = item;
+                    }
+                    None => p.hi = p.mid,
+                }
+                if p.lo + 1 < p.hi {
+                    p.mid = (p.lo + p.hi) / 2;
+                    p.hash = p.prefix_hash(key, p.mid, inc_hashing);
+                    self.prefetch_bucket(p.hash);
+                } else {
+                    p.live = false;
+                    live -= 1;
+                }
+            }
+        }
+        for (i, key) in keys.iter().enumerate() {
+            let p = &probes[i];
+            let mut found = (p.best_item, p.best_len);
+            if optimistic && p.best_len > 0 {
+                // Verify the final match; tag collisions may have misled the
+                // optimistic search — redo it exactly, like the single-key
+                // path (§3.1).
+                let item = self.items[p.best_item as usize]
+                    .as_ref()
+                    .expect("live item");
+                if item.key.as_ref() != &key[..p.best_len] {
+                    found = self
+                        .search_lpm_once(
+                            key,
+                            key.len().min(self.max_anchor_len),
+                            false,
+                            inc_hashing,
+                        )
+                        .expect("exact LPM search cannot fail verification");
+                }
+            }
+            out[i] = found;
+        }
+    }
+
+    /// Batched trie search (Algorithm 3 over a window of keys): the
+    /// pipelined LPM pass, then an overlapped sibling/child step whose
+    /// bucket lines are all prefetched before any child probe executes.
+    /// Produces exactly the outcomes [`MetaTable::search_target`] would per
+    /// key, written to `out[..keys.len()]`. `keys.len()` must not exceed
+    /// [`BATCH_WINDOW`].
+    pub fn search_targets_window(
+        &self,
+        keys: &[&[u8]],
+        config: &WormholeConfig,
+        out: &mut [Option<TargetOutcome<L>>],
+    ) {
+        assert!(keys.len() <= BATCH_WINDOW, "window exceeds BATCH_WINDOW");
+        assert!(out.len() >= keys.len(), "output window too small");
+        let mut lpm = [(0u32, 0usize); BATCH_WINDOW];
+        self.search_lpm_window(keys, config, &mut lpm);
+        // First pass: resolve the keys whose match is already terminal and
+        // queue the rest's sibling step with its child bucket prefetched.
+        let mut pending = [PendingChild::IDLE; BATCH_WINDOW];
+        for (i, key) in keys.iter().enumerate() {
+            let (item_idx, match_len) = lpm[i];
+            let item = self.items[item_idx as usize].as_ref().expect("live item");
+            match &item.kind {
+                MetaKind::Leaf(leaf) => out[i] = Some(TargetOutcome::Target(leaf.clone())),
+                MetaKind::Internal(node) => {
+                    if match_len == key.len() {
+                        out[i] = Some(TargetOutcome::CompareAnchor(node.leftmost.clone()));
+                        continue;
+                    }
+                    let missing = key[match_len];
+                    let Some(sibling) = node.bitmap.find_one_sibling(missing) else {
+                        debug_assert!(false, "internal node with empty bitmap");
+                        out[i] = Some(TargetOutcome::Target(node.rightmost.clone()));
+                        continue;
+                    };
+                    self.prefetch_bucket(crc32c_append(item.hash, &[sibling]));
+                    pending[i] = PendingChild {
+                        item_idx,
+                        match_len,
+                        sibling,
+                        above: sibling > missing,
+                        live: true,
+                    };
+                }
+            }
+        }
+        // Second pass: the prefetched child probes.
+        for (i, key) in keys.iter().enumerate() {
+            let p = pending[i];
+            if !p.live {
+                continue;
+            }
+            let item = self.items[p.item_idx as usize].as_ref().expect("live item");
+            let child = self
+                .find_child(&key[..p.match_len], item.hash, p.sibling)
+                .expect("bitmap bit set but child item missing");
+            out[i] = Some(match (&child.kind, p.above) {
+                (MetaKind::Leaf(leaf), true) => TargetOutcome::LeftOf(leaf.clone()),
+                (MetaKind::Leaf(leaf), false) => TargetOutcome::Target(leaf.clone()),
+                (MetaKind::Internal(node), true) => TargetOutcome::LeftOf(node.leftmost.clone()),
+                (MetaKind::Internal(node), false) => TargetOutcome::Target(node.rightmost.clone()),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Structural updates (Algorithm 4).
     // ------------------------------------------------------------------
 
@@ -1297,6 +1552,58 @@ mod tests {
                 t.search_target(key, &base),
                 "divergent outcome for {key:?}"
             );
+        }
+    }
+
+    #[test]
+    fn windowed_search_matches_per_key_search() {
+        // The batched pipeline must produce exactly the per-key outcomes on
+        // both the small Figure-5 table and a grown table with deep anchors,
+        // in every configuration of the ablation ladder.
+        let mut grown = figure5_table();
+        for (next_leaf, i) in (5u32..).zip(0..300u32) {
+            let anchor = format!("Ja{:03}x{}", i % 40, i);
+            let key = grown.reserve_anchor_key(anchor.as_bytes());
+            grown.apply_split(&key, next_leaf, &4, None);
+        }
+        let probes: Vec<Vec<u8>> = [
+            &b"Aaron"[..],
+            b"Joseph",
+            b"James",
+            b"Denice",
+            b"Julian",
+            b"A",
+            b"",
+            b"Zoe",
+            b"Jo",
+            b"Ja017x17",
+            b"Ja017x17zzz",
+            b"Ja0",
+            b"\0",
+            b"Au",
+            b"Austin",
+            b"Jos",
+        ]
+        .iter()
+        .map(|k| k.to_vec())
+        .collect();
+        for t in [&figure5_table(), &grown] {
+            for (name, config) in WormholeConfig::ablation_ladder() {
+                for window in [1usize, 3, 7, BATCH_WINDOW] {
+                    let mut out: Vec<Option<TargetOutcome<u32>>> = vec![None; BATCH_WINDOW];
+                    for chunk in probes.chunks(window) {
+                        let keys: Vec<&[u8]> = chunk.iter().map(|k| k.as_slice()).collect();
+                        t.search_targets_window(&keys, &config, &mut out);
+                        for (i, key) in keys.iter().enumerate() {
+                            assert_eq!(
+                                out[i].take().expect("window filled"),
+                                t.search_target(key, &config),
+                                "{name}: window {window} diverges on {key:?}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

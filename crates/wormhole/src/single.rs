@@ -25,7 +25,8 @@ use wh_hash::crc32c;
 use crate::config::WormholeConfig;
 use crate::core;
 use crate::leaf::{LeafGarbage, LeafNode};
-use crate::meta::{MetaTable, TargetOutcome};
+use crate::meta::{MetaTable, TargetOutcome, BATCH_WINDOW};
+use crate::prefetch::prefetch_read;
 
 /// Null leaf-list link.
 const NIL: u32 = u32::MAX;
@@ -125,7 +126,12 @@ impl<V: Clone> WormholeUnsafe<V> {
     /// Resolves the search outcome of the MetaTrieHT to the target leaf
     /// (the final leaf-list adjustment of Algorithm 3).
     fn locate_leaf(&self, key: &[u8]) -> u32 {
-        match self.meta.search_target(key, &self.config) {
+        self.resolve_outcome(self.meta.search_target(key, &self.config), key)
+    }
+
+    /// The leaf-list adjustment shared by the per-key and batched searches.
+    fn resolve_outcome(&self, outcome: TargetOutcome<u32>, key: &[u8]) -> u32 {
+        match outcome {
             TargetOutcome::Target(leaf) => leaf,
             TargetOutcome::LeftOf(leaf) => {
                 let prev = self.slot(leaf).prev;
@@ -309,6 +315,37 @@ impl<V: Clone> OrderedIndex<V> for WormholeUnsafe<V> {
         let hash = crc32c(key);
         let leaf = self.locate_leaf(key);
         self.slot(leaf).leaf.get(key, hash, &self.config).cloned()
+    }
+
+    fn get_batch(&self, keys: &[&[u8]]) -> Vec<Option<V>> {
+        // The pipelined batch path: per window, run the meta searches with
+        // their cache misses overlapped, prefetch every resolved leaf slot,
+        // then execute the leaf probes. The only allocation is the result
+        // vector itself; all per-probe scratch is on the stack.
+        let mut out = Vec::with_capacity(keys.len());
+        let mut outcomes: [Option<TargetOutcome<u32>>; BATCH_WINDOW] =
+            [const { None }; BATCH_WINDOW];
+        let mut leaves = [0u32; BATCH_WINDOW];
+        for chunk in keys.chunks(BATCH_WINDOW) {
+            self.meta
+                .search_targets_window(chunk, &self.config, &mut outcomes);
+            for (i, key) in chunk.iter().enumerate() {
+                let outcome = outcomes[i].take().expect("window filled");
+                let leaf = self.resolve_outcome(outcome, key);
+                leaves[i] = leaf;
+                prefetch_read(&self.leaves[leaf as usize] as *const Option<SlotLeaf<V>>);
+            }
+            for (i, key) in chunk.iter().enumerate() {
+                let hash = crc32c(key);
+                out.push(
+                    self.slot(leaves[i])
+                        .leaf
+                        .get(key, hash, &self.config)
+                        .cloned(),
+                );
+            }
+        }
+        out
     }
 
     fn set(&mut self, key: &[u8], value: V) -> Option<V> {

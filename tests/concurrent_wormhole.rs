@@ -595,6 +595,228 @@ fn migration_under_churn_stress() {
 }
 
 #[test]
+fn batched_gets_see_consistent_state_under_split_merge_churn() {
+    // Stress for the pipelined `get_batch` read path: churn writers force
+    // continuous splits and merges of the leaves holding a stable
+    // population while batched readers issue windows of point lookups
+    // through `get_batch` — every stable key must come back with its exact
+    // preloaded value and every deliberately-absent key must miss, even
+    // though the batch's probes interleave their descent steps and any of
+    // them can hit a seqlock conflict mid-window. Iteration counts are
+    // high only under `--release` (scaled by WH_STRESS_MULT for nightly
+    // soaks); debug builds run a smoke pass.
+    let iters: u64 = if cfg!(debug_assertions) {
+        150
+    } else {
+        12_000 * stress_mult()
+    };
+    let n_stable = 2_000u64;
+    let wh = Arc::new(Wormhole::with_config(
+        WormholeConfig::optimized().with_leaf_capacity(8),
+    ));
+    let stable_keys: Vec<Vec<u8>> = (0..n_stable)
+        .map(|i| format!("stable-{i:06}").into_bytes())
+        .collect();
+    // Sorts after every stable/churn key, never inserted: guaranteed misses.
+    let miss_keys: Vec<Vec<u8>> = (0..8u64)
+        .map(|j| format!("zz-absent-{j}").into_bytes())
+        .collect();
+    for (i, key) in stable_keys.iter().enumerate() {
+        wh.set(key, i as u64);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let wh = Arc::clone(&wh);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in ((t * 3)..n_stable).step_by(7) {
+                        wh.set(format!("stable-{i:06}:churn{t}").as_bytes(), round);
+                    }
+                    for i in ((t * 3)..n_stable).step_by(7) {
+                        wh.del(format!("stable-{i:06}:churn{t}").as_bytes());
+                    }
+                    round += 1;
+                }
+            });
+        }
+        let mut readers = Vec::new();
+        for r in 0..4u64 {
+            let wh = Arc::clone(&wh);
+            let stable_keys = &stable_keys;
+            let miss_keys = &miss_keys;
+            readers.push(scope.spawn(move || {
+                let mut batch: Vec<&[u8]> = Vec::with_capacity(56);
+                let mut ids: Vec<u64> = Vec::with_capacity(56);
+                for pass in 0..iters {
+                    batch.clear();
+                    ids.clear();
+                    // 48 stable probes striding across distinct leaves, with
+                    // a guaranteed miss interleaved every 6 probes.
+                    let base = (pass * 131 + r * 17) % n_stable;
+                    for j in 0..48u64 {
+                        let i = (base + j * 41) % n_stable;
+                        batch.push(stable_keys[i as usize].as_slice());
+                        ids.push(i);
+                        if j % 6 == 0 {
+                            let m = ((pass + j) % miss_keys.len() as u64) as usize;
+                            batch.push(miss_keys[m].as_slice());
+                            ids.push(u64::MAX);
+                        }
+                    }
+                    let values = wh.get_batch(&batch);
+                    assert_eq!(values.len(), batch.len());
+                    for (slot, (value, &id)) in values.iter().zip(&ids).enumerate() {
+                        if id == u64::MAX {
+                            assert_eq!(*value, None, "absent key hit in batch slot {slot}");
+                        } else {
+                            assert_eq!(
+                                *value,
+                                Some(id),
+                                "torn batched read of stable-{id:06} in slot {slot}"
+                            );
+                        }
+                    }
+                }
+            }));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    wh.check_invariants();
+    for i in (0..n_stable).step_by(29) {
+        assert_eq!(wh.get(format!("stable-{i:06}").as_bytes()), Some(i));
+    }
+}
+
+#[test]
+fn batched_gets_under_migration_and_churn() {
+    // `get_batch` through the sharded front while boundaries migrate: the
+    // migration thread bounces a boundary through the middle of the stable
+    // population (so batches keep spanning the frozen/moving range and the
+    // router retires mid-stream), churn writers split and merge leaves in
+    // every shard, and batched readers — biased toward the migrating slice
+    // — must see every stable key with its exact value and every absent
+    // probe miss. Release-gated; debug builds run a smoke pass.
+    let migrations: u64 = if cfg!(debug_assertions) {
+        6
+    } else {
+        400 * stress_mult()
+    };
+    let n_stable = 2_000u64;
+    let idx = Arc::new(ShardedWormhole::<u64>::with_config(
+        ShardedConfig::with_boundaries(vec![
+            b"stable-000500".to_vec(),
+            b"stable-001000".to_vec(),
+            b"stable-001500".to_vec(),
+        ])
+        .with_inner(WormholeConfig::optimized().with_leaf_capacity(8)),
+    ));
+    let stable_keys: Vec<Vec<u8>> = (0..n_stable)
+        .map(|i| format!("stable-{i:06}").into_bytes())
+        .collect();
+    let miss_keys: Vec<Vec<u8>> = (0..8u64)
+        .map(|j| format!("zz-absent-{j}").into_bytes())
+        .collect();
+    for (i, key) in stable_keys.iter().enumerate() {
+        idx.set(key, i as u64);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let targets: [&[u8]; 2] = [b"stable-000800", b"stable-001200"];
+                for m in 0..migrations {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match idx.migrate_boundary(1, targets[(m % 2) as usize]) {
+                        Ok(_) => {}
+                        Err(wh_shard::MigrateError::InvalidTarget { .. }) => {}
+                        Err(e) => panic!("forced migration failed: {e}"),
+                    }
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+        for t in 0..2u64 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    for i in ((t * 3)..n_stable).step_by(5) {
+                        idx.set(format!("stable-{i:06}:churn{t}").as_bytes(), round);
+                    }
+                    for i in ((t * 3)..n_stable).step_by(5) {
+                        idx.del(format!("stable-{i:06}:churn{t}").as_bytes());
+                    }
+                    round += 1;
+                }
+            });
+        }
+        for r in 0..2u64 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            let stable_keys = &stable_keys;
+            let miss_keys = &miss_keys;
+            scope.spawn(move || {
+                let mut batch: Vec<&[u8]> = Vec::with_capacity(72);
+                let mut ids: Vec<u64> = Vec::with_capacity(72);
+                let mut pass = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    batch.clear();
+                    ids.clear();
+                    // Bias two thirds of the probes into the migrating slice
+                    // (700..1300) so most batches straddle the moving
+                    // boundary; the rest stride the whole population.
+                    for j in 0..64u64 {
+                        let i = if j % 3 != 0 {
+                            700 + (pass * 131 + r * 17 + j * 41) % 600
+                        } else {
+                            (pass * 131 + r * 17 + j * 41) % n_stable
+                        };
+                        batch.push(stable_keys[i as usize].as_slice());
+                        ids.push(i);
+                        if j % 8 == 0 {
+                            let m = ((pass + j) % miss_keys.len() as u64) as usize;
+                            batch.push(miss_keys[m].as_slice());
+                            ids.push(u64::MAX);
+                        }
+                    }
+                    let values = idx.get_batch(&batch);
+                    assert_eq!(values.len(), batch.len());
+                    for (slot, (value, &id)) in values.iter().zip(&ids).enumerate() {
+                        if id == u64::MAX {
+                            assert_eq!(*value, None, "absent key hit in batch slot {slot}");
+                        } else {
+                            assert_eq!(
+                                *value,
+                                Some(id),
+                                "stable-{id:06} unreachable or torn in batched read \
+                                 racing migration (slot {slot})"
+                            );
+                        }
+                    }
+                    pass += 1;
+                }
+            });
+        }
+    });
+    idx.check_invariants();
+    assert_eq!(idx.len() as u64, n_stable, "churn or migration leaked keys");
+    for i in (0..n_stable).step_by(23) {
+        assert_eq!(idx.get(format!("stable-{i:06}").as_bytes()), Some(i));
+    }
+}
+
+#[test]
 fn netsim_service_end_to_end_over_wormhole() {
     let keyset = generate(KeysetId::Az1, 20_000, 21);
     let wh: Arc<Wormhole<u64>> = Arc::new(Wormhole::new());

@@ -170,6 +170,65 @@ proptest! {
         }
     }
 
+    /// `get_batch` must answer exactly like one `get` per key, in order,
+    /// on every ordered index — the baselines through the trait's default
+    /// loop, both Wormholes and the sharded front through their pipelined
+    /// overrides. The probe batch deliberately mixes generated keys (mostly
+    /// misses), guaranteed hits sampled from the inserted set, and repeats
+    /// of the same key within one batch.
+    #[test]
+    fn get_batch_matches_single_gets(
+        sets in proptest::collection::vec((key_strategy(), any::<u64>()), 1..120),
+        raw_probes in proptest::collection::vec(key_strategy(), 0..24),
+        hit_picks in proptest::collection::vec(any::<usize>(), 0..16),
+        dup_picks in proptest::collection::vec(any::<usize>(), 0..6),
+    ) {
+        let mut skiplist = SkipList::new();
+        let mut btree = BPlusTree::with_fanout(8);
+        let mut art = Art::new();
+        let mut masstree = Masstree::new();
+        let mut wh_unsafe =
+            WormholeUnsafe::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+        let wh = Wormhole::with_config(WormholeConfig::optimized().with_leaf_capacity(8));
+        let sharded = sharded_under_test();
+        for (k, v) in &sets {
+            skiplist.set(k, *v);
+            btree.set(k, *v);
+            art.set(k, *v);
+            masstree.set(k, *v);
+            wh_unsafe.set(k, *v);
+            wh.set(k, *v);
+            sharded.set(k, *v);
+        }
+
+        let mut batch: Vec<&[u8]> = raw_probes.iter().map(Vec::as_slice).collect();
+        for pick in &hit_picks {
+            batch.push(sets[pick % sets.len()].0.as_slice());
+        }
+        let base = batch.len();
+        for pick in &dup_picks {
+            if base > 0 {
+                batch.push(batch[pick % base]);
+            }
+        }
+
+        let expect: Vec<Option<u64>> =
+            batch.iter().map(|k| OrderedIndex::get(&skiplist, k)).collect();
+        prop_assert_eq!(&OrderedIndex::get_batch(&skiplist, &batch), &expect);
+        prop_assert_eq!(&OrderedIndex::get_batch(&btree, &batch), &expect);
+        prop_assert_eq!(&OrderedIndex::get_batch(&art, &batch), &expect);
+        prop_assert_eq!(&OrderedIndex::get_batch(&masstree, &batch), &expect);
+        prop_assert_eq!(&OrderedIndex::get_batch(&wh_unsafe, &batch), &expect);
+        prop_assert_eq!(&ConcurrentOrderedIndex::get_batch(&wh, &batch), &expect);
+        prop_assert_eq!(&ConcurrentOrderedIndex::get_batch(&sharded, &batch), &expect);
+        // Per-key gets on the overriding indexes agree with the model too.
+        for (k, e) in batch.iter().zip(&expect) {
+            prop_assert_eq!(&OrderedIndex::get(&wh_unsafe, k), e);
+            prop_assert_eq!(&ConcurrentOrderedIndex::get(&wh, k), e);
+            prop_assert_eq!(&ConcurrentOrderedIndex::get(&sharded, k), e);
+        }
+    }
+
     #[test]
     fn wormhole_ablation_configs_agree_with_each_other(
         ops in proptest::collection::vec((key_strategy(), any::<u64>()), 1..150)) {
