@@ -28,7 +28,7 @@ fn bench_batch_lookup(c: &mut Criterion) {
         wh
     };
     let concurrent = build_unsharded(KEYS);
-    let sharded = build_sharded(4, KEYS);
+    let sharded = build_sharded(4, KEYS, true);
 
     for batch in [8usize, 32, 128] {
         let mut group = c.benchmark_group(format!("batch_lookup/batch={batch}"));

@@ -15,8 +15,9 @@ const THREADS: usize = 4;
 fn bench_shard_scale(c: &mut Criterion) {
     let probes = resident_keys(KEYS);
     let unsharded = build_unsharded(KEYS);
-    let sharded = build_sharded(4, KEYS);
-    for mix in [Mix::ReadHeavy, Mix::WriteHeavy] {
+    let sharded = build_sharded(4, KEYS, true);
+    let sharded_nofast = build_sharded(4, KEYS, false);
+    for mix in [Mix::ReadHeavy, Mix::Mixed, Mix::WriteHeavy] {
         let mut group = c.benchmark_group(format!("shard_scale/{}", mix.label()));
         group
             .sample_size(10)
@@ -27,6 +28,18 @@ fn bench_shard_scale(c: &mut Criterion) {
         });
         group.bench_function("sharded-4", |b| {
             b.iter(|| run_window(&sharded, THREADS, &probes, Duration::from_millis(25), mix).0)
+        });
+        group.bench_function("sharded-4-nofast", |b| {
+            b.iter(|| {
+                run_window(
+                    &sharded_nofast,
+                    THREADS,
+                    &probes,
+                    Duration::from_millis(25),
+                    mix,
+                )
+                .0
+            })
         });
         group.finish();
     }

@@ -22,7 +22,9 @@ use crate::shard_scale::{build_sharded, build_unsharded, resident_keys, shard_be
 /// One measured cell of the single-loop vs batched comparison.
 #[derive(Debug, Clone)]
 pub struct BatchSample {
-    /// `"single"`, `"concurrent"`, or `"sharded"`.
+    /// `"single"`, `"concurrent"`, `"sharded"` (router fast path on, the
+    /// default), or `"sharded_nofast"` (every batch through the classic
+    /// router critical section).
     pub frontend: &'static str,
     /// Resident keys in the index.
     pub keys: usize,
@@ -105,10 +107,12 @@ fn push_pair(
     }
 }
 
-/// Measures single-get loops vs `get_batch` over three frontends: the
+/// Measures single-get loops vs `get_batch` over four frontends: the
 /// single-threaded `WormholeUnsafe`, the concurrent `Wormhole`, and a
-/// 4-shard `ShardedWormhole`. Returns one sample per frontend × batch
-/// size × mode, best of `rounds` full passes over the keyset.
+/// 4-shard `ShardedWormhole` with the migration-idle router fast path on
+/// (`"sharded"`) and off (`"sharded_nofast"`). Returns one sample per
+/// frontend × batch size × mode, best of `rounds` full passes over the
+/// keyset.
 pub fn measure_batch_lookup(keys: usize, batches: &[usize], rounds: usize) -> Vec<BatchSample> {
     let resident = resident_keys(keys);
     let order = probe_order(keys);
@@ -122,7 +126,8 @@ pub fn measure_batch_lookup(keys: usize, batches: &[usize], rounds: usize) -> Ve
         wh
     };
     let concurrent = build_unsharded(keys);
-    let sharded = build_sharded(4, keys);
+    let sharded = build_sharded(4, keys, true);
+    let sharded_nofast = build_sharded(4, keys, false);
 
     let mut out = Vec::new();
     for &batch in batches {
@@ -164,29 +169,31 @@ pub fn measure_batch_lookup(keys: usize, batches: &[usize], rounds: usize) -> Ve
                 hits
             },
         );
-        push_pair(
-            &mut out,
-            "sharded",
-            keys,
-            batch,
-            rounds,
-            || {
-                probes
-                    .iter()
-                    .filter(|k| ConcurrentOrderedIndex::get(&sharded, k).is_some())
-                    .count() as u64
-            },
-            || {
-                let mut hits = 0u64;
-                for chunk in probes.chunks(batch) {
-                    hits += ConcurrentOrderedIndex::get_batch(&sharded, chunk)
+        for (frontend, front) in [("sharded", &sharded), ("sharded_nofast", &sharded_nofast)] {
+            push_pair(
+                &mut out,
+                frontend,
+                keys,
+                batch,
+                rounds,
+                || {
+                    probes
                         .iter()
-                        .flatten()
-                        .count() as u64;
-                }
-                hits
-            },
-        );
+                        .filter(|k| ConcurrentOrderedIndex::get(front, k).is_some())
+                        .count() as u64
+                },
+                || {
+                    let mut hits = 0u64;
+                    for chunk in probes.chunks(batch) {
+                        hits += ConcurrentOrderedIndex::get_batch(front, chunk)
+                            .iter()
+                            .flatten()
+                            .count() as u64;
+                    }
+                    hits
+                },
+            );
+        }
     }
     out
 }
@@ -202,7 +209,8 @@ pub fn measure_service_batches(keys: usize, batch: usize) -> Vec<ServiceBatchSam
     let mut out = Vec::new();
     let frontends: Vec<(&'static str, Arc<dyn ConcurrentOrderedIndex<u64>>)> = vec![
         ("concurrent", Arc::new(build_unsharded(keys))),
-        ("sharded", Arc::new(build_sharded(4, keys))),
+        ("sharded", Arc::new(build_sharded(4, keys, true))),
+        ("sharded_nofast", Arc::new(build_sharded(4, keys, false))),
     ];
     for (frontend, index) in frontends {
         let service = KvService::with_batch_size(index, batch);
@@ -237,12 +245,12 @@ mod tests {
     #[test]
     fn small_measurement_produces_consistent_samples() {
         let samples = measure_batch_lookup(2_000, &[1, 8], 1);
-        assert_eq!(samples.len(), 3 * 2 * 2);
+        assert_eq!(samples.len(), 4 * 2 * 2);
         for s in &samples {
             assert!(s.ns_per_key > 0.0 && s.mops > 0.0, "{s:?}");
         }
         let service = measure_service_batches(2_000, 100);
-        assert_eq!(service.len(), 2);
+        assert_eq!(service.len(), 3);
         assert!(service.iter().all(|s| s.mops > 0.0));
     }
 }

@@ -1,6 +1,7 @@
 //! Writes `BENCH_batch.json`: `get_batch` vs a loop of single `get`s over
 //! the single-threaded `WormholeUnsafe`, the concurrent `Wormhole`, and a
-//! 4-shard `ShardedWormhole`, at batch sizes 1/8/32/128/800 — plus a
+//! 4-shard `ShardedWormhole` with the router fast path on and off, at
+//! batch sizes 1/8/32/128/800 — plus a
 //! Figure-12-style series of client-observed throughput through the netsim
 //! service loop at the paper's 800-request message size.
 //!
@@ -60,8 +61,10 @@ fn main() {
         "  \"description\": \"Point-lookup cost of get_batch vs a loop of single gets over the \
          same shuffled probe stream (every resident visited once, ~20B keys, leaf capacity 64, \
          best round). frontends: single = WormholeUnsafe, concurrent = Wormhole (optimistic \
-         seqlock reads), sharded = 4-shard ShardedWormhole (one router critical section per \
-         batch). get_batch pipelines up to BATCH_WINDOW=16 probes: hashes computed up front, \
+         seqlock reads), sharded = 4-shard ShardedWormhole routing through the migration-idle \
+         biased fast path (no router critical section while no migration is in flight), \
+         sharded_nofast = the same front with the fast path disabled (one router critical \
+         section per op or batch). get_batch pipelines up to BATCH_WINDOW=16 probes: hashes computed up front, \
          MetaTrieHT buckets prefetched, LPM binary-search steps round-robined so concurrent \
          cache misses overlap; batch=1 degenerates to the windowed engine with one probe. The \
          service series is the netsim client/server loop (encode, channel, decode, batched \

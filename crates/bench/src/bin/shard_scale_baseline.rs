@@ -1,7 +1,8 @@
 //! Writes `BENCH_shard.json`: aggregate throughput of N worker threads
 //! over the unsharded concurrent Wormhole vs the range-partitioned
-//! `ShardedWormhole` at 1/2/4/8 shards, under a read-heavy (90/10) and a
-//! structural write-heavy (split+merge churn) mix — plus the skew-shift
+//! `ShardedWormhole` at 1/2/4/8 shards with the router fast path on and
+//! off, under a read-heavy (90/10), a mixed (50/50), and a structural
+//! write-heavy (split+merge churn) mix — plus the skew-shift
 //! scenario measuring how online rebalancing recovers write-heavy
 //! throughput after the hot range collapses onto one shard.
 //!
@@ -31,8 +32,8 @@ fn main() {
     let samples = measure_scaling(threads, keys, duration, rounds);
     for s in &samples {
         eprintln!(
-            "  {:<11} shards={:<2} {:<12} {:8.3} Mops/s  ({} ops)",
-            s.frontend, s.shards, s.mix, s.mops, s.ops,
+            "  {:<11} shards={:<2} fast={:<5} {:<12} {:8.3} Mops/s  ({} ops)",
+            s.frontend, s.shards, s.router_fast_path, s.mix, s.mops, s.ops,
         );
     }
     eprintln!("measuring skew-shift recovery (rebalance off / on)...");
@@ -58,8 +59,13 @@ fn main() {
         "  \"description\": \"Aggregate throughput of 8 worker threads over one shared ordered \
          index, 100k resident ~20B keys, leaf capacity 64, best of 3 interleaved 500ms rounds. \
          unsharded = one concurrent Wormhole (single MetaTrieHT writer mutex); sharded = \
-         ShardedWormhole with sample-quantile boundaries at the given shard count. read_heavy = \
-         90% point gets / 10% overwrites; write_heavy = split+merge churn waves (64 inserts + \
+         ShardedWormhole with sample-quantile boundaries at the given shard count, with \
+         router_fast_path recording whether point ops used the migration-idle biased fast \
+         path (no router critical section while no migration runs) or the classic per-op \
+         critical-section path (the pre-fast-path read tax; vacuously true on the unsharded \
+         rows, which have no router). read_heavy = \
+         90% point gets / 10% overwrites; mixed = 50% gets / 50% overwrites of resident \
+         keys; write_heavy = split+merge churn waves (64 inserts + \
          64 deletes around a random resident, each wave taking the owning shard's writer mutex \
          and an RCU grace period) plus 8 gets. skew_shift = a 4-shard front whose write-heavy \
          churn collapses onto the first quarter of the keyset (one shard): balanced = pre-shift \
@@ -77,9 +83,9 @@ fn main() {
         let comma = if i + 1 == samples.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"frontend\": \"{}\", \"shards\": {}, \"mix\": \"{}\", \
-             \"threads\": {}, \"ops\": {}, \"mops\": {:.3}}}{comma}",
-            s.frontend, s.shards, s.mix, s.threads, s.ops, s.mops,
+            "    {{\"frontend\": \"{}\", \"shards\": {}, \"router_fast_path\": {}, \
+             \"mix\": \"{}\", \"threads\": {}, \"ops\": {}, \"mops\": {:.3}}}{comma}",
+            s.frontend, s.shards, s.router_fast_path, s.mix, s.threads, s.ops, s.mops,
         );
     }
     json.push_str("  ],\n");

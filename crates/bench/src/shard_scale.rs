@@ -26,7 +26,11 @@ pub struct ShardSample {
     pub frontend: &'static str,
     /// Shard count (1 for the unsharded baseline).
     pub shards: usize,
-    /// `"read_heavy"` or `"write_heavy"`.
+    /// Whether the migration-idle router fast path was enabled for this
+    /// cell (vacuously `true` for the unsharded frontend, which has no
+    /// router at all).
+    pub router_fast_path: bool,
+    /// `"read_heavy"`, `"mixed"`, or `"write_heavy"`.
     pub mix: &'static str,
     /// Worker threads driving the index.
     pub threads: usize,
@@ -42,6 +46,10 @@ pub enum Mix {
     /// 90% point lookups, 10% overwrites of resident keys: the sharded
     /// router's overhead with almost no writer-mutex pressure.
     ReadHeavy,
+    /// 50% point lookups, 50% overwrites of resident keys: the router tax
+    /// paid on both sides of a balanced point workload, still without
+    /// structural writer-mutex pressure.
+    Mixed,
     /// Structural churn waves (split + merge per wave) with a sprinkle of
     /// lookups: the writer-mutex contention sharding removes.
     WriteHeavy,
@@ -52,6 +60,7 @@ impl Mix {
     pub fn label(self) -> &'static str {
         match self {
             Mix::ReadHeavy => "read_heavy",
+            Mix::Mixed => "mixed",
             Mix::WriteHeavy => "write_heavy",
         }
     }
@@ -83,14 +92,17 @@ pub fn build_unsharded(keys: usize) -> Wormhole<u64> {
 }
 
 /// Builds a `shards`-way sharded index over the same residents, with
-/// boundaries sampled from the keyset so the shards are balanced.
-pub fn build_sharded(shards: usize, keys: usize) -> ShardedWormhole<u64> {
+/// boundaries sampled from the keyset so the shards are balanced, routing
+/// through the migration-idle fast path or the classic critical-section
+/// path per `fast_path`.
+pub fn build_sharded(shards: usize, keys: usize, fast_path: bool) -> ShardedWormhole<u64> {
     let sample: Vec<Vec<u8>> = (0..keys)
         .step_by(16.max(keys / 4096))
         .map(resident_key)
         .collect();
-    let config =
-        wh_shard::ShardedConfig::from_sample(shards, &sample).with_inner(shard_bench_config());
+    let config = wh_shard::ShardedConfig::from_sample(shards, &sample)
+        .with_inner(shard_bench_config())
+        .with_router_fast_path(fast_path);
     let sharded = ShardedWormhole::with_config(config);
     for i in 0..keys {
         sharded.set(&resident_key(i), i as u64);
@@ -153,11 +165,13 @@ pub fn run_window<I: ConcurrentOrderedIndex<u64> + ?Sized>(
                     x ^= x << 17;
                     let slot = (x as usize) % keys.len();
                     match mix {
-                        Mix::ReadHeavy => {
-                            // 64-op batch: 90% gets, 10% overwrites.
+                        Mix::ReadHeavy | Mix::Mixed => {
+                            // 64-op batch of point ops: 90/10 or 50/50
+                            // gets vs overwrites.
+                            let write_every = if mix == Mix::ReadHeavy { 10 } else { 2 };
                             for j in 0..64usize {
                                 let probe = (slot + j * 131) % keys.len();
-                                if j % 10 == 0 {
+                                if j % write_every == 0 {
                                     index.set(&keys[probe], x);
                                 } else {
                                     std::hint::black_box(index.get(&keys[probe]));
@@ -194,6 +208,7 @@ pub fn measure_frontend<I: ConcurrentOrderedIndex<u64> + ?Sized>(
     index: &I,
     frontend: &'static str,
     shards: usize,
+    router_fast_path: bool,
     threads: usize,
     keys: &[Vec<u8>],
     duration: Duration,
@@ -213,6 +228,7 @@ pub fn measure_frontend<I: ConcurrentOrderedIndex<u64> + ?Sized>(
     ShardSample {
         frontend,
         shards,
+        router_fast_path,
         mix: mix.label(),
         threads,
         ops: best_ops,
@@ -221,8 +237,9 @@ pub fn measure_frontend<I: ConcurrentOrderedIndex<u64> + ?Sized>(
 }
 
 /// The full scaling sweep of `BENCH_shard.json`: the unsharded baseline
-/// plus 1/2/4/8-shard fronts, for both mixes, interleaved round-robin so
-/// scheduler drift hits every cell equally.
+/// plus 1/2/4/8-shard fronts with the router fast path on and off, for
+/// every mix, interleaved round-robin so scheduler drift hits every cell
+/// equally.
 pub fn measure_scaling(
     threads: usize,
     keys: usize,
@@ -231,25 +248,30 @@ pub fn measure_scaling(
 ) -> Vec<ShardSample> {
     let probes = resident_keys(keys);
     let unsharded = build_unsharded(keys);
-    let fronts: Vec<(usize, ShardedWormhole<u64>)> = [1usize, 2, 4, 8]
+    let fronts: Vec<(usize, bool, ShardedWormhole<u64>)> = [1usize, 2, 4, 8]
         .into_iter()
-        .map(|n| (n, build_sharded(n, keys)))
+        .flat_map(|n| {
+            [true, false]
+                .into_iter()
+                .map(move |fast| (n, fast, build_sharded(n, keys, fast)))
+        })
         .collect();
     let mut samples = Vec::new();
-    for mix in [Mix::ReadHeavy, Mix::WriteHeavy] {
+    for mix in [Mix::ReadHeavy, Mix::Mixed, Mix::WriteHeavy] {
         samples.push(measure_frontend(
             &unsharded,
             "unsharded",
             1,
+            true,
             threads,
             &probes,
             duration,
             rounds,
             mix,
         ));
-        for (n, front) in &fronts {
+        for (n, fast, front) in &fronts {
             samples.push(measure_frontend(
-                front, "sharded", *n, threads, &probes, duration, rounds, mix,
+                front, "sharded", *n, *fast, threads, &probes, duration, rounds, mix,
             ));
         }
     }
@@ -387,14 +409,20 @@ mod tests {
         let keys = 2_000usize;
         let probes = resident_keys(keys);
         let unsharded = build_unsharded(keys);
-        let sharded = build_sharded(4, keys);
+        let sharded = build_sharded(4, keys, true);
+        let sharded_nofast = build_sharded(4, keys, false);
         assert_eq!(unsharded.len(), keys);
         assert_eq!(sharded.len(), keys);
+        assert_eq!(sharded_nofast.len(), keys);
         for (index, frontend) in [
             (&unsharded as &dyn ConcurrentOrderedIndex<u64>, "unsharded"),
             (&sharded as &dyn ConcurrentOrderedIndex<u64>, "sharded"),
+            (
+                &sharded_nofast as &dyn ConcurrentOrderedIndex<u64>,
+                "sharded_nofast",
+            ),
         ] {
-            for mix in [Mix::ReadHeavy, Mix::WriteHeavy] {
+            for mix in [Mix::ReadHeavy, Mix::Mixed, Mix::WriteHeavy] {
                 let (ops, secs) = run_window(index, 2, &probes, Duration::from_millis(30), mix);
                 assert!(ops > 0, "{frontend}/{} did no work", mix.label());
                 assert!(secs > 0.0);
@@ -407,7 +435,9 @@ mod tests {
         for i in (0..keys).step_by(97) {
             assert!(unsharded.get(&resident_key(i)).is_some());
             assert!(sharded.get(&resident_key(i)).is_some());
+            assert!(sharded_nofast.get(&resident_key(i)).is_some());
         }
         sharded.check_invariants();
+        sharded_nofast.check_invariants();
     }
 }

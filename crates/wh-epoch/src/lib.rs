@@ -18,6 +18,20 @@
 //! counters, the classic QSBR construction described by McKenney (user-space
 //! RCU) and used by the paper's C implementation.
 //!
+//! # Biased fast entries
+//!
+//! Domains whose writers retire state only in rare, well-delimited phases
+//! (e.g. the shard router table, which changes only during a migration) can
+//! opt into a *biased* mode: while [`Qsbr::resume_bias`] is in effect,
+//! [`QsbrHandle::try_fast`] grants a [`FastGuard`] read section that costs
+//! one relaxed store, one fence, and one flag load — no epoch bookkeeping
+//! and no condvar traffic. Before retiring anything the writer calls
+//! [`Qsbr::drain_barrier`], which revokes the bias, waits out in-flight fast
+//! sections, and forces a grace period for classic sections; fast entries
+//! then decline (readers fall back to [`QsbrHandle::enter`]) until the
+//! writer resumes the bias. Grace-period waiters are additionally counted,
+//! so uncontended critical-section exits skip the condvar notify entirely.
+//!
 //! # Why not `crossbeam_epoch`?
 //!
 //! Crossbeam's EBR pins every operation and defers destruction to amortised
@@ -28,4 +42,4 @@
 
 pub mod qsbr;
 
-pub use qsbr::{Guard, Qsbr, QsbrHandle};
+pub use qsbr::{FastGuard, Guard, Qsbr, QsbrHandle};

@@ -1,6 +1,7 @@
 //! The QSBR domain, reader handles, and grace-period machinery.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -15,6 +16,10 @@ struct ThreadState {
     active: AtomicBool,
     /// Epoch of the most recent quiescent state announced by the thread.
     local_epoch: AtomicU64,
+    /// Biased fast-section generation: odd while the thread is inside a
+    /// [`FastGuard`] section, even otherwise. Only the owning thread writes
+    /// it; [`Qsbr::drain_barrier`] spins on it becoming even.
+    fast_gen: AtomicU64,
     /// Unique id used to exclude the caller in `synchronize_excluding`.
     id: u64,
 }
@@ -35,6 +40,21 @@ struct Shared {
     quiesce_cv: Condvar,
     /// Mutex paired with `quiesce_cv` (holds nothing, used only for waiting).
     quiesce_lock: Mutex<()>,
+    /// Number of threads currently blocked on `quiesce_cv`. Readers leaving a
+    /// critical section only `notify_all` when this is non-zero, so
+    /// uncontended exits are store-only. Waiters increment it *before*
+    /// re-checking their condition under `quiesce_lock`; combined with the
+    /// SeqCst store/load pairing this forms the classic flag/flag handshake:
+    /// either the exiting reader sees the waiter (and notifies) or the waiter
+    /// sees the reader's updated state (and never sleeps). The 1ms timed wait
+    /// bounds the damage of any platform surprise to a single tick.
+    waiters: AtomicU64,
+    /// `true` while the domain is *biased*: no retirement is in progress, so
+    /// [`QsbrHandle::try_fast`] entries may elide the critical-section
+    /// bookkeeping entirely. Revoked by [`Qsbr::drain_barrier`] before any
+    /// publication that will retire shared state; restored by
+    /// [`Qsbr::resume_bias`]. Domains start unbiased — owners opt in.
+    bias: AtomicBool,
     /// Source of reader ids.
     next_id: AtomicU64,
 }
@@ -99,6 +119,8 @@ impl Qsbr {
             deferred: Mutex::new(Vec::new()),
             quiesce_cv: Condvar::new(),
             quiesce_lock: Mutex::new(()),
+            waiters: AtomicU64::new(0),
+            bias: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
         };
         Self {
@@ -140,12 +162,14 @@ impl Qsbr {
         let state = Arc::new(ThreadState {
             active: AtomicBool::new(false),
             local_epoch: AtomicU64::new(self.shared.global_epoch.load(Ordering::SeqCst)),
+            fast_gen: AtomicU64::new(0),
             id: self.shared.next_id.fetch_add(1, Ordering::Relaxed),
         });
         self.shared.threads.lock().push(Arc::clone(&state));
         QsbrHandle {
             shared: Arc::clone(&self.shared),
             state,
+            section_entries: Cell::new(0),
         }
     }
 
@@ -205,6 +229,73 @@ impl Qsbr {
         })
     }
 
+    /// Whether the domain is currently biased (fast entries allowed).
+    pub fn biased(&self) -> bool {
+        self.shared.bias.load(Ordering::SeqCst)
+    }
+
+    /// Re-enables biased fast entries after the retirements that prompted
+    /// [`Qsbr::drain_barrier`] have completed (i.e. every retired object's
+    /// grace period has been waited out and no further swap of the protected
+    /// pointer(s) will happen until the next `drain_barrier`).
+    ///
+    /// The `SeqCst` store pairs with the `Acquire`-or-stronger flag load in
+    /// [`QsbrHandle::try_fast`]: a fast reader that observes the bias also
+    /// observes every write sequenced before this call — in particular the
+    /// final publication of the now-stable protected pointer.
+    pub fn resume_bias(&self) {
+        self.shared.bias.store(true, Ordering::SeqCst);
+    }
+
+    /// Revokes biased fast entries and waits until no thread is still inside
+    /// one, then forces a full grace period for classic critical sections.
+    ///
+    /// After this returns (and until [`Qsbr::resume_bias`]) the domain is in
+    /// the slow-path regime: every reader goes through
+    /// [`QsbrHandle::enter`]-style critical sections, so the usual
+    /// publish-then-`synchronize`/`defer` protocol is safe again. Call this
+    /// *before the first* publication that will retire shared state.
+    ///
+    /// Ordering argument (a store/store + fence Dekker): a fast entry stores
+    /// its odd generation, executes a `SeqCst` fence, then loads the bias
+    /// flag; the barrier stores `bias = false`, executes a `SeqCst` fence,
+    /// then loads the generations. Both fences are in the single total order
+    /// of SC operations, so either the reader's fence is first — the barrier
+    /// then observes the odd generation and spins until the `Release` store
+    /// of the even generation (whose `Acquire` load orders the reader's table
+    /// use before the barrier's return) — or the barrier's fence is first and
+    /// the reader's flag load observes `false`, declining into the slow path.
+    /// Either way no fast section that began before the barrier survives it,
+    /// and none can begin after it.
+    ///
+    /// Threads that register mid-barrier are also covered: registration
+    /// acquires the thread-list lock after this call's clone of the list
+    /// released it, which makes the `bias = false` store visible to any fast
+    /// entry the new thread attempts.
+    pub fn drain_barrier(&self) {
+        self.shared.bias.store(false, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        let threads: Vec<Arc<ThreadState>> = self.shared.threads.lock().clone();
+        for t in threads {
+            let mut spins = 0u32;
+            while t.fast_gen.load(Ordering::Acquire) & 1 == 1 {
+                // Fast sections are a few loads long; an odd generation that
+                // persists means the reader was preempted mid-section. Yield
+                // first, then back off to timed sleeps (no condvar here —
+                // fast exits are store-only by design and never notify).
+                if spins < 64 {
+                    spins += 1;
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+            }
+        }
+        // Fast sections are drained; now order against classic critical
+        // sections that were already inside `enter` when the flag flipped.
+        self.synchronize();
+    }
+
     fn synchronize_inner(&self, exclude: Option<u64>) {
         // Start a new grace period. Readers that announce a quiescent state
         // after this point will carry an epoch >= `target`.
@@ -239,16 +330,24 @@ impl Qsbr {
                     std::thread::yield_now();
                     continue;
                 }
+                // Announce the waiter *before* the locked re-check: an exiting
+                // reader stores its state and then loads `waiters` (both
+                // SeqCst), so either it observes our increment and notifies,
+                // or its state update is visible to the re-check below.
+                self.shared.waiters.fetch_add(1, Ordering::SeqCst);
                 let mut g = self.shared.quiesce_lock.lock();
                 // Re-check under the lock to avoid missing a wakeup.
                 if !t.active.load(Ordering::SeqCst)
                     || t.local_epoch.load(Ordering::SeqCst) >= target
                 {
+                    self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
                     break;
                 }
                 self.shared
                     .quiesce_cv
                     .wait_for(&mut g, std::time::Duration::from_millis(1));
+                drop(g);
+                self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
             }
         }
         self.run_deferred_up_to(target);
@@ -294,10 +393,16 @@ impl Qsbr {
 ///
 /// The handle is `Send` (it can be created on one thread and moved to the
 /// worker that will use it) but deliberately not `Sync`: each reader thread
-/// owns exactly one handle.
+/// owns exactly one handle (the `Cell` below enforces this at the type
+/// level).
 pub struct QsbrHandle {
     shared: Arc<Shared>,
     state: Arc<ThreadState>,
+    /// Count of classic critical-section entries through this handle. Fast
+    /// entries do not bump it — regression tests pin hot paths to "zero new
+    /// entries" through this counter. A plain `Cell` because the handle is
+    /// single-threaded by construction.
+    section_entries: Cell<u64>,
 }
 
 impl std::fmt::Debug for QsbrHandle {
@@ -317,6 +422,7 @@ impl QsbrHandle {
     #[inline]
     pub fn enter(&self) -> Guard<'_> {
         self.state.active.store(true, Ordering::SeqCst);
+        self.section_entries.set(self.section_entries.get() + 1);
         Guard { handle: self }
     }
 
@@ -327,12 +433,55 @@ impl QsbrHandle {
         f()
     }
 
+    /// Attempts a *biased* fast entry: succeeds only while the domain is
+    /// biased (no retirement in progress, see [`Qsbr::resume_bias`]), in
+    /// which case the returned guard protects RCU-dereferenced pointers with
+    /// one relaxed store, one fence, and one flag load — no critical-section
+    /// bookkeeping, no grace-period participation, no notify on exit.
+    /// Returns `None` when the domain is unbiased; the caller must fall back
+    /// to [`QsbrHandle::enter`].
+    ///
+    /// Soundness contract for the domain owner: every publication that
+    /// retires shared state must be preceded by [`Qsbr::drain_barrier`]
+    /// since the last [`Qsbr::resume_bias`]. Under that contract a fast
+    /// section can only observe pointers that no in-progress retirement will
+    /// free (the ordering argument lives on `drain_barrier`).
+    #[inline]
+    pub fn try_fast(&self) -> Option<FastGuard<'_>> {
+        let odd = self.state.fast_gen.load(Ordering::Relaxed).wrapping_add(1);
+        self.state.fast_gen.store(odd, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        if self.shared.bias.load(Ordering::SeqCst) {
+            Some(FastGuard {
+                handle: self,
+                exit_gen: odd.wrapping_add(1),
+            })
+        } else {
+            // Declined: restore an even generation so a concurrent barrier
+            // does not wait on a section that never materialised.
+            self.state
+                .fast_gen
+                .store(odd.wrapping_add(1), Ordering::Release);
+            None
+        }
+    }
+
+    /// Number of classic critical-section entries made through this handle.
+    ///
+    /// Diagnostic for tests asserting that a biased hot path stays out of
+    /// critical sections; fast entries are not counted.
+    pub fn section_entries(&self) -> u64 {
+        self.section_entries.get()
+    }
+
     /// Explicitly announces a quiescent state outside any critical section.
     #[inline]
     pub fn quiescent(&self) {
         let epoch = self.shared.global_epoch.load(Ordering::SeqCst);
         self.state.local_epoch.store(epoch, Ordering::SeqCst);
-        self.shared.quiesce_cv.notify_all();
+        if self.shared.waiters.load(Ordering::SeqCst) != 0 {
+            self.shared.quiesce_cv.notify_all();
+        }
     }
 }
 
@@ -343,7 +492,9 @@ impl Drop for QsbrHandle {
         let mut threads = self.shared.threads.lock();
         threads.retain(|t| t.id != self.state.id);
         drop(threads);
-        self.shared.quiesce_cv.notify_all();
+        if self.shared.waiters.load(Ordering::SeqCst) != 0 {
+            self.shared.quiesce_cv.notify_all();
+        }
     }
 }
 
@@ -361,7 +512,32 @@ impl Drop for Guard<'_> {
         let epoch = shared.global_epoch.load(Ordering::SeqCst);
         state.local_epoch.store(epoch, Ordering::SeqCst);
         state.active.store(false, Ordering::SeqCst);
-        shared.quiesce_cv.notify_all();
+        // Only wake grace-period waiters that actually exist: the SeqCst
+        // store above + SeqCst load here pair with the waiter's SeqCst
+        // increment-then-recheck, so a missed notify implies the waiter saw
+        // our exit. Uncontended drops stay store-only.
+        if shared.waiters.load(Ordering::SeqCst) != 0 {
+            shared.quiesce_cv.notify_all();
+        }
+    }
+}
+
+/// RAII guard for a *biased* fast read section (see
+/// [`QsbrHandle::try_fast`]). Exiting is a single `Release` store.
+#[derive(Debug)]
+pub struct FastGuard<'a> {
+    handle: &'a QsbrHandle,
+    exit_gen: u64,
+}
+
+impl Drop for FastGuard<'_> {
+    fn drop(&mut self) {
+        // Release: a drain barrier that Acquire-loads this even generation
+        // orders every read in the section before the barrier's return.
+        self.handle
+            .state
+            .fast_gen
+            .store(self.exit_gen, Ordering::Release);
     }
 }
 
@@ -620,5 +796,158 @@ mod tests {
         assert_eq!(q.pending(), 1);
         q.flush();
         assert_eq!(ran.load(Ordering::SeqCst), 101);
+    }
+
+    #[test]
+    fn try_fast_requires_bias() {
+        let q = Qsbr::new();
+        let h = q.register();
+        // Domains start unbiased: fast entries must decline.
+        assert!(!q.biased());
+        assert!(h.try_fast().is_none());
+        q.resume_bias();
+        assert!(q.biased());
+        assert!(h.try_fast().is_some());
+        // A drain barrier revokes the bias again.
+        drop(h); // barrier would wait on our own fast generation otherwise
+        q.drain_barrier();
+        assert!(!q.biased());
+        let h = q.register();
+        assert!(h.try_fast().is_none());
+        q.resume_bias();
+        assert!(h.try_fast().is_some());
+    }
+
+    #[test]
+    fn fast_entries_skip_section_bookkeeping() {
+        let q = Qsbr::new();
+        q.resume_bias();
+        let h = q.register();
+        assert_eq!(h.section_entries(), 0);
+        for _ in 0..10 {
+            let fast = h.try_fast().expect("biased domain");
+            drop(fast);
+        }
+        assert_eq!(h.section_entries(), 0, "fast entries are not sections");
+        h.critical(|| ());
+        {
+            // Unbiased attempt falls back to a classic section at the caller.
+            let q2 = Qsbr::new();
+            let h2 = q2.register();
+            assert!(h2.try_fast().is_none());
+            h2.critical(|| ());
+            assert_eq!(h2.section_entries(), 1);
+        }
+        assert_eq!(h.section_entries(), 1);
+    }
+
+    #[test]
+    fn drain_barrier_waits_for_inflight_fast_section() {
+        let q = Qsbr::new();
+        q.resume_bias();
+        let h = q.register();
+        let entered = StdArc::new(AtomicBool::new(false));
+        let release = StdArc::new(AtomicBool::new(false));
+        let drained = StdArc::new(AtomicBool::new(false));
+
+        let entered2 = StdArc::clone(&entered);
+        let release2 = StdArc::clone(&release);
+        let reader = thread::spawn(move || {
+            let fast = h.try_fast().expect("biased domain");
+            entered2.store(true, Ordering::SeqCst);
+            while !release2.load(Ordering::SeqCst) {
+                thread::sleep(Duration::from_millis(1));
+            }
+            drop(fast);
+            drop(h);
+        });
+        while !entered.load(Ordering::SeqCst) {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let q2 = q.clone();
+        let drained2 = StdArc::clone(&drained);
+        let barrier = thread::spawn(move || {
+            q2.drain_barrier();
+            drained2.store(true, Ordering::SeqCst);
+        });
+        // The barrier must not complete while a fast section is in flight.
+        thread::sleep(Duration::from_millis(30));
+        assert!(!drained.load(Ordering::SeqCst));
+        release.store(true, Ordering::SeqCst);
+        barrier.join().unwrap();
+        assert!(drained.load(Ordering::SeqCst));
+        reader.join().unwrap();
+        // Post-barrier the domain is unbiased until explicitly resumed.
+        assert!(!q.biased());
+    }
+
+    #[test]
+    fn biased_rcu_swap_is_safe_under_load() {
+        use std::sync::atomic::AtomicPtr;
+
+        // The full biased protocol under load: readers prefer fast sections
+        // and fall back to classic ones while the writer is mid-swap; the
+        // writer brackets every retire cycle with drain_barrier/resume_bias.
+        let q = Qsbr::new();
+        q.resume_bias();
+        let initial = Box::into_raw(Box::new(vec![1u64; 64]));
+        let ptr = StdArc::new(AtomicPtr::new(initial));
+        let stop = StdArc::new(AtomicBool::new(false));
+
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let q = q.clone();
+            let ptr = StdArc::clone(&ptr);
+            let stop = StdArc::clone(&stop);
+            readers.push(thread::spawn(move || {
+                let h = q.register();
+                let mut checksum = 0u64;
+                let mut fast_hits = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    if let Some(fast) = h.try_fast() {
+                        let p = ptr.load(Ordering::SeqCst);
+                        // SAFETY: bias was observed inside the fast section,
+                        // so no retire precedes the next drain barrier —
+                        // which waits for this section to end.
+                        let v = unsafe { &*p };
+                        checksum = checksum.wrapping_add(v[0]);
+                        fast_hits += 1;
+                        drop(fast);
+                    } else {
+                        let guard = h.enter();
+                        let p = ptr.load(Ordering::SeqCst);
+                        // SAFETY: classic critical section; the writer waits
+                        // a grace period before freeing.
+                        let v = unsafe { &*p };
+                        checksum = checksum.wrapping_add(v[0]);
+                        drop(guard);
+                    }
+                }
+                (checksum, fast_hits)
+            }));
+        }
+
+        for gen in 2u64..30 {
+            q.drain_barrier();
+            let new = Box::into_raw(Box::new(vec![gen; 64]));
+            let old = ptr.swap(new, Ordering::SeqCst);
+            q.synchronize();
+            // SAFETY: fast sections drained at the barrier and every classic
+            // reader passed a quiescent state since the swap.
+            unsafe { drop(Box::from_raw(old)) };
+            q.resume_bias();
+            // Give readers a window to actually take the fast path.
+            thread::yield_now();
+        }
+        stop.store(true, Ordering::SeqCst);
+        let mut total_fast = 0u64;
+        for r in readers {
+            let (_, fast_hits) = r.join().unwrap();
+            total_fast += fast_hits;
+        }
+        assert!(total_fast > 0, "fast path should be taken between barriers");
+        let last = ptr.load(Ordering::SeqCst);
+        // SAFETY: all readers have exited.
+        unsafe { drop(Box::from_raw(last)) };
     }
 }

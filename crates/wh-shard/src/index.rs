@@ -36,19 +36,26 @@ pub(crate) struct RouterTable {
 
 impl RouterTable {
     /// Index of the shard owning `key`: the number of boundaries `<= key`.
+    /// Short-circuits the single-shard configuration (empty boundary array)
+    /// so the degenerate front pays no binary-search setup.
     #[inline]
     pub(crate) fn route(&self, key: &[u8]) -> usize {
+        if self.boundaries.is_empty() {
+            return 0;
+        }
         self.boundaries.partition_point(|b| b.as_slice() <= key)
     }
 
     /// Whether a write to `key` must wait for the in-flight migration
-    /// batch to publish its new boundary.
+    /// batch to publish its new boundary. The overwhelmingly common
+    /// migration-idle table has `freeze == None`, which exits on the
+    /// discriminant test alone — no key comparisons.
     #[inline]
     fn write_frozen(&self, key: &[u8]) -> bool {
-        match &self.freeze {
-            Some((lo, hi)) => key >= lo.as_slice() && key < hi.as_slice(),
-            None => false,
-        }
+        let Some((lo, hi)) = &self.freeze else {
+            return false;
+        };
+        key >= lo.as_slice() && key < hi.as_slice()
     }
 }
 
@@ -86,11 +93,18 @@ pub(crate) struct ShardCounter(pub(crate) AtomicU64);
 /// so structural modifications (splits, merges, grace periods) on one
 /// shard never serialise writers on another.
 ///
-/// Every point operation routes inside a read-side critical section of
-/// the router's QSBR domain, which is what lets the migration engine
-/// order its publications against in-flight operations with asynchronous
-/// grace periods instead of locks — see the [crate docs](crate) for the
-/// full protocol, and [`ShardedWormhole::maybe_rebalance`] /
+/// While no migration is in flight (the overwhelmingly common state),
+/// point operations route through a **biased fast entry** of the router's
+/// QSBR domain — one relaxed store, one fence, and one flag load, no
+/// critical-section bookkeeping. A migration first executes a draining
+/// barrier that revokes the bias and waits out in-flight fast sections;
+/// only then does it publish, so ops that skipped the critical section
+/// are still ordered against every table swap. While the bias is revoked
+/// (or with [`ShardedConfig::with_router_fast_path`] disabled), ops fall
+/// back to classic read-side critical sections, which the migration
+/// engine orders with asynchronous grace periods — see the
+/// [crate docs](crate) for the full protocol, and
+/// [`ShardedWormhole::maybe_rebalance`] /
 /// [`ShardedWormhole::migrate_boundary`] for the entry points.
 pub struct ShardedWormhole<V> {
     /// The per-shard indexes, in boundary order. The array is fixed at
@@ -109,6 +123,11 @@ pub struct ShardedWormhole<V> {
     ops: Box<[ShardCounter]>,
     /// The rebalance policy (from [`ShardedConfig`]).
     rebalance: RebalanceConfig,
+    /// Whether the migration-idle biased fast path is enabled
+    /// ([`ShardedConfig::with_router_fast_path`]). When `false`, every op
+    /// routes through the classic critical-section path — the A/B toggle
+    /// the benchmarks compare.
+    fast_path: bool,
     /// Serialises migrations and holds the rebalancer's decision state
     /// (the op-counter snapshot deltas are computed against).
     pub(crate) migration: Mutex<MigrationState>,
@@ -123,7 +142,7 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
 
     /// Creates an index from a full [`ShardedConfig`].
     pub fn with_config(config: ShardedConfig) -> Self {
-        let (boundaries, inner, rebalance) = config.into_parts();
+        let (boundaries, inner, rebalance, fast_path) = config.into_parts();
         let shards: Vec<Wormhole<V>> = (0..boundaries.len() + 1)
             .map(|_| Wormhole::with_config(inner))
             .collect();
@@ -135,12 +154,19 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
             boundaries: boundaries.into_boxed_slice(),
             freeze: None,
         }));
+        let router_qsbr = Qsbr::new();
+        if fast_path {
+            // The index is born migration-idle: fast entries allowed until
+            // the first migration's draining barrier revokes them.
+            router_qsbr.resume_bias();
+        }
         Self {
             shards: shards.into_boxed_slice(),
             router: AtomicPtr::new(router),
-            router_qsbr: Qsbr::new(),
+            router_qsbr,
             ops: ops.into_boxed_slice(),
             rebalance,
+            fast_path,
             migration: Mutex::new(MigrationState::default()),
         }
     }
@@ -157,29 +183,75 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
         self.shards.len()
     }
 
-    /// Runs `f` against the live router table inside a read-side critical
-    /// section of the router's QSBR domain (the table cannot be retired
-    /// while `f` runs).
+    /// Runs `f` against the live router table, protected either by a
+    /// *biased fast entry* (migration idle: one relaxed store, one fence,
+    /// one flag load — no critical-section bookkeeping) or, when a
+    /// migration has revoked the bias or the fast path is disabled, by a
+    /// classic read-side critical section of the router's QSBR domain.
+    /// Either way the table cannot be retired while `f` runs.
     pub(crate) fn with_router<R>(&self, f: impl FnOnce(&RouterTable) -> R) -> R {
         self.router_qsbr.with_local_handle(|handle| {
+            let mut f = Some(f);
+            if self.fast_path {
+                if let Some(_fast) = handle.try_fast() {
+                    // SAFETY: the fast guard was granted while the domain
+                    // is biased, i.e. no migration is mid-flight: the next
+                    // retirement is preceded by a draining barrier that
+                    // waits for this fast section (see
+                    // `Qsbr::drain_barrier` for the ordering argument), so
+                    // the table stays live for the whole section.
+                    let router = unsafe { &*self.router.load(Ordering::Acquire) };
+                    return (f.take().expect("called once"))(router);
+                }
+            }
             handle.critical(|| {
                 // SAFETY: `router` always points to a live table; the
                 // migration engine retires a swapped-out table only after a
                 // grace period, and we are inside a critical section.
                 let router = unsafe { &*self.router.load(Ordering::Acquire) };
-                f(router)
+                (f.take().expect("called once"))(router)
             })
         })
     }
 
+    /// Revokes the biased fast path and drains it: after this returns, no
+    /// thread is inside a fast section and every future point op falls back
+    /// to the classic critical-section path, so [`publish_router`]'s
+    /// grace-period protocol covers all of them. The migration engine calls
+    /// this once per migration, *before the first* publication; callers
+    /// must hold the migration mutex.
+    ///
+    /// [`publish_router`]: ShardedWormhole::publish_router
+    pub(crate) fn begin_router_mutation(&self) {
+        self.router_qsbr.drain_barrier();
+    }
+
+    /// Re-enables the biased fast path after the last publication of a
+    /// migration. Safe even though retired tables may still be aging: a
+    /// fast reader entering from here on can only load the final published
+    /// table (the bias store is ordered after the last swap), never a
+    /// retired one. Callers must hold the migration mutex.
+    pub(crate) fn end_router_mutation(&self) {
+        if self.fast_path {
+            self.router_qsbr.resume_bias();
+        }
+    }
+
     /// Publishes a new router table, starts — without waiting for — the
     /// grace period retiring the old one, and returns the grace token.
-    /// Must only be called while holding the migration mutex.
+    /// Must only be called while holding the migration mutex, with the
+    /// biased fast path revoked ([`ShardedWormhole::begin_router_mutation`])
+    /// — fast sections do not participate in grace periods, so a swap while
+    /// the domain is biased could retire a table out from under them.
     pub(crate) fn publish_router(
         &self,
         boundaries: Box<[Vec<u8>]>,
         freeze: Option<(Vec<u8>, Vec<u8>)>,
     ) -> u64 {
+        debug_assert!(
+            !self.router_qsbr.biased(),
+            "publish_router requires a preceding begin_router_mutation"
+        );
         // SAFETY: the migration mutex serialises all swaps, so reading the
         // current epoch without a guard is race-free.
         let epoch = unsafe { &*self.router.load(Ordering::Acquire) }.epoch + 1;
@@ -246,11 +318,22 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
             .collect()
     }
 
-    /// Routes a read: one router critical section spanning the boundary
-    /// lookup *and* the shard operation, so a migration's grace periods
-    /// order donor draining after every in-flight read that routed to it.
+    /// Routes a read: one router protection span (fast or critical-section,
+    /// see [`ShardedWormhole::with_router`]) covering the boundary lookup
+    /// *and* the shard operation, so a migration's draining barrier and
+    /// grace periods order donor draining after every in-flight read that
+    /// routed to it.
+    ///
+    /// The single-shard front bypasses the router entirely: with no
+    /// boundaries there is nothing to migrate, the table can never be
+    /// swapped, and the degenerate index behaves like the bare concurrent
+    /// Wormhole plus one relaxed counter bump.
     #[inline]
     fn routed_read<R>(&self, key: &[u8], f: impl FnOnce(&Wormhole<V>) -> R) -> R {
+        if self.shards.len() == 1 {
+            self.ops[0].0.fetch_add(1, Ordering::Relaxed);
+            return f(&self.shards[0]);
+        }
         self.with_router(|router| {
             let shard = router.route(key);
             self.ops[shard].0.fetch_add(1, Ordering::Relaxed);
@@ -261,27 +344,43 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     /// Routes a write, waiting out a migration batch that has frozen the
     /// key's range (bounded: one batch copy plus a grace period). The wait
     /// spins *outside* any critical section so it never holds up the very
-    /// grace period that will unfreeze the range.
+    /// grace period that will unfreeze the range. Fast-path writes are
+    /// sound under freezes for a stronger reason than the grace argument:
+    /// a fast section can only exist while the domain is biased, and the
+    /// draining barrier that precedes every freeze publication waits for
+    /// all of them — so a frozen table is never observed from a fast entry.
+    ///
+    /// Like reads, the single-shard front (which can never freeze — there
+    /// is no boundary to migrate) skips the router.
     #[inline]
     fn routed_write<R>(&self, key: &[u8], mut f: impl FnMut(&Wormhole<V>) -> R) -> R {
+        if self.shards.len() == 1 {
+            self.ops[0].0.fetch_add(1, Ordering::Relaxed);
+            return f(&self.shards[0]);
+        }
         loop {
-            let done = self.router_qsbr.with_local_handle(|handle| {
-                handle.critical(|| {
-                    // SAFETY: see `with_router`.
-                    let router = unsafe { &*self.router.load(Ordering::Acquire) };
-                    if router.write_frozen(key) {
-                        return None;
-                    }
-                    let shard = router.route(key);
-                    self.ops[shard].0.fetch_add(1, Ordering::Relaxed);
-                    Some(f(&self.shards[shard]))
-                })
+            let done = self.with_router(|router| {
+                if router.write_frozen(key) {
+                    return None;
+                }
+                let shard = router.route(key);
+                self.ops[shard].0.fetch_add(1, Ordering::Relaxed);
+                Some(f(&self.shards[shard]))
             });
             match done {
                 Some(result) => return result,
                 None => std::thread::yield_now(),
             }
         }
+    }
+
+    /// Number of classic router critical-section entries made *by the
+    /// calling thread* so far. Diagnostic: regression tests pin the
+    /// migration-idle fast path to "zero new entries per op" through this
+    /// counter (biased fast entries are not counted).
+    pub fn router_section_entries(&self) -> u64 {
+        self.router_qsbr
+            .with_local_handle(|handle| handle.section_entries())
     }
 
     /// Total leaf nodes across every shard.
@@ -394,10 +493,13 @@ impl<V: Clone + Send + Sync + 'static> CursorSource<V> for RoutedSource<'_, V> {
                 ..
             } = self;
             let index = *index;
-            let step = index.router_qsbr.with_local_handle(|handle| {
-                handle.critical(|| {
-                    // SAFETY: see `ShardedWormhole::with_router`.
-                    let router = unsafe { &*index.router.load(Ordering::Acquire) };
+            // `with_router` gives fills the same biased fast entry as point
+            // ops while no migration is in flight; the epoch re-validation
+            // below is then a compare of two equal numbers. When a
+            // migration is mid-flight the fill runs in a classic critical
+            // section, exactly as before.
+            let step = index.with_router(|router| {
+                {
                     let valid = matches!(segment, Some(seg) if seg.epoch == router.epoch);
                     if !valid {
                         // (Re-)route the sweep bound through the live
@@ -467,7 +569,7 @@ impl<V: Clone + Send + Sync + 'static> CursorSource<V> for RoutedSource<'_, V> {
                             None => FillStep::Done,
                         }
                     }
-                })
+                }
             });
             match step {
                 FillStep::Filled => return true,
@@ -509,6 +611,15 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWorm
     fn get_batch(&self, keys: &[&[u8]]) -> Vec<Option<V>> {
         if keys.is_empty() {
             return Vec::new();
+        }
+        if self.shards.len() == 1 {
+            // Single-shard bypass: no boundaries, no migrations, no router
+            // protection needed — hand the whole batch to the one shard's
+            // pipelined engine (see `routed_read`).
+            self.ops[0]
+                .0
+                .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            return self.shards[0].get_batch(keys);
         }
         self.with_router(|router| {
             let mut out: Vec<Option<V>> = Vec::new();
@@ -776,7 +887,9 @@ mod tests {
         let freeze = Some((vec![0x50u8], vec![0x90u8]));
         {
             let _migration = idx.migration.lock();
+            idx.begin_router_mutation();
             idx.publish_router(boundaries, freeze);
+            idx.end_router_mutation();
         }
         let key_bytes: Vec<Vec<u8>> = (0..1_050u64)
             .step_by(7)
@@ -797,7 +910,9 @@ mod tests {
         let boundaries = idx.boundaries().into_boxed_slice();
         {
             let _migration = idx.migration.lock();
+            idx.begin_router_mutation();
             idx.publish_router(boundaries, None);
+            idx.end_router_mutation();
         }
         assert_eq!(idx.get_batch(&keys), batched);
     }

@@ -44,28 +44,59 @@
 //! boundary array, a publication **epoch**, and an optional write-frozen
 //! range), published through an atomic pointer and protected by its own
 //! [`wh_epoch::Qsbr`] domain — the same asynchronous-grace publication
-//! pattern the concurrent Wormhole uses for its MetaTrieHT tables:
+//! pattern the concurrent Wormhole uses for its MetaTrieHT tables. The
+//! router domain is **biased**: migrations are rare and well-delimited,
+//! so the common case pays almost nothing for the protection it almost
+//! never needs.
 //!
-//! * **Point ops** route *and execute* inside one read-side critical
-//!   section of the router domain. Reads never block on the router. A
-//!   write whose key falls in the (rare, bounded) frozen range of an
-//!   in-flight migration batch waits — outside any critical section —
-//!   until the batch publishes its new boundary; every other write
-//!   proceeds untouched.
-//! * **Migration** (see [`rebalance`]) swaps the table (bumping the
-//!   epoch), starts a grace period without waiting for it, and completes
-//!   it only at the next point it needs the ordering guarantee. Old
-//!   tables are retired through `Qsbr::defer`. The grace periods give the
-//!   two reader-visibility guarantees the protocol rests on: after the
-//!   *freeze* publication's grace, no in-flight write can still be
-//!   mutating the batch range in the donor (so the copy is of immutable
-//!   data); after the *boundary* publication's grace, no in-flight read
-//!   or scan fill can still be resolving the range against the donor (so
-//!   the donor's stale copy can be drained).
+//! * **Point ops, migration idle** (the steady state): the table can only
+//!   be swapped by a migration, and none is running, so a routed op skips
+//!   the critical section entirely. It enters a *biased fast section*
+//!   ([`wh_epoch::QsbrHandle::try_fast`]) — one relaxed generation store,
+//!   one fence, one load of the domain's bias flag — routes off the
+//!   published table, and executes the shard op. No epoch bookkeeping, no
+//!   condvar traffic, no freeze check (a frozen range implies a migration,
+//!   which implies the bias was already revoked). A single-shard index
+//!   has nothing to route or migrate at all and bypasses the router
+//!   unconditionally.
+//! * **Point ops, migration in flight**: `try_fast` declines (the bias is
+//!   revoked) and the op falls back to a classic read-side critical
+//!   section, exactly the pre-fast-path protocol. Reads still never block
+//!   on the router. A write whose key falls in the (rare, bounded) frozen
+//!   range of an in-flight migration batch waits — outside any critical
+//!   section — until the batch publishes its new boundary; every other
+//!   write proceeds untouched.
+//! * **Migration** (see [`rebalance`]) first executes the **draining
+//!   barrier** ([`wh_epoch::Qsbr::drain_barrier`]): it revokes the bias
+//!   flag, waits until every registered handle's fast-section generation
+//!   is even (no fast section in flight), and forces one grace period for
+//!   classic sections. The ordering argument is a Dekker handshake on
+//!   SC fences: a fast entry stores its generation odd, fences, then
+//!   loads the bias; the barrier stores the bias false, fences, then
+//!   reads the generations. Whichever fence comes first in the total
+//!   order, either the barrier observes the odd generation and waits the
+//!   reader out, or the reader observes the revoked bias and falls back —
+//!   so no op that skipped its critical section can still be
+//!   dereferencing a table the migration is about to retire. From there
+//!   the migration proceeds under the classic protocol: it swaps the
+//!   table (bumping the epoch), starts a grace period without waiting for
+//!   it, and completes it only at the next point it needs the ordering
+//!   guarantee; old tables are retired through `Qsbr::defer`. The grace
+//!   periods give the two reader-visibility guarantees the protocol rests
+//!   on: after the *freeze* publication's grace, no in-flight write can
+//!   still be mutating the batch range in the donor (so the copy is of
+//!   immutable data); after the *boundary* publication's grace, no
+//!   in-flight read or scan fill can still be resolving the range against
+//!   the donor (so the donor's stale copy can be drained). When the
+//!   migration finishes (or unwinds), it restores the bias *after* its
+//!   last table swap: a fast section granted after the restore can only
+//!   have loaded the final table, whose retirement would again be behind
+//!   a future barrier.
 //! * **Scans** record the router epoch each cursor segment was routed
-//!   under and re-validate it on every batch fill (inside a router
-//!   critical section); a stale segment is dropped and its sweep bound
-//!   re-routed through the live boundaries. A long-running cross-shard
+//!   under and re-validate it on every batch fill (a fast section while
+//!   idle, a router critical section during migrations); a stale segment
+//!   is dropped and its sweep bound re-routed through the live
+//!   boundaries. A long-running cross-shard
 //!   cursor therefore stays globally ordered, never yields a key twice,
 //!   and never loses a key to a concurrent boundary move — and a
 //!   [`index_traits::Cursor::resume_key`] is a plain global key that a

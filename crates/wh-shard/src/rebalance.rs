@@ -15,8 +15,19 @@
 //! `target` re-homes the half-open key range between them. The move runs
 //! in **bounded batches** (at most [`RebalanceConfig::batch_keys`]-ish
 //! keys each, planned from a one-pass cursor scan of the donor's range).
-//! Each batch executes four steps against the epoch-published router
-//! table (see `crate::index::RouterTable`):
+//!
+//! Before its first publication the migration executes a **draining
+//! barrier** (`wh_epoch::Qsbr::drain_barrier`): it revokes the
+//! migration-idle bias that lets point ops route *outside* any critical
+//! section, waits until every in-flight biased fast section has exited,
+//! and forces a grace period for classic sections. From then until the
+//! migration completes, every point op re-enters in slow-path mode
+//! (classic critical sections), so the per-batch grace periods below
+//! cover all of them; the bias — and with it the fast path — is restored
+//! when the migration finishes (normally or by unwinding).
+//!
+//! Each batch then executes four steps against the epoch-published
+//! router table (see `crate::index::RouterTable`):
 //!
 //! 1. **Freeze.** Publish a router with the batch's range marked
 //!    write-frozen (boundaries unchanged) and complete an asynchronous
@@ -212,6 +223,29 @@ impl<V: Clone + Send + Sync + 'static> Drop for UnfreezeOnUnwind<'_, V> {
     }
 }
 
+/// RAII bracket for a migration's router mutations: construction revokes
+/// the biased fast path and drains it
+/// (`ShardedWormhole::begin_router_mutation`); drop — on the normal *and*
+/// unwind paths — restores it. Declared before the per-batch
+/// [`UnfreezeOnUnwind`] guards so that, when a copy panics, the guard's
+/// freeze-free republish still runs while the bias is revoked.
+struct BiasSection<'a, V: Clone + Send + Sync + 'static> {
+    index: &'a ShardedWormhole<V>,
+}
+
+impl<'a, V: Clone + Send + Sync + 'static> BiasSection<'a, V> {
+    fn begin(index: &'a ShardedWormhole<V>) -> Self {
+        index.begin_router_mutation();
+        Self { index }
+    }
+}
+
+impl<V: Clone + Send + Sync + 'static> Drop for BiasSection<'_, V> {
+    fn drop(&mut self) {
+        self.index.end_router_mutation();
+    }
+}
+
 impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     /// Checks the per-shard load counters and, when an adjacent pair is
     /// imbalanced, migrates the boundary between them toward balance.
@@ -384,6 +418,11 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
             schedule.reverse();
         }
         schedule.push(target.to_vec());
+
+        // Revoke and drain the biased fast path before the first
+        // publication; restored (even on a panicking copy) when the
+        // section drops at the end of the migration.
+        let _bias = BiasSection::begin(self);
 
         let mut cur_now = cur;
         for next_boundary in schedule {

@@ -426,18 +426,20 @@ fn sharded_multi_writer_scan_stress() {
     }
 }
 
-#[test]
-fn migration_under_churn_stress() {
-    // Release-gated stress for online shard rebalancing: a migration
-    // thread forces boundary moves back and forth through the middle of
-    // the stable population while churn writers split/merge leaves in
-    // every shard (including inside the migrating ranges), point readers
-    // assert every stable key is readable with its exact value at every
-    // instant (a migrated key must never be unreachable or torn), and
-    // cross-shard cursor readers drain full scans asserting strict global
-    // order and the stable population seen exactly once. Iteration counts
-    // are high only under `--release` (scaled by WH_STRESS_MULT for
-    // nightly soaks); debug builds run a smoke pass.
+/// Release-gated stress for online shard rebalancing, run once per router
+/// regime: a migration thread forces boundary moves back and forth through
+/// the middle of the stable population while churn writers split/merge
+/// leaves in every shard (including inside the migrating ranges), point
+/// readers assert every stable key is readable with its exact value at
+/// every instant (a migrated key must never be unreachable or torn), and
+/// cross-shard cursor readers drain full scans asserting strict global
+/// order and the stable population seen exactly once. With the fast path
+/// on, every migration revokes the router bias through the draining
+/// barrier while the readers race it; with it off, every op takes the
+/// classic critical-section path. Iteration counts are high only under
+/// `--release` (scaled by WH_STRESS_MULT for nightly soaks); debug builds
+/// run a smoke pass.
+fn migration_under_churn_stress_with(fast_path: bool) {
     let migrations: u64 = if cfg!(debug_assertions) {
         6
     } else {
@@ -462,7 +464,8 @@ fn migration_under_churn_stress() {
             batch_keys: 64,
             sample_cap: 512,
             min_move_keys: 8,
-        }),
+        })
+        .with_router_fast_path(fast_path),
     ));
     for i in 0..n_stable {
         idx.set(format!("stable-{i:06}").as_bytes(), i);
@@ -591,6 +594,121 @@ fn migration_under_churn_stress() {
     assert_eq!(idx.len() as u64, n_stable, "churn or migration leaked keys");
     for i in 0..n_stable {
         assert_eq!(idx.get(format!("stable-{i:06}").as_bytes()), Some(i));
+    }
+}
+
+#[test]
+fn migration_under_churn_stress() {
+    migration_under_churn_stress_with(true);
+}
+
+#[test]
+fn migration_under_churn_stress_no_fast_path() {
+    migration_under_churn_stress_with(false);
+}
+
+#[test]
+fn fast_path_drain_barrier_flip_flop_stress() {
+    // Release-gated stress aimed squarely at the biased-entry handshake:
+    // with no churn to slow it down, a migration thread bounces a boundary
+    // between two close targets as fast as it can, so the router bias is
+    // revoked (draining barrier) and restored at the highest achievable
+    // frequency while point and batched readers hammer fast-path gets.
+    // Every read must return the exact preloaded value at every instant —
+    // a reader whose fast section raced the barrier must either have been
+    // waited out (table still live) or bounced to the critical-section
+    // path; a torn read here means a fast section dereferenced a retired
+    // table. Iteration counts are high only under `--release` (scaled by
+    // WH_STRESS_MULT for nightly soaks); debug builds run a smoke pass.
+    let flips: u64 = if cfg!(debug_assertions) {
+        8
+    } else {
+        2_000 * stress_mult()
+    };
+    let n_stable = 1_000u64;
+    let idx = Arc::new(ShardedWormhole::<u64>::with_config(
+        ShardedConfig::with_boundaries(vec![b"k-0500".to_vec()])
+            .with_inner(WormholeConfig::optimized().with_leaf_capacity(8))
+            .with_rebalance(RebalanceConfig {
+                min_pair_ops: u64::MAX,
+                imbalance_percent: 400,
+                batch_keys: 128,
+                sample_cap: 256,
+                min_move_keys: 8,
+            }),
+    ));
+    for i in 0..n_stable {
+        idx.set(format!("k-{i:04}").as_bytes(), i);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                // 50-key hops keep each migration short, maximising the
+                // rate of drain-barrier / resume-bias transitions.
+                let targets: [&[u8]; 2] = [b"k-0450", b"k-0500"];
+                for m in 0..flips {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    idx.migrate_boundary(0, targets[(m % 2) as usize])
+                        .expect("flip-flop migration failed");
+                }
+                stop.store(true, Ordering::Relaxed);
+            });
+        }
+        // Point readers biased toward the bouncing slice (400..600).
+        for r in 0..2u64 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut pass = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let i = if pass.is_multiple_of(2) {
+                        400 + (pass * 131 + r * 17) % 200
+                    } else {
+                        (pass * 131 + r * 17) % n_stable
+                    };
+                    assert_eq!(
+                        idx.get(format!("k-{i:04}").as_bytes()),
+                        Some(i),
+                        "k-{i:04} unreachable or torn across a bias flip"
+                    );
+                    pass += 1;
+                }
+            });
+        }
+        // A batched reader: one fast section covers the whole batch, so it
+        // holds sections open longer than any point get — the barrier must
+        // wait these out too.
+        {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let keys: Vec<Vec<u8>> = (0..n_stable)
+                    .map(|i| format!("k-{i:04}").into_bytes())
+                    .collect();
+                let mut pass = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let batch: Vec<&[u8]> = (0..64u64)
+                        .map(|j| keys[((pass * 67 + j * 13) % n_stable) as usize].as_slice())
+                        .collect();
+                    let values = idx.get_batch(&batch);
+                    for (key, value) in batch.iter().zip(&values) {
+                        let id: u64 = std::str::from_utf8(key).unwrap()[2..].parse().unwrap();
+                        assert_eq!(*value, Some(id), "torn batched read across a bias flip");
+                    }
+                    pass += 1;
+                }
+            });
+        }
+    });
+    idx.check_invariants();
+    assert_eq!(idx.len() as u64, n_stable);
+    for i in 0..n_stable {
+        assert_eq!(idx.get(format!("k-{i:04}").as_bytes()), Some(i));
     }
 }
 
