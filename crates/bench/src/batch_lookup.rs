@@ -50,6 +50,9 @@ pub struct ServiceBatchSample {
     pub batch: usize,
     /// Client-observed million operations per second.
     pub mops: f64,
+    /// Size in bytes of the STATS exposition scraped over the wire after
+    /// the run (0 would mean the scrape failed; CI schema-checks it).
+    pub stats_bytes: usize,
 }
 
 /// A shuffled probe stream over the resident keys: every resident is
@@ -216,11 +219,19 @@ pub fn measure_service_batches(keys: usize, batch: usize) -> Vec<ServiceBatchSam
         let service = KvService::with_batch_size(index, batch);
         let stats = service.run_lookups(&probe_keys);
         assert_eq!(stats.hits, keys, "{frontend}: every service probe hits");
+        // Scrape the server in-band after the run: the STATS wire command
+        // must round-trip and carry the service's own counters.
+        let exposition = service.fetch_stats();
+        assert!(
+            exposition.contains("netsim_requests_total"),
+            "{frontend}: STATS exposition missing service counters"
+        );
         out.push(ServiceBatchSample {
             frontend,
             keys,
             batch,
             mops: stats.mops(),
+            stats_bytes: exposition.len(),
         });
     }
     out

@@ -91,8 +91,9 @@ fn main() {
         let comma = if i + 1 == service.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"frontend\": \"{}\", \"keys\": {}, \"batch\": {}, \"mops\": {:.3}}}{comma}",
-            s.frontend, s.keys, s.batch, s.mops,
+            "    {{\"frontend\": \"{}\", \"keys\": {}, \"batch\": {}, \"mops\": {:.3}, \
+             \"stats_bytes\": {}}}{comma}",
+            s.frontend, s.keys, s.batch, s.mops, s.stats_bytes,
         );
     }
     json.push_str("  ]\n");

@@ -16,7 +16,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use bench::shard_scale::{measure_scaling, measure_skew_shift};
+use bench::shard_scale::{measure_scaling, measure_skew_shift, measure_telemetry_ab};
 use bench::{quick_mode, quick_or};
 
 fn main() {
@@ -34,6 +34,14 @@ fn main() {
         eprintln!(
             "  {:<11} shards={:<2} fast={:<5} {:<12} {:8.3} Mops/s  ({} ops)",
             s.frontend, s.shards, s.router_fast_path, s.mix, s.mops, s.ops,
+        );
+    }
+    eprintln!("measuring telemetry on/off A/B (read-heavy, 4 shards)...");
+    let telemetry_ab = measure_telemetry_ab(threads, keys, duration, rounds);
+    for s in &telemetry_ab {
+        eprintln!(
+            "  telemetry={:<3} {:<12} {:8.3} Mops/s  ({} ops)",
+            s.telemetry, s.mix, s.mops, s.ops,
         );
     }
     eprintln!("measuring skew-shift recovery (rebalance off / on)...");
@@ -72,7 +80,11 @@ fn main() {
          rate, shifted = right after the collapse, recovered = after a recovery window of \
          traffic bursts interleaved with maybe_rebalance() decisions (rebalance=true) or plain \
          traffic (rebalance=false); migrations/moved_keys count the boundary moves the online \
-         rebalancer performed. On a single-CPU host the threads time-slice, so the sharded win \
+         rebalancer performed. telemetry_ab = the read-heavy 4-shard fast-path cell with \
+         wh-telemetry recording enabled vs disabled at runtime, rounds interleaved on/off: the \
+         observability tax, expected within a few percent (counters stay live in both states; \
+         only histograms and clock reads toggle). On a single-CPU host the threads time-slice, \
+         so the sharded win \
          comes from eliminating writer-mutex convoys and cross-thread grace-period waits rather \
          than true parallelism; multicore hosts add the latter on top.\",\n",
     );
@@ -86,6 +98,17 @@ fn main() {
             "    {{\"frontend\": \"{}\", \"shards\": {}, \"router_fast_path\": {}, \
              \"mix\": \"{}\", \"threads\": {}, \"ops\": {}, \"mops\": {:.3}}}{comma}",
             s.frontend, s.shards, s.router_fast_path, s.mix, s.threads, s.ops, s.mops,
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"telemetry_ab\": [\n");
+    for (i, s) in telemetry_ab.iter().enumerate() {
+        let comma = if i + 1 == telemetry_ab.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"telemetry\": \"{}\", \"mix\": \"{}\", \"shards\": 4, \
+             \"router_fast_path\": true, \"threads\": {}, \"ops\": {}, \"mops\": {:.3}}}{comma}",
+            s.telemetry, s.mix, s.threads, s.ops, s.mops,
         );
     }
     json.push_str("  ],\n");

@@ -278,6 +278,62 @@ pub fn measure_scaling(
     samples
 }
 
+/// One cell of the telemetry overhead A/B pair.
+#[derive(Debug, Clone)]
+pub struct TelemetryAbSample {
+    /// `"on"` or `"off"` — the runtime state of `wh_telemetry` recording
+    /// during the window.
+    pub telemetry: &'static str,
+    /// Workload mix label (the pair measures `read_heavy`).
+    pub mix: &'static str,
+    /// Worker threads driving the index.
+    pub threads: usize,
+    /// Operations completed inside the window.
+    pub ops: u64,
+    /// Aggregate throughput in million operations per second.
+    pub mops: f64,
+}
+
+/// Measures the telemetry tax on the hottest cell: the read-heavy mix on
+/// a 4-shard front with the router fast path on, with recording enabled
+/// vs disabled via the runtime switch ([`wh_telemetry::set_enabled`]).
+/// Rounds are interleaved on/off so scheduler drift hits both states
+/// equally; recording is left enabled afterwards. The tracked baseline
+/// pins the pair within a few percent of each other — the "zero overhead
+/// when idle" budget.
+pub fn measure_telemetry_ab(
+    threads: usize,
+    keys: usize,
+    duration: Duration,
+    rounds: usize,
+) -> Vec<TelemetryAbSample> {
+    let probes = resident_keys(keys);
+    let front = build_sharded(4, keys, true);
+    // (ops, mops) best-of per state: [on, off].
+    let mut best = [(0u64, 0.0f64); 2];
+    for _ in 0..rounds {
+        for (slot, enabled) in [(0usize, true), (1usize, false)] {
+            wh_telemetry::set_enabled(enabled);
+            let (ops, secs) = run_window(&front, threads, &probes, duration, Mix::ReadHeavy);
+            let mops = ops as f64 / secs / 1e6;
+            if mops > best[slot].1 {
+                best[slot] = (ops, mops);
+            }
+        }
+    }
+    wh_telemetry::set_enabled(true);
+    [("on", best[0]), ("off", best[1])]
+        .into_iter()
+        .map(|(telemetry, (ops, mops))| TelemetryAbSample {
+            telemetry,
+            mix: Mix::ReadHeavy.label(),
+            threads,
+            ops,
+            mops,
+        })
+        .collect()
+}
+
 /// One phase of the skew-shift scenario.
 #[derive(Debug, Clone)]
 pub struct SkewShiftSample {
@@ -400,6 +456,20 @@ mod tests {
         );
         let disabled = measure_skew_shift(2, 4_000, Duration::from_millis(40), false);
         assert_eq!(disabled[2].migrations, 0, "disabled run must not migrate");
+    }
+
+    #[test]
+    fn telemetry_ab_measurement_smoke() {
+        let samples = measure_telemetry_ab(2, 2_000, Duration::from_millis(30), 1);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].telemetry, "on");
+        assert_eq!(samples[1].telemetry, "off");
+        for s in &samples {
+            assert!(s.ops > 0, "telemetry={} cell did no work", s.telemetry);
+            assert_eq!(s.mix, "read_heavy");
+        }
+        // The A/B run leaves recording enabled for everyone else.
+        assert!(wh_telemetry::enabled());
     }
 
     #[test]

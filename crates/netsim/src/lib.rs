@@ -26,8 +26,20 @@
 //! throughput and applies the link model, so the reported series keeps the
 //! paper's shape (small drop for most keysets, wire-limited for `K10`).
 
+//! # Observability
+//!
+//! The server thread records per-op-type service latency histograms and
+//! the decoded batch-size distribution into a [`wh_telemetry::Registry`]
+//! the service owns ([`KvService::registry`]); index metrics can be
+//! registered into the same registry before serving. The wire protocol
+//! carries a [`wire::WireRequest::Stats`] command whose response is the
+//! registry's full text exposition — a client can scrape the server
+//! in-band, through the same batched request stream as its data traffic.
+
 pub mod service;
+pub mod telemetry;
 pub mod wire;
 
 pub use service::{KvService, ServiceStats};
+pub use telemetry::ServiceMetrics;
 pub use wire::{LinkModel, WireRequest, WireResponse};

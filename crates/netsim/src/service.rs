@@ -15,7 +15,9 @@ use std::thread::JoinHandle;
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use index_traits::ConcurrentOrderedIndex;
+use wh_telemetry::Registry;
 
+use crate::telemetry::ServiceMetrics;
 use crate::wire::{WireRequest, WireResponse};
 
 /// One batch of encoded requests travelling client → server.
@@ -71,6 +73,8 @@ impl ServiceStats {
 pub struct KvService<V: Clone + Send + Sync + 'static> {
     index: Arc<dyn ConcurrentOrderedIndex<V>>,
     batch_size: usize,
+    registry: Arc<Registry>,
+    metrics: ServiceMetrics,
 }
 
 impl KvService<u64> {
@@ -83,7 +87,28 @@ impl KvService<u64> {
     /// Creates a service with an explicit batch size.
     pub fn with_batch_size(index: Arc<dyn ConcurrentOrderedIndex<u64>>, batch_size: usize) -> Self {
         assert!(batch_size > 0);
-        Self { index, batch_size }
+        let registry = Arc::new(Registry::new());
+        let metrics = ServiceMetrics::default();
+        metrics.register_into(&registry, "netsim");
+        Self {
+            index,
+            batch_size,
+            registry,
+            metrics,
+        }
+    }
+
+    /// The metrics registry the [`WireRequest::Stats`] command renders.
+    /// Register index-side metrics here before serving to make them
+    /// scrapeable over the wire.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The service's own metrics cells (also registered in
+    /// [`registry`](KvService::registry) under `netsim_…` names).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
     }
 
     /// Spawns the server loop, returning the request sender, the response
@@ -98,6 +123,8 @@ impl KvService<u64> {
         let (req_tx, req_rx) = bounded::<RequestBatch>(16);
         let (resp_tx, resp_rx) = bounded::<ResponseBatch>(16);
         let index = Arc::clone(&self.index);
+        let registry = Arc::clone(&self.registry);
+        let metrics = self.metrics.clone();
         let handle = std::thread::spawn(move || {
             let mut requests: Vec<WireRequest> = Vec::new();
             while let Ok(batch) = req_rx.recv() {
@@ -111,6 +138,8 @@ impl KvService<u64> {
                 while let Some(req) = WireRequest::decode(&mut payload) {
                     requests.push(req);
                 }
+                metrics.requests.add(requests.len() as u64);
+                metrics.batch_requests.record(requests.len() as u64);
                 let mut out = BytesMut::with_capacity(requests.len() * 16);
                 let mut i = 0usize;
                 while i < requests.len() {
@@ -127,7 +156,17 @@ impl KvService<u64> {
                                     _ => unreachable!("run contains only gets"),
                                 })
                                 .collect();
-                            for value in index.get_batch(&keys) {
+                            let timing = wh_telemetry::start_timing();
+                            let values = index.get_batch(&keys);
+                            if let Some(started) = timing {
+                                // Every op in the run shares the run's
+                                // service time: they were executed together.
+                                metrics.get_ns.record_n(
+                                    started.elapsed().as_nanos() as u64,
+                                    keys.len() as u64,
+                                );
+                            }
+                            for value in values {
                                 match value {
                                     Some(v) => WireResponse::Value(v),
                                     None => WireResponse::Miss,
@@ -137,16 +176,26 @@ impl KvService<u64> {
                             i = run_end;
                         }
                         WireRequest::Set { key, value } => {
-                            match index.set(key, *value) {
+                            let timing = wh_telemetry::start_timing();
+                            let resp = match index.set(key, *value) {
                                 Some(v) => WireResponse::Value(v),
                                 None => WireResponse::Miss,
-                            }
-                            .encode(&mut out);
+                            };
+                            metrics.set_ns.record_elapsed(timing);
+                            resp.encode(&mut out);
                             i += 1;
                         }
                         WireRequest::Range { start, count } => {
-                            WireResponse::Range(index.range_from(start, *count as usize))
-                                .encode(&mut out);
+                            let timing = wh_telemetry::start_timing();
+                            let resp =
+                                WireResponse::Range(index.range_from(start, *count as usize));
+                            metrics.range_ns.record_elapsed(timing);
+                            resp.encode(&mut out);
+                            i += 1;
+                        }
+                        WireRequest::Stats => {
+                            metrics.stats_requests.inc();
+                            WireResponse::Stats(registry.snapshot().render()).encode(&mut out);
                             i += 1;
                         }
                     }
@@ -215,6 +264,29 @@ impl KvService<u64> {
         drop(req_tx);
         handle.join().expect("server thread");
         stats
+    }
+
+    /// Scrapes the server over the wire: sends one [`WireRequest::Stats`]
+    /// and returns the decoded text exposition.
+    pub fn fetch_stats(&self) -> String {
+        let (req_tx, resp_rx, handle) = self.spawn_server();
+        let mut buf = BytesMut::new();
+        WireRequest::Stats.encode(&mut buf);
+        req_tx
+            .send(RequestBatch {
+                payload: buf.freeze(),
+                count: 1,
+            })
+            .expect("server alive");
+        let batch = resp_rx.recv().expect("server alive");
+        let mut payload = batch.payload;
+        let text = match WireResponse::decode(&mut payload) {
+            Some(WireResponse::Stats(text)) => text,
+            other => panic!("expected a Stats response, got {other:?}"),
+        };
+        drop(req_tx);
+        handle.join().expect("server thread");
+        text
     }
 
     /// Convenience wrapper: runs point lookups for the given keys.
@@ -321,6 +393,52 @@ mod tests {
         // Hits: the get after the first set, the second set's old value, and
         // the final get. The leading get and the "absent" probe miss.
         assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn stats_round_trips_and_reports_service_metrics() {
+        let index = loaded_index(500);
+        let service = KvService::with_batch_size(index, 64);
+        let keys: Vec<Vec<u8>> = (0..300u64)
+            .map(|i| format!("key-{i:08}").into_bytes())
+            .collect();
+        service.run_lookups(&keys);
+        service.run(&[
+            WireRequest::Set {
+                key: b"fresh".to_vec(),
+                value: 1,
+            },
+            WireRequest::Range {
+                start: b"key".to_vec(),
+                count: 4,
+            },
+        ]);
+        // A Stats request mixed into an ordinary batch round-trips and
+        // counts as one operation (a hit: the response carries data).
+        let stats = service.run(&[
+            WireRequest::Get {
+                key: b"key-00000001".to_vec(),
+            },
+            WireRequest::Stats,
+        ]);
+        assert_eq!(stats.operations, 2);
+        assert_eq!(stats.hits, 2);
+        let text = service.fetch_stats();
+        assert!(text.contains("netsim_requests_total"));
+        assert!(text.contains("netsim_batch_requests"));
+        let m = service.metrics();
+        // 300 lookups + set + range + get + stats, plus the fetch above.
+        assert_eq!(m.requests.get(), 305);
+        assert_eq!(m.stats_requests.get(), 2);
+        // Histograms vanish under `telemetry-off`; the counters above stay.
+        if wh_telemetry::enabled() {
+            assert_eq!(m.get_ns.snapshot().count(), 301);
+            assert_eq!(m.set_ns.snapshot().count(), 1);
+            assert_eq!(m.range_ns.snapshot().count(), 1);
+            // Batches: ceil(300/64)=5 lookup batches + 1 + 1 + 1 scrape.
+            assert_eq!(m.batch_requests.snapshot().count(), 8);
+        }
+        service.registry().lint().expect("well-formed metric names");
     }
 
     #[test]

@@ -1,0 +1,45 @@
+//! Telemetry for the simulated service: per-op-type service latency (how
+//! long the server thread spent executing each decoded operation, with
+//! batched lookup runs attributing the run's duration to every op in it),
+//! the distribution of decoded batch sizes, and request counters.
+//!
+//! The service owns a [`Registry`] these register into; callers can add
+//! their index's metrics to the same registry before serving, and the
+//! [`WireRequest::Stats`](crate::WireRequest::Stats) command renders the
+//! whole thing over the wire.
+
+use wh_telemetry::{Counter, Histogram, Registry};
+
+/// Server-side metrics for one [`KvService`](crate::KvService).
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests decoded and executed (all op types).
+    pub requests: Counter,
+    /// `Stats` probes answered.
+    pub stats_requests: Counter,
+    /// Service time per point lookup; a run of consecutive Gets executed
+    /// through `get_batch` records the run's duration once per op.
+    pub get_ns: Histogram,
+    /// Service time per write.
+    pub set_ns: Histogram,
+    /// Service time per range scan.
+    pub range_ns: Histogram,
+    /// Requests per decoded message (the wire batch-size distribution).
+    pub batch_requests: Histogram,
+}
+
+impl ServiceMetrics {
+    /// Registers every metric under `<prefix>_…` names (prefix must match
+    /// `[a-z0-9_]+`, e.g. `netsim`).
+    pub fn register_into(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(&format!("{prefix}_requests_total"), &self.requests);
+        registry.register_counter(
+            &format!("{prefix}_stats_requests_total"),
+            &self.stats_requests,
+        );
+        registry.register_histogram(&format!("{prefix}_get_ns"), &self.get_ns);
+        registry.register_histogram(&format!("{prefix}_set_ns"), &self.set_ns);
+        registry.register_histogram(&format!("{prefix}_range_ns"), &self.range_ns);
+        registry.register_histogram(&format!("{prefix}_batch_requests"), &self.batch_requests);
+    }
+}

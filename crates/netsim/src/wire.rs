@@ -11,6 +11,9 @@ pub enum WireRequest {
     Set { key: Vec<u8>, value: u64 },
     /// Range scan: up to `count` keys at or after `start`.
     Range { start: Vec<u8>, count: u32 },
+    /// Telemetry probe: the server answers with its metrics registry's
+    /// text exposition ([`WireResponse::Stats`]).
+    Stats,
 }
 
 /// A single response on the wire.
@@ -22,14 +25,18 @@ pub enum WireResponse {
     Miss,
     /// Range scan results: key/value pairs.
     Range(Vec<(Vec<u8>, u64)>),
+    /// Metrics text exposition (the answer to [`WireRequest::Stats`]).
+    Stats(String),
 }
 
 const TAG_GET: u8 = 1;
 const TAG_SET: u8 = 2;
 const TAG_RANGE: u8 = 3;
+const TAG_STATS: u8 = 4;
 const TAG_VALUE: u8 = 1;
 const TAG_MISS: u8 = 2;
 const TAG_RANGE_RESP: u8 = 3;
+const TAG_STATS_RESP: u8 = 4;
 
 impl WireRequest {
     /// Appends the encoded request to `buf`.
@@ -52,6 +59,12 @@ impl WireRequest {
                 buf.put_slice(start);
                 buf.put_u32(*count);
             }
+            WireRequest::Stats => {
+                // Stats carries an empty key so the generic tag + key-length
+                // prefix shared by every request still parses.
+                buf.put_u8(TAG_STATS);
+                buf.put_u32(0);
+            }
         }
     }
 
@@ -73,6 +86,7 @@ impl WireRequest {
                 start: key,
                 count: buf.get_u32(),
             },
+            TAG_STATS => WireRequest::Stats,
             _ => return None,
         })
     }
@@ -83,6 +97,7 @@ impl WireRequest {
             WireRequest::Get { key } => 5 + key.len(),
             WireRequest::Set { key, .. } => 13 + key.len(),
             WireRequest::Range { start, .. } => 9 + start.len(),
+            WireRequest::Stats => 5,
         }
     }
 }
@@ -105,6 +120,11 @@ impl WireResponse {
                     buf.put_u64(*v);
                 }
             }
+            WireResponse::Stats(text) => {
+                buf.put_u8(TAG_STATS_RESP);
+                buf.put_u32(text.len() as u32);
+                buf.put_slice(text.as_bytes());
+            }
         }
     }
 
@@ -126,6 +146,11 @@ impl WireResponse {
                 }
                 WireResponse::Range(items)
             }
+            TAG_STATS_RESP => {
+                let len = buf.get_u32() as usize;
+                let text = String::from_utf8(buf.split_to(len).to_vec()).ok()?;
+                WireResponse::Stats(text)
+            }
             _ => return None,
         })
     }
@@ -138,6 +163,7 @@ impl WireResponse {
             WireResponse::Range(items) => {
                 5 + items.iter().map(|(k, _)| 12 + k.len()).sum::<usize>()
             }
+            WireResponse::Stats(text) => 5 + text.len(),
         }
     }
 }
@@ -232,6 +258,7 @@ mod tests {
                 start: b"J".to_vec(),
                 count: 100,
             },
+            WireRequest::Stats,
         ];
         let mut buf = BytesMut::new();
         for r in &reqs {
@@ -251,6 +278,7 @@ mod tests {
             WireResponse::Value(7),
             WireResponse::Miss,
             WireResponse::Range(vec![(b"a".to_vec(), 1), (b"bb".to_vec(), 2)]),
+            WireResponse::Stats("netsim_requests_total 3\n".to_string()),
         ];
         let mut buf = BytesMut::new();
         for r in &resps {
@@ -274,6 +302,14 @@ mod tests {
         req.encode(&mut buf);
         assert_eq!(buf.len(), req.wire_size());
         let resp = WireResponse::Range(vec![(vec![2; 10], 1), (vec![3; 20], 2)]);
+        let mut buf = BytesMut::new();
+        resp.encode(&mut buf);
+        assert_eq!(buf.len(), resp.wire_size());
+        let req = WireRequest::Stats;
+        let mut buf = BytesMut::new();
+        req.encode(&mut buf);
+        assert_eq!(buf.len(), req.wire_size());
+        let resp = WireResponse::Stats("a 1\nb 2\n".to_string());
         let mut buf = BytesMut::new();
         resp.encode(&mut buf);
         assert_eq!(buf.len(), resp.wire_size());

@@ -66,6 +66,7 @@ use wormhole::{Wormhole, WormholeConfig};
 use crate::record::{self, replay_committed, WalRecord};
 use crate::snapshot;
 use crate::storage::{FileStorage, WalStorage};
+use crate::telemetry::DurableMetrics;
 use crate::value::DurableValue;
 use crate::wal::Wal;
 
@@ -298,8 +299,21 @@ impl<V: DurableValue> DurableWormhole<V> {
 
     /// Storage sync barriers performed since open (group commit makes
     /// this far smaller than the operation count under concurrency).
+    /// Reads the same telemetry cell as [`DurableMetrics::fsyncs`].
     pub fn sync_count(&self) -> u64 {
         self.wal.sync_count()
+    }
+
+    /// The durability metrics (fsync count/latency, group-commit batch
+    /// factor, WAL bytes, checkpoint durations).
+    pub fn metrics(&self) -> &DurableMetrics {
+        self.wal.metrics()
+    }
+
+    /// Registers the durability metrics into `registry` under
+    /// `<prefix>_…` names (prefix must match `[a-z0-9_]+`).
+    pub fn register_metrics(&self, registry: &wh_telemetry::Registry, prefix: &str) {
+        self.metrics().register_into(registry, prefix);
     }
 
     /// Logs, applies, and (under [`SyncPolicy::Always`]) commits an
@@ -345,6 +359,7 @@ impl<V: DurableValue> DurableWormhole<V> {
     }
 
     fn checkpoint_locked(&self) -> io::Result<u64> {
+        let timing = wh_telemetry::start_timing();
         // 1. Rotate: seal the live segment; the snapshot will cover
         //    exactly the sealed prefix, and every racing operation lands
         //    in the new segment (named after its first LSN).
@@ -382,6 +397,7 @@ impl<V: DurableValue> DurableWormhole<V> {
         // 4. Publish (rename + dir fsync), then GC what it superseded.
         snapshot::publish_snapshot(&tmp_path, &final_path)?;
         self.collect_garbage()?;
+        self.metrics().checkpoint_ns.record_elapsed(timing);
         Ok(covered)
     }
 
@@ -504,6 +520,45 @@ mod tests {
             config: WormholeConfig::optimized().with_leaf_capacity(8),
             ..DurableOptions::default()
         }
+    }
+
+    #[test]
+    fn telemetry_tracks_fsyncs_wal_bytes_and_checkpoints() {
+        let dir = test_dir("telemetry");
+        let idx: DurableWormhole<u64> = DurableWormhole::open_with(&dir, tiny()).unwrap();
+        for i in 0..100u64 {
+            idx.set(format!("t-{i:04}").as_bytes(), i);
+        }
+        let m = idx.metrics();
+        // Under SyncPolicy::Always each single-threaded set leads its own
+        // commit: the fsync counter is the same cell `sync_count` reads,
+        // and every batch sealed exactly one op.
+        assert_eq!(m.fsyncs.get(), idx.sync_count());
+        assert_eq!(m.fsyncs.get(), 100);
+        assert!(m.wal_bytes.get() > 0);
+        // Histograms vanish under `telemetry-off` / runtime disable;
+        // counters above stay live regardless.
+        if wh_telemetry::enabled() {
+            let batches = m.commit_batch_ops.snapshot();
+            assert_eq!(batches.count(), 100);
+            assert_eq!(batches.sum, 100);
+            assert_eq!(m.fsync_ns.snapshot().count(), 100);
+        }
+
+        assert_eq!(m.checkpoint_ns.snapshot().count(), 0);
+        idx.checkpoint().unwrap();
+        let expected_checkpoints = if wh_telemetry::enabled() { 1 } else { 0 };
+        assert_eq!(m.checkpoint_ns.snapshot().count(), expected_checkpoints);
+
+        let registry = wh_telemetry::Registry::new();
+        idx.register_metrics(&registry, "wh_durable");
+        registry.lint().expect("names well-formed and unique");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("wh_durable_fsyncs_total"), idx.sync_count());
+        if wh_telemetry::enabled() {
+            assert!(snap.render().contains("wh_durable_fsync_ns_bucket"));
+        }
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod record;
 pub mod sharded;
 pub mod snapshot;
 pub mod storage;
+pub mod telemetry;
 pub mod value;
 pub mod wal;
 
@@ -61,5 +62,6 @@ pub use durable::{DurableOptions, DurableWormhole, RecoveryReport, SyncPolicy};
 pub use record::WalRecord;
 pub use sharded::DurableSharded;
 pub use storage::{CrashMode, FailpointHandle, FailpointStorage, FileStorage, WalStorage};
+pub use telemetry::DurableMetrics;
 pub use value::DurableValue;
 pub use wal::Wal;

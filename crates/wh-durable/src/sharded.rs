@@ -179,6 +179,14 @@ impl<V: DurableValue> DurableSharded<V> {
         &self.dir
     }
 
+    /// Registers every shard's durability metrics into `registry` under
+    /// `<prefix>_shard<i>_…` names (prefix must match `[a-z0-9_]+`).
+    pub fn register_metrics(&self, registry: &wh_telemetry::Registry, prefix: &str) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard.register_metrics(registry, &format!("{prefix}_shard{i}"));
+        }
+    }
+
     fn shard_for(&self, key: &[u8]) -> usize {
         self.boundaries
             .partition_point(|boundary| boundary.as_slice() <= key)

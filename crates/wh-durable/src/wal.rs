@@ -29,6 +29,7 @@ use parking_lot::Mutex;
 
 use crate::record;
 use crate::storage::WalStorage;
+use crate::telemetry::DurableMetrics;
 
 struct WalSeq {
     /// Frames encoded but not yet handed to storage.
@@ -46,7 +47,7 @@ pub struct Wal {
     file: Mutex<WalFile>,
     /// Highest LSN sealed by a synced `Commit` frame.
     durable_lsn: AtomicU64,
-    sync_count: AtomicU64,
+    metrics: DurableMetrics,
 }
 
 impl Wal {
@@ -54,6 +55,15 @@ impl Wal {
     /// assign (1 for a fresh log; `committed + 1` after recovery). All
     /// bytes already in `storage` are assumed durable.
     pub fn new(storage: Box<dyn WalStorage>, next_lsn: u64) -> Self {
+        Self::with_metrics(storage, next_lsn, DurableMetrics::default())
+    }
+
+    /// [`Wal::new`] recording into caller-supplied metrics cells.
+    pub fn with_metrics(
+        storage: Box<dyn WalStorage>,
+        next_lsn: u64,
+        metrics: DurableMetrics,
+    ) -> Self {
         Self {
             seq: Mutex::new(WalSeq {
                 pending: Vec::new(),
@@ -61,8 +71,14 @@ impl Wal {
             }),
             file: Mutex::new(WalFile { storage }),
             durable_lsn: AtomicU64::new(next_lsn.saturating_sub(1)),
-            sync_count: AtomicU64::new(0),
+            metrics,
         }
+    }
+
+    /// The durability metrics this log records into (fsync count/latency,
+    /// group-commit batch factor, WAL bytes).
+    pub fn metrics(&self) -> &DurableMetrics {
+        &self.metrics
     }
 
     /// Logs one operation and applies it to the in-memory index, both
@@ -103,9 +119,13 @@ impl Wal {
             (std::mem::take(&mut seq.pending), seq.next_lsn - 1)
         };
         record::encode_commit(&mut batch, upto);
+        let timing = wh_telemetry::start_timing();
         file.storage.append(&batch)?;
         file.storage.sync()?;
-        self.sync_count.fetch_add(1, Ordering::Relaxed);
+        self.metrics.fsync_ns.record_elapsed(timing);
+        self.metrics.fsyncs.inc();
+        self.metrics.wal_bytes.add(batch.len() as u64);
+        self.metrics.commit_batch_ops.record(upto - durable);
         self.durable_lsn.store(upto, Ordering::Release);
         Ok(upto)
     }
@@ -139,9 +159,14 @@ impl Wal {
             (std::mem::take(&mut seq.pending), seq.next_lsn - 1)
         };
         record::encode_commit(&mut batch, upto);
+        let covered = upto - self.durable_lsn.load(Ordering::Acquire);
+        let timing = wh_telemetry::start_timing();
         file.storage.append(&batch)?;
         file.storage.sync()?;
-        self.sync_count.fetch_add(1, Ordering::Relaxed);
+        self.metrics.fsync_ns.record_elapsed(timing);
+        self.metrics.fsyncs.inc();
+        self.metrics.wal_bytes.add(batch.len() as u64);
+        self.metrics.commit_batch_ops.record(covered);
         self.durable_lsn.store(upto, Ordering::Release);
         file.storage = make(upto)?;
         Ok(upto)
@@ -164,9 +189,10 @@ impl Wal {
     }
 
     /// Number of storage sync barriers performed — with group commit this
-    /// is typically far below the number of committed operations.
+    /// is typically far below the number of committed operations. Reads
+    /// the same cell [`DurableMetrics::fsyncs`] exposes.
     pub fn sync_count(&self) -> u64 {
-        self.sync_count.load(Ordering::Relaxed)
+        self.metrics.fsyncs.get()
     }
 }
 

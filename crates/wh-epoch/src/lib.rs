@@ -42,4 +42,4 @@
 
 pub mod qsbr;
 
-pub use qsbr::{FastGuard, Guard, Qsbr, QsbrHandle};
+pub use qsbr::{EpochMetrics, FastGuard, Guard, Qsbr, QsbrHandle};

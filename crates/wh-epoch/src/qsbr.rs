@@ -1,13 +1,54 @@
 //! The QSBR domain, reader handles, and grace-period machinery.
 
-use std::cell::Cell;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
+use wh_telemetry::{Counter, Gauge, Histogram, Registry};
 
 /// A queued reclamation callback and the epoch it was queued at.
 type DeferredCallback = (u64, Box<dyn FnOnce() + Send>);
+
+/// Telemetry for one QSBR domain. Handles are `Arc`-shared with whatever
+/// [`Registry`] they are registered into, so the domain records into the
+/// same cells an exposition reads.
+///
+/// The section-entry counter is **load-bearing** (regression tests pin hot
+/// paths to "zero new entries" through it) and therefore live even under
+/// `telemetry-off`; only the histograms are subject to the kill switches.
+#[derive(Clone, Debug, Default)]
+pub struct EpochMetrics {
+    /// Classic critical-section entries, domain-wide (fast entries do not
+    /// count — that is the point of the biased fast path).
+    pub section_entries: Counter,
+    /// Nanoseconds spent waiting for grace periods to complete
+    /// (`synchronize` / `wait_grace`), including the deferred-callback
+    /// drain that rides on them.
+    pub grace_wait_ns: Histogram,
+    /// Nanoseconds spent in [`Qsbr::drain_barrier`]: bias revocation,
+    /// waiting out in-flight fast sections, and the trailing grace period.
+    pub drain_barrier_ns: Histogram,
+    /// Instantaneous deferred-callback queue depth; its high-water mark
+    /// records the worst backlog between flushes.
+    pub deferred_depth: Gauge,
+}
+
+impl EpochMetrics {
+    /// Registers every metric under `<prefix>_…` names (prefix must match
+    /// `[a-z0-9_]+`, e.g. `wh_epoch_router`).
+    pub fn register_into(&self, registry: &Registry, prefix: &str) {
+        registry.register_counter(
+            &format!("{prefix}_section_entries_total"),
+            &self.section_entries,
+        );
+        registry.register_histogram(&format!("{prefix}_grace_wait_ns"), &self.grace_wait_ns);
+        registry.register_histogram(
+            &format!("{prefix}_drain_barrier_ns"),
+            &self.drain_barrier_ns,
+        );
+        registry.register_gauge(&format!("{prefix}_deferred_depth"), &self.deferred_depth);
+    }
+}
 
 /// Per-reader-thread state tracked by the domain.
 #[derive(Debug)]
@@ -57,6 +98,8 @@ struct Shared {
     bias: AtomicBool,
     /// Source of reader ids.
     next_id: AtomicU64,
+    /// Domain telemetry (see [`EpochMetrics`]).
+    metrics: EpochMetrics,
 }
 
 impl Drop for Shared {
@@ -67,6 +110,7 @@ impl Drop for Shared {
         // the last `synchronize`, e.g. ones queued after the final reader
         // unregistered.
         let callbacks: Vec<DeferredCallback> = self.deferred.get_mut().drain(..).collect();
+        self.metrics.deferred_depth.set(0);
         for (_, f) in callbacks {
             f();
         }
@@ -122,6 +166,7 @@ impl Qsbr {
             waiters: AtomicU64::new(0),
             bias: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
+            metrics: EpochMetrics::default(),
         };
         Self {
             shared: Arc::new(shared),
@@ -169,8 +214,14 @@ impl Qsbr {
         QsbrHandle {
             shared: Arc::clone(&self.shared),
             state,
-            section_entries: Cell::new(0),
+            _not_sync: std::marker::PhantomData,
         }
+    }
+
+    /// This domain's telemetry handles (register them into a
+    /// [`Registry`] via [`EpochMetrics::register_into`]).
+    pub fn metrics(&self) -> &EpochMetrics {
+        &self.shared.metrics
     }
 
     /// Number of currently registered reader threads.
@@ -273,6 +324,7 @@ impl Qsbr {
     /// released it, which makes the `bias = false` store visible to any fast
     /// entry the new thread attempts.
     pub fn drain_barrier(&self) {
+        let timing = wh_telemetry::start_timing();
         self.shared.bias.store(false, Ordering::SeqCst);
         fence(Ordering::SeqCst);
         let threads: Vec<Arc<ThreadState>> = self.shared.threads.lock().clone();
@@ -294,6 +346,7 @@ impl Qsbr {
         // Fast sections are drained; now order against classic critical
         // sections that were already inside `enter` when the flag flipped.
         self.synchronize();
+        self.shared.metrics.drain_barrier_ns.record_elapsed(timing);
     }
 
     fn synchronize_inner(&self, exclude: Option<u64>) {
@@ -304,6 +357,7 @@ impl Qsbr {
     }
 
     fn wait_grace_inner(&self, target: u64, exclude: Option<u64>) {
+        let timing = wh_telemetry::start_timing();
         let threads: Vec<Arc<ThreadState>> = self.shared.threads.lock().clone();
         for t in threads {
             if Some(t.id) == exclude {
@@ -351,12 +405,17 @@ impl Qsbr {
             }
         }
         self.run_deferred_up_to(target);
+        self.shared.metrics.grace_wait_ns.record_elapsed(timing);
     }
 
     /// Queues `f` to run after a future grace period.
     pub fn defer(&self, f: Box<dyn FnOnce() + Send>) {
         let epoch = self.shared.global_epoch.load(Ordering::SeqCst) + 1;
-        self.shared.deferred.lock().push((epoch, f));
+        let mut q = self.shared.deferred.lock();
+        q.push((epoch, f));
+        // Published under the queue lock, so the gauge never goes stale
+        // against a concurrent drain's own update.
+        self.shared.metrics.deferred_depth.set(q.len() as u64);
     }
 
     /// Runs all deferred callbacks after forcing a grace period.
@@ -381,6 +440,7 @@ impl Qsbr {
                     i += 1;
                 }
             }
+            self.shared.metrics.deferred_depth.set(q.len() as u64);
             ready
         };
         for f in ready {
@@ -393,16 +453,14 @@ impl Qsbr {
 ///
 /// The handle is `Send` (it can be created on one thread and moved to the
 /// worker that will use it) but deliberately not `Sync`: each reader thread
-/// owns exactly one handle (the `Cell` below enforces this at the type
-/// level).
+/// owns exactly one handle.
 pub struct QsbrHandle {
     shared: Arc<Shared>,
     state: Arc<ThreadState>,
-    /// Count of classic critical-section entries through this handle. Fast
-    /// entries do not bump it — regression tests pin hot paths to "zero new
-    /// entries" through this counter. A plain `Cell` because the handle is
-    /// single-threaded by construction.
-    section_entries: Cell<u64>,
+    /// Keeps the handle `!Sync` (one reader thread per handle — the
+    /// `fast_gen` protocol relies on single-writer generations) now that
+    /// the section-entry count lives in the domain-wide [`EpochMetrics`].
+    _not_sync: std::marker::PhantomData<std::cell::Cell<()>>,
 }
 
 impl std::fmt::Debug for QsbrHandle {
@@ -422,7 +480,7 @@ impl QsbrHandle {
     #[inline]
     pub fn enter(&self) -> Guard<'_> {
         self.state.active.store(true, Ordering::SeqCst);
-        self.section_entries.set(self.section_entries.get() + 1);
+        self.shared.metrics.section_entries.inc();
         Guard { handle: self }
     }
 
@@ -466,12 +524,14 @@ impl QsbrHandle {
         }
     }
 
-    /// Number of classic critical-section entries made through this handle.
+    /// Number of classic critical-section entries made in this handle's
+    /// *domain* (the telemetry counter is the single source of truth; the
+    /// per-handle count this used to return is gone).
     ///
     /// Diagnostic for tests asserting that a biased hot path stays out of
     /// critical sections; fast entries are not counted.
     pub fn section_entries(&self) -> u64 {
-        self.section_entries.get()
+        self.shared.metrics.section_entries.get()
     }
 
     /// Explicitly announces a quiescent state outside any critical section.
@@ -832,6 +892,7 @@ mod tests {
         h.critical(|| ());
         {
             // Unbiased attempt falls back to a classic section at the caller.
+            // A separate domain: its counter is independent of `q`'s.
             let q2 = Qsbr::new();
             let h2 = q2.register();
             assert!(h2.try_fast().is_none());
@@ -839,6 +900,43 @@ mod tests {
             assert_eq!(h2.section_entries(), 1);
         }
         assert_eq!(h.section_entries(), 1);
+        // The count is domain-wide telemetry, not per-handle: a second
+        // handle on the same domain reads the same counter, which is also
+        // reachable without any handle through `Qsbr::metrics`.
+        let h3 = q.register();
+        h3.critical(|| ());
+        assert_eq!(h.section_entries(), 2);
+        assert_eq!(h3.section_entries(), 2);
+        assert_eq!(q.metrics().section_entries.get(), 2);
+    }
+
+    #[test]
+    fn deferred_depth_gauge_tracks_queue_and_drops_to_zero() {
+        // The deferred queue was unobservable between flushes; the gauge
+        // must follow defer/flush live, remember its high water, and —
+        // crucially — read zero after the Drop-time flush of the domain.
+        let q = Qsbr::new();
+        let gauge = q.metrics().deferred_depth.clone();
+        let ran = StdArc::new(AtomicUsize::new(0));
+        for i in 1..=4u64 {
+            let c = StdArc::clone(&ran);
+            q.defer(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+            assert_eq!(gauge.get(), i);
+        }
+        assert_eq!(gauge.high_water(), 4);
+        q.flush();
+        assert_eq!(gauge.get(), 0, "flush must drain the gauge");
+        let c = StdArc::clone(&ran);
+        q.defer(Box::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(gauge.get(), 1);
+        drop(q);
+        assert_eq!(ran.load(Ordering::SeqCst), 5, "drop must run callbacks");
+        assert_eq!(gauge.get(), 0, "drop-time flush must zero the gauge");
+        assert_eq!(gauge.high_water(), 4);
     }
 
     #[test]

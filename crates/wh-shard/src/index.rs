@@ -4,15 +4,18 @@
 //! See the [crate docs](crate) for the boundary invariants, the
 //! router-epoch protocol, and the cross-shard cursor's resume semantics.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Arc;
 
 use index_traits::{ConcurrentOrderedIndex, Cursor, CursorSource, IndexStats, ScanBatch};
 use parking_lot::Mutex;
 use wh_epoch::Qsbr;
-use wormhole::Wormhole;
+use wh_telemetry::{Counter, Registry};
+use wormhole::{Wormhole, WormholeMetrics};
 
 use crate::config::ShardedConfig;
 use crate::rebalance::{MigrationState, RebalanceConfig};
+use crate::telemetry::ShardMetrics;
 
 /// The immutable routing state published to readers: one of these is live
 /// at any instant, swapped atomically by the migration engine and retired
@@ -75,11 +78,6 @@ impl Drop for RetiredRouter {
     }
 }
 
-/// A per-shard operation counter on its own cache line, so the hot-path
-/// relaxed increments of different shards never false-share.
-#[repr(align(64))]
-pub(crate) struct ShardCounter(pub(crate) AtomicU64);
-
 /// A range-partitioned front over `N` independent concurrent [`Wormhole`]
 /// instances, with **online rebalancing**: the boundary between two
 /// adjacent shards can migrate at runtime without blocking readers or
@@ -119,8 +117,16 @@ pub struct ShardedWormhole<V> {
     /// QSBR domain protecting `router` publications.
     router_qsbr: Qsbr,
     /// Per-shard point-op counters — the load signal `maybe_rebalance`
-    /// consumes. Relaxed increments, cache-line padded.
-    ops: Box<[ShardCounter]>,
+    /// consumes *and* the telemetry series `register_metrics` exposes (one
+    /// source of truth). Relaxed increments; each [`Counter`] cell lives
+    /// on its own cache line, so shards never false-share.
+    ops: Box<[Counter]>,
+    /// Front-level event counters (router path split, migration progress,
+    /// frozen-write waits).
+    metrics: ShardMetrics,
+    /// Event counters shared by *every* shard's inner [`Wormhole`]
+    /// (seqlock retries, splits, …): one `Arc`, aggregated cells.
+    wormhole_metrics: Arc<WormholeMetrics>,
     /// The rebalance policy (from [`ShardedConfig`]).
     rebalance: RebalanceConfig,
     /// Whether the migration-idle biased fast path is enabled
@@ -143,12 +149,11 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     /// Creates an index from a full [`ShardedConfig`].
     pub fn with_config(config: ShardedConfig) -> Self {
         let (boundaries, inner, rebalance, fast_path) = config.into_parts();
+        let wormhole_metrics = Arc::new(WormholeMetrics::default());
         let shards: Vec<Wormhole<V>> = (0..boundaries.len() + 1)
-            .map(|_| Wormhole::with_config(inner))
+            .map(|_| Wormhole::with_config_and_metrics(inner, Arc::clone(&wormhole_metrics)))
             .collect();
-        let ops: Vec<ShardCounter> = (0..shards.len())
-            .map(|_| ShardCounter(AtomicU64::new(0)))
-            .collect();
+        let ops: Vec<Counter> = (0..shards.len()).map(|_| Counter::new()).collect();
         let router = Box::into_raw(Box::new(RouterTable {
             epoch: 0,
             boundaries: boundaries.into_boxed_slice(),
@@ -165,6 +170,8 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
             router: AtomicPtr::new(router),
             router_qsbr,
             ops: ops.into_boxed_slice(),
+            metrics: ShardMetrics::default(),
+            wormhole_metrics,
             rebalance,
             fast_path,
             migration: Mutex::new(MigrationState::default()),
@@ -194,6 +201,7 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
             let mut f = Some(f);
             if self.fast_path {
                 if let Some(_fast) = handle.try_fast() {
+                    self.metrics.router_fast_entries.inc();
                     // SAFETY: the fast guard was granted while the domain
                     // is biased, i.e. no migration is mid-flight: the next
                     // retirement is preceded by a draining barrier that
@@ -204,6 +212,7 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
                     return (f.take().expect("called once"))(router);
                 }
             }
+            self.metrics.router_classic_entries.inc();
             handle.critical(|| {
                 // SAFETY: `router` always points to a live table; the
                 // migration engine retires a swapped-out table only after a
@@ -310,12 +319,38 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     }
 
     /// Cumulative point-operation count per shard (the rebalancer's load
-    /// signal; also handy for demos and diagnostics).
+    /// signal; also handy for demos and diagnostics). Reads the same
+    /// telemetry counters [`ShardedWormhole::register_metrics`] exposes.
     pub fn op_counts(&self) -> Vec<u64> {
-        self.ops
-            .iter()
-            .map(|c| c.0.load(Ordering::Relaxed))
-            .collect()
+        self.ops.iter().map(Counter::get).collect()
+    }
+
+    /// Front-level event counters (router path split, migration progress,
+    /// frozen-write waits).
+    pub fn metrics(&self) -> &ShardMetrics {
+        &self.metrics
+    }
+
+    /// The event counters shared by every shard's inner [`Wormhole`].
+    pub fn wormhole_metrics(&self) -> &Arc<WormholeMetrics> {
+        &self.wormhole_metrics
+    }
+
+    /// Registers the front's full metric set into `registry` under
+    /// `<prefix>_…` names: the front-level counters, one
+    /// `<prefix>_shard<i>_ops_total` per shard, the shards' aggregated
+    /// [`WormholeMetrics`] (`<prefix>_wormhole_…`), and the router QSBR
+    /// domain's [`wh_epoch::EpochMetrics`] (`<prefix>_router_epoch_…`).
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        self.metrics.register_into(registry, prefix);
+        for (i, ops) in self.ops.iter().enumerate() {
+            registry.register_counter(&format!("{prefix}_shard{i}_ops_total"), ops);
+        }
+        self.wormhole_metrics
+            .register_into(registry, &format!("{prefix}_wormhole"));
+        self.router_qsbr
+            .metrics()
+            .register_into(registry, &format!("{prefix}_router_epoch"));
     }
 
     /// Routes a read: one router protection span (fast or critical-section,
@@ -331,12 +366,12 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     #[inline]
     fn routed_read<R>(&self, key: &[u8], f: impl FnOnce(&Wormhole<V>) -> R) -> R {
         if self.shards.len() == 1 {
-            self.ops[0].0.fetch_add(1, Ordering::Relaxed);
+            self.ops[0].inc();
             return f(&self.shards[0]);
         }
         self.with_router(|router| {
             let shard = router.route(key);
-            self.ops[shard].0.fetch_add(1, Ordering::Relaxed);
+            self.ops[shard].inc();
             f(&self.shards[shard])
         })
     }
@@ -355,32 +390,47 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     #[inline]
     fn routed_write<R>(&self, key: &[u8], mut f: impl FnMut(&Wormhole<V>) -> R) -> R {
         if self.shards.len() == 1 {
-            self.ops[0].0.fetch_add(1, Ordering::Relaxed);
+            self.ops[0].inc();
             return f(&self.shards[0]);
         }
+        // `Some` once the key was found frozen: the wait is counted (and
+        // timed) exactly once per write, however many spins it takes.
+        let mut frozen_wait: Option<Option<std::time::Instant>> = None;
         loop {
             let done = self.with_router(|router| {
                 if router.write_frozen(key) {
                     return None;
                 }
                 let shard = router.route(key);
-                self.ops[shard].0.fetch_add(1, Ordering::Relaxed);
+                self.ops[shard].inc();
                 Some(f(&self.shards[shard]))
             });
             match done {
-                Some(result) => return result,
-                None => std::thread::yield_now(),
+                Some(result) => {
+                    if let Some(timing) = frozen_wait {
+                        self.metrics.frozen_write_wait_ns.record_elapsed(timing);
+                    }
+                    return result;
+                }
+                None => {
+                    if frozen_wait.is_none() {
+                        self.metrics.frozen_write_waits.inc();
+                        frozen_wait = Some(wh_telemetry::start_timing());
+                    }
+                    std::thread::yield_now();
+                }
             }
         }
     }
 
-    /// Number of classic router critical-section entries made *by the
-    /// calling thread* so far. Diagnostic: regression tests pin the
-    /// migration-idle fast path to "zero new entries per op" through this
-    /// counter (biased fast entries are not counted).
+    /// Number of classic router critical-section entries made on this
+    /// index's router domain so far (domain-wide, backed by the telemetry
+    /// counter `register_metrics` exposes as
+    /// `…_router_epoch_section_entries_total`). Diagnostic: regression
+    /// tests pin the migration-idle fast path to "zero new entries per op"
+    /// through this counter (biased fast entries are not counted).
     pub fn router_section_entries(&self) -> u64 {
-        self.router_qsbr
-            .with_local_handle(|handle| handle.section_entries())
+        self.router_qsbr.metrics().section_entries.get()
     }
 
     /// Total leaf nodes across every shard.
@@ -616,9 +666,7 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWorm
             // Single-shard bypass: no boundaries, no migrations, no router
             // protection needed — hand the whole batch to the one shard's
             // pipelined engine (see `routed_read`).
-            self.ops[0]
-                .0
-                .fetch_add(keys.len() as u64, Ordering::Relaxed);
+            self.ops[0].add(keys.len() as u64);
             return self.shards[0].get_batch(keys);
         }
         self.with_router(|router| {
@@ -641,9 +689,7 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWorm
                 }
                 // One counter bump per sub-batch; the rebalancer's load
                 // signal still counts individual ops.
-                self.ops[shard]
-                    .0
-                    .fetch_add(sub_keys.len() as u64, Ordering::Relaxed);
+                self.ops[shard].add(sub_keys.len() as u64);
                 let values = self.shards[shard].get_batch(&sub_keys);
                 debug_assert_eq!(values.len(), sub_pos.len());
                 for (value, &i) in values.into_iter().zip(&sub_pos) {
@@ -915,6 +961,60 @@ mod tests {
             idx.end_router_mutation();
         }
         assert_eq!(idx.get_batch(&keys), batched);
+    }
+
+    #[test]
+    fn telemetry_covers_router_paths_migrations_and_shard_loads() {
+        let idx: ShardedWormhole<u64> = ShardedWormhole::with_config(small());
+        for i in 0..1_000u64 {
+            let key = [(i % 256) as u8, (i / 256) as u8, i as u8];
+            idx.set(&key, i);
+            idx.get(&key);
+        }
+        // Migration idle: every routed op took the biased fast entry.
+        let fast_before = idx.metrics().router_fast_entries.get();
+        assert!(fast_before >= 2_000, "ops served fast ({fast_before})");
+        assert_eq!(idx.metrics().router_classic_entries.get(), 0);
+        // The rebalancer's load signal and the telemetry series are the
+        // same cells.
+        assert_eq!(idx.op_counts().iter().sum::<u64>(), 2_000);
+        // The shards' shared WormholeMetrics saw the structural churn.
+        assert!(idx.wormhole_metrics().splits.get() > 0);
+
+        // A migration runs classic sections and counts its batches/keys.
+        let report = idx.migrate_boundary(1, &[0x70]).expect("viable target");
+        assert!(report.batches > 0);
+        assert_eq!(idx.metrics().migration_batches.get(), report.batches as u64);
+        assert_eq!(
+            idx.metrics().migration_moved_keys.get(),
+            report.moved_keys as u64
+        );
+
+        // With the fast path disabled every routed op is a classic
+        // critical-section entry.
+        let classic: ShardedWormhole<u64> =
+            ShardedWormhole::with_config(small().with_router_fast_path(false));
+        classic.set(b"k", 1);
+        classic.get(b"k");
+        assert_eq!(classic.metrics().router_fast_entries.get(), 0);
+        assert_eq!(classic.metrics().router_classic_entries.get(), 2);
+
+        let registry = Registry::new();
+        idx.register_metrics(&registry, "wh_shard");
+        registry.lint().expect("names well-formed and unique");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("wh_shard_migration_batches_total"),
+            report.batches as u64
+        );
+        let per_shard: u64 = (0..idx.shard_count())
+            .map(|i| snap.counter(&format!("wh_shard_shard{i}_ops_total")))
+            .sum();
+        assert_eq!(per_shard, idx.op_counts().iter().sum::<u64>());
+        let text = snap.render();
+        assert!(text.contains("wh_shard_router_fast_entries_total"));
+        assert!(text.contains("wh_shard_wormhole_splits_total"));
+        assert!(text.contains("wh_shard_router_epoch_section_entries_total"));
     }
 
     #[test]

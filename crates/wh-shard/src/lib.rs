@@ -140,7 +140,9 @@
 pub mod config;
 pub mod index;
 pub mod rebalance;
+pub mod telemetry;
 
 pub use config::ShardedConfig;
 pub use index::ShardedWormhole;
 pub use rebalance::{MigrateError, MigrationReport, RebalanceConfig, RebalanceOutcome};
+pub use telemetry::ShardMetrics;

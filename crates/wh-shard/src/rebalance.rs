@@ -481,7 +481,11 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
 
             cur_now = next_boundary;
             report.batches += 1;
+            self.metrics().migration_batches.inc();
         }
+        self.metrics()
+            .migration_moved_keys
+            .add(report.moved_keys as u64);
         Ok(report)
     }
 

@@ -1,0 +1,39 @@
+//! The runtime half of the zero-overhead contract: `set_enabled(false)`
+//! must stop histogram recording and suppress clock reads, while counters
+//! and gauges — load-bearing program state — keep counting. Lives in its
+//! own test binary because the switch is process-global.
+
+use wh_telemetry::{set_enabled, start_timing, Counter, Gauge, Histogram};
+
+#[test]
+fn disabling_stops_histograms_but_not_counters() {
+    let c = Counter::new();
+    let g = Gauge::new();
+    let h = Histogram::new();
+
+    set_enabled(false);
+    assert!(
+        start_timing().is_none(),
+        "disabled telemetry must not read the clock"
+    );
+    h.record(1234);
+    h.record_elapsed(start_timing());
+    c.inc();
+    g.add(5);
+    assert_eq!(h.snapshot().count(), 0, "disabled histogram recorded");
+    assert_eq!(c.get(), 1, "counters must stay live when disabled");
+    assert_eq!(g.get(), 5, "gauges must stay live when disabled");
+
+    set_enabled(true);
+    h.record(1234);
+    #[cfg(not(feature = "telemetry-off"))]
+    {
+        assert!(start_timing().is_some());
+        assert_eq!(h.snapshot().count(), 1);
+    }
+    #[cfg(feature = "telemetry-off")]
+    {
+        assert!(start_timing().is_none(), "compiled-out telemetry times");
+        assert_eq!(h.snapshot().count(), 0);
+    }
+}

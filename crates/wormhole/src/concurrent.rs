@@ -78,6 +78,7 @@ use crate::core;
 use crate::leaf::{LeafGarbage, LeafNode, ReadConflict, TailScratch};
 use crate::meta::{LeafRef, MetaPlan, MetaTable, TargetOutcome, BATCH_WINDOW};
 use crate::prefetch::prefetch_read;
+use crate::telemetry::WormholeMetrics;
 
 /// Seqlock conflicts tolerated before a point read falls back to the leaf
 /// reader lock.
@@ -275,6 +276,9 @@ pub struct Wormhole<V> {
     head: LeafHandle<V>,
     len: AtomicUsize,
     key_bytes: AtomicUsize,
+    /// Event counters; shared (`Arc`) so a sharded front can aggregate all
+    /// its shards into one set of cells.
+    metrics: Arc<WormholeMetrics>,
 }
 
 // SAFETY: all interior state is either atomic, lock-protected, or reclaimed
@@ -298,6 +302,13 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
 
     /// Creates an empty index with an explicit configuration.
     pub fn with_config(config: WormholeConfig) -> Self {
+        Self::with_config_and_metrics(config, Arc::new(WormholeMetrics::default()))
+    }
+
+    /// Creates an empty index with an explicit configuration recording into
+    /// caller-supplied metrics cells — a sharded front passes the same
+    /// `Arc` to every shard so their events aggregate.
+    pub fn with_config_and_metrics(config: WormholeConfig, metrics: Arc<WormholeMetrics>) -> Self {
         let head = LeafHandle::new(LeafNode::new(Vec::new(), Vec::new()), Weak::new(), None);
         let mut t1 = MetaTable::new();
         t1.install_root_leaf(head.clone());
@@ -321,12 +332,24 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
             head,
             len: AtomicUsize::new(0),
             key_bytes: AtomicUsize::new(0),
+            metrics,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &WormholeConfig {
         &self.config
+    }
+
+    /// The index's event counters (possibly shared with sibling shards).
+    pub fn metrics(&self) -> &Arc<WormholeMetrics> {
+        &self.metrics
+    }
+
+    /// The QSBR domain's metrics (section entries, grace waits, deferred
+    /// queue depth).
+    pub fn epoch_metrics(&self) -> &wh_epoch::EpochMetrics {
+        self.qsbr.metrics()
     }
 
     /// Bulk-loads a **strictly ascending** stream of key/value pairs into
@@ -423,6 +446,7 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
             head,
             len: AtomicUsize::new(len),
             key_bytes: AtomicUsize::new(key_bytes),
+            metrics: Arc::new(WormholeMetrics::default()),
         }
     }
 
@@ -623,6 +647,9 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
             if let Some(found) = found {
                 return found;
             }
+            // The LPM search resolved to a leaf a racing merge retired
+            // before the neighbour step completed; search the new table.
+            self.metrics.lpm_restarts.inc();
         }
     }
 
@@ -850,6 +877,7 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
             version: version + 1,
             grace: self.qsbr.start_grace(),
         });
+        self.metrics.splits.inc();
         None
     }
 
@@ -935,6 +963,7 @@ impl<V: Clone + Send + Sync + 'static> Wormhole<V> {
                 version: version + 1,
                 grace: self.qsbr.start_grace(),
             });
+            self.metrics.merges.inc();
             true
         };
 
@@ -1351,7 +1380,10 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for Wormhole<V>
                 for _ in 0..OPTIMISTIC_READ_RETRIES {
                     match self.try_get_optimistic(key, hash) {
                         Ok(found) => return Some(found),
-                        Err(ReadConflict) => std::hint::spin_loop(),
+                        Err(ReadConflict) => {
+                            self.metrics.seqlock_retries.inc();
+                            std::hint::spin_loop();
+                        }
                     }
                 }
                 None
@@ -1359,6 +1391,7 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for Wormhole<V>
             if let Some(found) = fast {
                 return found;
             }
+            self.metrics.locked_fallbacks.inc();
         }
         // Contended fallback (or optimistic reads disabled): the paper's
         // per-leaf reader lock, which always makes progress.
@@ -1419,13 +1452,17 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for Wormhole<V>
                         values[i] = Some(found);
                         continue;
                     }
+                    self.metrics.seqlock_retries.inc();
                     for _ in 1..OPTIMISTIC_READ_RETRIES {
                         match self.try_get_optimistic(key, hash) {
                             Ok(found) => {
                                 values[i] = Some(found);
                                 break;
                             }
-                            Err(ReadConflict) => std::hint::spin_loop(),
+                            Err(ReadConflict) => {
+                                self.metrics.seqlock_retries.inc();
+                                std::hint::spin_loop();
+                            }
                         }
                     }
                 }
@@ -1434,6 +1471,7 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for Wormhole<V>
                 match values[i].take() {
                     Some(found) => out.push(found),
                     None => {
+                        self.metrics.locked_fallbacks.inc();
                         let hash = crc32c(key);
                         out.push(self.with_leaf_read(key, |leaf| {
                             leaf.get(key, hash, &self.config).cloned()

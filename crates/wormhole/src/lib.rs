@@ -106,10 +106,12 @@ pub mod leaf;
 pub mod meta;
 pub mod prefetch;
 pub mod single;
+pub mod telemetry;
 
 pub use concurrent::Wormhole;
 pub use config::WormholeConfig;
 pub use single::WormholeUnsafe;
+pub use telemetry::WormholeMetrics;
 
 #[cfg(test)]
 mod tests {

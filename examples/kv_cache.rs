@@ -41,22 +41,34 @@ use std::time::{Duration, Instant};
 use index_traits::{ConcurrentOrderedIndex, DurableIndex};
 use wh_durable::{DurableOptions, DurableSharded, SyncPolicy};
 use wh_shard::{RebalanceConfig, ShardedConfig, ShardedWormhole};
+use wh_telemetry::{MetricsSnapshot, Registry};
 use workloads::{generate, uniform_indices, KeysetId};
 
 const KEYS: usize = 200_000;
 const OPS_PER_WORKER: usize = 300_000;
 const SHARDS: usize = 4;
 
-/// Prints one line per shard: keys resident and ops absorbed since start.
-fn print_shard_stats(cache: &ShardedWormhole<u64>, label: &str) {
+/// Dumps the cache-facing slice of a [`MetricsSnapshot`]: per-shard load
+/// (the same counters the rebalancer reads), the router path split, and
+/// migration progress. Everything here comes off the snapshot — the
+/// example's "dashboard" is the telemetry registry, not ad-hoc printf
+/// plumbing.
+fn dump_cache_snapshot(cache: &ShardedWormhole<u64>, snap: &MetricsSnapshot, label: &str) {
     println!("{label}:");
-    for (s, ops) in cache.op_counts().iter().enumerate() {
+    for s in 0..cache.shard_count() {
         println!(
             "  shard {s}: {:>7} entries, {:>9} ops",
             cache.shard(s).len(),
-            ops
+            snap.counter(&format!("cache_shard{s}_ops_total")),
         );
     }
+    println!(
+        "  router: {} fast entries / {} classic; migrations: {} batches, {} keys moved",
+        snap.counter("cache_router_fast_entries_total"),
+        snap.counter("cache_router_classic_entries_total"),
+        snap.counter("cache_migration_batches_total"),
+        snap.counter("cache_migration_moved_keys_total"),
+    );
 }
 
 fn main() {
@@ -76,6 +88,10 @@ fn main() {
         min_move_keys: 512,
     });
     let cache: Arc<ShardedWormhole<u64>> = Arc::new(ShardedWormhole::with_config(config));
+    // Every layer below records into this registry; the example's stats
+    // printing is snapshot dumps of it.
+    let registry = Arc::new(Registry::new());
+    cache.register_metrics(&registry, "cache");
     println!(
         "sharded cache: {} shards, boundaries at {:?}",
         cache.shard_count(),
@@ -196,7 +212,7 @@ fn main() {
         "\nhot-range shift: all traffic moves to the lowest {} keys",
         hot.len()
     );
-    print_shard_stats(&cache, "before the shift");
+    dump_cache_snapshot(&cache, &registry.snapshot(), "before the shift");
     let before = cache.boundaries();
 
     let live_workers = Arc::new(AtomicUsize::new(workers));
@@ -232,6 +248,28 @@ fn main() {
                 println!("rebalancer: {migrations} migrations, {moved} keys moved live");
             });
         }
+        // The dashboard: periodic MetricsSnapshot dumps while the skewed
+        // phase runs — migration progress and the router path split, read
+        // from the same registry a STATS scrape would render.
+        {
+            let registry = Arc::clone(&registry);
+            let live_workers = Arc::clone(&live_workers);
+            scope.spawn(move || {
+                while live_workers.load(Ordering::Relaxed) > 0 {
+                    std::thread::sleep(Duration::from_millis(500));
+                    let snap = registry.snapshot();
+                    println!(
+                        "  [snapshot] moved_keys={} batches={} fast={} classic={} \
+                         frozen_waits={}",
+                        snap.counter("cache_migration_moved_keys_total"),
+                        snap.counter("cache_migration_batches_total"),
+                        snap.counter("cache_router_fast_entries_total"),
+                        snap.counter("cache_router_classic_entries_total"),
+                        snap.counter("cache_frozen_write_waits_total"),
+                    );
+                }
+            });
+        }
         for w in 0..workers {
             let cache = Arc::clone(&cache);
             let hot = &hot;
@@ -256,7 +294,11 @@ fn main() {
         workers * OPS_PER_WORKER * 2,
         (workers * OPS_PER_WORKER * 2) as f64 / secs / 1e6
     );
-    print_shard_stats(&cache, "after the shift + live rebalancing");
+    dump_cache_snapshot(
+        &cache,
+        &registry.snapshot(),
+        "after the shift + live rebalancing",
+    );
     let after = cache.boundaries();
     for (i, (b, a)) in before.iter().zip(&after).enumerate() {
         if b != a {
@@ -310,6 +352,9 @@ fn main() {
         DurableSharded::open_with(&store_dir, &[], DurableOptions::default())
             .expect("recover durable store"),
     );
+    // The recovered store's WAL metrics join the dashboard registry.
+    let durable_registry = Arc::new(Registry::new());
+    store.register_metrics(&durable_registry, "store");
     println!(
         "recovered {} entries in {:.2}s from snapshots + WAL tails",
         store.len(),
@@ -350,14 +395,36 @@ fn main() {
         }
     });
     let secs = start.elapsed().as_secs_f64();
-    let fsyncs: u64 = (0..store.shard_count())
-        .map(|s| store.shard(s).sync_count())
-        .sum();
+    // The WAL picture, straight off the telemetry snapshot: fsync count
+    // and latency, group-commit batch factor, and bytes appended.
+    let snap = durable_registry.snapshot();
+    let mut fsyncs = 0u64;
+    let mut wal_bytes = 0u64;
     let sets = workers * resume_ops / 10;
     println!(
-        "resumed serving: {} ops in {secs:.2}s — {sets} durable SETs cost {fsyncs} fsyncs \
+        "resumed serving: {} ops in {secs:.2}s",
+        workers * resume_ops
+    );
+    for s in 0..store.shard_count() {
+        fsyncs += snap.counter(&format!("store_shard{s}_fsyncs_total"));
+        wal_bytes += snap.counter(&format!("store_shard{s}_wal_bytes_total"));
+        if let (Some(latency), Some(batch)) = (
+            snap.histogram(&format!("store_shard{s}_fsync_ns")),
+            snap.histogram(&format!("store_shard{s}_commit_batch_ops")),
+        ) {
+            println!(
+                "  shard {s} WAL: {} fsyncs (p50 {} ns, p99 {} ns), \
+                 batch factor mean {:.1} ops/commit",
+                snap.counter(&format!("store_shard{s}_fsyncs_total")),
+                latency.p50(),
+                latency.p99(),
+                batch.mean(),
+            );
+        }
+    }
+    println!(
+        "  {sets} durable SETs cost {fsyncs} fsyncs and {wal_bytes} WAL bytes \
          ({:.1} sets per fsync)",
-        workers * resume_ops,
         sets as f64 / fsyncs.max(1) as f64
     );
     let _ = std::fs::remove_dir_all(&store_dir);

@@ -5,6 +5,34 @@
 //! have a single import root. Library users should depend on the individual
 //! crates (`wormhole`, `index-traits`, the `baseline-*` crates, `workloads`,
 //! `netsim`) directly.
+//!
+//! # Observability
+//!
+//! Every layer records into [`wh_telemetry`] (re-exported as
+//! [`telemetry`]): a dependency-free metrics core with cache-line-padded
+//! atomic counters, gauges with high-water marks, and log₂-bucketed
+//! latency histograms, aggregated by a [`telemetry::Registry`] into
+//! [`telemetry::MetricsSnapshot`]s and a Prometheus-style text
+//! exposition. The instrumented layers:
+//!
+//! * `wormhole` — seqlock read retries, locked fallbacks, leaf
+//!   splits/merges, LPM restarts ([`wormhole::WormholeMetrics`]).
+//! * `epoch` — QSBR section entries, grace-period waits, drain-barrier
+//!   waits, deferred-queue depth (`EpochMetrics`).
+//! * `sharded` — router fast/classic entries, migration batches and
+//!   moved keys, frozen-write waits, per-shard op counters
+//!   (`ShardMetrics` plus `ShardedWormhole::register_metrics`).
+//! * `durable` — fsync count and latency, group-commit batch factor,
+//!   WAL bytes, checkpoint durations (`DurableMetrics`).
+//! * `netsim` — per-op-type service latency, wire batch sizes, and a
+//!   `STATS` wire command that ships the whole exposition in-band
+//!   (`ServiceMetrics`, `WireRequest::Stats`).
+//!
+//! Recording is allocation-free and branch-cheap. Two kill switches
+//! exist: the `telemetry-off` cargo feature compiles histogram buckets
+//! and clock reads out entirely, and `telemetry::set_enabled(false)`
+//! skips them at runtime. Counters and gauges stay live under both —
+//! they double as load signals (the shard rebalancer) and test gates.
 
 pub use baseline_art as art;
 pub use baseline_btree as btree;
@@ -24,6 +52,9 @@ pub use wh_hash as hash;
 /// next to `wormhole_repro::wormhole::Wormhole` (the `wormhole` crate itself
 /// cannot host the module — it is a dependency of `wh-shard`).
 pub use wh_shard as sharded;
+/// The metrics core (`wh-telemetry`): counters, gauges, histograms, the
+/// registry, and the global enable switch.
+pub use wh_telemetry as telemetry;
 pub use workloads;
 pub use wormhole;
 
