@@ -8,7 +8,7 @@
 //!
 //! LevelDB's skip list has no built-in concurrency control for writers (the
 //! paper notes it needs an external mutex); this reproduction likewise
-//! implements the thread-unsafe [`OrderedIndex`] trait only.
+//! implements the thread-unsafe [`index_traits::OrderedIndex`] trait only.
 
 pub mod list;
 

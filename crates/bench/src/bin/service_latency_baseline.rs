@@ -1,0 +1,86 @@
+//! Writes `BENCH_service.json`: client-observed round-trip latency
+//! (p50/p99/p999) and throughput of the batched serving layer
+//! (`netsim::ShardServer`) over a 4-shard front, for 1 and 4 execution
+//! workers under a read-heavy and a mixed point mix, plus a
+//! tail-under-migration-churn cell where boundary migrations bounce for
+//! the whole run.
+//!
+//! ```text
+//! cargo run -p bench --release --bin service_latency_baseline
+//! ```
+//!
+//! Set `WH_BENCH_QUICK=1` for CI's smoke mode (seconds, numbers not
+//! comparable to tracked baselines).
+
+use std::fmt::Write as _;
+
+use bench::service_latency::measure_service_sweep;
+use bench::{quick_mode, quick_or};
+
+fn main() {
+    let worker_counts = [1usize, 4];
+    let keys = quick_or(100_000usize, 4_000);
+    let ops = quick_or(1_000_000usize, 20_000);
+    eprintln!(
+        "measuring serving-layer latency: workers {worker_counts:?} x \
+         {{read_heavy, mixed}} + churn cell, {keys} residents, {ops} ops \
+         per cell (quick={})...",
+        quick_mode(),
+    );
+    let samples = measure_service_sweep(&worker_counts, keys, ops);
+    for s in &samples {
+        eprintln!(
+            "  workers={} {:<11} churn={:<5} {:8.3} Mops/s  \
+             p50={}ns p99={}ns p999={}ns flushes={}",
+            s.workers, s.mix, s.churn, s.mops, s.p50_ns, s.p99_ns, s.p999_ns, s.epoch_flushes,
+        );
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"service_latency\",\n");
+    json.push_str(
+        "  \"description\": \"Client-observed round-trip latency of the batched serving layer \
+         (netsim::ShardServer) over a 4-shard ShardedWormhole: one dispatcher routing each \
+         800-request message against a single router-table snapshot (route_batch), N shard-affine \
+         execution workers, one reassembling collector, client pipeline depth 8. Quantiles are \
+         the client_rtt_ns histogram (log2-bucketed upper bounds, nanoseconds) of full message \
+         round trips — encode, queue, execute, reassemble, decode — recorded once per request. \
+         read_heavy = 90% point gets / 10% overwrites, mixed = 50/50, over 100k resident ~20B \
+         keys. churn=true bounces one shard boundary back and forth (migrate_boundary) for the \
+         whole run, so the tail includes migration freezes and router-epoch pipeline flushes \
+         (epoch_flushes counts them). Single-CPU hosts time-slice the stages, inflating \
+         latency vs a multicore host; the tracked claims are the relative shape: more workers \
+         should not inflate p50, and churn should cost tail (p999), not the median.\",\n",
+    );
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"keys\": {keys},");
+    let _ = writeln!(json, "  \"ops_per_cell\": {ops},");
+    json.push_str("  \"series\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"workers\": {}, \"mix\": \"{}\", \"churn\": {}, \"ops\": {}, \
+             \"mops\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+             \"epoch_flushes\": {}}}{comma}",
+            s.workers,
+            s.mix,
+            s.churn,
+            s.ops,
+            s.mops,
+            s.p50_ns,
+            s.p99_ns,
+            s.p999_ns,
+            s.epoch_flushes,
+        );
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("{json}");
+}

@@ -21,6 +21,7 @@ pub mod figures;
 pub mod measure;
 pub mod meta_layouts;
 pub mod scan_stream;
+pub mod service_latency;
 pub mod shard_scale;
 
 pub use batch_lookup::{
@@ -30,4 +31,5 @@ pub use contended::{measure_contended, measure_modes, ContendedSample};
 pub use drivers::{AnyIndex, ConcurrentDriver, IndexKind, LockedMasstree};
 pub use measure::{mops, parallel_lookup_mops, quick_mode, quick_or, Timer};
 pub use meta_layouts::{measure_layouts, ProbeWorkload, SeedMetaTable};
+pub use service_latency::{measure_service_latency, measure_service_sweep, ServiceLatencySample};
 pub use shard_scale::{measure_scaling, measure_skew_shift, Mix, ShardSample, SkewShiftSample};

@@ -17,5 +17,5 @@ pub mod scan;
 pub mod traits;
 
 pub use key::{common_prefix_len, immediate_successor_into, is_prefix_of, successor_key, KeyRange};
-pub use scan::{ChainedSource, Cursor, CursorSource, RangeSink, ScanBatch};
+pub use scan::{ChainedSource, Cursor, CursorSource, RangeSink, ScanBatch, ScanPage};
 pub use traits::{ConcurrentOrderedIndex, DurableIndex, IndexStats, OrderedIndex, UnorderedIndex};

@@ -142,6 +142,33 @@ impl<V> ScanBatch<V> {
     }
 }
 
+/// One bounded page of an ordered scan, plus the continuation that fetches
+/// the next page: the unit a **streaming scan RPC** ships per response
+/// message.
+///
+/// A service answering a scan request cannot stream an unbounded cursor
+/// into one response — a million-key scan must cross many bounded-size
+/// messages. `ScanPage` is the wire-shaped slice of a scan:
+/// [`items`](ScanPage::items) holds up to the requested number of pairs
+/// (in strictly ascending key order), and [`resume`](ScanPage::resume)
+/// carries the start key of the next page, or `None` once the scan is
+/// known to be exhausted. Because the resume key is a plain global key
+/// (see [`Cursor::resume_key`]), the continuation is **stateless**: the
+/// server keeps no cursor between pages, the client just issues the next
+/// request at `resume` — which also makes a long scan robust to the index
+/// reorganising (shard boundaries migrating, leaves splitting) between
+/// pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanPage<V> {
+    /// Up to `limit` key/value pairs, ascending, starting at the smallest
+    /// key `>=` the requested start.
+    pub items: Vec<(Vec<u8>, V)>,
+    /// Start key of the next page (`None` when the scan is complete). A
+    /// `Some` resume after a full page may still point past the last key —
+    /// the next page then comes back empty with `resume: None`.
+    pub resume: Option<Vec<u8>>,
+}
+
 /// A destination for range-collection primitives: both the materialising
 /// `Vec<(Vec<u8>, V)>` output of `range_from` and the arena-backed
 /// [`ScanBatch`] of a cursor, so an index implements its collection loop
@@ -442,6 +469,40 @@ impl<'a, V> Cursor<'a, V> {
     /// The start key that continues this scan after everything consumed so
     /// far: pass it to a fresh `scan` (possibly after mutating the index)
     /// to resume without re-yielding any pair.
+    ///
+    /// # Examples
+    ///
+    /// Drop a cursor mid-scan, keep only its resume key, and continue from
+    /// a fresh cursor without duplicating or skipping a pair:
+    ///
+    /// ```
+    /// use index_traits::Cursor;
+    /// use std::collections::BTreeMap;
+    ///
+    /// let map: BTreeMap<Vec<u8>, u64> =
+    ///     (0u8..6).map(|i| (vec![b'k', b'0' + i], u64::from(i))).collect();
+    /// let fetch = |start: &[u8], count: usize| {
+    ///     map.range(start.to_vec()..).take(count)
+    ///         .map(|(k, v)| (k.clone(), *v)).collect::<Vec<_>>()
+    /// };
+    ///
+    /// // Consume the first two pairs, then abandon the cursor.
+    /// let mut cursor = Cursor::adapt_range_from(b"", fetch);
+    /// let mut first = Vec::new();
+    /// cursor.collect_next(2, &mut first);
+    /// let resume = cursor.resume_key();
+    /// drop(cursor);
+    ///
+    /// // The resume key is the successor of the last consumed key ...
+    /// assert_eq!(first.last().unwrap().0, b"k1");
+    /// assert_eq!(resume, b"k1\x00");
+    ///
+    /// // ... so a fresh cursor picks up exactly where the old one stopped.
+    /// let mut rest = Vec::new();
+    /// Cursor::adapt_range_from(&resume, fetch).collect_next(usize::MAX, &mut rest);
+    /// let keys: Vec<_> = first.iter().chain(&rest).map(|(k, _)| k.clone()).collect();
+    /// assert_eq!(keys, [b"k0", b"k1", b"k2", b"k3", b"k4", b"k5"]);
+    /// ```
     pub fn resume_key(&self) -> Vec<u8> {
         if self.pos > 0 {
             let mut key = Vec::new();

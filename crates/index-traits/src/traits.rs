@@ -38,6 +38,62 @@ impl IndexStats {
 ///
 /// This matches how the paper drives the thread-unsafe baselines (skip list,
 /// B+ tree, ART): read-only sharing across threads, single writer otherwise.
+///
+/// # Examples
+///
+/// Implementors provide the point ops plus `range_from`; batching
+/// ([`OrderedIndex::get_batch`]), membership ([`OrderedIndex::contains`]),
+/// and streaming scans ([`OrderedIndex::scan`]) come with correct defaults:
+///
+/// ```
+/// use index_traits::{IndexStats, OrderedIndex};
+/// use std::collections::BTreeMap;
+///
+/// #[derive(Default)]
+/// struct Sorted(BTreeMap<Vec<u8>, u64>);
+///
+/// impl OrderedIndex<u64> for Sorted {
+///     fn name(&self) -> &'static str {
+///         "sorted"
+///     }
+///     fn get(&self, key: &[u8]) -> Option<u64> {
+///         self.0.get(key).copied()
+///     }
+///     fn set(&mut self, key: &[u8], value: u64) -> Option<u64> {
+///         self.0.insert(key.to_vec(), value)
+///     }
+///     fn del(&mut self, key: &[u8]) -> Option<u64> {
+///         self.0.remove(key)
+///     }
+///     fn len(&self) -> usize {
+///         self.0.len()
+///     }
+///     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+///         self.0
+///             .range(start.to_vec()..)
+///             .take(count)
+///             .map(|(k, v)| (k.clone(), *v))
+///             .collect()
+///     }
+///     fn stats(&self) -> IndexStats {
+///         IndexStats::default()
+///     }
+/// }
+///
+/// let mut index = Sorted::default();
+/// assert_eq!(index.set(b"James", 1), None);
+/// assert_eq!(index.set(b"Jason", 2), None);
+/// assert_eq!(index.set(b"James", 10), Some(1)); // overwrite returns the old value
+/// assert!(index.contains(b"Jason"));
+/// // Ordered window starting at the smallest key >= "Jam".
+/// let window = index.range_from(b"Jam", 10);
+/// assert_eq!(window[0].0, b"James".to_vec());
+/// // The default streaming cursor agrees with range_from.
+/// let mut cursor = index.scan(b"");
+/// assert_eq!(cursor.next(), Some((&b"James"[..], &10)));
+/// assert_eq!(cursor.next(), Some((&b"Jason"[..], &2)));
+/// assert!(cursor.next().is_none());
+/// ```
 pub trait OrderedIndex<V> {
     /// Human-readable name used by the benchmark harness ("skiplist", …).
     fn name(&self) -> &'static str;
@@ -136,6 +192,44 @@ pub trait ConcurrentOrderedIndex<V>: Send + Sync {
     /// bounded-retry fallback), and the sharded front routes a whole batch
     /// inside one router epoch. Batched and per-key results are always
     /// identical.
+    ///
+    /// # Examples
+    ///
+    /// One result per input key, in input order — hits, misses, and
+    /// duplicates included:
+    ///
+    /// ```
+    /// # use index_traits::{ConcurrentOrderedIndex, IndexStats};
+    /// # use std::{collections::BTreeMap, sync::Mutex};
+    /// # #[derive(Default)]
+    /// # struct Index(Mutex<BTreeMap<Vec<u8>, u64>>);
+    /// # impl ConcurrentOrderedIndex<u64> for Index {
+    /// #     fn name(&self) -> &'static str { "doc" }
+    /// #     fn get(&self, key: &[u8]) -> Option<u64> { self.0.lock().unwrap().get(key).copied() }
+    /// #     fn set(&self, key: &[u8], value: u64) -> Option<u64> {
+    /// #         self.0.lock().unwrap().insert(key.to_vec(), value)
+    /// #     }
+    /// #     fn del(&self, key: &[u8]) -> Option<u64> { self.0.lock().unwrap().remove(key) }
+    /// #     fn len(&self) -> usize { self.0.lock().unwrap().len() }
+    /// #     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+    /// #         self.0.lock().unwrap().range(start.to_vec()..).take(count)
+    /// #             .map(|(k, v)| (k.clone(), *v)).collect()
+    /// #     }
+    /// #     fn stats(&self) -> IndexStats { IndexStats::default() }
+    /// # }
+    /// let index = Index::default();
+    /// index.set(b"Aaron", 1);
+    /// index.set(b"Abbe", 2);
+    ///
+    /// let keys: Vec<&[u8]> = vec![b"Abbe", b"missing", b"Aaron", b"Abbe"];
+    /// assert_eq!(
+    ///     index.get_batch(&keys),
+    ///     vec![Some(2), None, Some(1), Some(2)],
+    /// );
+    /// // A batch always answers exactly like the equivalent get loop.
+    /// let looped: Vec<Option<u64>> = keys.iter().map(|k| index.get(k)).collect();
+    /// assert_eq!(index.get_batch(&keys), looped);
+    /// ```
     fn get_batch(&self, keys: &[&[u8]]) -> Vec<Option<V>> {
         keys.iter().map(|key| self.get(key)).collect()
     }
@@ -196,6 +290,78 @@ pub trait ConcurrentOrderedIndex<V>: Send + Sync {
         }
     }
 
+    /// Serves one bounded page of an ordered scan — the building block of
+    /// a **streaming scan RPC** (see [`crate::scan::ScanPage`]).
+    ///
+    /// Returns up to `limit` pairs starting at the smallest key `>= start`
+    /// (a `limit` of 0 is served as 1), plus the stateless resume key that
+    /// fetches the next page, or `None` once the scan is known exhausted.
+    /// Unlike [`ConcurrentOrderedIndex::scan`] this is **object-safe**, so
+    /// a service holding the index as `dyn ConcurrentOrderedIndex` can
+    /// answer scan requests page by page; and unlike a held cursor the
+    /// continuation survives anything the index does between pages
+    /// (splits, merges, shard-boundary migrations) because it is just a
+    /// key routed afresh by the next call.
+    ///
+    /// Pages have cursor consistency, not snapshot consistency: each page
+    /// is served from the index state at its own call, so a racing writer
+    /// may land between two pages — exactly as it may land between two
+    /// batches of one [`Cursor`].
+    ///
+    /// # Examples
+    ///
+    /// Draining an index page by page, the way a scan RPC client would:
+    ///
+    /// ```
+    /// # use index_traits::{ConcurrentOrderedIndex, IndexStats};
+    /// # use std::{collections::BTreeMap, sync::Mutex};
+    /// # #[derive(Default)]
+    /// # struct Index(Mutex<BTreeMap<Vec<u8>, u64>>);
+    /// # impl ConcurrentOrderedIndex<u64> for Index {
+    /// #     fn name(&self) -> &'static str { "doc" }
+    /// #     fn get(&self, key: &[u8]) -> Option<u64> { self.0.lock().unwrap().get(key).copied() }
+    /// #     fn set(&self, key: &[u8], value: u64) -> Option<u64> {
+    /// #         self.0.lock().unwrap().insert(key.to_vec(), value)
+    /// #     }
+    /// #     fn del(&self, key: &[u8]) -> Option<u64> { self.0.lock().unwrap().remove(key) }
+    /// #     fn len(&self) -> usize { self.0.lock().unwrap().len() }
+    /// #     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+    /// #         self.0.lock().unwrap().range(start.to_vec()..).take(count)
+    /// #             .map(|(k, v)| (k.clone(), *v)).collect()
+    /// #     }
+    /// #     fn stats(&self) -> IndexStats { IndexStats::default() }
+    /// # }
+    /// let index = Index::default();
+    /// for i in 0..10u64 {
+    ///     index.set(format!("key-{i}").as_bytes(), i);
+    /// }
+    ///
+    /// let mut drained = Vec::new();
+    /// let mut start = Vec::new();
+    /// loop {
+    ///     // Three pairs per "response message".
+    ///     let page = index.scan_page(&start, 3);
+    ///     drained.extend(page.items);
+    ///     match page.resume {
+    ///         Some(resume) => start = resume,
+    ///         None => break,
+    ///     }
+    /// }
+    /// assert_eq!(drained.len(), 10);
+    /// assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
+    /// ```
+    fn scan_page(&self, start: &[u8], limit: usize) -> crate::scan::ScanPage<V> {
+        let limit = limit.max(1);
+        let items = self.range_from(start, limit);
+        let resume = (items.len() == limit).then(|| {
+            let mut resume = Vec::new();
+            let (last, _) = items.last().expect("limit >= 1 and a full page");
+            crate::key::immediate_successor_into(last, &mut resume);
+            resume
+        });
+        crate::scan::ScanPage { items, resume }
+    }
+
     /// Opens a resumable streaming cursor at the smallest key `>= start`.
     ///
     /// Safe to advance while other threads write: each batch is an atomic
@@ -224,6 +390,74 @@ pub trait ConcurrentOrderedIndex<V>: Send + Sync {
 /// it is durable under the implementation's sync policy; the methods here
 /// expose the durability machinery itself — explicit barriers and
 /// checkpoint triggers — without prescribing file layout or log format.
+///
+/// # Examples
+///
+/// The contract in miniature: the watermark is monotone, `wal_sync`
+/// forces everything applied so far under it, and a checkpoint covers at
+/// least as much as the log does (the workspace's `wh-durable` crate
+/// implements this over a real group-commit WAL and rename-published
+/// snapshots):
+///
+/// ```
+/// # use index_traits::{ConcurrentOrderedIndex, DurableIndex, IndexStats};
+/// # use std::collections::BTreeMap;
+/// # use std::sync::atomic::{AtomicU64, Ordering};
+/// # use std::sync::Mutex;
+/// # /// A toy in-memory "durable" index: every applied op is assigned an
+/// # /// LSN; `wal_sync` advances the durable watermark to the last one.
+/// # #[derive(Default)]
+/// # struct Toy {
+/// #     map: Mutex<BTreeMap<Vec<u8>, u64>>,
+/// #     applied: AtomicU64,
+/// #     durable: AtomicU64,
+/// # }
+/// # impl ConcurrentOrderedIndex<u64> for Toy {
+/// #     fn name(&self) -> &'static str { "toy" }
+/// #     fn get(&self, key: &[u8]) -> Option<u64> { self.map.lock().unwrap().get(key).copied() }
+/// #     fn set(&self, key: &[u8], value: u64) -> Option<u64> {
+/// #         let mut map = self.map.lock().unwrap();
+/// #         self.applied.fetch_add(1, Ordering::Relaxed);
+/// #         map.insert(key.to_vec(), value)
+/// #     }
+/// #     fn del(&self, key: &[u8]) -> Option<u64> {
+/// #         let mut map = self.map.lock().unwrap();
+/// #         self.applied.fetch_add(1, Ordering::Relaxed);
+/// #         map.remove(key)
+/// #     }
+/// #     fn len(&self) -> usize { self.map.lock().unwrap().len() }
+/// #     fn range_from(&self, start: &[u8], count: usize) -> Vec<(Vec<u8>, u64)> {
+/// #         self.map.lock().unwrap().range(start.to_vec()..).take(count)
+/// #             .map(|(k, v)| (k.clone(), *v)).collect()
+/// #     }
+/// #     fn stats(&self) -> IndexStats { IndexStats::default() }
+/// # }
+/// # impl DurableIndex<u64> for Toy {
+/// #     fn wal_sync(&self) -> std::io::Result<u64> {
+/// #         let lsn = self.applied.load(Ordering::Relaxed);
+/// #         self.durable.fetch_max(lsn, Ordering::Relaxed);
+/// #         Ok(lsn)
+/// #     }
+/// #     fn durable_watermark(&self) -> u64 { self.durable.load(Ordering::Relaxed) }
+/// #     fn checkpoint(&self) -> std::io::Result<u64> { self.wal_sync() }
+/// # }
+/// let index = Toy::default();
+/// index.set(b"James", 1);
+/// index.set(b"Jason", 2);
+///
+/// // Nothing forced yet; an explicit barrier makes both writes durable.
+/// let before = index.durable_watermark();
+/// let synced = index.wal_sync()?;
+/// assert!(synced >= before);
+/// assert_eq!(index.durable_watermark(), synced);
+///
+/// // A checkpoint covers everything the barrier covered.
+/// let covered = index.checkpoint()?;
+/// assert!(covered >= synced);
+/// // The policy hook is allowed to do nothing at all.
+/// assert!(matches!(index.maybe_checkpoint()?, None | Some(_)));
+/// # Ok::<(), std::io::Error>(())
+/// ```
 pub trait DurableIndex<V>: ConcurrentOrderedIndex<V> {
     /// Forces every operation applied so far to stable storage and
     /// returns the durable watermark (an implementation-defined sequence

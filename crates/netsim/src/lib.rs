@@ -21,6 +21,15 @@
 //!   consecutive point lookups through the index's `get_batch`, so an
 //!   800-request lookup batch becomes pipelined probes with overlapped
 //!   cache misses rather than 800 serial descents.
+//! * [`server`] — the multi-worker serving layer over the sharded front:
+//!   a [`server::ShardServer`] dispatches each decoded message across N
+//!   shard-affine worker threads (routing the whole message against one
+//!   router-table snapshot via `ShardedWormhole::route_batch`), overlaps
+//!   the decode/execute/encode stages of successive messages, serves
+//!   streaming scans as stateless [`wire::WireRequest::Scan`] pages, and
+//!   reassembles responses in request order. See
+//!   `docs/src/adr-003-serving-threading.md` for the threading model and
+//!   `docs/src/wire-protocol.md` for the normative framing spec.
 //!
 //! The `figures` harness combines both: it measures real batched-service
 //! throughput and applies the link model, so the reported series keeps the
@@ -36,10 +45,12 @@
 //! registry's full text exposition — a client can scrape the server
 //! in-band, through the same batched request stream as its data traffic.
 
+pub mod server;
 pub mod service;
 pub mod telemetry;
 pub mod wire;
 
+pub use server::{ShardServer, ShardServerMetrics};
 pub use service::{KvService, ServiceStats};
 pub use telemetry::ServiceMetrics;
 pub use wire::{LinkModel, WireRequest, WireResponse};

@@ -21,15 +21,15 @@ use crate::telemetry::ServiceMetrics;
 use crate::wire::{WireRequest, WireResponse};
 
 /// One batch of encoded requests travelling client → server.
-struct RequestBatch {
-    payload: Bytes,
+pub(crate) struct RequestBatch {
+    pub(crate) payload: Bytes,
     /// Number of requests in the batch.
-    count: usize,
+    pub(crate) count: usize,
 }
 
 /// One batch of encoded responses travelling server → client.
-struct ResponseBatch {
-    payload: Bytes,
+pub(crate) struct ResponseBatch {
+    pub(crate) payload: Bytes,
 }
 
 /// Throughput accounting returned by [`KvService::run_lookups`].
@@ -198,6 +198,17 @@ impl KvService<u64> {
                             WireResponse::Stats(registry.snapshot().render()).encode(&mut out);
                             i += 1;
                         }
+                        WireRequest::Scan { start, limit } => {
+                            let timing = wh_telemetry::start_timing();
+                            let page = index.scan_page(start, *limit as usize);
+                            metrics.scan_ns.record_elapsed(timing);
+                            WireResponse::ScanPage {
+                                items: page.items,
+                                resume: page.resume,
+                            }
+                            .encode(&mut out);
+                            i += 1;
+                        }
                     }
                 }
                 if resp_tx
@@ -216,6 +227,23 @@ impl KvService<u64> {
     /// Runs a stream of requests through the service and reports client-side
     /// statistics.
     pub fn run(&self, requests: &[WireRequest]) -> ServiceStats {
+        self.run_with(requests, |_| {})
+    }
+
+    /// Like [`KvService::run`], but also returns every decoded response in
+    /// request order — the hook differential tests use to compare the
+    /// served stream against in-process execution.
+    pub fn run_collect(&self, requests: &[WireRequest]) -> (ServiceStats, Vec<WireResponse>) {
+        let mut responses = Vec::with_capacity(requests.len());
+        let stats = self.run_with(requests, |resp| responses.push(resp.clone()));
+        (stats, responses)
+    }
+
+    fn run_with(
+        &self,
+        requests: &[WireRequest],
+        mut on_resp: impl FnMut(&WireResponse),
+    ) -> ServiceStats {
         let (req_tx, resp_rx, handle) = self.spawn_server();
         let start = std::time::Instant::now();
         let mut stats = ServiceStats {
@@ -225,16 +253,35 @@ impl KvService<u64> {
             response_bytes: 0,
             hits: 0,
         };
-        let mut outstanding = 0usize;
-        let drain = |stats: &mut ServiceStats, resp_rx: &Receiver<ResponseBatch>| {
+        // Send times of in-flight batches, FIFO: the single server thread
+        // answers batches in arrival order, so the front entry is always
+        // the one the next response completes. Each response batch records
+        // its full round trip (encode, queue, execute, decode) into
+        // `client_rtt_ns`, once per request it carried — the
+        // client-observed latency distribution.
+        let mut in_flight: std::collections::VecDeque<Option<std::time::Instant>> =
+            std::collections::VecDeque::new();
+        let metrics = &self.metrics;
+        let mut drain = |stats: &mut ServiceStats,
+                         in_flight: &mut std::collections::VecDeque<Option<std::time::Instant>>,
+                         resp_rx: &Receiver<ResponseBatch>| {
             let batch = resp_rx.recv().expect("server alive");
             stats.response_bytes += batch.payload.len();
             let mut payload = batch.payload;
+            let mut count = 0u64;
             while let Some(resp) = WireResponse::decode(&mut payload) {
                 if !matches!(resp, WireResponse::Miss) {
                     stats.hits += 1;
                 }
                 stats.operations += 1;
+                count += 1;
+                on_resp(&resp);
+            }
+            let sent = in_flight.pop_front().expect("a response implies a send");
+            if let Some(sent) = sent {
+                metrics
+                    .client_rtt_ns
+                    .record_n(sent.elapsed().as_nanos() as u64, count);
             }
         };
         for chunk in requests.chunks(self.batch_size) {
@@ -243,22 +290,20 @@ impl KvService<u64> {
                 req.encode(&mut buf);
             }
             stats.request_bytes += buf.len();
+            in_flight.push_back(wh_telemetry::start_timing());
             req_tx
                 .send(RequestBatch {
                     payload: buf.freeze(),
                     count: chunk.len(),
                 })
                 .expect("server alive");
-            outstanding += 1;
             // Keep a small pipeline of outstanding batches, as HERD does.
-            if outstanding >= 8 {
-                drain(&mut stats, &resp_rx);
-                outstanding -= 1;
+            if in_flight.len() >= 8 {
+                drain(&mut stats, &mut in_flight, &resp_rx);
             }
         }
-        while outstanding > 0 {
-            drain(&mut stats, &resp_rx);
-            outstanding -= 1;
+        while !in_flight.is_empty() {
+            drain(&mut stats, &mut in_flight, &resp_rx);
         }
         stats.seconds = start.elapsed().as_secs_f64().max(1e-9);
         drop(req_tx);

@@ -24,8 +24,17 @@ pub struct ServiceMetrics {
     pub set_ns: Histogram,
     /// Service time per range scan.
     pub range_ns: Histogram,
+    /// Service time per streaming-scan page
+    /// ([`WireRequest::Scan`](crate::WireRequest::Scan)).
+    pub scan_ns: Histogram,
     /// Requests per decoded message (the wire batch-size distribution).
     pub batch_requests: Histogram,
+    /// Client-observed latency per request: each request/response batch's
+    /// full round trip (encode, queue, server execution, decode) recorded
+    /// once per request it carried. The tail of this distribution — not
+    /// the server-side service time — is what a real client experiences,
+    /// and what `BENCH_service.json` reports as p50/p99/p999.
+    pub client_rtt_ns: Histogram,
 }
 
 impl ServiceMetrics {
@@ -40,6 +49,8 @@ impl ServiceMetrics {
         registry.register_histogram(&format!("{prefix}_get_ns"), &self.get_ns);
         registry.register_histogram(&format!("{prefix}_set_ns"), &self.set_ns);
         registry.register_histogram(&format!("{prefix}_range_ns"), &self.range_ns);
+        registry.register_histogram(&format!("{prefix}_scan_ns"), &self.scan_ns);
         registry.register_histogram(&format!("{prefix}_batch_requests"), &self.batch_requests);
+        registry.register_histogram(&format!("{prefix}_client_rtt_ns"), &self.client_rtt_ns);
     }
 }

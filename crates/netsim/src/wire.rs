@@ -14,6 +14,12 @@ pub enum WireRequest {
     /// Telemetry probe: the server answers with its metrics registry's
     /// text exposition ([`WireResponse::Stats`]).
     Stats,
+    /// One page of a streaming scan: up to `limit` pairs at or after
+    /// `start`. Unlike [`WireRequest::Range`] — one shot, one response —
+    /// a scan is continued by re-issuing the request at the `resume` key
+    /// the server returns in [`WireResponse::ScanPage`]; the continuation
+    /// is stateless on the server (no cursor is held between pages).
+    Scan { start: Vec<u8>, limit: u32 },
 }
 
 /// A single response on the wire.
@@ -27,16 +33,25 @@ pub enum WireResponse {
     Range(Vec<(Vec<u8>, u64)>),
     /// Metrics text exposition (the answer to [`WireRequest::Stats`]).
     Stats(String),
+    /// One page of a streaming scan (the answer to [`WireRequest::Scan`]):
+    /// the pairs plus the resume key continuing the scan, `None` once the
+    /// scan is known exhausted. Mirrors `index_traits::ScanPage<u64>`.
+    ScanPage {
+        items: Vec<(Vec<u8>, u64)>,
+        resume: Option<Vec<u8>>,
+    },
 }
 
 const TAG_GET: u8 = 1;
 const TAG_SET: u8 = 2;
 const TAG_RANGE: u8 = 3;
 const TAG_STATS: u8 = 4;
+const TAG_SCAN: u8 = 5;
 const TAG_VALUE: u8 = 1;
 const TAG_MISS: u8 = 2;
 const TAG_RANGE_RESP: u8 = 3;
 const TAG_STATS_RESP: u8 = 4;
+const TAG_SCAN_PAGE: u8 = 5;
 
 impl WireRequest {
     /// Appends the encoded request to `buf`.
@@ -65,6 +80,12 @@ impl WireRequest {
                 buf.put_u8(TAG_STATS);
                 buf.put_u32(0);
             }
+            WireRequest::Scan { start, limit } => {
+                buf.put_u8(TAG_SCAN);
+                buf.put_u32(start.len() as u32);
+                buf.put_slice(start);
+                buf.put_u32(*limit);
+            }
         }
     }
 
@@ -87,6 +108,10 @@ impl WireRequest {
                 count: buf.get_u32(),
             },
             TAG_STATS => WireRequest::Stats,
+            TAG_SCAN => WireRequest::Scan {
+                start: key,
+                limit: buf.get_u32(),
+            },
             _ => return None,
         })
     }
@@ -98,6 +123,7 @@ impl WireRequest {
             WireRequest::Set { key, .. } => 13 + key.len(),
             WireRequest::Range { start, .. } => 9 + start.len(),
             WireRequest::Stats => 5,
+            WireRequest::Scan { start, .. } => 9 + start.len(),
         }
     }
 }
@@ -125,6 +151,23 @@ impl WireResponse {
                 buf.put_u32(text.len() as u32);
                 buf.put_slice(text.as_bytes());
             }
+            WireResponse::ScanPage { items, resume } => {
+                buf.put_u8(TAG_SCAN_PAGE);
+                buf.put_u32(items.len() as u32);
+                for (k, v) in items {
+                    buf.put_u32(k.len() as u32);
+                    buf.put_slice(k);
+                    buf.put_u64(*v);
+                }
+                match resume {
+                    Some(key) => {
+                        buf.put_u8(1);
+                        buf.put_u32(key.len() as u32);
+                        buf.put_slice(key);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
         }
     }
 
@@ -151,6 +194,23 @@ impl WireResponse {
                 let text = String::from_utf8(buf.split_to(len).to_vec()).ok()?;
                 WireResponse::Stats(text)
             }
+            TAG_SCAN_PAGE => {
+                let n = buf.get_u32() as usize;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen = buf.get_u32() as usize;
+                    let key = buf.split_to(klen).to_vec();
+                    items.push((key, buf.get_u64()));
+                }
+                let resume = match buf.get_u8() {
+                    0 => None,
+                    _ => {
+                        let rlen = buf.get_u32() as usize;
+                        Some(buf.split_to(rlen).to_vec())
+                    }
+                };
+                WireResponse::ScanPage { items, resume }
+            }
             _ => return None,
         })
     }
@@ -164,6 +224,11 @@ impl WireResponse {
                 5 + items.iter().map(|(k, _)| 12 + k.len()).sum::<usize>()
             }
             WireResponse::Stats(text) => 5 + text.len(),
+            WireResponse::ScanPage { items, resume } => {
+                let items_bytes = items.iter().map(|(k, _)| 12 + k.len()).sum::<usize>();
+                let resume_bytes = resume.as_ref().map_or(0, |k| 4 + k.len());
+                6 + items_bytes + resume_bytes
+            }
         }
     }
 }
@@ -259,6 +324,10 @@ mod tests {
                 count: 100,
             },
             WireRequest::Stats,
+            WireRequest::Scan {
+                start: b"Jam".to_vec(),
+                limit: 64,
+            },
         ];
         let mut buf = BytesMut::new();
         for r in &reqs {
@@ -279,6 +348,14 @@ mod tests {
             WireResponse::Miss,
             WireResponse::Range(vec![(b"a".to_vec(), 1), (b"bb".to_vec(), 2)]),
             WireResponse::Stats("netsim_requests_total 3\n".to_string()),
+            WireResponse::ScanPage {
+                items: vec![(b"k1".to_vec(), 7), (b"k2".to_vec(), 8)],
+                resume: Some(b"k2\x00".to_vec()),
+            },
+            WireResponse::ScanPage {
+                items: Vec::new(),
+                resume: None,
+            },
         ];
         let mut buf = BytesMut::new();
         for r in &resps {
@@ -313,6 +390,131 @@ mod tests {
         let mut buf = BytesMut::new();
         resp.encode(&mut buf);
         assert_eq!(buf.len(), resp.wire_size());
+        let req = WireRequest::Scan {
+            start: vec![4; 12],
+            limit: 500,
+        };
+        let mut buf = BytesMut::new();
+        req.encode(&mut buf);
+        assert_eq!(buf.len(), req.wire_size());
+        for resume in [Some(vec![5; 7]), None] {
+            let resp = WireResponse::ScanPage {
+                items: vec![(vec![2; 10], 1), (vec![3; 20], 2)],
+                resume,
+            };
+            let mut buf = BytesMut::new();
+            resp.encode(&mut buf);
+            assert_eq!(buf.len(), resp.wire_size());
+        }
+    }
+
+    /// Encodes one frame and renders it as uppercase spaced hex — the
+    /// format `docs/src/wire-protocol.md` uses for its byte-layout
+    /// examples.
+    pub(crate) fn encode_hex(encode: impl FnOnce(&mut BytesMut)) -> String {
+        let mut buf = BytesMut::new();
+        encode(&mut buf);
+        buf.as_ref()
+            .iter()
+            .map(|b| format!("{b:02X}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Known-answer tests: the exact bytes of one example frame per tag.
+    /// These vectors are the normative examples of
+    /// `docs/src/wire-protocol.md`; `docs_examples::wire_protocol_doc…`
+    /// asserts the doc quotes them verbatim. Integers are big-endian
+    /// (network byte order).
+    #[test]
+    fn known_answer_frames() {
+        let cases: Vec<(WireRequest, &str)> = vec![
+            (
+                WireRequest::Get {
+                    key: b"Jam".to_vec(),
+                },
+                "01 00 00 00 03 4A 61 6D",
+            ),
+            (
+                WireRequest::Set {
+                    key: b"k1".to_vec(),
+                    value: 7,
+                },
+                "02 00 00 00 02 6B 31 00 00 00 00 00 00 00 07",
+            ),
+            (
+                WireRequest::Range {
+                    start: b"J".to_vec(),
+                    count: 2,
+                },
+                "03 00 00 00 01 4A 00 00 00 02",
+            ),
+            (WireRequest::Stats, "04 00 00 00 00"),
+            (
+                WireRequest::Scan {
+                    start: b"k1".to_vec(),
+                    limit: 2,
+                },
+                "05 00 00 00 02 6B 31 00 00 00 02",
+            ),
+        ];
+        for (req, hex) in cases {
+            assert_eq!(encode_hex(|buf| req.encode(buf)), hex, "{req:?}");
+        }
+        let cases: Vec<(WireResponse, &str)> = vec![
+            (WireResponse::Value(7), "01 00 00 00 00 00 00 00 07"),
+            (WireResponse::Miss, "02"),
+            (
+                WireResponse::Range(vec![(b"a".to_vec(), 1)]),
+                "03 00 00 00 01 00 00 00 01 61 00 00 00 00 00 00 00 01",
+            ),
+            (
+                WireResponse::Stats("a 1\n".to_string()),
+                "04 00 00 00 04 61 20 31 0A",
+            ),
+            (
+                WireResponse::ScanPage {
+                    items: vec![(b"k1".to_vec(), 7), (b"k2".to_vec(), 8)],
+                    resume: Some(b"k2\x00".to_vec()),
+                },
+                "05 00 00 00 02 \
+                 00 00 00 02 6B 31 00 00 00 00 00 00 00 07 \
+                 00 00 00 02 6B 32 00 00 00 00 00 00 00 08 \
+                 01 00 00 00 03 6B 32 00",
+            ),
+            (
+                WireResponse::ScanPage {
+                    items: Vec::new(),
+                    resume: None,
+                },
+                "05 00 00 00 00 00",
+            ),
+        ];
+        for (resp, hex) in cases {
+            let hex: String = hex.split_whitespace().collect::<Vec<_>>().join(" ");
+            assert_eq!(encode_hex(|buf| resp.encode(buf)), hex, "{resp:?}");
+        }
+    }
+
+    /// The forward-compatibility rule the protocol documents: a decoder
+    /// that meets an unknown tag returns `None` and stops consuming the
+    /// batch, rather than guessing at the frame's extent.
+    #[test]
+    fn unknown_tag_stops_decoding() {
+        let mut buf = BytesMut::new();
+        WireRequest::Get {
+            key: b"ok".to_vec(),
+        }
+        .encode(&mut buf);
+        buf.put_u8(0x7F); // unknown tag
+        buf.put_u32(0); // generic empty-key prefix
+        let mut bytes = buf.freeze();
+        assert!(WireRequest::decode(&mut bytes).is_some());
+        assert_eq!(WireRequest::decode(&mut bytes), None);
+        let mut resp = BytesMut::new();
+        resp.put_u8(0x7F);
+        let mut bytes = resp.freeze();
+        assert_eq!(WireResponse::decode(&mut bytes), None);
     }
 
     #[test]

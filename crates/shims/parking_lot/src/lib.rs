@@ -75,7 +75,7 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 /// A reader-writer lock with parking_lot's non-poisoning API.
 ///
-/// The protected value lives in an [`UnsafeCell`] *beside* the lock word
+/// The protected value lives in an [`std::cell::UnsafeCell`] *beside* the lock word
 /// (mirroring parking_lot's own layout) rather than inside
 /// `std::sync::RwLock`, so the lock can expose parking_lot's
 /// [`RwLock::data_ptr`] — the escape hatch seqlock-style readers use to

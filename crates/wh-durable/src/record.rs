@@ -8,7 +8,7 @@
 //! payload := tag:u8 | lsn:u64le | body
 //! ```
 //!
-//! `crc` is the CRC-32c ([`wh_hash::crc32c`]) of the payload bytes. The
+//! `crc` is the CRC-32c ([`wh_hash::crc32c()`]) of the payload bytes. The
 //! four record kinds and their bodies:
 //!
 //! | tag | record        | body                                    |

@@ -84,7 +84,7 @@ impl Drop for RetiredRouter {
 /// writers outside the migrating range.
 ///
 /// Point operations are one boundary lookup (a binary search over at most
-/// `N - 1` boundary keys in the epoch-published [`RouterTable`]) plus the
+/// `N - 1` boundary keys in the epoch-published router table) plus the
 /// routed shard's own operation — for reads, a lock-free optimistic
 /// lookup. Writers on different shards share **no** state: each shard
 /// owns its MetaTrieHT writer mutex, its QSBR domain, and its leaf locks,
@@ -316,6 +316,42 @@ impl<V: Clone + Send + Sync + 'static> ShardedWormhole<V> {
     #[inline]
     pub fn shard_of(&self, key: &[u8]) -> &Wormhole<V> {
         &self.shards[self.shard_for(key)]
+    }
+
+    /// Routes a whole batch of keys against **one** router-table snapshot:
+    /// appends the owning shard index of each key to `out` (in input
+    /// order) and returns the epoch of the table that made the decisions.
+    /// The entire batch is resolved inside a single router protection span
+    /// (a biased fast section while migrations are idle, a classic QSBR
+    /// critical section otherwise),
+    /// so all decisions are mutually consistent — no interleaving
+    /// migration can split one batch across two boundary generations.
+    ///
+    /// Like [`ShardedWormhole::shard_for`], the result is **advisory**
+    /// under concurrent rebalancing: a migration published after this
+    /// returns may re-home any of the keys. Callers that use it for
+    /// placement (a serving layer dispatching sub-batches to shard-affine
+    /// workers) must still execute through the routed public API — which
+    /// re-routes inside its own protection span — and can compare epochs
+    /// across calls to detect that boundaries moved between two batches
+    /// (epochs are monotonically increasing; see `publish_router`).
+    pub fn route_batch(&self, keys: &[&[u8]], out: &mut Vec<usize>) -> u64 {
+        out.reserve(keys.len());
+        self.with_router(|router| {
+            for key in keys {
+                out.push(router.route(key));
+            }
+            router.epoch
+        })
+    }
+
+    /// The current router epoch: bumped by every boundary publication
+    /// (including the transient freeze/unfreeze swaps inside one migration
+    /// batch). A serving layer snapshots it with
+    /// [`ShardedWormhole::route_batch`] and treats a change as "boundaries
+    /// may have moved — re-derive any cached affinity".
+    pub fn router_epoch(&self) -> u64 {
+        self.with_router(|router| router.epoch)
     }
 
     /// Cumulative point-operation count per shard (the rebalancer's load
@@ -732,7 +768,8 @@ impl<V: Clone + Send + Sync + 'static> ConcurrentOrderedIndex<V> for ShardedWorm
     }
 
     /// Opens a cross-shard streaming cursor: per-shard cursor segments
-    /// chained in live boundary order (see [`RoutedSource`]).
+    /// chained in live boundary order (see the crate docs for the routed
+    /// source protocol).
     ///
     /// [`Cursor::resume_key`] needs no shard awareness: the reported key
     /// (successor of the last consumed key) is a plain global key, and a
@@ -807,6 +844,53 @@ mod tests {
         assert_eq!(idx.shard_for(b"zzz"), 3);
         assert!(std::ptr::eq(idx.shard_of(b"f"), idx.shard(0)));
         assert!(std::ptr::eq(idx.shard_of(b"zzz"), idx.shard(3)));
+    }
+
+    #[test]
+    fn route_batch_matches_per_key_routing_and_reports_epoch() {
+        let idx: ShardedWormhole<u64> =
+            ShardedWormhole::with_config(ShardedConfig::with_boundaries(vec![
+                b"g".to_vec(),
+                b"n".to_vec(),
+                b"t".to_vec(),
+            ]));
+        let keys: Vec<&[u8]> = vec![b"", b"f", b"g", b"mzzz", b"n", b"szz", b"t", b"zzz"];
+        let mut routes = Vec::new();
+        let epoch = idx.route_batch(&keys, &mut routes);
+        assert_eq!(routes, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        // Batch routing agrees with the per-key entry point key by key.
+        let singles: Vec<usize> = keys.iter().map(|k| idx.shard_for(k)).collect();
+        assert_eq!(routes, singles);
+        assert_eq!(epoch, idx.router_epoch());
+        // Appends rather than overwrites, so a dispatcher can reuse one
+        // scratch vector across sub-batches.
+        let extra = idx.route_batch(&[b"a"], &mut routes);
+        assert_eq!(routes.len(), keys.len() + 1);
+        assert_eq!(routes[keys.len()], 0);
+        assert_eq!(extra, epoch, "no migration ran; epoch must be stable");
+    }
+
+    #[test]
+    fn route_batch_epoch_moves_with_migration() {
+        let idx: ShardedWormhole<u64> =
+            ShardedWormhole::with_config(ShardedConfig::with_boundaries(vec![b"m".to_vec()]));
+        for i in 0..600u64 {
+            idx.set(format!("k{i:05}").as_bytes(), i);
+        }
+        let mut before = Vec::new();
+        let epoch_before = idx.route_batch(&[b"k00001", b"zz"], &mut before);
+        // Move the boundary: everything is below "m", so shifting it down
+        // re-homes a slice of keys to shard 1.
+        idx.migrate_boundary(0, b"k00300")
+            .expect("migration succeeds");
+        let mut after = Vec::new();
+        let epoch_after = idx.route_batch(&[b"k00001", b"k00500"], &mut after);
+        assert!(
+            epoch_after > epoch_before,
+            "boundary publication must bump the router epoch"
+        );
+        assert_eq!(after, vec![0, 1]);
+        idx.check_invariants();
     }
 
     #[test]

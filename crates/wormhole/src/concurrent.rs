@@ -12,13 +12,13 @@
 //!   fails validation and retries. After a bounded number of conflicts a
 //!   reader falls back to the leaf's reader lock, which bounds worst-case
 //!   latency under heavy write contention. Ordered scans stream one
-//!   validated leaf snapshot per batch ([`ScanSource`]) — per-leaf
+//!   validated leaf snapshot per batch (`ScanSource`) — per-leaf
 //!   atomicity, no global snapshot across batches;
 //! * a **writer lock per leaf node** — in-place inserts, deletes, and the
 //!   structural operations serialise on it exactly as in the paper;
 //! * a single **writer mutex over the MetaTrieHT** — only split and merge
 //!   operations take it. They ask the shared core engine
-//!   ([`crate::core`]) for a declarative [`MetaPlan`](crate::meta::MetaPlan)
+//!   ([`crate::core`]) for a declarative [`crate::meta::MetaPlan`]
 //!   and apply it to a second hash table (T2), atomically publish it, and
 //!   *start* an RCU grace period (QSBR) that retires the old table (T1)
 //!   with the plan still pending. The **next** structural operation
@@ -58,7 +58,7 @@
 //! a deliberate race — but it is a race over *live* memory only, never
 //! freed memory. The residual exposure is torn multi-word reads (a fat
 //! pointer observed half-updated), which the bounds checks and the
-//! [`MAX_OPTIMISTIC_KEY_LEN`] guard contain until validation discards
+//! `MAX_OPTIMISTIC_KEY_LEN` guard contain until validation discards
 //! them; to keep discarded speculative value clones harmless, the
 //! lock-free path is enabled only for value types without drop glue (see
 //! `optimistic_reads_safe` for why deferral alone cannot admit pointer

@@ -16,7 +16,7 @@
 //!   anchor formation, anchor table-key reservation, and the leaf-level
 //!   carve ([`LeafNode::split_off`]);
 //! * [`split_plan`] / [`merge_plan`] — declarative
-//!   [`MetaPlan`](crate::meta::MetaPlan)s listing the MetaTrieHT item
+//!   [`crate::meta::MetaPlan`]s listing the MetaTrieHT item
 //!   writes, executed with [`MetaTable::apply_plan`] once per table;
 //! * [`merge_eligible`] — Algorithm 2's `MergeSize` test.
 

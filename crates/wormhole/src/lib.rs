@@ -24,8 +24,8 @@
 //! holding more than eight residents. A probe SWAR-compares all eight tags
 //! of a line at once and touches an item record only on a tag match, so the
 //! LPM binary search costs a handful of cache-line fills; see
-//! [`meta`](crate::meta) for the full layout. On top of that layout the
-//! point-lookup path — [`Wormhole::get`], the LPM search, and the trie
+//! [`meta`] for the full layout. On top of that layout the
+//! point-lookup path — the [`Wormhole`] `get`, the LPM search, and the trie
 //! sibling step — performs **zero heap allocations per call**, and ordered
 //! scans stream through a resumable cursor (`scan(start)` on both index
 //! traits) whose batch-per-leaf arena makes steady-state batch advancement
@@ -75,7 +75,7 @@
 //! [`WormholeConfig`]; it is re-exported as `wormhole_repro::sharded` by
 //! the umbrella crate.
 //!
-//! Both variants share one split/merge engine: [`core`](crate::core) owns
+//! Both variants share one split/merge engine: [`core`] owns
 //! split-point selection, anchor formation, and merge eligibility, and the
 //! MetaTrieHT changes of a split or merge are computed once as a
 //! declarative [`meta::MetaPlan`] that the single-threaded index applies to

@@ -15,7 +15,7 @@
 //! anything. This table reproduces that layout:
 //!
 //! * the bucket array is **one flat allocation** of 64-byte, 64-byte-aligned
-//!   [`Bucket`] records — no per-bucket heap allocation, no `Vec<Vec<_>>`
+//!   `Bucket` records — no per-bucket heap allocation, no `Vec<Vec<_>>`
 //!   indirection;
 //! * each bucket holds **eight slots**: a `[u16; 8]` tag lane (16 bytes, the
 //!   §3.1 *TagMatching* filter, compared eight-at-a-time with

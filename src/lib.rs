@@ -6,6 +6,27 @@
 //! crates (`wormhole`, `index-traits`, the `baseline-*` crates, `workloads`,
 //! `netsim`) directly.
 //!
+//! # Serving layer
+//!
+//! [`netsim`] is both the paper's analytic link model and a real
+//! batched serving layer: [`netsim::ShardServer`] runs N shard-affine
+//! execution workers behind a routing dispatcher and a reassembling
+//! collector over a [`sharded::ShardedWormhole`] — one router-table
+//! snapshot per incoming message ([`sharded::ShardedWormhole::route_batch`]),
+//! pipelined request/response framing, batched point-lookup runs
+//! through `get_batch`, and streaming scans continued by stateless
+//! resume keys ([`netsim::WireRequest::Scan`] /
+//! [`netsim::WireResponse::ScanPage`]). The architecture book under
+//! `docs/src/` documents the stack: the crate map and wire→leaf data
+//! flow (`architecture.md`), the normative wire framing spec
+//! (`wire-protocol.md`, byte examples asserted against the encoder in
+//! a test), and three ADRs — router epochs + biased QSBR
+//! (`adr-001-router-epoch-biased-qsbr.md`), WAL/snapshot ordering
+//! (`adr-002-wal-ordering.md`), and the serving threading model
+//! (`adr-003-serving-threading.md`). Client-observed p50/p99/p999
+//! round-trip latency, including a migration-churn tail cell, is
+//! tracked in `BENCH_service.json`.
+//!
 //! # Observability
 //!
 //! Every layer records into [`wh_telemetry`] (re-exported as
